@@ -1,0 +1,161 @@
+/**
+ * @file
+ * E15: google-benchmark microbenchmarks for the performance-critical
+ * substrate paths — cache simulation throughput, oracle pre-passes,
+ * embedding, retrieval latency (Sieve vs Ranger), and the DSL
+ * interpreter. These back the Figure 9 latency ordering with
+ * statistically sound timings.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "db/builder.hh"
+#include "policy/basic_policies.hh"
+#include "query/dsl.hh"
+#include "retrieval/ranger.hh"
+#include "retrieval/sieve.hh"
+#include "sim/core_model.hh"
+#include "sim/llc_replay.hh"
+#include "text/embedding.hh"
+#include "trace/workload.hh"
+
+using namespace cachemind;
+
+namespace {
+
+/** Shared fixtures (built once; google-benchmark reruns the loop). */
+const trace::Trace &
+mcfTrace()
+{
+    static const trace::Trace t =
+        trace::makeWorkload(trace::WorkloadKind::Mcf)->generate(60000);
+    return t;
+}
+
+const std::vector<sim::LlcAccess> &
+mcfStream()
+{
+    static const auto stream = sim::captureLlcStream(mcfTrace());
+    return stream;
+}
+
+const db::TraceDatabase &
+microDb()
+{
+    static const auto database = db::buildSingleDatabase(
+        trace::WorkloadKind::Mcf, policy::PolicyKind::Lru, 60000);
+    return database;
+}
+
+} // namespace
+
+static void
+BM_CacheSimThroughput(benchmark::State &state)
+{
+    const auto &t = mcfTrace();
+    for (auto _ : state) {
+        sim::Hierarchy hier(sim::defaultHierarchyConfig(),
+                            std::make_unique<policy::LruPolicy>());
+        for (const auto &r : t)
+            benchmark::DoNotOptimize(hier.access(r.pc, r.address,
+                                                 r.type));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_CacheSimThroughput)->Unit(benchmark::kMillisecond);
+
+static void
+BM_OraclePrePass(benchmark::State &state)
+{
+    const auto &stream = mcfStream();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim::computeOracle(stream));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_OraclePrePass)->Unit(benchmark::kMillisecond);
+
+static void
+BM_BeladyReplay(benchmark::State &state)
+{
+    const auto &stream = mcfStream();
+    static const auto oracle = sim::computeOracle(stream);
+    for (auto _ : state) {
+        sim::LlcReplayer rep(sim::defaultHierarchyConfig().llc,
+                             std::make_unique<policy::BeladyPolicy>());
+        benchmark::DoNotOptimize(rep.replay(stream, &oracle, nullptr));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_BeladyReplay)->Unit(benchmark::kMillisecond);
+
+static void
+BM_HashEmbedder(benchmark::State &state)
+{
+    const text::HashEmbedder embedder(128);
+    const std::string doc =
+        "TRACE_ID: mcf_evictions_lru program_counter=0x4037aa "
+        "memory_address=0x1b73be82e3f evict=Cache Miss recency=recent";
+    for (auto _ : state)
+        benchmark::DoNotOptimize(embedder.embed(doc));
+}
+BENCHMARK(BM_HashEmbedder);
+
+static void
+BM_SieveRetrieval(benchmark::State &state)
+{
+    const auto &database = microDb();
+    retrieval::SieveRetriever sieve(database);
+    const std::string query =
+        "What is the miss rate for PC 0x4037aa in the mcf workload "
+        "with LRU?";
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sieve.retrieve(query));
+}
+BENCHMARK(BM_SieveRetrieval)->Unit(benchmark::kMicrosecond);
+
+static void
+BM_RangerRetrieval(benchmark::State &state)
+{
+    const auto &database = microDb();
+    retrieval::RangerRetriever ranger(database);
+    const std::string query =
+        "What is the miss rate for PC 0x4037aa in the mcf workload "
+        "with LRU?";
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ranger.retrieve(query));
+}
+BENCHMARK(BM_RangerRetrieval)->Unit(benchmark::kMicrosecond);
+
+static void
+BM_DslCountFullTable(benchmark::State &state)
+{
+    const auto &database = microDb();
+    const query::Interpreter interp(database);
+    query::DslProgram prog;
+    prog.trace_key = "mcf_evictions_lru";
+    prog.pc = 0x4037aa;
+    prog.op = query::DslOp::CountRows;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(interp.run(prog));
+}
+BENCHMARK(BM_DslCountFullTable)->Unit(benchmark::kMicrosecond);
+
+static void
+BM_StatsExpertBuild(benchmark::State &state)
+{
+    const auto &database = microDb();
+    const auto *entry = database.find("mcf_evictions_lru");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(db::StatsExpert(entry->table));
+}
+BENCHMARK(BM_StatsExpertBuild)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

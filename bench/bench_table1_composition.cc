@@ -1,0 +1,49 @@
+/**
+ * @file
+ * E1 (Table 1): CacheMindBench composition — the 11 categories, their
+ * sizes, tier membership, scoring mode, and one representative
+ * generated question per category.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "benchsuite/generator.hh"
+#include "db/builder.hh"
+
+using namespace cachemind;
+
+int
+main()
+{
+    std::printf("Building trace database...\n");
+    const auto database = db::buildDatabase();
+    const benchsuite::BenchGenerator generator(database);
+    const auto suite = generator.generate();
+
+    std::map<benchsuite::Category, std::size_t> counts;
+    std::map<benchsuite::Category, std::string> examples;
+    for (const auto &q : suite) {
+        ++counts[q.category];
+        if (examples.find(q.category) == examples.end())
+            examples[q.category] = q.text;
+    }
+
+    std::printf("\n=== Table 1: CacheMindBench categories (%zu "
+                "questions) ===\n",
+                suite.size());
+    std::size_t tg = 0, ara = 0;
+    for (const auto cat : benchsuite::allCategories()) {
+        const bool grounded = benchsuite::isTraceGrounded(cat);
+        (grounded ? tg : ara) += counts[cat];
+        std::printf("%-28s %-16s %-12s %3zu\n",
+                    benchsuite::categoryName(cat),
+                    grounded ? "Trace-Grounded" : "Reasoning",
+                    grounded ? "exact 0/1" : "rubric 0-5",
+                    counts[cat]);
+        std::printf("    e.g. \"%s\"\n", examples[cat].c_str());
+    }
+    std::printf("\nTier sizes: %zu trace-grounded, %zu reasoning.\n",
+                tg, ara);
+    return 0;
+}

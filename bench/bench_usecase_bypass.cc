@@ -1,0 +1,95 @@
+/**
+ * @file
+ * E10 (§6.3 "Signature Optimization for Bypass Logic", Figure 11):
+ * CacheMind identifies mcf PCs with near-zero hit rate and huge reuse
+ * distances under Belady's policy; conditionally bypassing those PCs
+ * in the LRU cache raises hit rate and IPC.
+ *
+ * Expected shape (paper): bypassing ten identified PCs lifts the mcf
+ * LLC hit rate by several percent relative (paper: 25.06% -> 26.98%,
+ * +7.66% rel) and IPC by ~2% (paper: +2.04%).
+ */
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "base/str.hh"
+#include "core/cachemind.hh"
+#include "db/builder.hh"
+#include "insights/insights.hh"
+#include "policy/basic_policies.hh"
+#include "sim/core_model.hh"
+#include "trace/workload.hh"
+
+using namespace cachemind;
+
+int
+main()
+{
+    std::printf("Building mcf trace database (Belady for analysis)"
+                "...\n");
+    db::BuildOptions opts;
+    opts.workloads = {trace::WorkloadKind::Mcf};
+    opts.policies = {policy::PolicyKind::Belady,
+                     policy::PolicyKind::Lru};
+    const auto database = db::buildDatabase(opts);
+
+    // --- Figure 11 chat: the discovery queries.
+    core::CacheMind engine(database,
+                           core::CacheMindConfig{
+                               llm::BackendKind::Gpt4o,
+                               core::RetrieverKind::Sieve,
+                               llm::ShotMode::ZeroShot});
+    core::ChatSession chat(engine);
+    std::printf("\n=== Chat transcript (Figure 11) ===\n");
+    chat.ask("List all PCs in the mcf workload under Belady.");
+    chat.ask("Identify PCs suitable for bypassing to improve IPC in "
+             "the mcf workload under Belady.");
+    std::printf("%s", chat.transcript().c_str());
+
+    const auto candidates =
+        insights::recommendBypassPcs(database, "mcf", "belady", 10);
+    std::printf("Verified bypass candidates (%zu):\n",
+                candidates.size());
+    std::unordered_set<std::uint64_t> bypass_pcs;
+    for (const auto &c : candidates) {
+        bypass_pcs.insert(c.pc);
+        std::printf("  %s hit_rate=%.2f%% mean_reuse=%.0f "
+                    "dead=%.0f%% accesses=%llu\n",
+                    str::hex(c.pc).c_str(), 100.0 * c.hit_rate,
+                    c.mean_reuse_distance, 100.0 * c.dead_fraction,
+                    static_cast<unsigned long long>(c.accesses));
+    }
+
+    // --- Apply conditional bypass in the LRU LLC and measure.
+    const auto cfg = sim::defaultHierarchyConfig();
+    auto model = trace::makeWorkload(trace::WorkloadKind::Mcf);
+    const auto t = model->generate();
+
+    const auto s_base = sim::runTrace(
+        t, cfg, policy::makePolicy(policy::PolicyKind::Lru));
+
+    sim::Hierarchy hier(cfg, policy::makePolicy(policy::PolicyKind::Lru));
+    hier.llc().setBypassFilter([&bypass_pcs](std::uint64_t pc) {
+        return bypass_pcs.count(pc) > 0;
+    });
+    const auto s_bypass = sim::runTrace(t, hier);
+
+    const double hit_base = s_base.llc.hitRate();
+    const double hit_new = s_bypass.llc.hitRate();
+    const double hit_rel = 100.0 * (hit_new - hit_base) / hit_base;
+    const double ipc_rel =
+        100.0 * (s_bypass.ipc - s_base.ipc) / s_base.ipc;
+
+    std::printf("\n=== Conditional bypass intervention (mcf, LRU LLC) "
+                "===\n");
+    std::printf("%-26s %12s %10s\n", "variant", "LLC hit rate", "IPC");
+    std::printf("%-26s %11.2f%% %10.6f\n", "LRU baseline",
+                100.0 * hit_base, s_base.ipc);
+    std::printf("%-26s %11.2f%% %10.6f\n", "LRU + bypass (10 PCs)",
+                100.0 * hit_new, s_bypass.ipc);
+    std::printf("\nHit rate: %+.2f%% relative (paper: +7.66%%); "
+                "IPC: %+.2f%% (paper: +2.04%%)\n",
+                hit_rel, ipc_rel);
+    return 0;
+}

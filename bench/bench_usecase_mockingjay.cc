@@ -1,0 +1,89 @@
+/**
+ * @file
+ * E9 (§6.3 "Mockingjay Use Case", Figure 10): CacheMind groups PCs by
+ * reuse-distance (ETR) variance; restricting Mockingjay's
+ * reuse-distance predictor training to the stable (low-variance) PCs
+ * yields a small IPC gain on milc.
+ *
+ * Expected shape (paper): stable-PC training lifts IPC from 0.47698
+ * to 0.480307, a +0.7% speedup. Here the magnitude depends on the
+ * analytic core model; the claim is a positive gain from filtering
+ * the RDP's training set to predictable PCs.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "base/str.hh"
+#include "core/cachemind.hh"
+#include "db/builder.hh"
+#include "insights/insights.hh"
+#include "policy/mockingjay.hh"
+#include "sim/core_model.hh"
+#include "trace/workload.hh"
+
+using namespace cachemind;
+
+int
+main()
+{
+    std::printf("Building milc trace database...\n");
+    const auto database = db::buildSingleDatabase(
+        trace::WorkloadKind::Milc, policy::PolicyKind::Lru);
+
+    // --- Figure 10 chat: grouping PCs by ETR variance.
+    core::CacheMind engine(database,
+                           core::CacheMindConfig{
+                               llm::BackendKind::Gpt4o,
+                               core::RetrieverKind::Ranger,
+                               llm::ShotMode::ZeroShot});
+    core::ChatSession chat(engine);
+    std::printf("\n=== Chat transcript (Figure 10) ===\n");
+    chat.ask("List all unique PCs in the milc workload under LRU.");
+    chat.ask("What is the standard deviation of the reuse distance of "
+             "PC 0x413930 in the milc workload under LRU?");
+    chat.ask("What is the standard deviation of the reuse distance of "
+             "PC 0x413948 in the milc workload under LRU?");
+    std::printf("%s", chat.transcript().c_str());
+
+    const auto buckets =
+        insights::classifyPcStability(database, "milc", "lru");
+    auto show = [](const char *name,
+                   const std::vector<insights::PcStability> &pcs) {
+        std::printf("%s:", name);
+        for (const auto &p : pcs)
+            std::printf(" %s(cov=%.2f)", str::hex(p.pc).c_str(), p.cov);
+        std::printf("\n");
+    };
+    show("LowVar ", buckets.low_variance);
+    show("MedVar ", buckets.medium_variance);
+    show("HighVar", buckets.high_variance);
+
+    // --- Train Mockingjay's RDP on stable PCs only and measure.
+    const auto cfg = sim::defaultHierarchyConfig();
+    auto model = trace::makeWorkload(trace::WorkloadKind::Milc);
+    const auto t = model->generate();
+
+    const auto s_base = sim::runTrace(
+        t, cfg, std::make_unique<policy::MockingjayPolicy>());
+
+    auto filtered = std::make_unique<policy::MockingjayPolicy>();
+    filtered->setTrainingFilter(buckets.stablePcSet());
+    const auto s_stable = sim::runTrace(t, cfg, std::move(filtered));
+
+    const double speedup =
+        100.0 * (s_stable.ipc - s_base.ipc) / s_base.ipc;
+    std::printf("\n=== Mockingjay RDP training intervention (milc) "
+                "===\n");
+    std::printf("%-30s %10s %14s\n", "variant", "IPC",
+                "LLC hit rate");
+    std::printf("%-30s %10.6f %13.2f%%\n", "Mockingjay (all PCs)",
+                s_base.ipc, 100.0 * s_base.llc.hitRate());
+    std::printf("%-30s %10.6f %13.2f%%\n",
+                "Mockingjay (stable PCs only)", s_stable.ipc,
+                100.0 * s_stable.llc.hitRate());
+    std::printf("\nSpeedup from stable-PC training: %+.2f%% "
+                "(paper: +0.7%%)\n",
+                speedup);
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * E11 (§6.3 "PC-Information Applications, Software Intervention and
+ * Prefetcher Use Case", Figure 12): CacheMind identifies the dominant
+ * miss-causing PC of a pointer-chasing microbenchmark through the
+ * natural-language interface; inserting a software prefetch at that
+ * PC lifts IPC substantially.
+ *
+ * Expected shape (paper): IPC 0.131 -> 0.231, a ~76% speedup. The
+ * absolute IPCs here come from the analytic core model; the claim is
+ * the large relative gain from prefetching the single dominant PC.
+ */
+
+#include <cstdio>
+
+#include "base/str.hh"
+#include "core/cachemind.hh"
+#include "db/builder.hh"
+#include "insights/insights.hh"
+#include "policy/basic_policies.hh"
+#include "sim/core_model.hh"
+#include "trace/workload_models.hh"
+
+using namespace cachemind;
+
+int
+main()
+{
+    std::printf("Building microbenchmark trace database...\n");
+    const auto database = db::buildSingleDatabase(
+        trace::WorkloadKind::Microbench, policy::PolicyKind::Lru);
+
+    // --- Figure 12 chat: recover the unknown dominant PC.
+    core::CacheMind engine(database,
+                           core::CacheMindConfig{
+                               llm::BackendKind::Gpt4o,
+                               core::RetrieverKind::Ranger,
+                               llm::ShotMode::ZeroShot});
+    core::ChatSession chat(engine);
+    std::printf("\n=== Chat transcript (Figure 12) ===\n");
+    chat.ask("List all unique PCs in the microbench workload under "
+             "LRU.");
+    chat.ask("From the unique PCs, identify the PC causing the most "
+             "cache misses in the microbench workload under LRU.");
+    const auto verified = insights::findDominantMissPc(
+        database, "microbench", "lru");
+    chat.ask("What is the miss rate of PC " + str::hex(verified.pc) +
+             " in the microbench workload under LRU?");
+    std::printf("%s", chat.transcript().c_str());
+
+    std::printf("Verified dominant miss PC: %s in %s (%.2f%% miss "
+                "rate, %.1f%% of all misses)\n",
+                str::hex(verified.pc).c_str(),
+                verified.function_name.c_str(),
+                100.0 * verified.miss_rate,
+                100.0 * verified.miss_share);
+
+    // --- Apply the software fix and measure IPC.
+    const auto cfg = sim::defaultHierarchyConfig();
+    auto base_model = trace::makeWorkload(trace::WorkloadKind::Microbench);
+    const auto base_trace = base_model->generate();
+    const auto s_base = sim::runTrace(
+        base_trace, cfg, policy::makePolicy(policy::PolicyKind::Lru));
+
+    auto fixed_model = trace::makeMicrobenchModel(
+        0xcafef00dULL + static_cast<std::uint64_t>(
+                            trace::WorkloadKind::Microbench),
+        24);
+    const auto fixed_trace = fixed_model->generate();
+    const auto s_fixed = sim::runTrace(
+        fixed_trace, cfg, policy::makePolicy(policy::PolicyKind::Lru));
+
+    const double speedup =
+        100.0 * (s_fixed.ipc - s_base.ipc) / s_base.ipc;
+    std::printf("\n=== Software prefetch intervention ===\n");
+    std::printf("%-26s %10s %12s %12s\n", "variant", "IPC",
+                "LLC misses", "L1D miss%");
+    std::printf("%-26s %10.6f %12llu %11.2f%%\n", "baseline",
+                s_base.ipc,
+                static_cast<unsigned long long>(s_base.llc.misses),
+                100.0 * s_base.l1d.missRate());
+    std::printf("%-26s %10.6f %12llu %11.2f%%\n",
+                "with software prefetch", s_fixed.ipc,
+                static_cast<unsigned long long>(s_fixed.llc.misses),
+                100.0 * s_fixed.l1d.missRate());
+    std::printf("\nSpeedup from prefetching PC %s: %.1f%% "
+                "(paper: ~76%%)\n",
+                str::hex(verified.pc).c_str(), speedup);
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * E12 (§6.3 "Set Hotness Analysis Use Case", Figure 13): CacheMind
+ * identifies hot and cold cache sets for astar under Belady and LRU
+ * and compares them.
+ *
+ * Expected shape (paper): hot sets arise from intrinsic workload
+ * locality, so the hot-set identity overlaps strongly between LRU and
+ * Belady, and Belady amplifies hotness (its hot-set hit rates are
+ * higher).
+ */
+
+#include <cstdio>
+
+#include "core/cachemind.hh"
+#include "db/builder.hh"
+#include "insights/insights.hh"
+
+using namespace cachemind;
+
+int
+main()
+{
+    std::printf("Building astar trace database (Belady + LRU)...\n");
+    db::BuildOptions opts;
+    opts.workloads = {trace::WorkloadKind::Astar};
+    opts.policies = {policy::PolicyKind::Belady,
+                     policy::PolicyKind::Lru};
+    const auto database = db::buildDatabase(opts);
+
+    // --- Figure 13 chat.
+    core::CacheMind engine(database,
+                           core::CacheMindConfig{
+                               llm::BackendKind::Gpt4o,
+                               core::RetrieverKind::Sieve,
+                               llm::ShotMode::ZeroShot});
+    core::ChatSession chat(engine);
+    std::printf("\n=== Chat transcript (Figure 13) ===\n");
+    chat.ask("For the astar workload and Belady replacement policy, "
+             "could you list the unique cache sets in ascending "
+             "order?");
+    chat.ask("Identify 5 hot and 5 cold sets by hit rate for the "
+             "astar workload under Belady.");
+    chat.ask("Identify 5 hot and 5 cold sets by hit rate for the "
+             "astar workload under LRU.");
+    std::printf("%s", chat.transcript().c_str());
+
+    // --- Verified analysis + cross-policy comparison.
+    const auto belady =
+        insights::analyzeSetHotness(database, "astar", "belady", 5);
+    const auto lru =
+        insights::analyzeSetHotness(database, "astar", "lru", 5);
+
+    auto show = [](const char *label,
+                   const insights::SetHotnessReport &r) {
+        std::printf("%s hot:", label);
+        for (const auto &s : r.hot)
+            std::printf(" %u(%.1f%%)", s.set, 100.0 * s.hitRate());
+        std::printf("  cold:");
+        for (const auto &s : r.cold)
+            std::printf(" %u(%.1f%%)", s.set, 100.0 * s.hitRate());
+        std::printf("\n");
+    };
+    std::printf("\n=== Hot/cold sets (top/bottom 5 by hit rate) ===\n");
+    show("Belady", belady);
+    show("LRU   ", lru);
+
+    const std::size_t overlap =
+        insights::hotSetOverlap(belady.hot, lru.hot);
+    double belady_hot_avg = 0.0, lru_hot_avg = 0.0;
+    for (const auto &s : belady.hot)
+        belady_hot_avg += s.hitRate() / belady.hot.size();
+    for (const auto &s : lru.hot)
+        lru_hot_avg += s.hitRate() / lru.hot.size();
+
+    std::printf("\nHot-set overlap LRU vs Belady: %zu/5 "
+                "(hotness is intrinsic to the workload)\n",
+                overlap);
+    std::printf("Belady amplifies hotness: mean hot-set hit rate "
+                "%.1f%% vs %.1f%% under LRU\n",
+                100.0 * belady_hot_avg, 100.0 * lru_hot_avg);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Run CacheMindBench against a custom backend profile: shows how a
+ * downstream user would plug a new "LLM" (here: a hypothetical
+ * profile) into the evaluation harness and read per-category scores.
+ *
+ *   $ ./example_benchmark_your_llm
+ */
+
+#include <cstdio>
+
+#include "benchsuite/generator.hh"
+#include "benchsuite/harness.hh"
+#include "core/cachemind.hh"
+#include "db/builder.hh"
+#include "retrieval/ranger.hh"
+#include "retrieval/sieve.hh"
+
+using namespace cachemind;
+
+int
+main()
+{
+    std::printf("Building trace database...\n");
+    db::BuildOptions options;
+    options.workloads = {trace::WorkloadKind::Astar,
+                         trace::WorkloadKind::Mcf};
+    options.accesses_override = 80000;
+    const auto database = db::buildDatabase(options);
+
+    // A reduced suite keeps the demo quick.
+    benchsuite::SuiteComposition comp;
+    comp.hit_miss = 10;
+    comp.miss_rate = 5;
+    comp.policy_comparison = 5;
+    comp.count = 3;
+    comp.arithmetic = 5;
+    comp.trick = 2;
+    comp.concepts = 3;
+    comp.code_gen = 2;
+    comp.policy_analysis = 2;
+    comp.workload_analysis = 2;
+    comp.semantic_analysis = 2;
+    const benchsuite::BenchGenerator generator(database, 0x5eedULL,
+                                               comp);
+    const benchsuite::EvalHarness harness(generator.generate());
+    std::printf("Suite: %zu questions.\n\n", harness.suite().size());
+
+    const llm::GeneratorLlm backend(llm::BackendKind::Gpt4oMini);
+    for (const auto retriever_kind :
+         {core::RetrieverKind::Sieve, core::RetrieverKind::Ranger}) {
+        benchsuite::EvalResult result;
+        if (retriever_kind == core::RetrieverKind::Sieve) {
+            retrieval::SieveRetriever sieve(database);
+            result = harness.evaluate(sieve, backend);
+        } else {
+            retrieval::RangerRetriever ranger(database);
+            result = harness.evaluate(ranger, backend);
+        }
+        std::printf("=== %s + GPT-4o-mini ===\n",
+                    core::retrieverKindName(retriever_kind));
+        for (const auto &[cat, score] : result.by_category) {
+            std::printf("  %-28s %5.1f%% (%zu questions)\n",
+                        benchsuite::categoryName(cat), score.pct(),
+                        score.questions);
+        }
+        std::printf("  %-28s %5.1f%%\n", "weighted total",
+                    result.weightedTotalPct());
+    }
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Multi-turn chat with conversation memory: the "microarchitectural
+ * microscope" workflow of the paper's use-case transcripts. Follow-up
+ * questions lean on facts recalled from earlier turns.
+ *
+ *   $ ./example_chat_session
+ */
+
+#include <cstdio>
+
+#include "core/cachemind.hh"
+#include "db/builder.hh"
+
+using namespace cachemind;
+
+int
+main()
+{
+    std::printf("Building trace database (astar under LRU + Belady)"
+                "...\n");
+    db::BuildOptions options;
+    options.workloads = {trace::WorkloadKind::Astar};
+    options.policies = {policy::PolicyKind::Lru,
+                        policy::PolicyKind::Belady};
+    options.accesses_override = 60000;
+    const auto database = db::buildDatabase(options);
+
+    core::CacheMind engine(database,
+                           core::CacheMindConfig{
+                               llm::BackendKind::Gpt4o,
+                               core::RetrieverKind::Ranger,
+                               llm::ShotMode::ZeroShot});
+    core::ChatSession chat(engine);
+
+    const char *turns[] = {
+        "List all unique PCs in the astar workload under LRU.",
+        "Which policy has the lowest miss rate in the astar workload?",
+        "Identify 5 hot and 5 cold sets by hit rate for the astar "
+        "workload under LRU.",
+        "How many times did PC 0x409270 appear in the astar workload "
+        "under LRU?",
+        "What is the miss rate for PC 0x409270 in the astar workload "
+        "with LRU?",
+    };
+    for (const char *turn : turns)
+        chat.ask(turn);
+
+    std::printf("\n=== Transcript ===\n%s", chat.transcript().c_str());
+    std::printf("=== Memory state ===\n");
+    std::printf("turns: %zu, recallable facts: %zu\n",
+                chat.memory().totalTurns(), chat.memory().factCount());
+    const auto recalled =
+        chat.memory().recall("miss rate of PC 0x409270");
+    std::printf("recall(\"miss rate of PC 0x409270\") top hit:\n  %s\n",
+                recalled.empty() ? "(none)"
+                                 : recalled.front().substr(0, 120).c_str());
+    return 0;
+}

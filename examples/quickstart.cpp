@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Quickstart: build a small trace database, stand up a CacheMind
+ * engine, and ask trace-grounded questions in natural language.
+ *
+ *   $ ./example_quickstart
+ */
+
+#include <cstdio>
+
+#include "core/cachemind.hh"
+#include "db/builder.hh"
+
+using namespace cachemind;
+
+int
+main()
+{
+    // 1. Build the external database: simulate the mcf workload
+    //    through the Table 2 hierarchy and annotate every LLC access
+    //    under LRU and Belady's optimal policy.
+    std::printf("Building trace database (mcf under LRU + Belady)"
+                "...\n");
+    db::BuildOptions options;
+    options.workloads = {trace::WorkloadKind::Mcf};
+    options.policies = {policy::PolicyKind::Lru,
+                        policy::PolicyKind::Belady};
+    options.accesses_override = 60000; // quick demo-sized trace
+    const db::TraceDatabase database = db::buildDatabase(options);
+
+    for (const auto &key : database.keys()) {
+        std::printf("  %s: %zu rows\n", key.c_str(),
+                    database.find(key)->table.size());
+    }
+
+    // 2. Create the engine: Sieve retrieval + the GPT-4o-profile
+    //    generator backend.
+    core::CacheMind engine(database);
+
+    // 3. Ask questions. Every answer is grounded in retrieved rows,
+    //    statistics, and metadata from the database.
+    const char *questions[] = {
+        "What is the miss rate for PC 0x4037aa in the mcf workload "
+        "with LRU?",
+        "Which policy has the lowest miss rate in the mcf workload?",
+        "Why does Belady outperform LRU on PC 0x4037ba in the mcf "
+        "workload?",
+    };
+    for (const char *question : questions) {
+        std::printf("\nQ: %s\n", question);
+        const auto response = engine.ask(question);
+        std::printf("A: %s\n", response.text.c_str());
+        std::printf("   [retriever=%s, trace=%s, %.2f ms]\n",
+                    response.bundle.retriever.c_str(),
+                    response.bundle.trace_key.c_str(),
+                    response.bundle.retrieval_ms);
+    }
+    return 0;
+}

@@ -1,0 +1,52 @@
+#include "base/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace cachemind {
+namespace detail {
+
+namespace {
+bool note_output_enabled = true;
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+} // namespace
+
+void
+emitFatal(LogLevel level, const std::string &msg, const char *file,
+          int line)
+{
+    std::cerr << levelTag(level) << ": " << msg << " (" << file << ":"
+              << line << ")" << std::endl;
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+void
+emitNote(LogLevel level, const std::string &msg)
+{
+    if (!note_output_enabled)
+        return;
+    std::cerr << levelTag(level) << ": " << msg << std::endl;
+}
+
+} // namespace detail
+
+void
+setNoteOutputEnabled(bool enabled)
+{
+    detail::note_output_enabled = enabled;
+}
+
+} // namespace cachemind

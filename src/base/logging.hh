@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Logging and error-reporting primitives in the gem5 spirit.
+ *
+ * panic()  — internal invariant violated (a CacheMind bug); aborts.
+ * fatal()  — unrecoverable user error (bad config/arguments); exits.
+ * warn()   — something suspicious but survivable.
+ * inform() — status messages.
+ */
+
+#ifndef CACHEMIND_BASE_LOGGING_HH
+#define CACHEMIND_BASE_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace cachemind {
+
+/** Severity levels used by the logging backend. */
+enum class LogLevel { Info, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Emit a formatted message; Fatal exits, Panic aborts. */
+[[noreturn]] void emitFatal(LogLevel level, const std::string &msg,
+                            const char *file, int line);
+void emitNote(LogLevel level, const std::string &msg);
+
+inline void
+packMessage(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+packMessage(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    packMessage(os, rest...);
+}
+
+template <typename... Args>
+std::string
+buildMessage(const Args &...args)
+{
+    std::ostringstream os;
+    packMessage(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort with a message: only for conditions that indicate a bug. */
+template <typename... Args>
+[[noreturn]] void
+panicAt(const char *file, int line, const Args &...args)
+{
+    detail::emitFatal(LogLevel::Panic, detail::buildMessage(args...),
+                      file, line);
+}
+
+/** Exit with a message: for user-caused unrecoverable conditions. */
+template <typename... Args>
+[[noreturn]] void
+fatalAt(const char *file, int line, const Args &...args)
+{
+    detail::emitFatal(LogLevel::Fatal, detail::buildMessage(args...),
+                      file, line);
+}
+
+/** Print a warning to stderr. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    detail::emitNote(LogLevel::Warn, detail::buildMessage(args...));
+}
+
+/** Print an informational note to stderr. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    detail::emitNote(LogLevel::Info, detail::buildMessage(args...));
+}
+
+/** Toggle whether warn()/inform() produce output (tests silence them). */
+void setNoteOutputEnabled(bool enabled);
+
+#define CM_PANIC(...) ::cachemind::panicAt(__FILE__, __LINE__, __VA_ARGS__)
+#define CM_FATAL(...) ::cachemind::fatalAt(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Assert an internal invariant; active in all build types. */
+#define CM_ASSERT(cond, ...)                                              \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::cachemind::panicAt(__FILE__, __LINE__,                      \
+                                 "assertion failed: " #cond " ",          \
+                                 ##__VA_ARGS__);                          \
+        }                                                                 \
+    } while (0)
+
+} // namespace cachemind
+
+#endif // CACHEMIND_BASE_LOGGING_HH

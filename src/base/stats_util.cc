@@ -1,0 +1,168 @@
+#include "base/stats_util.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace cachemind::stats {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+variance(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return acc / static_cast<double>(xs.size());
+}
+
+double
+stdev(const std::vector<double> &xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+median(std::vector<double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    const std::size_t n = xs.size();
+    if (n % 2)
+        return xs[n / 2];
+    return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    if (p <= 0.0)
+        return xs.front();
+    if (p >= 100.0)
+        return xs.back();
+    const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= xs.size())
+        return xs.back();
+    return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    CM_ASSERT(xs.size() == ys.size(), "pearson requires equal sizes");
+    const std::size_t n = xs.size();
+    if (n < 2)
+        return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+Summary
+summarize(const std::vector<double> &xs)
+{
+    Summary s;
+    RunningStats rs;
+    for (double x : xs)
+        rs.push(x);
+    s.count = rs.count();
+    s.min = rs.min();
+    s.max = rs.max();
+    s.mean = rs.mean();
+    s.stdev = rs.stdev();
+    return s;
+}
+
+void
+RunningStats::push(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+RunningStats::stdev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double bin_width, std::size_t bins)
+    : lo_(lo), width_(bin_width), counts_(bins, 0)
+{
+    CM_ASSERT(bin_width > 0.0, "histogram bin width must be positive");
+    CM_ASSERT(bins > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::push(double x)
+{
+    double idx = (x - lo_) / width_;
+    if (idx < 0.0)
+        idx = 0.0;
+    std::size_t bin = static_cast<std::size_t>(idx);
+    if (bin >= counts_.size())
+        bin = counts_.size() - 1;
+    ++counts_[bin];
+    ++total_;
+}
+
+std::size_t
+Histogram::binCount(std::size_t bin) const
+{
+    CM_ASSERT(bin < counts_.size(), "histogram bin out of range");
+    return counts_[bin];
+}
+
+double
+Histogram::binLow(std::size_t bin) const
+{
+    return lo_ + width_ * static_cast<double>(bin);
+}
+
+} // namespace cachemind::stats

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Descriptive-statistics helpers shared by the statistics expert, the
+ * insight analyzers, and the benchmark graders.
+ */
+
+#ifndef CACHEMIND_BASE_STATS_UTIL_HH
+#define CACHEMIND_BASE_STATS_UTIL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace cachemind::stats {
+
+/** Arithmetic mean; 0 for an empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Population variance; 0 for inputs of size < 2. */
+double variance(const std::vector<double> &xs);
+
+/** Population standard deviation. */
+double stdev(const std::vector<double> &xs);
+
+/** Median (average of middle two for even sizes); 0 if empty. */
+double median(std::vector<double> xs);
+
+/** Linear-interpolated percentile, p in [0, 100]. */
+double percentile(std::vector<double> xs, double p);
+
+/** Pearson correlation; 0 if undefined (constant input or size < 2). */
+double pearson(const std::vector<double> &xs,
+               const std::vector<double> &ys);
+
+/** Min/max/mean/stdev bundle for one pass over the data. */
+struct Summary
+{
+    std::size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stdev = 0.0;
+};
+
+/** Single-pass summary of a vector. */
+Summary summarize(const std::vector<double> &xs);
+
+/**
+ * Streaming mean/variance accumulator (Welford). Useful where storing
+ * per-sample vectors would be wasteful (per-PC reuse statistics).
+ */
+class RunningStats
+{
+  public:
+    void push(double x);
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stdev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Integer histogram with fixed-width bins starting at `lo`. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double bin_width, std::size_t bins);
+
+    void push(double x);
+    std::size_t binCount(std::size_t bin) const;
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t total() const { return total_; }
+    double binLow(std::size_t bin) const;
+
+  private:
+    double lo_;
+    double width_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace cachemind::stats
+
+#endif // CACHEMIND_BASE_STATS_UTIL_HH

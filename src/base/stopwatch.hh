@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Wall-clock stopwatch used only for *reporting* retrieval latencies
+ * (Figure 9); no simulation result depends on it.
+ */
+
+#ifndef CACHEMIND_BASE_STOPWATCH_HH
+#define CACHEMIND_BASE_STOPWATCH_HH
+
+#include <chrono>
+
+namespace cachemind {
+
+/** Monotonic stopwatch with microsecond resolution. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = clock::now(); }
+
+    /** Elapsed time in seconds. */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(clock::now() - start_)
+            .count();
+    }
+
+    /** Elapsed time in milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+} // namespace cachemind
+
+#endif // CACHEMIND_BASE_STOPWATCH_HH

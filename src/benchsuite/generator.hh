@@ -1,0 +1,90 @@
+/**
+ * @file
+ * CacheMindBench question generator.
+ *
+ * The paper hand-curated 100 questions against its traces; here the
+ * suite is generated programmatically against the built database with
+ * the same Table 1 composition (30/10/15/5/10/5 trace-grounded,
+ * 5x5 reasoning) and a single source of truth: every gold answer is
+ * computed from the same tables the retrievers query. Generation is
+ * seeded and deterministic.
+ */
+
+#ifndef CACHEMIND_BENCHSUITE_GENERATOR_HH
+#define CACHEMIND_BENCHSUITE_GENERATOR_HH
+
+#include "benchsuite/question.hh"
+#include "db/database.hh"
+
+namespace cachemind::benchsuite {
+
+/** Table 1 category sizes. */
+struct SuiteComposition
+{
+    std::size_t hit_miss = 30;
+    std::size_t miss_rate = 10;
+    std::size_t policy_comparison = 15;
+    std::size_t count = 5;
+    std::size_t arithmetic = 10;
+    std::size_t trick = 5;
+    std::size_t concepts = 5;
+    std::size_t code_gen = 5;
+    std::size_t policy_analysis = 5;
+    std::size_t workload_analysis = 5;
+    std::size_t semantic_analysis = 5;
+
+    std::size_t
+    total() const
+    {
+        return hit_miss + miss_rate + policy_comparison + count +
+               arithmetic + trick + concepts + code_gen +
+               policy_analysis + workload_analysis + semantic_analysis;
+    }
+};
+
+/** Deterministic benchmark generator over a built database. */
+class BenchGenerator
+{
+  public:
+    BenchGenerator(const db::TraceDatabase &db,
+                   std::uint64_t seed = 0xbe7c4ULL,
+                   SuiteComposition composition = SuiteComposition{});
+
+    /** Generate the full suite (Table 1 composition). */
+    std::vector<Question> generate() const;
+
+  private:
+    std::vector<Question> makeHitMiss(std::size_t n,
+                                      std::size_t first_id) const;
+    std::vector<Question> makeMissRate(std::size_t n,
+                                       std::size_t first_id) const;
+    std::vector<Question> makePolicyComparison(std::size_t n,
+                                               std::size_t first_id)
+        const;
+    std::vector<Question> makeCount(std::size_t n,
+                                    std::size_t first_id) const;
+    std::vector<Question> makeArithmetic(std::size_t n,
+                                         std::size_t first_id) const;
+    std::vector<Question> makeTrick(std::size_t n,
+                                    std::size_t first_id) const;
+    std::vector<Question> makeConcepts(std::size_t n,
+                                       std::size_t first_id) const;
+    std::vector<Question> makeCodeGen(std::size_t n,
+                                      std::size_t first_id) const;
+    std::vector<Question> makePolicyAnalysis(std::size_t n,
+                                             std::size_t first_id) const;
+    std::vector<Question> makeWorkloadAnalysis(std::size_t n,
+                                               std::size_t first_id)
+        const;
+    std::vector<Question> makeSemanticAnalysis(std::size_t n,
+                                               std::size_t first_id)
+        const;
+
+    const db::TraceDatabase &db_;
+    std::uint64_t seed_;
+    SuiteComposition comp_;
+};
+
+} // namespace cachemind::benchsuite
+
+#endif // CACHEMIND_BENCHSUITE_GENERATOR_HH

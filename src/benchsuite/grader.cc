@@ -1,0 +1,147 @@
+#include "benchsuite/grader.hh"
+
+#include <cmath>
+
+#include "base/str.hh"
+
+namespace cachemind::benchsuite {
+
+namespace {
+
+bool
+numberMatches(double got, const GoldAnswer &gold)
+{
+    if (!gold.number)
+        return false;
+    const double want = *gold.number;
+    const double abs_err = std::fabs(got - want);
+    if (gold.abs_tolerance > 0.0 && abs_err <= gold.abs_tolerance)
+        return true;
+    if (gold.rel_tolerance > 0.0 &&
+        abs_err <= std::fabs(want) * gold.rel_tolerance) {
+        return true;
+    }
+    return abs_err == 0.0;
+}
+
+} // namespace
+
+GradeResult
+gradeExact(const Question &q, const llm::Answer &answer)
+{
+    GradeResult r;
+    r.max = 1.0;
+
+    if (!answer.engaged) {
+        r.note = "model did not engage";
+        return r;
+    }
+
+    if (q.gold.is_trick) {
+        r.correct = answer.rejected_premise;
+        r.note = r.correct ? "premise correctly rejected"
+                           : "hallucinated an answer to a false premise";
+    } else if (q.gold.is_hit.has_value()) {
+        if (answer.rejected_premise) {
+            r.note = "valid premise wrongly rejected";
+        } else if (answer.says_hit.has_value()) {
+            r.correct = *answer.says_hit == *q.gold.is_hit;
+            r.note = r.correct ? "hit/miss verdict matches trace"
+                               : "hit/miss verdict contradicts trace";
+        } else {
+            r.note = "no hit/miss verdict produced";
+        }
+    } else if (q.gold.number.has_value()) {
+        if (answer.rejected_premise) {
+            r.note = "valid premise wrongly rejected";
+        } else if (answer.number.has_value()) {
+            r.correct = numberMatches(*answer.number, q.gold);
+            r.note = r.correct ? "numeric answer within tolerance"
+                               : "numeric answer out of tolerance";
+        } else {
+            r.note = "no numeric answer produced";
+        }
+    } else if (q.gold.policy.has_value()) {
+        if (answer.chosen_policy.has_value()) {
+            r.correct = str::toLower(*answer.chosen_policy) ==
+                        str::toLower(*q.gold.policy);
+            r.note = r.correct ? "policy choice matches ground truth"
+                               : "wrong policy chosen";
+        } else {
+            r.note = "no policy chosen";
+        }
+    } else {
+        r.note = "question has no gold key";
+    }
+    r.score = r.correct ? 1.0 : 0.0;
+    return r;
+}
+
+GradeResult
+gradeRubric(const Question &q, const llm::Answer &answer)
+{
+    GradeResult r;
+    r.max = 5.0;
+    if (!answer.engaged) {
+        r.note = "model did not engage";
+        return r;
+    }
+    const std::string lower = str::toLower(answer.text);
+
+    // Correctness: up to 3 points for covering the key terms.
+    double correctness = 0.0;
+    if (!q.gold.key_terms.empty()) {
+        std::size_t found = 0;
+        for (const auto &term : q.gold.key_terms) {
+            if (lower.find(str::toLower(term)) != std::string::npos)
+                ++found;
+        }
+        correctness = 3.0 * static_cast<double>(found) /
+                      static_cast<double>(q.gold.key_terms.size());
+    }
+
+    // Evidence use: 1 point for citing gold evidence (or any cited
+    // evidence when the gold does not pin specific tokens), voided
+    // when the model fabricated/copied context.
+    double evidence = 0.0;
+    if (!answer.copied_example) {
+        if (q.gold.evidence_terms.empty()) {
+            evidence = answer.evidence.empty() ? 0.0 : 1.0;
+        } else {
+            for (const auto &term : q.gold.evidence_terms) {
+                if (lower.find(str::toLower(term)) !=
+                    std::string::npos) {
+                    evidence = 1.0;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Clarity: 1 point for a substantive, structured response.
+    double clarity = 0.0;
+    const std::size_t len = answer.text.size();
+    std::size_t sentences = 0;
+    for (const char c : answer.text)
+        sentences += c == '.';
+    if (len >= 80 && len <= 2000 && sentences >= 2)
+        clarity = 1.0;
+
+    r.score = std::min(5.0, correctness + evidence + clarity);
+    // Round to the paper's integer 0-5 scale.
+    r.score = std::round(r.score);
+    r.correct = r.score >= 4.5;
+    r.note = "rubric: correctness=" + str::fixed(correctness, 1) +
+             " evidence=" + str::fixed(evidence, 0) +
+             " clarity=" + str::fixed(clarity, 0);
+    return r;
+}
+
+GradeResult
+grade(const Question &q, const llm::Answer &answer)
+{
+    return isTraceGrounded(q.category) ? gradeExact(q, answer)
+                                       : gradeRubric(q, answer);
+}
+
+} // namespace cachemind::benchsuite

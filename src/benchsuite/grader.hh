@@ -1,0 +1,43 @@
+/**
+ * @file
+ * CacheMindBench graders: binary exact-match for the trace-grounded
+ * tier, 0-5 rubric (correctness / evidence use / clarity) for the
+ * architectural-reasoning tier (§4.1-4.2).
+ */
+
+#ifndef CACHEMIND_BENCHSUITE_GRADER_HH
+#define CACHEMIND_BENCHSUITE_GRADER_HH
+
+#include "benchsuite/question.hh"
+#include "llm/generator.hh"
+#include "retrieval/context.hh"
+
+namespace cachemind::benchsuite {
+
+/** Grade outcome for one question. */
+struct GradeResult
+{
+    /** Points earned. */
+    double score = 0.0;
+    /** Maximum points (1 for TG, 5 for ARA). */
+    double max = 1.0;
+    /** Exact-match verdict (TG) or score == max (ARA). */
+    bool correct = false;
+    /** Short diagnostic note. */
+    std::string note;
+
+    double pct() const { return max > 0.0 ? score / max : 0.0; }
+};
+
+/** Binary grading for the trace-grounded tier. */
+GradeResult gradeExact(const Question &q, const llm::Answer &answer);
+
+/** Rubric grading (0-5) for the reasoning tier. */
+GradeResult gradeRubric(const Question &q, const llm::Answer &answer);
+
+/** Dispatch by tier. */
+GradeResult grade(const Question &q, const llm::Answer &answer);
+
+} // namespace cachemind::benchsuite
+
+#endif // CACHEMIND_BENCHSUITE_GRADER_HH

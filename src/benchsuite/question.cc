@@ -1,0 +1,60 @@
+#include "benchsuite/question.hh"
+
+namespace cachemind::benchsuite {
+
+const std::vector<Category> &
+allCategories()
+{
+    static const std::vector<Category> cats = {
+        Category::HitMiss,
+        Category::MissRate,
+        Category::PolicyComparison,
+        Category::Count,
+        Category::Arithmetic,
+        Category::TrickQuestion,
+        Category::MicroarchConcepts,
+        Category::CodeGeneration,
+        Category::ReplacementPolicyAnalysis,
+        Category::WorkloadAnalysis,
+        Category::SemanticAnalysis,
+    };
+    return cats;
+}
+
+const char *
+categoryName(Category cat)
+{
+    switch (cat) {
+      case Category::HitMiss: return "Hit/Miss";
+      case Category::MissRate: return "Miss Rate";
+      case Category::PolicyComparison: return "Policy Comparison";
+      case Category::Count: return "Count";
+      case Category::Arithmetic: return "Arithmetic";
+      case Category::TrickQuestion: return "Trick Question";
+      case Category::MicroarchConcepts:
+        return "Microarchitecture Concepts";
+      case Category::CodeGeneration: return "Code Generation";
+      case Category::ReplacementPolicyAnalysis:
+        return "Policy Analysis";
+      case Category::WorkloadAnalysis: return "Workload Analysis";
+      case Category::SemanticAnalysis: return "Semantic Analysis";
+    }
+    return "?";
+}
+
+bool
+isTraceGrounded(Category cat)
+{
+    switch (cat) {
+      case Category::HitMiss:
+      case Category::MissRate:
+      case Category::PolicyComparison:
+      case Category::Count:
+      case Category::Arithmetic:
+      case Category::TrickQuestion:
+        return true;
+      default: return false;
+    }
+}
+
+} // namespace cachemind::benchsuite

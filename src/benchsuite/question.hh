@@ -1,0 +1,78 @@
+/**
+ * @file
+ * CacheMindBench question model (§4, Table 1): 11 categories in two
+ * tiers — 75 trace-grounded questions scored 0/1 by exact match, and
+ * 25 architectural-reasoning questions rubric-graded 0–5.
+ */
+
+#ifndef CACHEMIND_BENCHSUITE_QUESTION_HH
+#define CACHEMIND_BENCHSUITE_QUESTION_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cachemind::benchsuite {
+
+/** The 11 benchmark categories. */
+enum class Category {
+    // Trace-grounded tier (binary scoring).
+    HitMiss,
+    MissRate,
+    PolicyComparison,
+    Count,
+    Arithmetic,
+    TrickQuestion,
+    // Architectural reasoning tier (rubric 0-5).
+    MicroarchConcepts,
+    CodeGeneration,
+    ReplacementPolicyAnalysis,
+    WorkloadAnalysis,
+    SemanticAnalysis,
+};
+
+/** All categories in Table 1 order. */
+const std::vector<Category> &allCategories();
+
+/** Display name, e.g. "Policy Comparison". */
+const char *categoryName(Category cat);
+
+/** True for the trace-grounded (binary-scored) tier. */
+bool isTraceGrounded(Category cat);
+
+/** Verified ground truth for one question. */
+struct GoldAnswer
+{
+    /** HitMiss gold: true = hit. */
+    std::optional<bool> is_hit;
+    /** Numeric gold (rates as fractions, counts, aggregates). */
+    std::optional<double> number;
+    /** Absolute tolerance for numeric comparison. */
+    double abs_tolerance = 0.0;
+    /** Relative tolerance for numeric comparison. */
+    double rel_tolerance = 0.0;
+    /** PolicyComparison gold. */
+    std::optional<std::string> policy;
+    /** The premise is invalid; the correct answer is rejection. */
+    bool is_trick = false;
+    /** ARA rubric: terms a correct answer must mention. */
+    std::vector<std::string> key_terms;
+    /** ARA rubric: evidence tokens a grounded answer cites. */
+    std::vector<std::string> evidence_terms;
+};
+
+/** One benchmark item. */
+struct Question
+{
+    std::size_t id = 0;
+    Category category = Category::HitMiss;
+    std::string text;
+    GoldAnswer gold;
+    /** Trace the gold was computed from (diagnostics). */
+    std::string trace_key;
+};
+
+} // namespace cachemind::benchsuite
+
+#endif // CACHEMIND_BENCHSUITE_QUESTION_HH

@@ -1,0 +1,87 @@
+#include "core/cachemind.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "retrieval/llamaindex.hh"
+#include "retrieval/ranger.hh"
+#include "retrieval/sieve.hh"
+
+namespace cachemind::core {
+
+const char *
+retrieverKindName(RetrieverKind kind)
+{
+    switch (kind) {
+      case RetrieverKind::Sieve: return "sieve";
+      case RetrieverKind::Ranger: return "ranger";
+      case RetrieverKind::LlamaIndex: return "llamaindex";
+    }
+    return "?";
+}
+
+CacheMind::CacheMind(const db::TraceDatabase &db, CacheMindConfig cfg)
+    : db_(db), cfg_(cfg)
+{
+    switch (cfg_.retriever) {
+      case RetrieverKind::Sieve:
+        retriever_ = std::make_unique<retrieval::SieveRetriever>(db_);
+        break;
+      case RetrieverKind::Ranger:
+        retriever_ = std::make_unique<retrieval::RangerRetriever>(db_);
+        break;
+      case RetrieverKind::LlamaIndex:
+        retriever_ =
+            std::make_unique<retrieval::LlamaIndexRetriever>(db_);
+        break;
+    }
+    generator_ = std::make_unique<llm::GeneratorLlm>(cfg_.backend);
+}
+
+CacheMind::~CacheMind() = default;
+
+Response
+CacheMind::ask(const std::string &question)
+{
+    Response r;
+    r.bundle = retriever_->retrieve(question);
+    llm::GenerationOptions opts;
+    opts.shot_mode = cfg_.shot_mode;
+    r.answer = generator_->answer(r.bundle, opts);
+    r.text = r.answer.text;
+    return r;
+}
+
+ChatSession::ChatSession(CacheMind &engine, llm::MemoryConfig memory_cfg)
+    : engine_(engine), memory_(memory_cfg)
+{
+}
+
+Response
+ChatSession::ask(const std::string &question)
+{
+    // Conversation memory augments the query before retrieval: noted
+    // facts from earlier turns sharpen under-specified follow-ups.
+    Response r = engine_.ask(question);
+    // Prepend recalled memory to the rendered context so transcripts
+    // show the carried state.
+    const std::string memory_block = memory_.renderContext(question);
+    if (!memory_block.empty())
+        r.bundle.result_text = memory_block + r.bundle.result_text;
+    memory_.addTurn(question, r.text);
+    turns_.push_back(llm::Turn{question, r.text});
+    return r;
+}
+
+std::string
+ChatSession::transcript() const
+{
+    std::ostringstream os;
+    for (const auto &t : turns_) {
+        os << "User: " << t.user << "\n";
+        os << "Assistant: " << t.assistant << "\n\n";
+    }
+    return os.str();
+}
+
+} // namespace cachemind::core

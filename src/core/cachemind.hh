@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The CacheMind engine: the public facade wiring a trace database, a
+ * retriever (Sieve, Ranger, or the LlamaIndex baseline), and a
+ * generator backend into a single ask() call, plus a ChatSession that
+ * layers conversation memory on top (the assistive chat tool of the
+ * paper's use-case transcripts).
+ */
+
+#ifndef CACHEMIND_CORE_CACHEMIND_HH
+#define CACHEMIND_CORE_CACHEMIND_HH
+
+#include <memory>
+
+#include "db/database.hh"
+#include "llm/generator.hh"
+#include "llm/memory.hh"
+#include "retrieval/context.hh"
+
+namespace cachemind::core {
+
+/** Which retriever the engine uses. */
+enum class RetrieverKind { Sieve, Ranger, LlamaIndex };
+
+const char *retrieverKindName(RetrieverKind kind);
+
+/** Engine configuration. */
+struct CacheMindConfig
+{
+    llm::BackendKind backend = llm::BackendKind::Gpt4o;
+    RetrieverKind retriever = RetrieverKind::Sieve;
+    llm::ShotMode shot_mode = llm::ShotMode::ZeroShot;
+};
+
+/** One complete question/answer exchange. */
+struct Response
+{
+    /** Final natural-language answer. */
+    std::string text;
+    /** The evidence bundle behind the answer. */
+    retrieval::ContextBundle bundle;
+    /** Structured answer (graders, chat tooling). */
+    llm::Answer answer;
+};
+
+/** The engine. The database must outlive the engine. */
+class CacheMind
+{
+  public:
+    explicit CacheMind(const db::TraceDatabase &db,
+                       CacheMindConfig cfg = CacheMindConfig{});
+    ~CacheMind();
+
+    CacheMind(const CacheMind &) = delete;
+    CacheMind &operator=(const CacheMind &) = delete;
+
+    /** Answer one natural-language question, trace-grounded. */
+    Response ask(const std::string &question);
+
+    retrieval::Retriever &retriever() { return *retriever_; }
+    const llm::GeneratorLlm &generator() const { return *generator_; }
+    const CacheMindConfig &config() const { return cfg_; }
+    const db::TraceDatabase &database() const { return db_; }
+
+  private:
+    const db::TraceDatabase &db_;
+    CacheMindConfig cfg_;
+    std::unique_ptr<retrieval::Retriever> retriever_;
+    std::unique_ptr<llm::GeneratorLlm> generator_;
+};
+
+/** Multi-turn session with conversation memory. */
+class ChatSession
+{
+  public:
+    explicit ChatSession(CacheMind &engine,
+                         llm::MemoryConfig memory_cfg =
+                             llm::MemoryConfig{});
+
+    /** Ask with conversation context; records the turn. */
+    Response ask(const std::string &question);
+
+    const llm::ConversationMemory &memory() const { return memory_; }
+
+    /** Full transcript rendered as a demo chat (Figures 10-13). */
+    std::string transcript() const;
+
+  private:
+    CacheMind &engine_;
+    llm::ConversationMemory memory_;
+    std::vector<llm::Turn> turns_;
+};
+
+} // namespace cachemind::core
+
+#endif // CACHEMIND_CORE_CACHEMIND_HH

@@ -1,0 +1,138 @@
+#include "db/builder.hh"
+
+#include <deque>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/str.hh"
+#include "policy/parrot.hh"
+#include "sim/llc_replay.hh"
+
+namespace cachemind::db {
+
+std::string
+buildMetadataString(const StatsExpert &expert)
+{
+    const TraceSummary &s = expert.summary();
+    const std::uint64_t misses = s.misses;
+    const double cap_pct =
+        misses ? 100.0 * static_cast<double>(s.capacity) /
+                     static_cast<double>(misses)
+               : 0.0;
+    const double conf_pct =
+        misses ? 100.0 * static_cast<double>(s.conflict) /
+                     static_cast<double>(misses)
+               : 0.0;
+    const double comp_pct =
+        misses ? 100.0 * static_cast<double>(s.compulsory) /
+                     static_cast<double>(misses)
+               : 0.0;
+
+    std::ostringstream os;
+    os << "Cache Performance Summary: " << s.accesses
+       << " total accesses, " << s.misses << " total misses, "
+       << str::percent(s.missRate()) << " miss rate, "
+       << str::fixed(comp_pct) << "% compulsory misses, "
+       << str::fixed(cap_pct) << "% capacity misses, "
+       << str::fixed(conf_pct) << "% conflict misses, " << s.evictions
+       << " total evictions, " << s.bypasses << " bypassed fills, "
+       << s.wrong_evictions << " ("
+       << str::fixed(s.wrongEvictionPct())
+       << "%) wrong evictions where evicted line has lower reuse "
+          "distance. The correlation between accessed address recency "
+          "and cache misses is "
+       << str::fixed(s.recency_miss_correlation) << ". "
+       << s.unique_pcs << " unique program counters.";
+    return os.str();
+}
+
+namespace {
+
+/** Build one entry by replaying a stream under one policy. */
+TraceEntry
+buildEntry(const std::string &workload_name,
+           const std::string &workload_desc, policy::PolicyKind pk,
+           const std::vector<sim::LlcAccess> &stream,
+           const sim::OracleInfo &oracle, const sim::HierarchyConfig &cfg,
+           const trace::SymbolTable *symbols, std::uint32_t history_len)
+{
+    std::unique_ptr<policy::ReplacementPolicy> pol;
+    if (pk == policy::PolicyKind::Parrot) {
+        auto parrot = std::make_unique<policy::ParrotPolicy>();
+        parrot->setModel(
+            sim::ParrotModelBuilder::train(stream, oracle));
+        pol = std::move(parrot);
+    } else {
+        pol = policy::makePolicy(pk);
+    }
+
+    TraceEntry entry;
+    entry.workload = workload_name;
+    entry.policy = policy::policyName(pk);
+    entry.table.setSymbols(symbols);
+    entry.table.setLineBytes(cfg.llc.line_bytes);
+    entry.table.reserve(stream.size());
+
+    std::deque<PcAddr> window;
+    std::vector<PcAddr> history;
+    sim::LlcReplayer replayer(cfg.llc, std::move(pol));
+    replayer.replay(
+        stream, &oracle,
+        [&](const sim::ReplayEvent &ev) {
+            history.assign(window.begin(), window.end());
+            entry.table.append(ev, history);
+            window.push_back(PcAddr{ev.pc, ev.address});
+            if (window.size() > history_len)
+                window.pop_front();
+        });
+
+    const StatsExpert expert(entry.table);
+    entry.metadata = buildMetadataString(expert);
+
+    std::ostringstream desc;
+    desc << "Workload: " << workload_desc << "\nReplacement Policy: "
+         << policy::policyDescription(pk);
+    entry.description = desc.str();
+    return entry;
+}
+
+} // namespace
+
+TraceDatabase
+buildDatabase(const BuildOptions &options)
+{
+    TraceDatabase db;
+    for (const auto wk : options.workloads) {
+        auto model = trace::makeWorkload(wk);
+        const trace::SymbolTable *symbols =
+            db.addSymbols(model->info().name, model->symbols());
+        const auto cpu_trace =
+            options.accesses_override
+                ? model->generate(options.accesses_override)
+                : model->generate();
+        const auto stream =
+            sim::captureLlcStream(cpu_trace, options.hierarchy);
+        const auto oracle = sim::computeOracle(stream);
+        for (const auto pk : options.policies) {
+            db.addEntry(buildEntry(
+                model->info().name, model->info().description, pk,
+                stream, oracle, options.hierarchy, symbols,
+                options.history_len));
+        }
+    }
+    return db;
+}
+
+TraceDatabase
+buildSingleDatabase(trace::WorkloadKind workload,
+                    policy::PolicyKind policy,
+                    std::uint64_t accesses_override)
+{
+    BuildOptions options;
+    options.workloads = {workload};
+    options.policies = {policy};
+    options.accesses_override = accesses_override;
+    return buildDatabase(options);
+}
+
+} // namespace cachemind::db

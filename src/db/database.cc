@@ -1,0 +1,109 @@
+#include "db/database.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace cachemind::db {
+
+std::string
+TraceDatabase::keyFor(const std::string &workload,
+                      const std::string &policy)
+{
+    return workload + "_evictions_" + policy;
+}
+
+const trace::SymbolTable *
+TraceDatabase::addSymbols(const std::string &workload,
+                          trace::SymbolTable symbols)
+{
+    auto owned = std::make_unique<trace::SymbolTable>(std::move(symbols));
+    const trace::SymbolTable *ptr = owned.get();
+    symbols_[workload] = std::move(owned);
+    return ptr;
+}
+
+const trace::SymbolTable *
+TraceDatabase::symbolsFor(const std::string &workload) const
+{
+    const auto it = symbols_.find(workload);
+    return it == symbols_.end() ? nullptr : it->second.get();
+}
+
+void
+TraceDatabase::addEntry(TraceEntry entry)
+{
+    const std::string key = keyFor(entry.workload, entry.policy);
+    entries_[key] = std::move(entry);
+    experts_.erase(key);
+}
+
+const TraceEntry *
+TraceDatabase::find(const std::string &key) const
+{
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+const TraceEntry *
+TraceDatabase::find(const std::string &workload,
+                    const std::string &policy) const
+{
+    return find(keyFor(workload, policy));
+}
+
+const StatsExpert *
+TraceDatabase::statsFor(const std::string &key) const
+{
+    const TraceEntry *entry = find(key);
+    if (!entry)
+        return nullptr;
+    auto it = experts_.find(key);
+    if (it == experts_.end()) {
+        it = experts_
+                 .emplace(key,
+                          std::make_unique<StatsExpert>(entry->table))
+                 .first;
+    }
+    return it->second.get();
+}
+
+std::vector<std::string>
+TraceDatabase::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &[key, entry] : entries_)
+        out.push_back(key);
+    return out;
+}
+
+std::vector<std::string>
+TraceDatabase::workloads() const
+{
+    std::vector<std::string> out;
+    for (const auto &[key, entry] : entries_) {
+        if (std::find(out.begin(), out.end(), entry.workload) ==
+            out.end()) {
+            out.push_back(entry.workload);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<std::string>
+TraceDatabase::policies() const
+{
+    std::vector<std::string> out;
+    for (const auto &[key, entry] : entries_) {
+        if (std::find(out.begin(), out.end(), entry.policy) ==
+            out.end()) {
+            out.push_back(entry.policy);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace cachemind::db

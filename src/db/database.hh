@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The external trace database (§4.3 "Data organization").
+ *
+ * Entries are keyed `<workload>_evictions_<policy>` and carry the
+ * per-access dataframe, a free-form metadata summary string, and a
+ * human-readable description — exactly the three fields of the paper's
+ * `loaded_data` dictionary. The database also owns the per-workload
+ * symbol tables that back the string columns.
+ */
+
+#ifndef CACHEMIND_DB_DATABASE_HH
+#define CACHEMIND_DB_DATABASE_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "db/stats_expert.hh"
+#include "db/table.hh"
+
+namespace cachemind::db {
+
+/** One `loaded_data[key]` entry. */
+struct TraceEntry
+{
+    TraceTable table;
+    /** Free-form whole-trace summary string (paper's `metadata`). */
+    std::string metadata;
+    /** Workload + policy description (paper's `description`). */
+    std::string description;
+    std::string workload;
+    std::string policy;
+};
+
+/** The full external store. */
+class TraceDatabase
+{
+  public:
+    TraceDatabase() = default;
+    TraceDatabase(TraceDatabase &&) = default;
+    TraceDatabase &operator=(TraceDatabase &&) = default;
+    TraceDatabase(const TraceDatabase &) = delete;
+    TraceDatabase &operator=(const TraceDatabase &) = delete;
+
+    /** Canonical key: `<workload>_evictions_<policy>`. */
+    static std::string keyFor(const std::string &workload,
+                              const std::string &policy);
+
+    /** Register a workload's symbol table (stable address). */
+    const trace::SymbolTable *
+    addSymbols(const std::string &workload, trace::SymbolTable symbols);
+
+    const trace::SymbolTable *symbolsFor(const std::string &workload)
+        const;
+
+    /** Add an entry (moves it in). */
+    void addEntry(TraceEntry entry);
+
+    /** Lookup by key; nullptr if absent. */
+    const TraceEntry *find(const std::string &key) const;
+
+    /** Lookup by workload + policy names; nullptr if absent. */
+    const TraceEntry *find(const std::string &workload,
+                           const std::string &policy) const;
+
+    /** Lazily built statistics expert for an entry key. */
+    const StatsExpert *statsFor(const std::string &key) const;
+
+    /** All keys, sorted. */
+    std::vector<std::string> keys() const;
+
+    /** Distinct workload names present, sorted. */
+    std::vector<std::string> workloads() const;
+
+    /** Distinct policy names present, sorted. */
+    std::vector<std::string> policies() const;
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    std::map<std::string, TraceEntry> entries_;
+    std::map<std::string, std::unique_ptr<trace::SymbolTable>> symbols_;
+    /** Cache of lazily constructed experts (mutable: logical const). */
+    mutable std::map<std::string, std::unique_ptr<StatsExpert>> experts_;
+};
+
+} // namespace cachemind::db
+
+#endif // CACHEMIND_DB_DATABASE_HH

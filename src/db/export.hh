@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Artifact export for the trace database: per-trace CSV dataframes
+ * (the §4.3 schema, flat columns) and metadata/description dumps —
+ * the open-artifact format the paper promises alongside
+ * CacheMindBench.
+ */
+
+#ifndef CACHEMIND_DB_EXPORT_HH
+#define CACHEMIND_DB_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "db/database.hh"
+
+namespace cachemind::db {
+
+/** Options controlling CSV export. */
+struct ExportOptions
+{
+    /** Cap on exported rows (0 = all). */
+    std::size_t max_rows = 0;
+    /** Include the snapshot/history columns (wide rows). */
+    bool include_snapshots = true;
+};
+
+/** CSV header line for the per-access schema. */
+std::string csvHeader(const ExportOptions &options = ExportOptions{});
+
+/** Render one row as a CSV line (no trailing newline). */
+std::string csvRow(const TraceTable &table, std::size_t i,
+                   const ExportOptions &options = ExportOptions{});
+
+/** Stream one trace entry as CSV (header + rows). */
+void exportEntryCsv(const TraceEntry &entry, std::ostream &os,
+                    const ExportOptions &options = ExportOptions{});
+
+/**
+ * Stream the whole database as a manifest: one block per entry with
+ * key, description, metadata, and row/PC counts.
+ */
+void exportManifest(const TraceDatabase &db, std::ostream &os);
+
+} // namespace cachemind::db
+
+#endif // CACHEMIND_DB_EXPORT_HH

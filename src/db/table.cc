@@ -1,0 +1,266 @@
+#include "db/table.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/str.hh"
+
+namespace cachemind::db {
+
+void
+TraceTable::reserve(std::size_t n)
+{
+    pc_id_.reserve(n);
+    addr_id_.reserve(n);
+    set_.reserve(n);
+    flags_.reserve(n);
+    miss_type_.reserve(n);
+    reuse_.reserve(n);
+    recency_.reserve(n);
+    evicted_reuse_.reserve(n);
+    evicted_line_id_.reserve(n);
+    evicted_pc_id_.reserve(n);
+    snap_off_.reserve(n + 1);
+    score_off_.reserve(n + 1);
+}
+
+std::uint32_t
+TraceTable::internPc(std::uint64_t pc)
+{
+    auto [it, inserted] =
+        pc_lookup_.emplace(pc, static_cast<std::uint32_t>(pcs_.size()));
+    if (inserted)
+        pcs_.push_back(pc);
+    return it->second;
+}
+
+std::uint32_t
+TraceTable::internAddr(std::uint64_t addr)
+{
+    auto [it, inserted] = addr_lookup_.emplace(
+        addr, static_cast<std::uint32_t>(addrs_.size()));
+    if (inserted)
+        addrs_.push_back(addr);
+    return it->second;
+}
+
+std::uint32_t
+TraceTable::internLine(std::uint64_t line)
+{
+    auto [it, inserted] = line_lookup_.emplace(
+        line, static_cast<std::uint32_t>(lines_.size()));
+    if (inserted)
+        lines_.push_back(line);
+    return it->second;
+}
+
+namespace {
+
+std::int64_t
+toSigned(std::uint64_t v)
+{
+    return v == policy::kNoNextUse ? kNoValue
+                                   : static_cast<std::int64_t>(v);
+}
+
+} // namespace
+
+void
+TraceTable::append(const sim::ReplayEvent &ev,
+                   const std::vector<PcAddr> &history)
+{
+    if (snap_off_.empty()) {
+        snap_off_.push_back(0);
+        score_off_.push_back(0);
+    }
+    if (history_len_ == 0 && !history.empty())
+        history_len_ = static_cast<std::uint32_t>(history.size());
+
+    pc_id_.push_back(internPc(ev.pc));
+    addr_id_.push_back(internAddr(ev.address));
+    set_.push_back(ev.set);
+
+    std::uint8_t flags = 0;
+    if (!ev.hit)
+        flags |= kMissBit;
+    if (ev.bypassed)
+        flags |= kBypassBit;
+    if (ev.has_victim)
+        flags |= kVictimBit;
+    if (ev.wrong_eviction)
+        flags |= kWrongBit;
+    flags_.push_back(flags);
+    miss_type_.push_back(static_cast<std::uint8_t>(ev.miss_type));
+
+    reuse_.push_back(toSigned(ev.reuse_distance));
+    recency_.push_back(toSigned(ev.recency));
+    evicted_reuse_.push_back(toSigned(ev.evicted_reuse_distance));
+    evicted_line_id_.push_back(
+        ev.has_victim ? internLine(ev.evicted_line) : 0);
+    evicted_pc_id_.push_back(ev.has_victim ? internPc(ev.evicted_pc)
+                                           : 0);
+
+    for (const auto &entry : ev.snapshot) {
+        snap_pc_id_.push_back(internPc(entry.pc));
+        snap_line_id_.push_back(internLine(entry.line));
+    }
+    snap_off_.push_back(static_cast<std::uint32_t>(snap_pc_id_.size()));
+
+    for (const auto score : ev.scores) {
+        scores_.push_back(static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(score, 0xffffffffULL)));
+    }
+    score_off_.push_back(static_cast<std::uint32_t>(scores_.size()));
+
+    std::uint8_t count = 0;
+    for (const auto &h : history) {
+        hist_pc_id_.push_back(internPc(h.pc));
+        hist_addr_id_.push_back(internAddr(h.address));
+        ++count;
+    }
+    // Pad so the pool stays fixed-width per row.
+    for (std::uint32_t i = count; i < history_len_; ++i) {
+        hist_pc_id_.push_back(0);
+        hist_addr_id_.push_back(0);
+    }
+    hist_count_.push_back(count);
+}
+
+std::uint64_t
+TraceTable::evictedAddressAt(std::size_t i) const
+{
+    if (!hasVictimAt(i))
+        return 0;
+    return lines_[evicted_line_id_[i]] * line_bytes_;
+}
+
+std::string
+TraceTable::recencyTextAt(std::size_t i) const
+{
+    const std::int64_t r = recency_[i];
+    if (r == kNoValue)
+        return "first access";
+    if (r <= 64)
+        return "very recent";
+    if (r <= 1024)
+        return "recent";
+    if (r <= 16384)
+        return "distant";
+    return "very distant";
+}
+
+std::vector<std::uint64_t>
+TraceTable::uniquePcs() const
+{
+    std::vector<std::uint64_t> pcs(pcs_.begin(), pcs_.end());
+    std::sort(pcs.begin(), pcs.end());
+    return pcs;
+}
+
+std::vector<std::uint32_t>
+TraceTable::uniqueSets() const
+{
+    std::vector<bool> seen;
+    std::vector<std::uint32_t> out;
+    for (const auto s : set_) {
+        if (s >= seen.size())
+            seen.resize(s + 1, false);
+        if (!seen[s]) {
+            seen[s] = true;
+            out.push_back(s);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+bool
+TraceTable::containsPc(std::uint64_t pc) const
+{
+    return pc_lookup_.count(pc) > 0;
+}
+
+bool
+TraceTable::containsAddress(std::uint64_t address) const
+{
+    return addr_lookup_.count(address) > 0;
+}
+
+std::vector<std::size_t>
+TraceTable::filter(const std::uint64_t *pc, const std::uint64_t *address,
+                   std::size_t limit) const
+{
+    std::vector<std::size_t> out;
+    std::uint32_t pc_id = 0, addr_id = 0;
+    if (pc) {
+        const auto it = pc_lookup_.find(*pc);
+        if (it == pc_lookup_.end())
+            return out;
+        pc_id = it->second;
+    }
+    if (address) {
+        const auto it = addr_lookup_.find(*address);
+        if (it == addr_lookup_.end())
+            return out;
+        addr_id = it->second;
+    }
+    for (std::size_t i = 0; i < size(); ++i) {
+        if (pc && pc_id_[i] != pc_id)
+            continue;
+        if (address && addr_id_[i] != addr_id)
+            continue;
+        out.push_back(i);
+        if (limit && out.size() >= limit)
+            break;
+    }
+    return out;
+}
+
+AccessRow
+TraceTable::row(std::size_t i) const
+{
+    CM_ASSERT(i < size(), "row index out of range");
+    AccessRow r;
+    r.index = i;
+    r.program_counter = pcAt(i);
+    r.memory_address = addressAt(i);
+    r.cache_set_id = set_[i];
+    r.is_miss = isMissAt(i);
+    r.bypassed = bypassedAt(i);
+    r.miss_type = missTypeAt(i);
+    r.has_victim = hasVictimAt(i);
+    r.evicted_address = evictedAddressAt(i);
+    r.accessed_reuse_distance = reuse_[i];
+    r.accessed_recency = recency_[i];
+    r.evicted_reuse_distance = evicted_reuse_[i];
+    r.wrong_eviction = wrongEvictionAt(i);
+    r.recency_text = recencyTextAt(i);
+
+    if (symbols_) {
+        r.function_name = symbols_->functionName(r.program_counter);
+        r.function_code = symbols_->sourceFor(r.program_counter);
+        r.assembly_code =
+            symbols_->assemblyAround(r.program_counter);
+    }
+
+    for (std::uint32_t k = snap_off_[i]; k < snap_off_[i + 1]; ++k) {
+        r.current_cache_lines.push_back(
+            PcAddr{pcs_[snap_pc_id_[k]],
+                   lines_[snap_line_id_[k]] * line_bytes_});
+    }
+    for (std::uint32_t k = score_off_[i]; k < score_off_[i + 1]; ++k)
+        r.cache_line_eviction_scores.push_back(scores_[k]);
+
+    if (history_len_ > 0) {
+        const std::size_t base =
+            static_cast<std::size_t>(i) * history_len_;
+        for (std::uint8_t k = 0; k < hist_count_[i]; ++k) {
+            r.recent_access_history.push_back(
+                PcAddr{pcs_[hist_pc_id_[base + k]],
+                       addrs_[hist_addr_id_[base + k]]});
+        }
+    }
+    return r;
+}
+
+} // namespace cachemind::db

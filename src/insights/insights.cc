@@ -1,0 +1,174 @@
+#include "insights/insights.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace cachemind::insights {
+
+namespace {
+
+const db::StatsExpert *
+expertFor(const db::TraceDatabase &db, const std::string &workload,
+          const std::string &policy)
+{
+    return db.statsFor(db::TraceDatabase::keyFor(workload, policy));
+}
+
+} // namespace
+
+std::vector<BypassCandidate>
+recommendBypassPcs(const db::TraceDatabase &db,
+                   const std::string &workload,
+                   const std::string &policy, std::size_t n)
+{
+    const db::StatsExpert *expert = expertFor(db, workload, policy);
+    if (!expert)
+        return {};
+    std::vector<BypassCandidate> candidates;
+    for (const auto &s : expert->allPcStats()) {
+        if (s.accesses < 100)
+            continue;
+        const double dead =
+            s.accesses ? static_cast<double>(s.never_reused) /
+                             static_cast<double>(s.accesses)
+                       : 0.0;
+        // Bypassable: the PC's lines rarely hit AND their reuse is
+        // far away (or absent) even under the reference policy.
+        if (s.hitRate() > 0.12)
+            continue;
+        if (s.mean_reuse_distance < 10000.0 && dead < 0.35)
+            continue;
+        BypassCandidate c;
+        c.pc = s.pc;
+        c.hit_rate = s.hitRate();
+        c.mean_reuse_distance = s.mean_reuse_distance;
+        c.accesses = s.accesses;
+        c.dead_fraction = dead;
+        candidates.push_back(c);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const BypassCandidate &a, const BypassCandidate &b) {
+                  if (a.accesses != b.accesses)
+                      return a.accesses > b.accesses;
+                  return a.pc < b.pc;
+              });
+    if (candidates.size() > n)
+        candidates.resize(n);
+    return candidates;
+}
+
+std::unordered_set<std::uint64_t>
+StabilityBuckets::stablePcSet() const
+{
+    std::unordered_set<std::uint64_t> out;
+    for (const auto &p : low_variance)
+        out.insert(p.pc);
+    for (const auto &p : medium_variance)
+        out.insert(p.pc);
+    return out;
+}
+
+StabilityBuckets
+classifyPcStability(const db::TraceDatabase &db,
+                    const std::string &workload,
+                    const std::string &policy,
+                    std::uint64_t min_accesses, double low_cov,
+                    double high_cov)
+{
+    StabilityBuckets buckets;
+    const db::StatsExpert *expert = expertFor(db, workload, policy);
+    if (!expert)
+        return buckets;
+    for (const auto &s : expert->allPcStats()) {
+        if (s.accesses < min_accesses)
+            continue;
+        if (s.mean_reuse_distance <= 0.0)
+            continue;
+        PcStability p;
+        p.pc = s.pc;
+        p.mean_reuse_distance = s.mean_reuse_distance;
+        p.reuse_stdev = s.reuse_distance_stdev;
+        p.cov = s.reuse_distance_stdev / s.mean_reuse_distance;
+        p.accesses = s.accesses;
+        if (p.cov < low_cov) {
+            buckets.low_variance.push_back(p);
+        } else if (p.cov < high_cov) {
+            buckets.medium_variance.push_back(p);
+        } else {
+            buckets.high_variance.push_back(p);
+        }
+    }
+    const auto by_cov = [](const PcStability &a, const PcStability &b) {
+        if (a.cov != b.cov)
+            return a.cov < b.cov;
+        return a.pc < b.pc;
+    };
+    std::sort(buckets.low_variance.begin(), buckets.low_variance.end(),
+              by_cov);
+    std::sort(buckets.medium_variance.begin(),
+              buckets.medium_variance.end(), by_cov);
+    std::sort(buckets.high_variance.begin(),
+              buckets.high_variance.end(), by_cov);
+    return buckets;
+}
+
+SetHotnessReport
+analyzeSetHotness(const db::TraceDatabase &db,
+                  const std::string &workload,
+                  const std::string &policy, std::size_t n)
+{
+    SetHotnessReport report;
+    const db::StatsExpert *expert = expertFor(db, workload, policy);
+    if (!expert)
+        return report;
+    report.hot = expert->hottestSets(n);
+    report.cold = expert->coldestSets(n);
+    return report;
+}
+
+std::size_t
+hotSetOverlap(const std::vector<db::SetStats> &a,
+              const std::vector<db::SetStats> &b)
+{
+    std::size_t overlap = 0;
+    for (const auto &x : a) {
+        for (const auto &y : b) {
+            if (x.set == y.set) {
+                ++overlap;
+                break;
+            }
+        }
+    }
+    return overlap;
+}
+
+PrefetchTarget
+findDominantMissPc(const db::TraceDatabase &db,
+                   const std::string &workload,
+                   const std::string &policy)
+{
+    PrefetchTarget target;
+    const std::string key = db::TraceDatabase::keyFor(workload, policy);
+    const db::StatsExpert *expert = db.statsFor(key);
+    const db::TraceEntry *entry = db.find(key);
+    if (!expert || !entry)
+        return target;
+    const auto top = expert->topPcs(1, db::StatsExpert::PcOrder::MissCount);
+    if (top.empty())
+        return target;
+    target.pc = top[0].pc;
+    target.misses = top[0].misses;
+    target.miss_rate = top[0].missRate();
+    const auto total = expert->summary().misses;
+    target.miss_share =
+        total ? static_cast<double>(target.misses) /
+                    static_cast<double>(total)
+              : 0.0;
+    if (entry->table.symbols())
+        target.function_name =
+            entry->table.symbols()->functionName(target.pc);
+    return target;
+}
+
+} // namespace cachemind::insights

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Actionable-insight analyzers (§6.3): bypass candidate discovery,
+ * stable-PC identification for Mockingjay RDP training, hot/cold set
+ * analysis, and dominant-miss-PC discovery for software prefetching.
+ *
+ * These are the programmatic counterparts of the paper's chat-driven
+ * analyses: the example programs drive the same discoveries through
+ * the natural-language interface; the benches use these analyzers as
+ * the verified implementation and apply the interventions in the
+ * simulator.
+ */
+
+#ifndef CACHEMIND_INSIGHTS_INSIGHTS_HH
+#define CACHEMIND_INSIGHTS_INSIGHTS_HH
+
+#include <unordered_set>
+
+#include "db/database.hh"
+
+namespace cachemind::insights {
+
+/** A PC recommended for conditional bypass. */
+struct BypassCandidate
+{
+    std::uint64_t pc = 0;
+    double hit_rate = 0.0;
+    double mean_reuse_distance = 0.0;
+    std::uint64_t accesses = 0;
+    /** Fraction of this PC's lines never reused. */
+    double dead_fraction = 0.0;
+};
+
+/**
+ * Recommend PCs to bypass: frequently-executed PCs whose lines show
+ * near-zero hit rate and very long (or absent) reuse even under the
+ * reference policy — inserting them only pollutes the cache.
+ */
+std::vector<BypassCandidate>
+recommendBypassPcs(const db::TraceDatabase &db,
+                   const std::string &workload,
+                   const std::string &policy, std::size_t n);
+
+/** Reuse-distance stability classification of one PC (Figure 10). */
+struct PcStability
+{
+    std::uint64_t pc = 0;
+    double mean_reuse_distance = 0.0;
+    double reuse_stdev = 0.0;
+    /** Coefficient of variation (stdev / mean). */
+    double cov = 0.0;
+    std::uint64_t accesses = 0;
+};
+
+/** Stability buckets. */
+struct StabilityBuckets
+{
+    std::vector<PcStability> low_variance;
+    std::vector<PcStability> medium_variance;
+    std::vector<PcStability> high_variance;
+
+    /**
+     * PCs whose reuse distances are predictable enough to train on:
+     * the low- and medium-variance buckets. Excluding only the noisy
+     * high-variance PCs is the Mockingjay training intervention —
+     * the predictor must still see most PCs or it falls back to its
+     * default prediction everywhere.
+     */
+    std::unordered_set<std::uint64_t> stablePcSet() const;
+};
+
+/**
+ * Classify PCs by reuse-distance variance. Thresholds are on the
+ * coefficient of variation (stdev / mean): PCs below `low_cov` are
+ * low-variance, below `high_cov` medium, and high otherwise.
+ */
+StabilityBuckets classifyPcStability(const db::TraceDatabase &db,
+                                     const std::string &workload,
+                                     const std::string &policy,
+                                     std::uint64_t min_accesses = 100,
+                                     double low_cov = 0.35,
+                                     double high_cov = 0.55);
+
+/** Hot/cold set report (Figure 13). */
+struct SetHotnessReport
+{
+    std::vector<db::SetStats> hot;
+    std::vector<db::SetStats> cold;
+};
+
+/** Identify the n hottest/coldest sets by hit rate. */
+SetHotnessReport analyzeSetHotness(const db::TraceDatabase &db,
+                                   const std::string &workload,
+                                   const std::string &policy,
+                                   std::size_t n);
+
+/** Overlap |A ∩ B| of two hot-set lists (LRU vs Belady insight). */
+std::size_t hotSetOverlap(const std::vector<db::SetStats> &a,
+                          const std::vector<db::SetStats> &b);
+
+/** Dominant miss-causing PC (software-prefetch use case). */
+struct PrefetchTarget
+{
+    std::uint64_t pc = 0;
+    std::uint64_t misses = 0;
+    double miss_rate = 0.0;
+    /** Share of all trace misses caused by this PC. */
+    double miss_share = 0.0;
+    std::string function_name;
+};
+
+/** Find the PC responsible for the most misses. */
+PrefetchTarget findDominantMissPc(const db::TraceDatabase &db,
+                                  const std::string &workload,
+                                  const std::string &policy);
+
+} // namespace cachemind::insights
+
+#endif // CACHEMIND_INSIGHTS_INSIGHTS_HH

@@ -1,0 +1,96 @@
+#include "llm/backend.hh"
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace cachemind::llm {
+
+const std::vector<BackendKind> &
+allBackends()
+{
+    static const std::vector<BackendKind> kinds = {
+        BackendKind::Gpt35Turbo, BackendKind::O3, BackendKind::Gpt4o,
+        BackendKind::Gpt4oMini, BackendKind::FinetunedGpt4oMini,
+    };
+    return kinds;
+}
+
+const char *
+backendName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::Gpt35Turbo: return "GPT-3.5-Turbo";
+      case BackendKind::O3: return "o3";
+      case BackendKind::Gpt4o: return "GPT-4o";
+      case BackendKind::Gpt4oMini: return "GPT-4o-mini";
+      case BackendKind::FinetunedGpt4oMini: return "Finetuned-4o-mini";
+    }
+    return "?";
+}
+
+const CapabilityProfile &
+profileFor(BackendKind kind)
+{
+    // Calibrated to the qualitative shape of Figure 4/7 (see header).
+    static const CapabilityProfile gpt35 = {
+        "GPT-3.5-Turbo",
+        /*lookup*/ 0.95, /*rate_calc*/ 0.88, /*comparison*/ 0.50,
+        /*arithmetic*/ 0.00, /*skepticism*/ 0.00, /*concept_knowledge*/ 0.38,
+        /*codegen*/ 0.85, /*causal*/ 0.30, /*synthesis*/ 0.14,
+        /*semantic*/ 0.14, /*coverage*/ 1.00,
+        /*context_overreliance*/ 0.75, /*fluency*/ 0.70,
+    };
+    static const CapabilityProfile o3 = {
+        "o3",
+        /*lookup*/ 0.95, /*rate_calc*/ 0.88, /*comparison*/ 0.88,
+        /*arithmetic*/ 0.20, /*skepticism*/ 0.50, /*concept_knowledge*/ 0.90,
+        /*codegen*/ 0.55, /*causal*/ 0.55, /*synthesis*/ 0.95,
+        /*semantic*/ 0.70, /*coverage*/ 0.68,
+        /*context_overreliance*/ 0.20, /*fluency*/ 0.85,
+    };
+    static const CapabilityProfile gpt4o = {
+        "GPT-4o",
+        /*lookup*/ 0.93, /*rate_calc*/ 0.88, /*comparison*/ 0.78,
+        /*arithmetic*/ 0.60, /*skepticism*/ 0.72, /*concept_knowledge*/ 0.72,
+        /*codegen*/ 1.00, /*causal*/ 0.72, /*synthesis*/ 0.82,
+        /*semantic*/ 0.62, /*coverage*/ 1.00,
+        /*context_overreliance*/ 0.10, /*fluency*/ 0.95,
+    };
+    static const CapabilityProfile gpt4o_mini = {
+        "GPT-4o-mini",
+        /*lookup*/ 0.93, /*rate_calc*/ 0.88, /*comparison*/ 0.80,
+        /*arithmetic*/ 0.20, /*skepticism*/ 0.72, /*concept_knowledge*/ 0.62,
+        /*codegen*/ 0.96, /*causal*/ 0.65, /*synthesis*/ 0.70,
+        /*semantic*/ 0.62, /*coverage*/ 1.00,
+        /*context_overreliance*/ 0.30, /*fluency*/ 0.85,
+    };
+    static const CapabilityProfile finetuned = {
+        "Finetuned-4o-mini",
+        /*lookup*/ 0.95, /*rate_calc*/ 0.82, /*comparison*/ 0.50,
+        /*arithmetic*/ 0.20, /*skepticism*/ 0.42, /*concept_knowledge*/ 0.50,
+        /*codegen*/ 0.40, /*causal*/ 0.57, /*synthesis*/ 0.60,
+        /*semantic*/ 0.45, /*coverage*/ 1.00,
+        /*context_overreliance*/ 0.65, /*fluency*/ 0.88,
+    };
+
+    switch (kind) {
+      case BackendKind::Gpt35Turbo: return gpt35;
+      case BackendKind::O3: return o3;
+      case BackendKind::Gpt4o: return gpt4o;
+      case BackendKind::Gpt4oMini: return gpt4o_mini;
+      case BackendKind::FinetunedGpt4oMini: return finetuned;
+    }
+    CM_PANIC("unknown backend kind");
+}
+
+std::uint64_t
+decisionKey(BackendKind kind, std::uint64_t question_key,
+            const char *skill)
+{
+    return hashCombine(
+        hashCombine(question_key,
+                    static_cast<std::uint64_t>(kind) + 0x1001),
+        fnv1a(skill));
+}
+
+} // namespace cachemind::llm

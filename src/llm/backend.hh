@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Simulated LLM backends and their capability profiles.
+ *
+ * The paper evaluates five OpenAI backends. Offline, each backend is
+ * a *capability profile* over a shared grounded reasoner: the skills
+ * gate which reasoning steps succeed, with deterministic hash-keyed
+ * draws per (backend, question, skill) so every run reproduces the
+ * same outcome. Profiles are calibrated to the qualitative shape of
+ * Figure 4 (orderings and gaps, not exact numbers — see DESIGN.md §2):
+ * GPT-4o strong and consistent; o3 bimodal (engages or whiffs);
+ * GPT-3.5 weak on epistemics; the fine-tuned 4o-mini fluent but
+ * hallucination-prone on tricks and semantics.
+ */
+
+#ifndef CACHEMIND_LLM_BACKEND_HH
+#define CACHEMIND_LLM_BACKEND_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cachemind::llm {
+
+/** The five backends of the paper's evaluation. */
+enum class BackendKind {
+    Gpt35Turbo,
+    O3,
+    Gpt4o,
+    Gpt4oMini,
+    FinetunedGpt4oMini,
+};
+
+/** All backends in the paper's presentation order. */
+const std::vector<BackendKind> &allBackends();
+
+/** Display name, e.g. "GPT-4o". */
+const char *backendName(BackendKind kind);
+
+/** Per-skill success probabilities in [0, 1]. */
+struct CapabilityProfile
+{
+    std::string name;
+
+    /** Reading a present fact from an exact row. */
+    double lookup = 0.9;
+    /** Computing/reporting a rate from retrieved statistics. */
+    double rate_calc = 0.9;
+    /** Ranking across several retrieved numbers. */
+    double comparison = 0.6;
+    /** Multi-value arithmetic from raw rows in the window. */
+    double arithmetic = 0.3;
+    /** Rejecting false premises instead of guessing. */
+    double skepticism = 0.5;
+    /** Stable microarchitecture domain knowledge (per key point). */
+    double concept_knowledge = 0.6;
+    /** Producing faithful analysis code. */
+    double codegen = 0.8;
+    /** Correct causal link between policy mechanics and PC effects. */
+    double causal = 0.6;
+    /** Whole-workload synthesis across many PCs. */
+    double synthesis = 0.6;
+    /** Linking trace statistics to disassembly/source semantics. */
+    double semantic = 0.5;
+    /**
+     * Probability of engaging with the task at all. Below-1 values
+     * produce the bimodal all-or-nothing behaviour the paper reports
+     * for o3 (Figure 7).
+     */
+    double coverage = 1.0;
+    /**
+     * Tendency to adopt a few-shot example's context as if it were
+     * the retrieved evidence when the real context is poor (§6.1
+     * one/few-shot discussion).
+     */
+    double context_overreliance = 0.2;
+    /** Fluency factor rewarded by the rubric's clarity component. */
+    double fluency = 0.8;
+};
+
+/** Profile for a backend (static catalogue). */
+const CapabilityProfile &profileFor(BackendKind kind);
+
+/**
+ * Deterministic per-decision key: mixes the backend identity, a
+ * stable question key, and a skill tag.
+ */
+std::uint64_t decisionKey(BackendKind kind, std::uint64_t question_key,
+                          const char *skill);
+
+} // namespace cachemind::llm
+
+#endif // CACHEMIND_LLM_BACKEND_HH

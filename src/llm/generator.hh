@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The generator LLM (§3.2.4) as a simulated backend.
+ *
+ * The generator is a *grounded reasoner*: it actually performs the
+ * task from the retrieved context (reads the matching row, computes
+ * rates, ranks policies, checks premises, composes explanations from
+ * evidence), with each reasoning step gated by the backend's
+ * capability profile through deterministic keyed draws. Failures are
+ * characteristic, not random noise: a failed lookup misreads the
+ * outcome, a failed comparison picks the runner-up, a failed premise
+ * check answers the unanswerable, an unfaithful few-shot reader
+ * copies the example's context (§6.1).
+ */
+
+#ifndef CACHEMIND_LLM_GENERATOR_HH
+#define CACHEMIND_LLM_GENERATOR_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "llm/backend.hh"
+#include "llm/prompt.hh"
+#include "retrieval/context.hh"
+
+namespace cachemind::llm {
+
+/** Structured answer, consumed by the graders and the chat layer. */
+struct Answer
+{
+    /** Natural-language response text. */
+    std::string text;
+    /** Coverage gate outcome (false = the o3-style whiff). */
+    bool engaged = true;
+    /** Hit/miss verdict for per-access lookups (true = hit). */
+    std::optional<bool> says_hit;
+    /** Scalar verdict (rates as fractions, counts, aggregates). */
+    std::optional<double> number;
+    /** Chosen policy for comparison questions. */
+    std::optional<std::string> chosen_policy;
+    /** Listed values (PCs/sets) for enumeration answers. */
+    std::vector<std::uint64_t> listed_values;
+    /** The model rejected the question's premise. */
+    bool rejected_premise = false;
+    /** Diagnostics: the model copied a few-shot example's context. */
+    bool copied_example = false;
+    /** Evidence strings the model cited (rubric input). */
+    std::vector<std::string> evidence;
+};
+
+/** Generation-time options. */
+struct GenerationOptions
+{
+    ShotMode shot_mode = ShotMode::ZeroShot;
+};
+
+/** One simulated backend answering from retrieval bundles. */
+class GeneratorLlm
+{
+  public:
+    explicit GeneratorLlm(BackendKind kind)
+        : kind_(kind), profile_(profileFor(kind))
+    {}
+
+    BackendKind kind() const { return kind_; }
+    const CapabilityProfile &profile() const { return profile_; }
+
+    /**
+     * Answer a question given its retrieval bundle. The question key
+     * defaults to a hash of the query text, so the same (backend,
+     * question) pair always yields the same answer.
+     */
+    Answer answer(const retrieval::ContextBundle &bundle,
+                  const GenerationOptions &opts = GenerationOptions{})
+        const;
+
+    /** Assemble the full prompt that `answer` conceptually consumes. */
+    Prompt buildPrompt(const retrieval::ContextBundle &bundle,
+                       const GenerationOptions &opts) const;
+
+  private:
+    bool roll(std::uint64_t qkey, const char *skill, double p) const;
+
+    Answer answerHitMiss(const retrieval::ContextBundle &bundle,
+                         const Prompt &prompt, std::uint64_t qkey) const;
+    Answer answerMissRate(const retrieval::ContextBundle &bundle,
+                          std::uint64_t qkey) const;
+    Answer answerComparison(const retrieval::ContextBundle &bundle,
+                            std::uint64_t qkey) const;
+    Answer answerCount(const retrieval::ContextBundle &bundle,
+                       std::uint64_t qkey) const;
+    Answer answerArithmetic(const retrieval::ContextBundle &bundle,
+                            std::uint64_t qkey) const;
+    Answer answerListing(const retrieval::ContextBundle &bundle,
+                         std::uint64_t qkey) const;
+    Answer answerSetStats(const retrieval::ContextBundle &bundle,
+                          std::uint64_t qkey) const;
+    Answer answerTopPcs(const retrieval::ContextBundle &bundle,
+                        std::uint64_t qkey) const;
+    Answer answerPcStats(const retrieval::ContextBundle &bundle,
+                         std::uint64_t qkey) const;
+    Answer answerConcept(const retrieval::ContextBundle &bundle,
+                         std::uint64_t qkey) const;
+    Answer answerCodeGen(const retrieval::ContextBundle &bundle,
+                         std::uint64_t qkey) const;
+    Answer answerExplain(const retrieval::ContextBundle &bundle,
+                         std::uint64_t qkey) const;
+
+    /** Few-shot context adoption (weak models, poor retrieval). */
+    bool maybeCopyExample(const retrieval::ContextBundle &bundle,
+                          const Prompt &prompt, std::uint64_t qkey,
+                          Answer &out) const;
+
+    BackendKind kind_;
+    const CapabilityProfile &profile_;
+};
+
+} // namespace cachemind::llm
+
+#endif // CACHEMIND_LLM_GENERATOR_HH

@@ -1,0 +1,96 @@
+#include "llm/knowledge.hh"
+
+#include "base/str.hh"
+
+namespace cachemind::llm {
+
+const std::vector<ConceptTopic> &
+conceptTopics()
+{
+    static const std::vector<ConceptTopic> topics = {
+        {"cache-size-scaling",
+         {"increasing cache size", "cache size affect", "sets vs",
+          "ways", "associativity"},
+         {"a larger cache lowers capacity misses",
+          "more sets reduce conflict pressure but leave "
+          "associativity unchanged",
+          "more ways reduce conflict misses within a set",
+          "higher associativity costs lookup energy and latency",
+          "diminishing returns once the working set fits"}},
+        {"address-decomposition",
+         {"offset", "index", "tag", "decompose", "address into"},
+         {"the offset is log2(line size) low-order bits",
+          "the index selects the set: log2(number of sets) bits",
+          "the tag is the remaining high-order bits",
+          "for 64-byte lines the offset is 6 bits",
+          "for 2048 sets the index is 11 bits"}},
+        {"replacement-basics",
+         {"what does a replacement policy", "replacement policy do",
+          "why replacement matters"},
+         {"replacement chooses a victim line on a fill",
+          "lru approximates temporal locality",
+          "belady's optimal evicts the farthest next use",
+          "scans defeat pure recency",
+          "pc signatures predict dead-on-arrival lines"}},
+        {"miss-classification",
+         {"compulsory", "capacity miss", "conflict miss",
+          "types of cache misses", "miss taxonomy"},
+         {"compulsory misses are first touches",
+          "capacity misses would miss even fully associative",
+          "conflict misses come from set index collisions",
+          "stack distance separates capacity from conflict",
+          "bigger caches fix capacity, associativity fixes conflict"}},
+        {"prefetching",
+         {"prefetch", "prefetcher", "hide latency"},
+         {"prefetching moves data in before the demand access",
+          "software prefetch instructions do not stall retirement",
+          "pointer chasing defeats stride prefetchers",
+          "prefetching too early pollutes the cache",
+          "accuracy and timeliness trade off"}},
+        {"reuse-distance",
+         {"reuse distance", "what is reuse", "stack distance"},
+         {"reuse distance counts accesses between uses of a line",
+          "a policy hits when reuse distance is within retained "
+          "capacity",
+          "belady uses forward reuse distance",
+          "per-pc reuse distances are often predictable",
+          "high variance makes prediction unreliable"}},
+        {"writeback-coherence",
+         {"writeback", "write-back", "dirty line", "write through"},
+         {"write-back caches defer memory updates until eviction",
+          "dirty evictions cost a writeback transaction",
+          "write-through simplifies coherence but burns bandwidth",
+          "dirty bits track modified lines",
+          "victim writebacks can contend with demand fetches"}},
+        {"inclusive-exclusive",
+         {"inclusive", "exclusive", "non-inclusive"},
+         {"inclusive caches duplicate lines across levels",
+          "inclusion simplifies coherence filtering",
+          "back-invalidations hurt hot L1 lines",
+          "exclusive hierarchies maximise total capacity",
+          "non-inclusive is a common compromise"}},
+    };
+    return topics;
+}
+
+const ConceptTopic *
+topicFor(const std::string &question)
+{
+    const std::string lower = str::toLower(question);
+    const ConceptTopic *best = nullptr;
+    std::size_t best_hits = 0;
+    for (const auto &topic : conceptTopics()) {
+        std::size_t hits = 0;
+        for (const auto &trigger : topic.triggers) {
+            if (lower.find(trigger) != std::string::npos)
+                ++hits;
+        }
+        if (hits > best_hits) {
+            best_hits = hits;
+            best = &topic;
+        }
+    }
+    return best;
+}
+
+} // namespace cachemind::llm

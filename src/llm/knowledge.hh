@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Static microarchitecture knowledge base backing the simulated
+ * generators' "latent knowledge" for retrieval-light concept
+ * questions. Each topic carries key points; a backend's `concept`
+ * skill gates how many points make it into an answer, which is what
+ * the rubric then scores. Also models the paper's "context can
+ * suppress latent knowledge" finding: ambiguous retrieved context can
+ * override a known-correct point.
+ */
+
+#ifndef CACHEMIND_LLM_KNOWLEDGE_HH
+#define CACHEMIND_LLM_KNOWLEDGE_HH
+
+#include <string>
+#include <vector>
+
+namespace cachemind::llm {
+
+/** One concept topic with its canonical key points. */
+struct ConceptTopic
+{
+    std::string id;
+    /** Trigger phrases that map a question to this topic. */
+    std::vector<std::string> triggers;
+    /** Key points a complete answer contains. */
+    std::vector<std::string> points;
+};
+
+/** The static topic catalogue. */
+const std::vector<ConceptTopic> &conceptTopics();
+
+/** Best-matching topic for a question, or nullptr. */
+const ConceptTopic *topicFor(const std::string &question);
+
+} // namespace cachemind::llm
+
+#endif // CACHEMIND_LLM_KNOWLEDGE_HH

@@ -1,0 +1,85 @@
+#include "llm/memory.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cachemind::llm {
+
+ConversationMemory::ConversationMemory(MemoryConfig cfg)
+    : cfg_(cfg), embedder_(128)
+{
+}
+
+void
+ConversationMemory::addTurn(const std::string &user,
+                            const std::string &assistant)
+{
+    buffer_.push_back(Turn{user, assistant});
+    ++total_turns_;
+    while (buffer_.size() > cfg_.buffer_turns) {
+        // Fold the evicted turn into the rolling summary.
+        const Turn &old = buffer_.front();
+        std::ostringstream os;
+        os << summary_;
+        os << "- Q: " << old.user.substr(0, cfg_.summary_snippet)
+           << " => A: "
+           << old.assistant.substr(0, cfg_.summary_snippet) << "\n";
+        summary_ = os.str();
+        buffer_.pop_front();
+    }
+    // Every assistant reply is also a recallable fact.
+    noteFact(user + " -> " + assistant);
+}
+
+void
+ConversationMemory::noteFact(const std::string &fact)
+{
+    facts_.push_back(fact);
+    fact_vecs_.push_back(embedder_.embed(fact));
+}
+
+std::vector<std::string>
+ConversationMemory::recall(const std::string &query) const
+{
+    const auto q = embedder_.embed(query);
+    std::vector<std::pair<double, std::size_t>> scored;
+    scored.reserve(facts_.size());
+    for (std::size_t i = 0; i < facts_.size(); ++i)
+        scored.emplace_back(text::cosine(q, fact_vecs_[i]), i);
+    std::sort(scored.begin(), scored.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first > b.first;
+                  return a.second < b.second;
+              });
+    std::vector<std::string> out;
+    for (std::size_t k = 0; k < std::min(cfg_.recall_k, scored.size());
+         ++k) {
+        out.push_back(facts_[scored[k].second]);
+    }
+    return out;
+}
+
+std::string
+ConversationMemory::renderContext(const std::string &query) const
+{
+    std::ostringstream os;
+    if (!summary_.empty())
+        os << "[Conversation summary]\n" << summary_;
+    if (!buffer_.empty()) {
+        os << "[Recent turns]\n";
+        for (const auto &t : buffer_) {
+            os << "Q: " << t.user << "\nA: "
+               << t.assistant.substr(0, 200) << "\n";
+        }
+    }
+    const auto recalled = recall(query);
+    if (!recalled.empty()) {
+        os << "[Recalled facts]\n";
+        for (const auto &f : recalled)
+            os << "- " << f.substr(0, 200) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace cachemind::llm

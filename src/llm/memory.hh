@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Conversation memory for the assistive chat tool: a sliding buffer
+ * of recent turns, a rolling summary of older turns, and a vector
+ * store of noted facts that can be re-retrieved by similarity — the
+ * three mechanisms the paper describes for carrying context across
+ * turns (§1 "LLMs have limited context windows...").
+ */
+
+#ifndef CACHEMIND_LLM_MEMORY_HH
+#define CACHEMIND_LLM_MEMORY_HH
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "text/embedding.hh"
+
+namespace cachemind::llm {
+
+/** One conversation turn. */
+struct Turn
+{
+    std::string user;
+    std::string assistant;
+};
+
+/** Memory configuration. */
+struct MemoryConfig
+{
+    /** Turns kept verbatim in the sliding buffer. */
+    std::size_t buffer_turns = 6;
+    /** Facts returned by recall. */
+    std::size_t recall_k = 3;
+    /** Characters kept per turn when summarising. */
+    std::size_t summary_snippet = 120;
+};
+
+/** Sliding buffer + summary + vector store. */
+class ConversationMemory
+{
+  public:
+    explicit ConversationMemory(MemoryConfig cfg = MemoryConfig{});
+
+    /** Record a completed turn. */
+    void addTurn(const std::string &user, const std::string &assistant);
+
+    /** Note an explicit fact (e.g. an intermediate result). */
+    void noteFact(const std::string &fact);
+
+    /** Verbatim recent turns, oldest first. */
+    const std::deque<Turn> &recentTurns() const { return buffer_; }
+
+    /** Rolling summary of turns evicted from the buffer. */
+    const std::string &summary() const { return summary_; }
+
+    /** Facts most similar to the query. */
+    std::vector<std::string> recall(const std::string &query) const;
+
+    /** Rendered memory block to prepend to a prompt. */
+    std::string renderContext(const std::string &query) const;
+
+    std::size_t factCount() const { return facts_.size(); }
+    std::size_t totalTurns() const { return total_turns_; }
+
+  private:
+    MemoryConfig cfg_;
+    std::deque<Turn> buffer_;
+    std::string summary_;
+    std::size_t total_turns_ = 0;
+    text::HashEmbedder embedder_;
+    std::vector<std::string> facts_;
+    std::vector<std::vector<float>> fact_vecs_;
+};
+
+} // namespace cachemind::llm
+
+#endif // CACHEMIND_LLM_MEMORY_HH

@@ -1,0 +1,206 @@
+#include "policy/basic_policies.hh"
+
+#include "base/logging.hh"
+
+namespace cachemind::policy {
+
+// ---------------------------------------------------------------- LRU
+
+void
+LruPolicy::configure(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    tick_ = 0;
+    stamps_.assign(static_cast<std::size_t>(sets) * ways, 0);
+}
+
+void
+LruPolicy::touch(std::uint32_t set, std::uint32_t way)
+{
+    stamps_[static_cast<std::size_t>(set) * ways_ + way] = ++tick_;
+}
+
+void
+LruPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                 const AccessInfo &)
+{
+    touch(set, way);
+}
+
+std::uint32_t
+LruPolicy::chooseVictim(std::uint32_t set, const AccessInfo &,
+                        const std::vector<LineMeta> &lines)
+{
+    std::uint32_t victim = 0;
+    std::uint64_t best = kNoNextUse;
+    for (std::uint32_t w = 0; w < lines.size(); ++w) {
+        const std::uint64_t s =
+            stamps_[static_cast<std::size_t>(set) * ways_ + w];
+        if (s < best) {
+            best = s;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+void
+LruPolicy::onInsert(std::uint32_t set, std::uint32_t way,
+                    const AccessInfo &)
+{
+    touch(set, way);
+}
+
+std::uint64_t
+LruPolicy::lineScore(std::uint32_t set, std::uint32_t way) const
+{
+    // More evictable == older == larger score: invert the stamp.
+    const std::uint64_t s =
+        stamps_[static_cast<std::size_t>(set) * ways_ + way];
+    return tick_ >= s ? tick_ - s : 0;
+}
+
+// --------------------------------------------------------------- FIFO
+
+void
+FifoPolicy::configure(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    tick_ = 0;
+    stamps_.assign(static_cast<std::size_t>(sets) * ways, 0);
+}
+
+void
+FifoPolicy::onHit(std::uint32_t, std::uint32_t, const AccessInfo &)
+{
+    // FIFO ignores hits.
+}
+
+std::uint32_t
+FifoPolicy::chooseVictim(std::uint32_t set, const AccessInfo &,
+                         const std::vector<LineMeta> &lines)
+{
+    std::uint32_t victim = 0;
+    std::uint64_t best = kNoNextUse;
+    for (std::uint32_t w = 0; w < lines.size(); ++w) {
+        const std::uint64_t s =
+            stamps_[static_cast<std::size_t>(set) * ways_ + w];
+        if (s < best) {
+            best = s;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+void
+FifoPolicy::onInsert(std::uint32_t set, std::uint32_t way,
+                     const AccessInfo &)
+{
+    stamps_[static_cast<std::size_t>(set) * ways_ + way] = ++tick_;
+}
+
+std::uint64_t
+FifoPolicy::lineScore(std::uint32_t set, std::uint32_t way) const
+{
+    const std::uint64_t s =
+        stamps_[static_cast<std::size_t>(set) * ways_ + way];
+    return tick_ >= s ? tick_ - s : 0;
+}
+
+// ------------------------------------------------------------- Random
+
+void
+RandomPolicy::configure(std::uint32_t, std::uint32_t ways)
+{
+    ways_ = ways;
+}
+
+void
+RandomPolicy::onHit(std::uint32_t, std::uint32_t, const AccessInfo &)
+{
+}
+
+std::uint32_t
+RandomPolicy::chooseVictim(std::uint32_t, const AccessInfo &,
+                           const std::vector<LineMeta> &lines)
+{
+    return static_cast<std::uint32_t>(rng_.nextBelow(lines.size()));
+}
+
+void
+RandomPolicy::onInsert(std::uint32_t, std::uint32_t, const AccessInfo &)
+{
+}
+
+// ------------------------------------------------------------- Belady
+
+void
+BeladyPolicy::configure(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    next_use_.assign(static_cast<std::size_t>(sets) * ways, kNoNextUse);
+}
+
+void
+BeladyPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                    const AccessInfo &info)
+{
+    next_use_[static_cast<std::size_t>(set) * ways_ + way] =
+        info.next_use;
+}
+
+bool
+BeladyPolicy::shouldBypass(std::uint32_t set, const AccessInfo &info,
+                           const std::vector<LineMeta> &lines)
+{
+    if (!allow_bypass_)
+        return false;
+    // Bypass when the incoming line is re-used no sooner than every
+    // resident line (inserting it could only displace a better line).
+    for (std::uint32_t w = 0; w < lines.size(); ++w) {
+        if (!lines[w].valid)
+            return false; // free way: inserting costs nothing
+        const std::uint64_t nu =
+            next_use_[static_cast<std::size_t>(set) * ways_ + w];
+        if (nu > info.next_use)
+            return false;
+    }
+    return true;
+}
+
+std::uint32_t
+BeladyPolicy::chooseVictim(std::uint32_t set, const AccessInfo &,
+                           const std::vector<LineMeta> &lines)
+{
+    std::uint32_t victim = 0;
+    std::uint64_t farthest = 0;
+    for (std::uint32_t w = 0; w < lines.size(); ++w) {
+        const std::uint64_t nu =
+            next_use_[static_cast<std::size_t>(set) * ways_ + w];
+        if (nu >= farthest) {
+            farthest = nu;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+void
+BeladyPolicy::onInsert(std::uint32_t set, std::uint32_t way,
+                       const AccessInfo &info)
+{
+    next_use_[static_cast<std::size_t>(set) * ways_ + way] =
+        info.next_use;
+}
+
+std::uint64_t
+BeladyPolicy::lineScore(std::uint32_t set, std::uint32_t way) const
+{
+    const std::uint64_t nu =
+        next_use_[static_cast<std::size_t>(set) * ways_ + way];
+    // Saturate the sentinel so scores stay printable.
+    return nu == kNoNextUse ? 0xffffffffULL : nu;
+}
+
+} // namespace cachemind::policy

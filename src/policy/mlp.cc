@@ -1,0 +1,172 @@
+#include "policy/mlp.hh"
+
+#include <cmath>
+
+#include "base/random.hh"
+
+namespace cachemind::policy {
+
+TinyMlp::TinyMlp(std::uint64_t seed)
+{
+    // Small deterministic initialisation in [-0.1, 0.1].
+    std::uint64_t x = seed;
+    auto next_small = [&x] {
+        x = splitMix64(x);
+        return (static_cast<double>(x >> 11) * 0x1.0p-53 - 0.5) * 0.2;
+    };
+    for (auto &row : w1_)
+        for (auto &w : row)
+            w = static_cast<float>(next_small());
+    for (auto &b : b1_)
+        b = 0.0f;
+    for (auto &w : w2_)
+        w = static_cast<float>(next_small());
+}
+
+namespace {
+inline double
+sigmoid(double v)
+{
+    return 1.0 / (1.0 + std::exp(-v));
+}
+} // namespace
+
+double
+TinyMlp::forward(const std::array<float, kMlpInputs> &x) const
+{
+    double out = b2_;
+    for (std::size_t h = 0; h < kMlpHidden; ++h) {
+        double a = b1_[h];
+        for (std::size_t i = 0; i < kMlpInputs; ++i)
+            a += static_cast<double>(w1_[h][i]) * x[i];
+        out += static_cast<double>(w2_[h]) * std::tanh(a);
+    }
+    return sigmoid(out);
+}
+
+void
+TinyMlp::train(const std::array<float, kMlpInputs> &x, float target)
+{
+    // Forward with cached hidden activations.
+    std::array<double, kMlpHidden> h_act;
+    double out = b2_;
+    for (std::size_t h = 0; h < kMlpHidden; ++h) {
+        double a = b1_[h];
+        for (std::size_t i = 0; i < kMlpInputs; ++i)
+            a += static_cast<double>(w1_[h][i]) * x[i];
+        h_act[h] = std::tanh(a);
+        out += static_cast<double>(w2_[h]) * h_act[h];
+    }
+    const double y = sigmoid(out);
+    // Cross-entropy gradient at the output.
+    const double dout = y - static_cast<double>(target);
+
+    for (std::size_t h = 0; h < kMlpHidden; ++h) {
+        const double dw2 = dout * h_act[h];
+        const double dh =
+            dout * static_cast<double>(w2_[h]) *
+            (1.0 - h_act[h] * h_act[h]);
+        w2_[h] -= static_cast<float>(lr_ * dw2);
+        b1_[h] -= static_cast<float>(lr_ * dh);
+        for (std::size_t i = 0; i < kMlpInputs; ++i)
+            w1_[h][i] -= static_cast<float>(lr_ * dh * x[i]);
+    }
+    b2_ -= static_cast<float>(lr_ * dout);
+}
+
+std::array<float, kMlpInputs>
+MlpPolicy::features(const AccessInfo &info, std::uint32_t set)
+{
+    std::array<float, kMlpInputs> f{};
+    // 8 hashed PC bits as +-1 features (program-context perspective).
+    const std::uint64_t h = splitMix64(info.pc);
+    for (std::size_t i = 0; i < 8; ++i)
+        f[i] = (h >> i) & 1 ? 1.0f : -1.0f;
+    // Address-bit perspectives: page offset locality + bank parity.
+    f[8] = ((info.address >> 6) & 1) ? 1.0f : -1.0f;
+    f[9] = ((info.address >> 12) & 1) ? 1.0f : -1.0f;
+    // Set index parity (captures set-pressure asymmetries).
+    f[10] = (set & 1) ? 1.0f : -1.0f;
+    // Access-type perspective.
+    f[11] = info.type == trace::AccessType::Store ? 1.0f : -1.0f;
+    return f;
+}
+
+void
+MlpPolicy::configure(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    state_.assign(static_cast<std::size_t>(sets) * ways, WayState{});
+}
+
+void
+MlpPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                 const AccessInfo &info)
+{
+    WayState &s = state_[static_cast<std::size_t>(set) * ways_ + way];
+    if (s.valid && !s.reused) {
+        // First reuse after fill: the stored features were "alive".
+        net_.train(s.feat, 1.0f);
+        s.reused = true;
+    }
+    s.feat = features(info, set);
+    s.score = net_.forward(s.feat);
+}
+
+std::uint32_t
+MlpPolicy::chooseVictim(std::uint32_t set, const AccessInfo &info,
+                        const std::vector<LineMeta> &lines)
+{
+    std::uint32_t victim = 0;
+    double worst = 1e18;
+    for (std::uint32_t w = 0; w < lines.size(); ++w) {
+        const WayState &s =
+            state_[static_cast<std::size_t>(set) * ways_ + w];
+        // Confidence decays with age: a line predicted alive but
+        // untouched for thousands of accesses is a stale prediction,
+        // not a protected line (without this, mispredicted dead
+        // lines with "lucky" features would squat forever).
+        const double age = static_cast<double>(
+            info.access_index - lines[w].last_access_index);
+        const double v = s.score - age / 4096.0;
+        if (v < worst) {
+            worst = v;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+void
+MlpPolicy::onInsert(std::uint32_t set, std::uint32_t way,
+                    const AccessInfo &info)
+{
+    WayState &s = state_[static_cast<std::size_t>(set) * ways_ + way];
+    s.feat = features(info, set);
+    s.score = net_.forward(s.feat);
+    s.reused = false;
+    s.valid = true;
+}
+
+void
+MlpPolicy::onEvict(std::uint32_t set, std::uint32_t way,
+                   const AccessInfo &)
+{
+    WayState &s = state_[static_cast<std::size_t>(set) * ways_ + way];
+    if (s.valid && !s.reused) {
+        // Evicted without reuse: the stored features were "dead".
+        net_.train(s.feat, 0.0f);
+    }
+    s.valid = false;
+}
+
+std::uint64_t
+MlpPolicy::lineScore(std::uint32_t set, std::uint32_t way) const
+{
+    const WayState &s =
+        state_[static_cast<std::size_t>(set) * ways_ + way];
+    // Export as "evictability" in [0, 1000].
+    return static_cast<std::uint64_t>((1.0 - s.score) * 1000.0);
+}
+
+} // namespace cachemind::policy

@@ -1,0 +1,172 @@
+#include "policy/mockingjay.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "base/logging.hh"
+
+namespace cachemind::policy {
+
+std::int32_t
+ReuseDistancePredictor::predict(std::uint64_t pc) const
+{
+    const auto it = table_.find(pc);
+    return it == table_.end() ? cfg_.default_rd : it->second;
+}
+
+void
+ReuseDistancePredictor::train(std::uint64_t pc, std::int32_t observed)
+{
+    observed = std::min(observed, 1 << 20);
+    auto [it, inserted] = table_.emplace(pc, observed);
+    if (!inserted) {
+        // Temporal-difference blend toward the new observation.
+        const std::int64_t old = it->second;
+        it->second = static_cast<std::int32_t>(
+            old + (static_cast<std::int64_t>(observed) - old) /
+                      static_cast<std::int64_t>(cfg_.td_inverse));
+    }
+}
+
+void
+MockingjayPolicy::setTrainingFilter(
+    std::unordered_set<std::uint64_t> pcs)
+{
+    train_filter_ = std::move(pcs);
+}
+
+void
+MockingjayPolicy::configure(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    etr_.assign(static_cast<std::size_t>(sets) * ways, 0);
+    set_clock_.assign(sets, 0);
+    sampler_.assign(sets / cfg_.sample_every + 1, {});
+}
+
+void
+MockingjayPolicy::trainOnAccess(std::uint32_t set, const AccessInfo &info)
+{
+    if (!sampledSet(set))
+        return;
+    auto &hist = sampler_[set / cfg_.sample_every];
+    const std::uint64_t now = set_clock_[set];
+
+    // A revisit of a sampled line yields an observed reuse distance.
+    for (auto &e : hist) {
+        if (e.valid && e.line == info.line) {
+            const bool allowed =
+                train_filter_.empty() || train_filter_.count(e.pc) > 0;
+            if (allowed) {
+                rdp_.train(e.pc,
+                           static_cast<std::int32_t>(now - e.stamp));
+            }
+            e.pc = info.pc;
+            e.stamp = now;
+            return;
+        }
+    }
+    // New sample; evicting the oldest entry trains "beyond horizon".
+    if (hist.size() >= cfg_.sampler_capacity) {
+        auto oldest = std::min_element(
+            hist.begin(), hist.end(),
+            [](const SampleEntry &a, const SampleEntry &b) {
+                return a.stamp < b.stamp;
+            });
+        const bool allowed = train_filter_.empty() ||
+                             train_filter_.count(oldest->pc) > 0;
+        if (allowed) {
+            rdp_.train(oldest->pc,
+                       static_cast<std::int32_t>(now - oldest->stamp) * 2);
+        }
+        *oldest = SampleEntry{info.line, info.pc, now, true};
+    } else {
+        hist.push_back(SampleEntry{info.line, info.pc, now, true});
+    }
+}
+
+void
+MockingjayPolicy::ageSet(std::uint32_t set)
+{
+    ++set_clock_[set];
+    if (set_clock_[set] % cfg_.granularity != 0)
+        return;
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w)
+        --etr_[base + w];
+}
+
+void
+MockingjayPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                        const AccessInfo &info)
+{
+    trainOnAccess(set, info);
+    ageSet(set);
+    etr_[static_cast<std::size_t>(set) * ways_ + way] =
+        rdp_.predict(info.pc) /
+        static_cast<std::int32_t>(cfg_.granularity);
+}
+
+bool
+MockingjayPolicy::shouldBypass(std::uint32_t set, const AccessInfo &info,
+                               const std::vector<LineMeta> &lines)
+{
+    if (cfg_.bypass_threshold <= 0)
+        return false;
+    for (const auto &l : lines) {
+        if (!l.valid)
+            return false;
+    }
+    const std::int32_t incoming =
+        rdp_.predict(info.pc) /
+        static_cast<std::int32_t>(cfg_.granularity);
+    if (incoming < cfg_.bypass_threshold)
+        return false;
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (std::abs(etr_[base + w]) > incoming)
+            return false;
+    }
+    return true;
+}
+
+std::uint32_t
+MockingjayPolicy::chooseVictim(std::uint32_t set, const AccessInfo &,
+                               const std::vector<LineMeta> &lines)
+{
+    // Farthest estimated reuse: largest |ETR| (negative = overdue,
+    // treated as just as evictable as far-future).
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    std::uint32_t victim = 0;
+    std::int64_t best = -1;
+    for (std::uint32_t w = 0; w < lines.size(); ++w) {
+        const std::int64_t v = std::abs(
+            static_cast<std::int64_t>(etr_[base + w]));
+        if (v > best) {
+            best = v;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+void
+MockingjayPolicy::onInsert(std::uint32_t set, std::uint32_t way,
+                           const AccessInfo &info)
+{
+    trainOnAccess(set, info);
+    ageSet(set);
+    etr_[static_cast<std::size_t>(set) * ways_ + way] =
+        rdp_.predict(info.pc) /
+        static_cast<std::int32_t>(cfg_.granularity);
+}
+
+std::uint64_t
+MockingjayPolicy::lineScore(std::uint32_t set, std::uint32_t way) const
+{
+    const std::int64_t v = std::abs(static_cast<std::int64_t>(
+        etr_[static_cast<std::size_t>(set) * ways_ + way]));
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace cachemind::policy

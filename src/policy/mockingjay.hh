@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Mockingjay replacement (Shah, Jain & Lin, HPCA 2022).
+ *
+ * Mockingjay predicts a continuous reuse distance per PC with a
+ * sampled reuse-distance predictor (RDP) trained by temporal
+ * difference, and tracks each resident line's estimated time remaining
+ * (ETR). Eviction picks the line whose reuse lies farthest in the
+ * future (largest |ETR|); lines predicted to be reused beyond the
+ * horizon can be bypassed.
+ *
+ * The paper's Mockingjay use case restricts RDP training to "stable"
+ * PCs (low reuse-distance variance) discovered via CacheMind; that is
+ * exposed here through setTrainingFilter().
+ */
+
+#ifndef CACHEMIND_POLICY_MOCKINGJAY_HH
+#define CACHEMIND_POLICY_MOCKINGJAY_HH
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "policy/replacement.hh"
+
+namespace cachemind::policy {
+
+/** Configuration knobs for Mockingjay. */
+struct MockingjayConfig
+{
+    /** ETR granularity: one ETR tick per this many set accesses. */
+    std::uint32_t granularity = 8;
+    /** TD learning weight (new sample weight = 1/td_inverse). */
+    std::uint32_t td_inverse = 8;
+    /** Sample one in this many sets for RDP training. */
+    std::uint32_t sample_every = 8;
+    /** Max per-set sampler history entries. */
+    std::size_t sampler_capacity = 32;
+    /** Predicted reuse distance assigned to unseen PCs. */
+    std::int32_t default_rd = 1024;
+    /** Bypass lines predicted dead beyond this ETR horizon (0=off). */
+    std::int32_t bypass_threshold = 0;
+};
+
+/** PC-indexed reuse-distance predictor with TD updates. */
+class ReuseDistancePredictor
+{
+  public:
+    explicit ReuseDistancePredictor(const MockingjayConfig &cfg)
+        : cfg_(cfg)
+    {}
+
+    /** Predicted reuse distance (set accesses) for `pc`. */
+    std::int32_t predict(std::uint64_t pc) const;
+
+    /** TD update with an observed distance (saturated). */
+    void train(std::uint64_t pc, std::int32_t observed);
+
+    /** Number of PCs with learned entries. */
+    std::size_t size() const { return table_.size(); }
+
+  private:
+    MockingjayConfig cfg_;
+    std::unordered_map<std::uint64_t, std::int32_t> table_;
+};
+
+/** Mockingjay policy proper. */
+class MockingjayPolicy : public ReplacementPolicy
+{
+  public:
+    explicit MockingjayPolicy(MockingjayConfig cfg = MockingjayConfig{})
+        : cfg_(cfg), rdp_(cfg)
+    {}
+
+    /**
+     * Restrict RDP training to this PC set (empty = train on all).
+     * Implements the stable-PC training intervention of §6.3.
+     */
+    void setTrainingFilter(std::unordered_set<std::uint64_t> pcs);
+
+    const ReuseDistancePredictor &rdp() const { return rdp_; }
+
+    const char *name() const override { return "mockingjay"; }
+    void configure(std::uint32_t sets, std::uint32_t ways) override;
+    void onHit(std::uint32_t set, std::uint32_t way,
+               const AccessInfo &info) override;
+    bool shouldBypass(std::uint32_t set, const AccessInfo &info,
+                      const std::vector<LineMeta> &lines) override;
+    std::uint32_t chooseVictim(std::uint32_t set, const AccessInfo &info,
+                               const std::vector<LineMeta> &lines)
+        override;
+    void onInsert(std::uint32_t set, std::uint32_t way,
+                  const AccessInfo &info) override;
+    std::uint64_t lineScore(std::uint32_t set,
+                            std::uint32_t way) const override;
+
+  private:
+    struct SampleEntry
+    {
+        std::uint64_t line = 0;
+        std::uint64_t pc = 0;
+        std::uint64_t stamp = 0; // set-access counter at record time
+        bool valid = false;
+    };
+
+    bool sampledSet(std::uint32_t set) const
+    {
+        return set % cfg_.sample_every == 0;
+    }
+
+    void trainOnAccess(std::uint32_t set, const AccessInfo &info);
+    void ageSet(std::uint32_t set);
+
+    MockingjayConfig cfg_;
+    ReuseDistancePredictor rdp_;
+    std::unordered_set<std::uint64_t> train_filter_;
+
+    std::uint32_t ways_ = 0;
+    std::vector<std::int32_t> etr_;           // per line
+    std::vector<std::uint64_t> set_clock_;    // per set access counter
+    std::vector<std::vector<SampleEntry>> sampler_; // per sampled set
+};
+
+} // namespace cachemind::policy
+
+#endif // CACHEMIND_POLICY_MOCKINGJAY_HH

@@ -1,0 +1,151 @@
+#include "policy/parrot.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace cachemind::policy {
+
+double
+ParrotPcProfile::predictedReuseDistance() const
+{
+    if (samples == 0)
+        return 1 << 14;
+    // Blend the reused-mass expectation with the never-reused mass:
+    // a PC whose lines mostly die gets a very large predicted
+    // distance, making it a natural bypass/eviction candidate.
+    const double reuse_rd = std::exp2(mean_log2_rd);
+    const double dead_rd = 1 << 22;
+    return reuse_rd * (1.0 - never_reused) + dead_rd * never_reused;
+}
+
+double
+ParrotModel::predict(std::uint64_t pc) const
+{
+    const auto it = table.find(pc);
+    if (it == table.end())
+        return default_rd;
+    return it->second.predictedReuseDistance();
+}
+
+void
+ParrotTrainer::observe(std::uint64_t pc, std::uint64_t access_index,
+                       std::uint64_t next_use)
+{
+    Acc &a = acc_[pc];
+    ++a.total;
+    if (next_use != kNoNextUse && next_use > access_index) {
+        ++a.reused;
+        const double rd =
+            static_cast<double>(next_use - access_index);
+        a.sum_log2 += std::log2(rd + 1.0);
+    }
+}
+
+ParrotModel
+ParrotTrainer::finish() const
+{
+    ParrotModel model;
+    for (const auto &[pc, a] : acc_) {
+        ParrotPcProfile p;
+        p.samples = a.total;
+        p.never_reused = a.total
+                             ? 1.0 - static_cast<double>(a.reused) /
+                                         static_cast<double>(a.total)
+                             : 1.0;
+        p.mean_log2_rd =
+            a.reused ? a.sum_log2 / static_cast<double>(a.reused) : 0.0;
+        model.table.emplace(pc, p);
+    }
+    return model;
+}
+
+void
+ParrotPolicy::configure(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    pred_next_use_.assign(static_cast<std::size_t>(sets) * ways, 0.0);
+}
+
+double
+ParrotPolicy::predictedNextUse(const LineMeta &line) const
+{
+    return static_cast<double>(line.last_access_index) +
+           model_.predict(line.last_pc);
+}
+
+void
+ParrotPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                    const AccessInfo &info)
+{
+    pred_next_use_[static_cast<std::size_t>(set) * ways_ + way] =
+        static_cast<double>(info.access_index) + model_.predict(info.pc);
+}
+
+bool
+ParrotPolicy::shouldBypass(std::uint32_t set, const AccessInfo &info,
+                           const std::vector<LineMeta> &lines)
+{
+    if (!model_.trained())
+        return false;
+    const double incoming = static_cast<double>(info.access_index) +
+                            model_.predict(info.pc);
+    for (std::uint32_t w = 0; w < lines.size(); ++w) {
+        if (!lines[w].valid)
+            return false;
+        if (pred_next_use_[static_cast<std::size_t>(set) * ways_ + w] >
+            incoming) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::uint32_t
+ParrotPolicy::chooseVictim(std::uint32_t set, const AccessInfo &,
+                           const std::vector<LineMeta> &lines)
+{
+    if (!model_.trained()) {
+        // Cold start: without a learned model every prediction is the
+        // same constant, and "farthest predicted next use" would
+        // degenerate into MRU eviction. Fall back to recency.
+        std::uint32_t victim = 0;
+        std::uint64_t oldest = kNoNextUse;
+        for (std::uint32_t w = 0; w < lines.size(); ++w) {
+            if (lines[w].last_access_index < oldest) {
+                oldest = lines[w].last_access_index;
+                victim = w;
+            }
+        }
+        return victim;
+    }
+    std::uint32_t victim = 0;
+    double farthest = -1.0;
+    for (std::uint32_t w = 0; w < lines.size(); ++w) {
+        const double p =
+            pred_next_use_[static_cast<std::size_t>(set) * ways_ + w];
+        if (p > farthest) {
+            farthest = p;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+void
+ParrotPolicy::onInsert(std::uint32_t set, std::uint32_t way,
+                       const AccessInfo &info)
+{
+    pred_next_use_[static_cast<std::size_t>(set) * ways_ + way] =
+        static_cast<double>(info.access_index) + model_.predict(info.pc);
+}
+
+std::uint64_t
+ParrotPolicy::lineScore(std::uint32_t set, std::uint32_t way) const
+{
+    const double p =
+        pred_next_use_[static_cast<std::size_t>(set) * ways_ + way];
+    return p < 0.0 ? 0 : static_cast<std::uint64_t>(p);
+}
+
+} // namespace cachemind::policy

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Policy registry: names, descriptions (used verbatim in retrieval
+ * context bundles), and construction.
+ */
+
+#include "base/logging.hh"
+#include "base/str.hh"
+#include "policy/basic_policies.hh"
+#include "policy/mlp.hh"
+#include "policy/mockingjay.hh"
+#include "policy/parrot.hh"
+#include "policy/replacement.hh"
+#include "policy/rrip_policies.hh"
+
+namespace cachemind::policy {
+
+const std::vector<PolicyKind> &
+allPolicies()
+{
+    static const std::vector<PolicyKind> kinds = {
+        PolicyKind::Lru,    PolicyKind::Fifo,   PolicyKind::Random,
+        PolicyKind::Srrip,  PolicyKind::Brrip,  PolicyKind::Drrip,
+        PolicyKind::Dip,    PolicyKind::Ship,   PolicyKind::Belady,
+        PolicyKind::Parrot, PolicyKind::Mlp,    PolicyKind::Mockingjay,
+    };
+    return kinds;
+}
+
+const char *
+policyName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Lru: return "lru";
+      case PolicyKind::Fifo: return "fifo";
+      case PolicyKind::Random: return "random";
+      case PolicyKind::Srrip: return "srrip";
+      case PolicyKind::Brrip: return "brrip";
+      case PolicyKind::Drrip: return "drrip";
+      case PolicyKind::Dip: return "dip";
+      case PolicyKind::Ship: return "ship";
+      case PolicyKind::Belady: return "belady";
+      case PolicyKind::Parrot: return "parrot";
+      case PolicyKind::Mlp: return "mlp";
+      case PolicyKind::Mockingjay: return "mockingjay";
+    }
+    return "?";
+}
+
+std::string
+policyDescription(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Lru:
+        return "LRU (least recently used): evicts the line untouched "
+               "for the longest time. Strong when recent data is "
+               "reused soon; breaks down on scans and weak temporal "
+               "locality.";
+      case PolicyKind::Fifo:
+        return "FIFO: evicts the oldest insertion regardless of use.";
+      case PolicyKind::Random:
+        return "Random: uniform random victim; a lower-bound baseline.";
+      case PolicyKind::Srrip:
+        return "SRRIP: 2-bit re-reference interval prediction; "
+               "inserts at a long predicted interval to resist scans.";
+      case PolicyKind::Brrip:
+        return "BRRIP: bimodal RRIP inserting at the most distant "
+               "interval with rare exceptions; thrash-resistant.";
+      case PolicyKind::Drrip:
+        return "DRRIP: set-duelling between SRRIP and BRRIP insertion "
+               "with a PSEL counter.";
+      case PolicyKind::Dip:
+        return "DIP: dynamic insertion policy mixing LRU and bimodal "
+               "insertion depths via set duelling.";
+      case PolicyKind::Ship:
+        return "SHiP: signature-based hit predictor; a PC-signature "
+               "counter table biases re-reference predictions so "
+               "never-reused signatures insert as dead-on-arrival.";
+      case PolicyKind::Belady:
+        return "Belady's optimal (MIN): offline oracle evicting the "
+               "line whose next use is farthest in the future (with "
+               "bypass); the hit-rate upper bound, not implementable "
+               "in hardware.";
+      case PolicyKind::Parrot:
+        return "PARROT: imitation-learned policy trained offline "
+               "against Belady's decisions; ranks lines by per-PC "
+               "predicted next use, so its knowledge is PC-local.";
+      case PolicyKind::Mlp:
+        return "MLP: a small multi-layer perceptron over program-"
+               "context, address, and access-type features trained "
+               "online to predict near-term reuse; evicts the line "
+               "with the lowest predicted reuse probability.";
+      case PolicyKind::Mockingjay:
+        return "Mockingjay: predicts continuous reuse distance with a "
+               "PC-indexed sampled predictor (TD-trained) and evicts "
+               "the line with the farthest estimated time of reuse "
+               "(ETR).";
+    }
+    return "?";
+}
+
+bool
+policyKindFromName(const std::string &name, PolicyKind &out)
+{
+    const std::string lower = str::toLower(str::trim(name));
+    for (PolicyKind kind : allPolicies()) {
+        if (lower == policyName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    // Accept a few aliases that show up in natural-language queries.
+    if (lower == "opt" || lower == "min" || lower == "belady's" ||
+        lower == "optimal") {
+        out = PolicyKind::Belady;
+        return true;
+    }
+    if (lower == "least recently used") {
+        out = PolicyKind::Lru;
+        return true;
+    }
+    return false;
+}
+
+std::unique_ptr<ReplacementPolicy>
+makePolicy(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Lru: return std::make_unique<LruPolicy>();
+      case PolicyKind::Fifo: return std::make_unique<FifoPolicy>();
+      case PolicyKind::Random: return std::make_unique<RandomPolicy>();
+      case PolicyKind::Srrip: return std::make_unique<SrripPolicy>();
+      case PolicyKind::Brrip: return std::make_unique<BrripPolicy>();
+      case PolicyKind::Drrip: return std::make_unique<DrripPolicy>();
+      case PolicyKind::Dip: return std::make_unique<DipPolicy>();
+      case PolicyKind::Ship: return std::make_unique<ShipPolicy>();
+      case PolicyKind::Belady: return std::make_unique<BeladyPolicy>();
+      case PolicyKind::Parrot: return std::make_unique<ParrotPolicy>();
+      case PolicyKind::Mlp: return std::make_unique<MlpPolicy>();
+      case PolicyKind::Mockingjay:
+        return std::make_unique<MockingjayPolicy>();
+    }
+    CM_PANIC("unknown policy kind");
+}
+
+} // namespace cachemind::policy

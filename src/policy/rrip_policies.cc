@@ -1,0 +1,257 @@
+#include "policy/rrip_policies.hh"
+
+#include "base/logging.hh"
+
+namespace cachemind::policy {
+
+// -------------------------------------------------------------- SRRIP
+
+void
+SrripPolicy::configure(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    rrpv_.assign(static_cast<std::size_t>(sets) * ways, kMaxRrpv);
+}
+
+void
+SrripPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                   const AccessInfo &)
+{
+    rrpv_[static_cast<std::size_t>(set) * ways_ + way] = 0;
+}
+
+std::uint32_t
+SrripPolicy::chooseVictim(std::uint32_t set, const AccessInfo &,
+                          const std::vector<LineMeta> &lines)
+{
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    for (;;) {
+        for (std::uint32_t w = 0; w < lines.size(); ++w) {
+            if (rrpv_[base + w] >= kMaxRrpv)
+                return w;
+        }
+        for (std::uint32_t w = 0; w < lines.size(); ++w)
+            ++rrpv_[base + w];
+    }
+}
+
+std::uint8_t
+SrripPolicy::insertionRrpv(std::uint32_t)
+{
+    return kMaxRrpv - 1;
+}
+
+void
+SrripPolicy::onInsert(std::uint32_t set, std::uint32_t way,
+                      const AccessInfo &)
+{
+    rrpv_[static_cast<std::size_t>(set) * ways_ + way] =
+        insertionRrpv(set);
+}
+
+std::uint64_t
+SrripPolicy::lineScore(std::uint32_t set, std::uint32_t way) const
+{
+    return rrpv_[static_cast<std::size_t>(set) * ways_ + way];
+}
+
+// -------------------------------------------------------------- BRRIP
+
+std::uint8_t
+BrripPolicy::insertionRrpv(std::uint32_t)
+{
+    // Insert at distant RRPV except for a 1/32 bimodal fraction.
+    return rng_.nextBool(1.0 / 32.0) ? kMaxRrpv - 1 : kMaxRrpv;
+}
+
+// -------------------------------------------------------------- DRRIP
+
+void
+DrripPolicy::configure(std::uint32_t sets, std::uint32_t ways)
+{
+    SrripPolicy::configure(sets, ways);
+    sets_ = sets;
+    psel_ = 0;
+}
+
+DrripPolicy::Leader
+DrripPolicy::leaderOf(std::uint32_t set) const
+{
+    // 32 leader sets of each flavour, spread through the cache.
+    const std::uint32_t region = sets_ >= 64 ? sets_ / 64 : 1;
+    if (set % region == 0)
+        return (set / region) % 2 == 0 ? Leader::Srrip : Leader::Brrip;
+    return Leader::None;
+}
+
+std::uint8_t
+DrripPolicy::insertionRrpv(std::uint32_t set)
+{
+    const Leader leader = leaderOf(set);
+    bool use_srrip;
+    if (leader == Leader::Srrip) {
+        use_srrip = true;
+    } else if (leader == Leader::Brrip) {
+        use_srrip = false;
+    } else {
+        use_srrip = psel_ >= 0;
+    }
+    if (use_srrip)
+        return kMaxRrpv - 1;
+    return rng_.nextBool(1.0 / 32.0) ? kMaxRrpv - 1 : kMaxRrpv;
+}
+
+void
+DrripPolicy::onInsert(std::uint32_t set, std::uint32_t way,
+                      const AccessInfo &info)
+{
+    // A miss in a leader set votes against that leader's policy.
+    const Leader leader = leaderOf(set);
+    if (leader == Leader::Srrip)
+        psel_ = std::max(psel_ - 1, -1024);
+    else if (leader == Leader::Brrip)
+        psel_ = std::min(psel_ + 1, 1023);
+    SrripPolicy::onInsert(set, way, info);
+}
+
+// ---------------------------------------------------------------- DIP
+
+void
+DipPolicy::configure(std::uint32_t sets, std::uint32_t ways)
+{
+    sets_ = sets;
+    ways_ = ways;
+    tick_ = 0;
+    psel_ = 0;
+    stamps_.assign(static_cast<std::size_t>(sets) * ways, 0);
+}
+
+DipPolicy::Leader
+DipPolicy::leaderOf(std::uint32_t set) const
+{
+    const std::uint32_t region = sets_ >= 64 ? sets_ / 64 : 1;
+    if (set % region == 0)
+        return (set / region) % 2 == 0 ? Leader::Lru : Leader::Bip;
+    return Leader::None;
+}
+
+void
+DipPolicy::touchMru(std::uint32_t set, std::uint32_t way)
+{
+    stamps_[static_cast<std::size_t>(set) * ways_ + way] = ++tick_;
+}
+
+void
+DipPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                 const AccessInfo &)
+{
+    touchMru(set, way);
+}
+
+std::uint32_t
+DipPolicy::chooseVictim(std::uint32_t set, const AccessInfo &,
+                        const std::vector<LineMeta> &lines)
+{
+    std::uint32_t victim = 0;
+    std::uint64_t best = kNoNextUse;
+    for (std::uint32_t w = 0; w < lines.size(); ++w) {
+        const std::uint64_t s =
+            stamps_[static_cast<std::size_t>(set) * ways_ + w];
+        if (s < best) {
+            best = s;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+void
+DipPolicy::onInsert(std::uint32_t set, std::uint32_t way,
+                    const AccessInfo &)
+{
+    const Leader leader = leaderOf(set);
+    if (leader == Leader::Lru)
+        psel_ = std::max(psel_ - 1, -1024);
+    else if (leader == Leader::Bip)
+        psel_ = std::min(psel_ + 1, 1023);
+
+    bool use_lru;
+    if (leader == Leader::Lru)
+        use_lru = true;
+    else if (leader == Leader::Bip)
+        use_lru = false;
+    else
+        use_lru = psel_ >= 0;
+
+    if (use_lru || rng_.nextBool(1.0 / 32.0)) {
+        touchMru(set, way);
+    } else {
+        // BIP: leave at LRU position (stamp 0 equivalent: oldest).
+        stamps_[static_cast<std::size_t>(set) * ways_ + way] =
+            tick_ > ways_ ? tick_ - ways_ : 0;
+        ++tick_;
+    }
+}
+
+std::uint64_t
+DipPolicy::lineScore(std::uint32_t set, std::uint32_t way) const
+{
+    const std::uint64_t s =
+        stamps_[static_cast<std::size_t>(set) * ways_ + way];
+    return tick_ >= s ? tick_ - s : 0;
+}
+
+// --------------------------------------------------------------- SHiP
+
+std::size_t
+ShipPolicy::signature(std::uint64_t pc)
+{
+    return static_cast<std::size_t>(splitMix64(pc) % kShctSize);
+}
+
+void
+ShipPolicy::configure(std::uint32_t sets, std::uint32_t ways)
+{
+    SrripPolicy::configure(sets, ways);
+    shct_.assign(kShctSize, 1);
+    train_.assign(static_cast<std::size_t>(sets) * ways, LineTrain{});
+}
+
+void
+ShipPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                  const AccessInfo &info)
+{
+    SrripPolicy::onHit(set, way, info);
+    LineTrain &t = train_[static_cast<std::size_t>(set) * ways_ + way];
+    if (t.valid && !t.reused) {
+        t.reused = true;
+        if (shct_[t.sig] < 7)
+            ++shct_[t.sig];
+    }
+}
+
+void
+ShipPolicy::onInsert(std::uint32_t set, std::uint32_t way,
+                     const AccessInfo &info)
+{
+    const std::size_t sig = signature(info.pc);
+    LineTrain &t = train_[static_cast<std::size_t>(set) * ways_ + way];
+    t.sig = sig;
+    t.reused = false;
+    t.valid = true;
+    // Signature with zero counter: predicted dead-on-arrival.
+    rrpv_[static_cast<std::size_t>(set) * ways_ + way] =
+        shct_[sig] == 0 ? kMaxRrpv : kMaxRrpv - 1;
+}
+
+void
+ShipPolicy::onEvict(std::uint32_t set, std::uint32_t way,
+                    const AccessInfo &)
+{
+    LineTrain &t = train_[static_cast<std::size_t>(set) * ways_ + way];
+    if (t.valid && !t.reused && shct_[t.sig] > 0)
+        --shct_[t.sig];
+    t.valid = false;
+}
+
+} // namespace cachemind::policy

@@ -1,0 +1,281 @@
+#include "query/dsl.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "base/stats_util.hh"
+#include "base/str.hh"
+
+namespace cachemind::query {
+
+const char *
+dslOpName(DslOp op)
+{
+    switch (op) {
+      case DslOp::SelectRows: return "select_rows";
+      case DslOp::CountRows: return "count_rows";
+      case DslOp::MissRate: return "miss_rate";
+      case DslOp::HitCount: return "hit_count";
+      case DslOp::MeanField: return "mean";
+      case DslOp::SumField: return "sum";
+      case DslOp::MinField: return "min";
+      case DslOp::MaxField: return "max";
+      case DslOp::StdField: return "std";
+      case DslOp::UniquePcs: return "unique_pcs";
+      case DslOp::UniqueSets: return "unique_sets";
+      case DslOp::PerPcStats: return "per_pc_stats";
+      case DslOp::PerSetStats: return "per_set_stats";
+      case DslOp::Metadata: return "metadata";
+    }
+    return "?";
+}
+
+const char *
+dslFieldName(DslField field)
+{
+    switch (field) {
+      case DslField::ReuseDistance:
+        return "accessed_address_reuse_distance_numeric";
+      case DslField::EvictedReuseDistance:
+        return "evicted_address_reuse_distance_numeric";
+      case DslField::Recency:
+        return "accessed_address_recency_numeric";
+    }
+    return "?";
+}
+
+std::string
+renderProgramAsPython(const DslProgram &prog)
+{
+    std::ostringstream os;
+    os << "df = loaded_data[\"" << prog.trace_key << "\"][\"data_frame\"]\n";
+    std::vector<std::string> conds;
+    if (prog.pc) {
+        conds.push_back("df.program_counter == \"" + str::hex(*prog.pc) +
+                        "\"");
+    }
+    if (prog.address) {
+        conds.push_back("df.memory_address == \"" +
+                        str::hex(*prog.address) + "\"");
+    }
+    if (prog.set_id) {
+        conds.push_back("df.cache_set_id == " +
+                        std::to_string(*prog.set_id));
+    }
+    if (!conds.empty())
+        os << "df = df[" << str::join(conds, " & ") << "]\n";
+    switch (prog.op) {
+      case DslOp::SelectRows:
+        os << "result = df.head(" << prog.limit << ").to_string()\n";
+        break;
+      case DslOp::CountRows:
+        os << "result = f\"count = {len(df)}\"\n";
+        break;
+      case DslOp::MissRate:
+        os << "result = f\"miss rate = "
+              "{100.0 * df.is_miss.mean():.2f}%\"\n";
+        break;
+      case DslOp::HitCount:
+        os << "result = f\"hits = {(1 - df.is_miss).sum()}\"\n";
+        break;
+      case DslOp::MeanField:
+      case DslOp::SumField:
+      case DslOp::MinField:
+      case DslOp::MaxField:
+      case DslOp::StdField:
+        os << "xs = df[\"" << dslFieldName(prog.field)
+           << "\"]; xs = xs[xs >= 0]\n"
+           << "result = f\"" << dslOpName(prog.op) << " = {xs."
+           << dslOpName(prog.op) << "()}\"\n";
+        break;
+      case DslOp::UniquePcs:
+        os << "result = sorted(df.program_counter.unique())\n";
+        break;
+      case DslOp::UniqueSets:
+        os << "result = sorted(df.cache_set_id.unique())\n";
+        break;
+      case DslOp::PerPcStats:
+        os << "result = df.groupby(\"program_counter\").agg("
+              "miss_rate=(\"is_miss\", \"mean\"), "
+              "reuse=(\"accessed_address_reuse_distance_numeric\", "
+              "\"mean\"))\n";
+        break;
+      case DslOp::PerSetStats:
+        os << "result = df.groupby(\"cache_set_id\").agg("
+              "hits=(\"is_miss\", lambda m: (1 - m).sum()))\n";
+        break;
+      case DslOp::Metadata:
+        os << "result = loaded_data[\"" << prog.trace_key
+           << "\"][\"metadata\"]\n";
+        break;
+    }
+    return os.str();
+}
+
+namespace {
+
+std::int64_t
+fieldValue(const db::TraceTable &t, std::size_t i, DslField field)
+{
+    switch (field) {
+      case DslField::ReuseDistance: return t.reuseDistanceAt(i);
+      case DslField::EvictedReuseDistance:
+        return t.evictedReuseDistanceAt(i);
+      case DslField::Recency: return t.recencyAt(i);
+    }
+    return db::kNoValue;
+}
+
+} // namespace
+
+DslResult
+Interpreter::run(const DslProgram &prog) const
+{
+    DslResult res;
+    const db::TraceEntry *entry = db_.find(prog.trace_key);
+    if (!entry) {
+        res.error = "no trace named '" + prog.trace_key +
+                    "' in the database";
+        return res;
+    }
+    const db::TraceTable &table = entry->table;
+
+    if (prog.op == DslOp::Metadata) {
+        res.ok = true;
+        res.text = entry->metadata;
+        return res;
+    }
+    if (prog.op == DslOp::UniquePcs) {
+        res.ok = true;
+        res.values = table.uniquePcs();
+        return res;
+    }
+    if (prog.op == DslOp::UniqueSets) {
+        res.ok = true;
+        for (const auto s : table.uniqueSets())
+            res.values.push_back(s);
+        return res;
+    }
+    if (prog.op == DslOp::PerPcStats || prog.op == DslOp::PerSetStats) {
+        const db::StatsExpert *expert = db_.statsFor(prog.trace_key);
+        res.ok = true;
+        if (prog.op == DslOp::PerPcStats) {
+            if (prog.pc) {
+                if (auto ps = expert->pcStats(*prog.pc))
+                    res.pc_stats.push_back(*ps);
+            } else {
+                res.pc_stats = expert->allPcStats();
+            }
+        } else {
+            if (prog.set_id) {
+                if (auto ss = expert->setStats(*prog.set_id))
+                    res.set_stats.push_back(*ss);
+            } else {
+                res.set_stats = expert->allSetStats();
+            }
+        }
+        return res;
+    }
+
+    // Row-filtered operations.
+    std::vector<std::size_t> rows;
+    if (prog.pc || prog.address) {
+        const std::uint64_t *pc = prog.pc ? &*prog.pc : nullptr;
+        const std::uint64_t *addr =
+            prog.address ? &*prog.address : nullptr;
+        rows = table.filter(pc, addr);
+    } else {
+        rows.resize(table.size());
+        for (std::size_t i = 0; i < table.size(); ++i)
+            rows[i] = i;
+    }
+    if (prog.set_id) {
+        std::vector<std::size_t> keep;
+        for (const auto i : rows) {
+            if (table.setAt(i) == *prog.set_id)
+                keep.push_back(i);
+        }
+        rows.swap(keep);
+    }
+    res.matched = rows.size();
+
+    switch (prog.op) {
+      case DslOp::SelectRows: {
+        const std::size_t take =
+            prog.limit ? std::min(prog.limit, rows.size())
+                       : rows.size();
+        for (std::size_t k = 0; k < take; ++k)
+            res.rows.push_back(table.row(rows[k]));
+        res.ok = true;
+        return res;
+      }
+      case DslOp::CountRows:
+        res.number = static_cast<double>(rows.size());
+        res.ok = true;
+        return res;
+      case DslOp::MissRate: {
+        if (rows.empty()) {
+            res.error = "no rows match the filters";
+            return res;
+        }
+        std::size_t misses = 0;
+        for (const auto i : rows)
+            misses += table.isMissAt(i);
+        res.number = static_cast<double>(misses) /
+                     static_cast<double>(rows.size());
+        res.ok = true;
+        return res;
+      }
+      case DslOp::HitCount: {
+        std::size_t hits = 0;
+        for (const auto i : rows)
+            hits += !table.isMissAt(i);
+        res.number = static_cast<double>(hits);
+        res.ok = true;
+        return res;
+      }
+      case DslOp::MeanField:
+      case DslOp::SumField:
+      case DslOp::MinField:
+      case DslOp::MaxField:
+      case DslOp::StdField: {
+        std::vector<double> xs;
+        xs.reserve(rows.size());
+        for (const auto i : rows) {
+            const std::int64_t v = fieldValue(table, i, prog.field);
+            if (v != db::kNoValue)
+                xs.push_back(static_cast<double>(v));
+        }
+        if (xs.empty()) {
+            res.error = "no finite samples for field " +
+                        std::string(dslFieldName(prog.field));
+            return res;
+        }
+        double out = 0.0;
+        switch (prog.op) {
+          case DslOp::MeanField: out = stats::mean(xs); break;
+          case DslOp::SumField:
+            for (const double x : xs)
+                out += x;
+            break;
+          case DslOp::MinField:
+            out = *std::min_element(xs.begin(), xs.end());
+            break;
+          case DslOp::MaxField:
+            out = *std::max_element(xs.begin(), xs.end());
+            break;
+          case DslOp::StdField: out = stats::stdev(xs); break;
+          default: break;
+        }
+        res.number = out;
+        res.ok = true;
+        return res;
+      }
+      default: break;
+    }
+    res.error = "unsupported operation";
+    return res;
+}
+
+} // namespace cachemind::query

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The retrieval DSL and its interpreter — CacheMind-Ranger's
+ * "generation and execution runtime" (§3.3).
+ *
+ * In the paper, Ranger asks an LLM to emit Python that slices the
+ * pandas store. Offline, the equivalent is a small, typed query
+ * program: filters + one operation over a named trace. The simulated
+ * code-generation model emits DslPrograms (and a rendered Python-like
+ * surface form for transcripts); the Interpreter executes them against
+ * the TraceDatabase with exactly-checkable semantics.
+ */
+
+#ifndef CACHEMIND_QUERY_DSL_HH
+#define CACHEMIND_QUERY_DSL_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/database.hh"
+
+namespace cachemind::query {
+
+/** Operation performed after filtering. */
+enum class DslOp {
+    /** Materialise matching rows (bounded by `limit`). */
+    SelectRows,
+    /** Count matching rows. */
+    CountRows,
+    /** Miss rate over matching rows. */
+    MissRate,
+    /** Hit count over matching rows. */
+    HitCount,
+    /** Aggregate a numeric field over matching rows. */
+    MeanField,
+    SumField,
+    MinField,
+    MaxField,
+    StdField,
+    /** Unique PCs in the trace (ascending). */
+    UniquePcs,
+    /** Unique sets in the trace (ascending). */
+    UniqueSets,
+    /** Per-PC statistics (optionally only for the filtered pc). */
+    PerPcStats,
+    /** Per-set statistics. */
+    PerSetStats,
+    /** Return the metadata summary string. */
+    Metadata,
+};
+
+const char *dslOpName(DslOp op);
+
+/** Numeric fields addressable by aggregates. */
+enum class DslField {
+    ReuseDistance,
+    EvictedReuseDistance,
+    Recency,
+};
+
+const char *dslFieldName(DslField field);
+
+/** One executable program. */
+struct DslProgram
+{
+    /** Target trace key, e.g. "lbm_evictions_lru". */
+    std::string trace_key;
+    std::optional<std::uint64_t> pc;
+    std::optional<std::uint64_t> address;
+    std::optional<std::uint32_t> set_id;
+    DslOp op = DslOp::SelectRows;
+    DslField field = DslField::ReuseDistance;
+    /** Row/entry cap for SelectRows and stats listings (0 = all). */
+    std::size_t limit = 16;
+};
+
+/** Render the program as the Python the paper's Ranger would emit. */
+std::string renderProgramAsPython(const DslProgram &prog);
+
+/** Execution result. */
+struct DslResult
+{
+    bool ok = false;
+    std::string error;
+
+    /** Scalar result (rates, counts, aggregates). */
+    std::optional<double> number;
+    /** Materialised rows (SelectRows). */
+    std::vector<db::AccessRow> rows;
+    /** Total matching rows before the limit was applied. */
+    std::size_t matched = 0;
+    /** Unique value listings (UniquePcs/UniqueSets). */
+    std::vector<std::uint64_t> values;
+    /** Per-PC statistics (PerPcStats). */
+    std::vector<db::PcStats> pc_stats;
+    /** Per-set statistics (PerSetStats). */
+    std::vector<db::SetStats> set_stats;
+    /** Metadata text (Metadata). */
+    std::string text;
+};
+
+/** Executes DslPrograms against a database. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(const db::TraceDatabase &db) : db_(db) {}
+
+    DslResult run(const DslProgram &prog) const;
+
+  private:
+    const db::TraceDatabase &db_;
+};
+
+} // namespace cachemind::query
+
+#endif // CACHEMIND_QUERY_DSL_HH

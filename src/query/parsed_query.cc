@@ -1,0 +1,43 @@
+#include "query/parsed_query.hh"
+
+namespace cachemind::query {
+
+const char *
+intentName(QueryIntent intent)
+{
+    switch (intent) {
+      case QueryIntent::HitMiss: return "hit_miss";
+      case QueryIntent::MissRate: return "miss_rate";
+      case QueryIntent::PolicyComparison: return "policy_comparison";
+      case QueryIntent::Count: return "count";
+      case QueryIntent::Arithmetic: return "arithmetic";
+      case QueryIntent::ListPcs: return "list_pcs";
+      case QueryIntent::ListSets: return "list_sets";
+      case QueryIntent::SetStats: return "set_stats";
+      case QueryIntent::PcStats: return "pc_stats";
+      case QueryIntent::TopPcs: return "top_pcs";
+      case QueryIntent::Explain: return "explain";
+      case QueryIntent::Concept: return "concept";
+      case QueryIntent::CodeGen: return "code_gen";
+      case QueryIntent::Unknown: return "unknown";
+    }
+    return "?";
+}
+
+const char *
+fieldName(FieldKind field)
+{
+    switch (field) {
+      case FieldKind::ReuseDistance:
+        return "accessed_address_reuse_distance";
+      case FieldKind::EvictedReuseDistance:
+        return "evicted_address_reuse_distance";
+      case FieldKind::Recency: return "accessed_address_recency";
+      case FieldKind::Misses: return "misses";
+      case FieldKind::Hits: return "hits";
+      case FieldKind::Accesses: return "accesses";
+    }
+    return "?";
+}
+
+} // namespace cachemind::query

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Structured representation of a natural-language query and the
+ * intents CacheMind distinguishes. Produced by NlQueryParser, consumed
+ * by both retrievers and the benchmark harness.
+ */
+
+#ifndef CACHEMIND_QUERY_PARSED_QUERY_HH
+#define CACHEMIND_QUERY_PARSED_QUERY_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cachemind::query {
+
+/** What the user is asking for. */
+enum class QueryIntent {
+    /** Hit-or-miss for a {pc, address, workload, policy} tuple. */
+    HitMiss,
+    /** Miss rate of a PC or a whole workload. */
+    MissRate,
+    /** Compare/rank policies for a PC or workload. */
+    PolicyComparison,
+    /** Count events under filters. */
+    Count,
+    /** Arithmetic over a retrieved field (mean/sum/max/min/std). */
+    Arithmetic,
+    /** Enumerate unique PCs. */
+    ListPcs,
+    /** Enumerate unique cache sets. */
+    ListSets,
+    /** Per-set statistics (hits, hit rate; hot/cold sets). */
+    SetStats,
+    /** Per-PC statistics bundle (reuse, recency, hit rate). */
+    PcStats,
+    /** Ranked PCs by a metric (most misses, highest reuse...). */
+    TopPcs,
+    /** Causal/analytic "why"-style question (ARA tier). */
+    Explain,
+    /** Retrieval-light microarchitecture concept question. */
+    Concept,
+    /** Request to generate analysis code. */
+    CodeGen,
+    Unknown,
+};
+
+/** Human-readable intent name (logging, transcripts). */
+const char *intentName(QueryIntent intent);
+
+/** Aggregation requested by an Arithmetic query. */
+enum class AggKind { Mean, Sum, Min, Max, Std, Count };
+
+/** Numeric field referenced by an Arithmetic/TopPcs query. */
+enum class FieldKind {
+    ReuseDistance,
+    EvictedReuseDistance,
+    Recency,
+    Misses,
+    Hits,
+    Accesses,
+};
+
+const char *fieldName(FieldKind field);
+
+/** A parsed query: symbolic slots extracted from free text. */
+struct ParsedQuery
+{
+    QueryIntent intent = QueryIntent::Unknown;
+    std::optional<std::uint64_t> pc;
+    std::optional<std::uint64_t> address;
+    std::optional<std::uint32_t> set_id;
+    /** Matched workload names, best first. */
+    std::vector<std::string> workloads;
+    /** Matched policy names, best first. */
+    std::vector<std::string> policies;
+    AggKind agg = AggKind::Mean;
+    FieldKind field = FieldKind::ReuseDistance;
+    /** "top N" style limit (0 = unspecified). */
+    std::size_t top_n = 0;
+    /** The original text. */
+    std::string raw;
+
+    bool hasWorkload() const { return !workloads.empty(); }
+    bool hasPolicy() const { return !policies.empty(); }
+    const std::string &workload() const { return workloads.front(); }
+    const std::string &policy() const { return policies.front(); }
+};
+
+} // namespace cachemind::query
+
+#endif // CACHEMIND_QUERY_PARSED_QUERY_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The retrieved-context bundle handed to the generator LLM, plus the
+ * retrieval-quality assessment used for the Figure 5 analysis.
+ *
+ * A bundle is *evidence*: trace-row slices, per-PC/per-set statistics,
+ * cross-policy numbers, metadata, descriptions, and disassembly. The
+ * generator is constrained to answer from this bundle — that is the
+ * trace-grounding contract of the paper.
+ */
+
+#ifndef CACHEMIND_RETRIEVAL_CONTEXT_HH
+#define CACHEMIND_RETRIEVAL_CONTEXT_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "db/stats_expert.hh"
+#include "db/table.hh"
+#include "query/parsed_query.hh"
+
+namespace cachemind::retrieval {
+
+/** Qualitative retrieval-context quality (Figure 5 buckets). */
+enum class ContextQuality { Low, Medium, High };
+
+const char *contextQualityName(ContextQuality q);
+
+/** Cross-policy statistic for one policy. */
+struct PolicyNumber
+{
+    std::string policy;
+    double value = 0.0;
+    /** Number of samples behind the value. */
+    std::uint64_t samples = 0;
+};
+
+/** Everything the retriever assembled for one query. */
+struct ContextBundle
+{
+    /** Which retriever produced this ("sieve"/"ranger"/"llamaindex"). */
+    std::string retriever;
+    /** Parsed query slots as the retriever understood them. */
+    query::ParsedQuery parsed;
+    /** Primary trace consulted (empty when unresolved). */
+    std::string trace_key;
+
+    /** Exact matching rows (bounded evidence window). */
+    std::vector<db::AccessRow> rows;
+    /**
+     * Total matches known to the retriever. Sieve stops scanning at
+     * its window, so for Sieve this equals rows.size(); Ranger's
+     * executed programs report the true count.
+     */
+    std::size_t total_matches = 0;
+    /** True when total_matches is the exact full-table count. */
+    bool total_is_exact = false;
+
+    /** Statistics for the focal PC (when one was identified). */
+    std::optional<db::PcStats> pc_stats;
+    /** Ranked or enumerated per-PC statistics. */
+    std::vector<db::PcStats> pc_stats_list;
+    /** Per-set statistics (set-hotness queries). */
+    std::vector<db::SetStats> set_stats;
+    /** Cross-policy numbers (miss rates unless noted in `label`). */
+    std::vector<PolicyNumber> policy_numbers;
+    std::string policy_numbers_label;
+
+    /** Whole-trace metadata summary string. */
+    std::string metadata;
+    std::string workload_description;
+    std::string policy_description;
+
+    /** Source context at the focal PC. */
+    std::string function_name;
+    std::string function_code;
+    std::string assembly;
+
+    /** Unique PC/set listings. */
+    std::vector<std::uint64_t> values;
+    /** True when `values` is complete (not truncated). */
+    bool values_complete = false;
+
+    /** Ranger: scalar computed by the executed program. */
+    std::optional<double> computed;
+    /** Ranger: the generated retrieval program (rendered Python). */
+    std::string generated_code;
+    /** Free-text result (Ranger result string / LlamaIndex payloads). */
+    std::string result_text;
+
+    /** The retriever detected an inconsistent premise. */
+    bool premise_violation = false;
+    std::string premise_note;
+
+    /** Wall-clock retrieval latency in milliseconds (reporting only). */
+    double retrieval_ms = 0.0;
+
+    /** Render the bundle as prompt text (Figure 2-style). */
+    std::string render() const;
+};
+
+/**
+ * Heuristic quality assessment: does the bundle contain the evidence
+ * class its own parsed query calls for? High = exact slice or exact
+ * statistic present; Medium = right trace but partial evidence;
+ * Low = wrong/no trace or empty evidence.
+ */
+ContextQuality assessQuality(const ContextBundle &bundle);
+
+/** Compact single-line rendering of a row (slice listings). */
+std::string renderRowLine(const db::AccessRow &row);
+
+/** Abstract retriever interface. */
+class Retriever
+{
+  public:
+    virtual ~Retriever() = default;
+    virtual const char *name() const = 0;
+    virtual ContextBundle retrieve(const std::string &query) = 0;
+};
+
+} // namespace cachemind::retrieval
+
+#endif // CACHEMIND_RETRIEVAL_CONTEXT_HH

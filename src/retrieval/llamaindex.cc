@@ -1,0 +1,75 @@
+#include "retrieval/llamaindex.hh"
+
+#include <sstream>
+
+#include "base/stopwatch.hh"
+#include "base/str.hh"
+
+namespace cachemind::retrieval {
+
+LlamaIndexRetriever::LlamaIndexRetriever(const db::TraceDatabase &db,
+                                         LlamaIndexConfig cfg)
+    : db_(db), cfg_(std::move(cfg)),
+      parser_(db.workloads(), db.policies()), embedder_(cfg_.dims)
+{
+    index_ = std::make_unique<text::VectorIndex>(embedder_);
+    buildIndex();
+}
+
+void
+LlamaIndexRetriever::buildIndex()
+{
+    for (const auto &key : db_.keys()) {
+        const auto *entry = db_.find(key);
+        // Summary document per trace.
+        {
+            std::ostringstream os;
+            os << "TRACE_ID: " << key << "\nDESCRIPTION: "
+               << entry->description << "\n" << entry->metadata;
+            index_->add(os.str(), key + "#summary");
+        }
+        // Row chunks.
+        const auto &table = entry->table;
+        for (std::size_t i = 0; i < table.size();
+             i += cfg_.row_stride) {
+            std::ostringstream os;
+            os << "TRACE_ID: " << key << "\nprogram_counter="
+               << str::hex(table.pcAt(i))
+               << ", memory_address=" << str::hex(table.addressAt(i))
+               << ", evict="
+               << (table.isMissAt(i) ? "Cache Miss" : "Cache Hit")
+               << ", cache_set_id=" << table.setAt(i)
+               << ", recency=" << table.recencyTextAt(i);
+            index_->add(os.str(),
+                        key + "#row=" + std::to_string(i));
+        }
+    }
+}
+
+ContextBundle
+LlamaIndexRetriever::retrieve(const std::string &query)
+{
+    Stopwatch timer;
+    ContextBundle bundle;
+    bundle.retriever = name();
+    bundle.parsed = parser_.parse(query);
+
+    const auto hits = index_->topK(query, cfg_.top_k);
+    std::ostringstream text;
+    for (const auto &hit : hits) {
+        text << str::fixed(hit.score, 6) << "\n"
+             << index_->payload(hit.doc) << "\n---\n";
+        // Expose the best hit's trace for bookkeeping.
+        if (bundle.trace_key.empty()) {
+            const auto &tag = index_->tag(hit.doc);
+            const auto pos = tag.find('#');
+            bundle.trace_key =
+                pos == std::string::npos ? tag : tag.substr(0, pos);
+        }
+    }
+    bundle.result_text = text.str();
+    bundle.retrieval_ms = timer.milliseconds();
+    return bundle;
+}
+
+} // namespace cachemind::retrieval

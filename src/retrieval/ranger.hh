@@ -1,0 +1,72 @@
+/**
+ * @file
+ * CacheMind-Ranger: Retrieval via Agentic Neural Generation and
+ * Execution Runtime (§3.3).
+ *
+ * The paper's Ranger prompts an LLM (GPT-4o) with the database schema
+ * and asks it to emit executable Python. Offline, code generation is
+ * simulated by a deterministic planner that maps a parsed query to
+ * DSL programs (the surface Python is still rendered for
+ * transcripts); a *codegen fidelity* knob injects the characteristic
+ * mis-generations of weaker models (wrong field, wrong aggregate,
+ * dropped filter) via hash-keyed draws, so retrieval accuracy
+ * degrades mechanistically rather than by fiat (DESIGN.md §2, §5).
+ */
+
+#ifndef CACHEMIND_RETRIEVAL_RANGER_HH
+#define CACHEMIND_RETRIEVAL_RANGER_HH
+
+#include "db/database.hh"
+#include "query/dsl.hh"
+#include "query/parser.hh"
+#include "retrieval/context.hh"
+
+namespace cachemind::retrieval {
+
+/** Ranger configuration. */
+struct RangerConfig
+{
+    /**
+     * Probability that a generated program is faithful to the query.
+     * 1.0 models a strong code-generation backend (GPT-4o); lower
+     * values model weaker backends.
+     */
+    double codegen_fidelity = 1.0;
+    /** Row cap for SelectRows programs. */
+    std::size_t select_limit = 8;
+    /** Default policy used when the query names none. */
+    std::string default_policy = "lru";
+    /** Seed salt for the mis-generation draws. */
+    std::uint64_t seed = 0x7a9eULL;
+};
+
+/** The Ranger retriever. */
+class RangerRetriever : public Retriever
+{
+  public:
+    RangerRetriever(const db::TraceDatabase &db,
+                    RangerConfig cfg = RangerConfig{});
+
+    const char *name() const override { return "ranger"; }
+    ContextBundle retrieve(const std::string &query) override;
+
+  private:
+    /** Plan the program(s) for a parsed query. */
+    std::vector<query::DslProgram>
+    planPrograms(const query::ParsedQuery &q,
+                 const std::string &trace_key) const;
+
+    /** Apply hash-keyed mis-generation to one program. */
+    void corrupt(query::DslProgram &prog, std::uint64_t key) const;
+
+    std::string resolveTraceKey(const query::ParsedQuery &q) const;
+
+    const db::TraceDatabase &db_;
+    RangerConfig cfg_;
+    query::NlQueryParser parser_;
+    query::Interpreter interp_;
+};
+
+} // namespace cachemind::retrieval
+
+#endif // CACHEMIND_RETRIEVAL_RANGER_HH

@@ -1,0 +1,256 @@
+#include "retrieval/sieve.hh"
+
+#include <algorithm>
+
+#include "base/stopwatch.hh"
+#include "base/str.hh"
+
+namespace cachemind::retrieval {
+
+using query::ParsedQuery;
+using query::QueryIntent;
+
+SieveRetriever::SieveRetriever(const db::TraceDatabase &db,
+                               SieveConfig cfg)
+    : db_(db), cfg_(std::move(cfg)),
+      parser_(db.workloads(), db.policies())
+{
+}
+
+std::string
+SieveRetriever::resolveTraceKey(const ParsedQuery &q) const
+{
+    if (!q.hasWorkload())
+        return "";
+    const std::string policy =
+        q.hasPolicy() ? q.policy() : cfg_.default_policy;
+    const std::string key =
+        db::TraceDatabase::keyFor(q.workload(), policy);
+    return db_.find(key) ? key : "";
+}
+
+void
+SieveRetriever::checkPremise(const ParsedQuery &q,
+                             const db::TraceEntry &entry,
+                             ContextBundle &bundle) const
+{
+    if (q.pc && !entry.table.containsPc(*q.pc)) {
+        bundle.premise_violation = true;
+        bundle.premise_note =
+            "PC " + str::hex(*q.pc) + " does not appear in trace " +
+            bundle.trace_key + ".";
+        // Look for the PC in other workloads to aid the rejection.
+        for (const auto &key : db_.keys()) {
+            const auto *other = db_.find(key);
+            if (other && key != bundle.trace_key &&
+                other->table.containsPc(*q.pc)) {
+                bundle.premise_note +=
+                    " It appears in " + key + " instead.";
+                break;
+            }
+        }
+        return;
+    }
+    if (q.pc && q.address) {
+        const auto rows = entry.table.filter(&*q.pc, &*q.address, 1);
+        if (rows.empty()) {
+            // The tuple never occurs even though the PC exists.
+            bool addr_known = entry.table.containsAddress(*q.address);
+            bundle.premise_violation = true;
+            bundle.premise_note =
+                "PC " + str::hex(*q.pc) + " never accesses address " +
+                str::hex(*q.address) + " in " + bundle.trace_key +
+                (addr_known ? " (the address is touched by other PCs)."
+                            : " (the address never appears at all).");
+        }
+    }
+}
+
+void
+SieveRetriever::fillSourceContext(std::uint64_t pc,
+                                  const db::TraceEntry &entry,
+                                  ContextBundle &bundle) const
+{
+    const trace::SymbolTable *symbols = entry.table.symbols();
+    if (!symbols)
+        return;
+    bundle.function_name = symbols->functionName(pc);
+    bundle.function_code = symbols->sourceFor(pc);
+    bundle.assembly = symbols->assemblyAround(pc);
+}
+
+ContextBundle
+SieveRetriever::retrieve(const std::string &query)
+{
+    Stopwatch timer;
+    ContextBundle bundle;
+    bundle.retriever = name();
+    bundle.parsed = parser_.parse(query);
+    const ParsedQuery &q = bundle.parsed;
+
+    bundle.trace_key = resolveTraceKey(q);
+    if (bundle.trace_key.empty()) {
+        // Could not resolve a trace: provide what global context we
+        // can (descriptions of everything mentioned).
+        for (const auto &key : db_.keys()) {
+            const auto *entry = db_.find(key);
+            if (q.hasWorkload() && entry->workload == q.workload()) {
+                bundle.workload_description = entry->description;
+                break;
+            }
+        }
+        bundle.retrieval_ms = timer.milliseconds();
+        return bundle;
+    }
+
+    const db::TraceEntry &entry = *db_.find(bundle.trace_key);
+    const db::StatsExpert *expert = db_.statsFor(bundle.trace_key);
+    bundle.workload_description = entry.description;
+    bundle.policy_description =
+        "Policy '" + entry.policy + "' on workload '" + entry.workload +
+        "'.";
+
+    if (!cfg_.degrade_filters)
+        checkPremise(q, entry, bundle);
+
+    // Symbolic PC/address slice (bounded evidence window). Sieve stops
+    // scanning at the window: it does not know the full match count.
+    if (q.pc || q.address) {
+        const std::uint64_t *pc = q.pc ? &*q.pc : nullptr;
+        const std::uint64_t *addr =
+            (q.address && !cfg_.degrade_filters) ? &*q.address
+                                                 : nullptr;
+        const auto idxs =
+            entry.table.filter(pc, addr, cfg_.evidence_window);
+        for (const auto i : idxs)
+            bundle.rows.push_back(entry.table.row(i));
+        bundle.total_matches = bundle.rows.size();
+        bundle.total_is_exact = false;
+    }
+
+    if (q.pc) {
+        if (auto ps = expert->pcStats(*q.pc))
+            bundle.pc_stats = *ps;
+        fillSourceContext(*q.pc, entry, bundle);
+    }
+
+    switch (q.intent) {
+      case QueryIntent::PolicyComparison: {
+        // Gather the same statistic under every policy of the
+        // workload present in the database.
+        for (const auto &policy : db_.policies()) {
+            const auto *other = db_.find(q.workload(), policy);
+            if (!other)
+                continue;
+            const auto *oexp = db_.statsFor(
+                db::TraceDatabase::keyFor(q.workload(), policy));
+            if (q.pc) {
+                if (auto ps = oexp->pcStats(*q.pc)) {
+                    bundle.policy_numbers.push_back(PolicyNumber{
+                        policy, ps->missRate(), ps->accesses});
+                }
+            } else {
+                bundle.policy_numbers.push_back(
+                    PolicyNumber{policy, oexp->summary().missRate(),
+                                 oexp->summary().accesses});
+            }
+        }
+        bundle.policy_numbers_label = "miss rates";
+        break;
+      }
+      case QueryIntent::ListPcs: {
+        const auto pcs = entry.table.uniquePcs();
+        bundle.values_complete = pcs.size() <= cfg_.listing_limit;
+        for (std::size_t i = 0;
+             i < std::min(pcs.size(), cfg_.listing_limit); ++i) {
+            bundle.values.push_back(pcs[i]);
+        }
+        break;
+      }
+      case QueryIntent::ListSets: {
+        const auto sets = entry.table.uniqueSets();
+        bundle.values_complete = sets.size() <= cfg_.listing_limit;
+        for (std::size_t i = 0;
+             i < std::min(sets.size(), cfg_.listing_limit); ++i) {
+            bundle.values.push_back(sets[i]);
+        }
+        break;
+      }
+      case QueryIntent::SetStats: {
+        const std::size_t n = q.top_n ? q.top_n : 5;
+        if (q.set_id) {
+            if (auto ss = expert->setStats(*q.set_id))
+                bundle.set_stats.push_back(*ss);
+        } else {
+            const auto hot = expert->hottestSets(n);
+            const auto cold = expert->coldestSets(n);
+            bundle.set_stats = hot;
+            bundle.set_stats.insert(bundle.set_stats.end(),
+                                    cold.begin(), cold.end());
+        }
+        break;
+      }
+      case QueryIntent::TopPcs: {
+        const std::size_t n = q.top_n ? q.top_n : 10;
+        bundle.pc_stats_list =
+            expert->topPcs(n, db::StatsExpert::PcOrder::MissCount);
+        break;
+      }
+      case QueryIntent::Explain: {
+        // Rich analytic bundle: metadata + top PCs + descriptions
+        // (+ per-PC stats and assembly already attached above).
+        bundle.metadata = entry.metadata;
+        if (bundle.pc_stats_list.empty()) {
+            bundle.pc_stats_list = expert->topPcs(
+                8, db::StatsExpert::PcOrder::MissCount);
+        }
+        if (q.workloads.size() > 1) {
+            // Cross-workload comparison evidence.
+            const std::string policy =
+                q.hasPolicy() ? q.policy() : cfg_.default_policy;
+            for (const auto &workload : q.workloads) {
+                const auto *oexp = db_.statsFor(
+                    db::TraceDatabase::keyFor(workload, policy));
+                if (!oexp)
+                    continue;
+                bundle.policy_numbers.push_back(
+                    PolicyNumber{workload, oexp->summary().missRate(),
+                                 oexp->summary().accesses});
+            }
+            bundle.policy_numbers_label = "workload miss rates";
+        } else if (q.pc) {
+            // Cross-policy numbers help "why does X beat Y on Z".
+            for (const auto &policy : db_.policies()) {
+                const auto *oexp = db_.statsFor(
+                    db::TraceDatabase::keyFor(q.workload(), policy));
+                if (!oexp)
+                    continue;
+                if (auto ps = oexp->pcStats(*q.pc)) {
+                    bundle.policy_numbers.push_back(PolicyNumber{
+                        policy, ps->missRate(), ps->accesses});
+                }
+            }
+            bundle.policy_numbers_label = "miss rates";
+        }
+        break;
+      }
+      case QueryIntent::MissRate:
+      case QueryIntent::Count:
+      case QueryIntent::Arithmetic:
+      case QueryIntent::PcStats:
+      case QueryIntent::HitMiss:
+      case QueryIntent::Concept:
+      case QueryIntent::CodeGen:
+      case QueryIntent::Unknown:
+        // Slice + stats already assembled above; metadata helps
+        // whole-workload rates.
+        if (!q.pc)
+            bundle.metadata = entry.metadata;
+        break;
+    }
+
+    bundle.retrieval_ms = timer.milliseconds();
+    return bundle;
+}
+
+} // namespace cachemind::retrieval

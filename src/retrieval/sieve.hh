@@ -1,0 +1,69 @@
+/**
+ * @file
+ * CacheMind-Sieve: Symbolic-Indexed Entries for Verifiable Extraction
+ * (§3.2). A filter-based retriever: semantic workload/policy
+ * extraction, symbolic PC/address filters, the statistics expert, and
+ * context assembly. Precise for structured queries; bounded by a
+ * fixed evidence window, which is what breaks pure counting (§6.1).
+ */
+
+#ifndef CACHEMIND_RETRIEVAL_SIEVE_HH
+#define CACHEMIND_RETRIEVAL_SIEVE_HH
+
+#include "db/database.hh"
+#include "query/parser.hh"
+#include "retrieval/context.hh"
+
+namespace cachemind::retrieval {
+
+/** Sieve configuration. */
+struct SieveConfig
+{
+    /** Maximum rows placed in the evidence window. */
+    std::size_t evidence_window = 12;
+    /** Maximum entries in PC/set listings. */
+    std::size_t listing_limit = 64;
+    /** Default policy used when the query names none. */
+    std::string default_policy = "lru";
+    /**
+     * Degradation knob for the retrieval-quality study (Figure 5):
+     * drop the symbolic address filter and the premise checks, so
+     * slices are PC-only windows — "right neighbourhood, imprecise
+     * evidence" (medium-quality context).
+     */
+    bool degrade_filters = false;
+};
+
+/** The Sieve retriever. */
+class SieveRetriever : public Retriever
+{
+  public:
+    SieveRetriever(const db::TraceDatabase &db,
+                   SieveConfig cfg = SieveConfig{});
+
+    const char *name() const override { return "sieve"; }
+    ContextBundle retrieve(const std::string &query) override;
+
+    const query::NlQueryParser &parser() const { return parser_; }
+
+  private:
+    /** Resolve the trace key from parsed slots (may be empty). */
+    std::string resolveTraceKey(const query::ParsedQuery &q) const;
+
+    /** Premise validation for PC/address vs the resolved trace. */
+    void checkPremise(const query::ParsedQuery &q,
+                      const db::TraceEntry &entry,
+                      ContextBundle &bundle) const;
+
+    void fillSourceContext(std::uint64_t pc,
+                           const db::TraceEntry &entry,
+                           ContextBundle &bundle) const;
+
+    const db::TraceDatabase &db_;
+    SieveConfig cfg_;
+    query::NlQueryParser parser_;
+};
+
+} // namespace cachemind::retrieval
+
+#endif // CACHEMIND_RETRIEVAL_SIEVE_HH

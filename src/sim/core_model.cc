@@ -1,0 +1,59 @@
+#include "sim/core_model.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace cachemind::sim {
+
+SimSummary
+runTrace(const trace::Trace &t, Hierarchy &hier, const CoreConfig &core)
+{
+    SimSummary s;
+    double stall_cycles = 0.0;
+    const double l1_lat =
+        static_cast<double>(hier.config().l1d.latency);
+
+    for (const auto &r : t) {
+        const HierarchyOutcome out = hier.access(r.pc, r.address, r.type);
+        if (r.type == trace::AccessType::Prefetch)
+            continue; // non-blocking: warms caches, never stalls
+        const double beyond_l1 =
+            static_cast<double>(out.latency) > l1_lat
+                ? static_cast<double>(out.latency) - l1_lat
+                : 0.0;
+        if (r.type == trace::AccessType::Store) {
+            stall_cycles += beyond_l1 * core.store_expose;
+        } else {
+            stall_cycles += beyond_l1 * core.load_expose;
+        }
+    }
+
+    s.instructions = t.instructions();
+    const double compute_cycles =
+        static_cast<double>(s.instructions) * core.base_cpi +
+        stall_cycles;
+    const double bandwidth_cycles =
+        static_cast<double>(hier.dramAccesses()) *
+        core.dram_service_cycles;
+    s.cycles = std::max(compute_cycles, bandwidth_cycles);
+    s.ipc = s.cycles > 0.0
+                ? static_cast<double>(s.instructions) / s.cycles
+                : 0.0;
+    s.l1d = hier.l1d().stats();
+    s.l2 = hier.l2().stats();
+    s.llc = hier.llc().stats();
+    s.dram_accesses = hier.dramAccesses();
+    return s;
+}
+
+SimSummary
+runTrace(const trace::Trace &t, const HierarchyConfig &cfg,
+         std::unique_ptr<policy::ReplacementPolicy> llc_policy,
+         const CoreConfig &core)
+{
+    Hierarchy hier(cfg, std::move(llc_policy));
+    return runTrace(t, hier, core);
+}
+
+} // namespace cachemind::sim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Cycle-approximate in-order core model.
+ *
+ * Substitutes for the paper's gem5 runs (DESIGN.md §2): IPC is derived
+ * from an ideal-width base CPI plus the exposed fraction of memory
+ * latency per access. Software prefetches occupy an issue slot but
+ * never stall, which is exactly the mechanism that makes the §6.3
+ * prefetch fix profitable.
+ */
+
+#ifndef CACHEMIND_SIM_CORE_MODEL_HH
+#define CACHEMIND_SIM_CORE_MODEL_HH
+
+#include "sim/hierarchy.hh"
+#include "trace/record.hh"
+
+namespace cachemind::sim {
+
+/** Core timing knobs (Table 2 processor: 6-wide, 4 GHz). */
+struct CoreConfig
+{
+    /** Ideal CPI at full issue width. */
+    double base_cpi = 0.25;
+    /** Fraction of load miss latency exposed (MLP/ROB overlap). */
+    double load_expose = 0.55;
+    /** Fraction of store latency exposed (store buffer drains). */
+    double store_expose = 0.05;
+    /**
+     * DRAM channel service time per access (single channel,
+     * DDR4-3200): a bandwidth roofline. Even perfectly prefetched
+     * streams cannot retire faster than the channel can deliver
+     * lines, which is what bounds the software-prefetch speedup.
+     */
+    double dram_service_cycles = 48.0;
+};
+
+/** End-to-end result of a trace run. */
+struct SimSummary
+{
+    std::uint64_t instructions = 0;
+    double cycles = 0.0;
+    double ipc = 0.0;
+    CacheStats l1d;
+    CacheStats l2;
+    CacheStats llc;
+    std::uint64_t dram_accesses = 0;
+};
+
+/**
+ * Run a CPU trace through a hierarchy and integrate stall cycles.
+ * The hierarchy keeps its state, so repeated runs model warmed caches.
+ */
+SimSummary runTrace(const trace::Trace &t, Hierarchy &hier,
+                    const CoreConfig &core = CoreConfig{});
+
+/** Convenience: build a hierarchy with `llc_policy` and run. */
+SimSummary runTrace(const trace::Trace &t, const HierarchyConfig &cfg,
+                    std::unique_ptr<policy::ReplacementPolicy> llc_policy,
+                    const CoreConfig &core = CoreConfig{});
+
+} // namespace cachemind::sim
+
+#endif // CACHEMIND_SIM_CORE_MODEL_HH

@@ -1,0 +1,112 @@
+#include "sim/hierarchy.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "policy/basic_policies.hh"
+
+namespace cachemind::sim {
+
+HierarchyConfig
+defaultHierarchyConfig()
+{
+    HierarchyConfig cfg;
+    cfg.l1i = CacheConfig{"L1I", 64, 8, 64, 4, 8};
+    cfg.l1d = CacheConfig{"L1D", 64, 8, 64, 4, 16};
+    cfg.l2 = CacheConfig{"L2", 1024, 8, 64, 12, 32};
+    cfg.llc = CacheConfig{"LLC", 2048, 16, 64, 26, 64};
+    cfg.dram = DramConfig{160};
+    return cfg;
+}
+
+std::string
+describeConfig(const HierarchyConfig &cfg)
+{
+    auto line = [](const CacheConfig &c) {
+        std::ostringstream os;
+        os << c.name << ": " << c.capacityBytes() / 1024 << " KB, "
+           << c.sets << " sets, " << c.ways << " ways; " << c.latency
+           << "-cycle latency; " << c.mshrs << "-entry MSHR";
+        return os.str();
+    };
+    std::ostringstream os;
+    os << "Processor: 1 core; 4 GHz; 6-wide fetch/decode/execute; "
+          "4-wide retire; 352-entry ROB; 128-entry LQ; 72-entry SQ\n"
+       << line(cfg.l1i) << "; LRU\n"
+       << line(cfg.l1d) << "; LRU\n"
+       << line(cfg.l2) << "; LRU\n"
+       << line(cfg.llc) << "; pluggable replacement\n"
+       << "DRAM: DDR4-3200; " << cfg.dram.latency
+       << "-cycle round trip\n";
+    return os.str();
+}
+
+Hierarchy::Hierarchy(HierarchyConfig cfg,
+                     std::unique_ptr<policy::ReplacementPolicy> llc_policy)
+    : cfg_(std::move(cfg))
+{
+    l1i_ = std::make_unique<Cache>(
+        cfg_.l1i, std::make_unique<policy::LruPolicy>());
+    l1d_ = std::make_unique<Cache>(
+        cfg_.l1d, std::make_unique<policy::LruPolicy>());
+    l2_ = std::make_unique<Cache>(
+        cfg_.l2, std::make_unique<policy::LruPolicy>());
+    CM_ASSERT(llc_policy != nullptr, "hierarchy needs an LLC policy");
+    llc_ = std::make_unique<Cache>(cfg_.llc, std::move(llc_policy));
+}
+
+HierarchyOutcome
+Hierarchy::access(std::uint64_t pc, std::uint64_t address,
+                  trace::AccessType type)
+{
+    HierarchyOutcome out;
+    const std::uint64_t idx = access_counter_++;
+
+    policy::AccessInfo info;
+    info.pc = pc;
+    info.address = address;
+    info.access_index = idx;
+    info.type = type;
+
+    // L1D.
+    info.line = address / cfg_.l1d.line_bytes;
+    const CacheAccessResult r1 = l1d_->access(info);
+    out.latency = cfg_.l1d.latency;
+    if (r1.evicted && r1.evicted_dirty) {
+        // Dirty writeback into L2 (update-in-place or ignore on miss).
+        l2_->markDirty(r1.evicted_line);
+    }
+    if (r1.hit) {
+        out.level = ServiceLevel::L1;
+        return out;
+    }
+
+    // L2.
+    info.line = address / cfg_.l2.line_bytes;
+    const CacheAccessResult r2 = l2_->access(info);
+    out.latency += cfg_.l2.latency;
+    if (r2.evicted && r2.evicted_dirty)
+        llc_->markDirty(r2.evicted_line);
+    if (r2.hit) {
+        out.level = ServiceLevel::L2;
+        return out;
+    }
+
+    // LLC: the demand stream the database is built from.
+    if (llc_observer_)
+        llc_observer_(pc, address, type);
+    info.line = address / cfg_.llc.line_bytes;
+    const CacheAccessResult r3 = llc_->access(info);
+    out.latency += cfg_.llc.latency;
+    if (r3.hit) {
+        out.level = ServiceLevel::Llc;
+        return out;
+    }
+
+    ++dram_accesses_;
+    out.level = ServiceLevel::Dram;
+    out.latency += cfg_.dram.latency;
+    return out;
+}
+
+} // namespace cachemind::sim

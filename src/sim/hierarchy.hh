@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Four-level cache hierarchy (L1I, L1D, L2, LLC) plus a DRAM latency
+ * model, configured per Table 2 of the paper. L1/L2 run LRU; the LLC
+ * policy is pluggable. An observer hook exposes the demand-access
+ * stream that reaches the LLC — the stream the paper's PARROT-based
+ * pipeline replays to build the trace database.
+ */
+
+#ifndef CACHEMIND_SIM_HIERARCHY_HH
+#define CACHEMIND_SIM_HIERARCHY_HH
+
+#include <functional>
+#include <memory>
+
+#include "sim/cache.hh"
+#include "trace/record.hh"
+
+namespace cachemind::sim {
+
+/** DRAM timing (flat latency; banking detail is out of scope). */
+struct DramConfig
+{
+    /** Round-trip latency in core cycles (DDR4-3200 at 4 GHz). */
+    std::uint32_t latency = 160;
+};
+
+/** Full hierarchy configuration. */
+struct HierarchyConfig
+{
+    CacheConfig l1i;
+    CacheConfig l1d;
+    CacheConfig l2;
+    CacheConfig llc;
+    DramConfig dram;
+};
+
+/** Table 2 configuration of the paper. */
+HierarchyConfig defaultHierarchyConfig();
+
+/** Render the hierarchy configuration as a Table 2-style text block. */
+std::string describeConfig(const HierarchyConfig &cfg);
+
+/** Where an access was finally served. */
+enum class ServiceLevel : std::uint8_t { L1, L2, Llc, Dram };
+
+/** Outcome of one hierarchy access. */
+struct HierarchyOutcome
+{
+    ServiceLevel level = ServiceLevel::L1;
+    /** Total load-to-use latency in cycles. */
+    std::uint32_t latency = 0;
+};
+
+/**
+ * The hierarchy proper. Data accesses go L1D -> L2 -> LLC -> DRAM;
+ * writebacks propagate downward on dirty evictions. Non-inclusive.
+ */
+class Hierarchy
+{
+  public:
+    /** Callback for each demand access that reaches the LLC. */
+    using LlcObserver = std::function<void(
+        std::uint64_t pc, std::uint64_t address, trace::AccessType type)>;
+
+    Hierarchy(HierarchyConfig cfg,
+              std::unique_ptr<policy::ReplacementPolicy> llc_policy);
+
+    /** One data access from the core. */
+    HierarchyOutcome access(std::uint64_t pc, std::uint64_t address,
+                            trace::AccessType type);
+
+    /** Observe the LLC demand stream (set before replay). */
+    void setLlcObserver(LlcObserver obs) { llc_observer_ = std::move(obs); }
+
+    Cache &l1d() { return *l1d_; }
+    Cache &l2() { return *l2_; }
+    Cache &llc() { return *llc_; }
+    const Cache &l1d() const { return *l1d_; }
+    const Cache &l2() const { return *l2_; }
+    const Cache &llc() const { return *llc_; }
+    const HierarchyConfig &config() const { return cfg_; }
+
+    /** DRAM demand fetches observed. */
+    std::uint64_t dramAccesses() const { return dram_accesses_; }
+
+  private:
+    HierarchyConfig cfg_;
+    std::unique_ptr<Cache> l1i_;
+    std::unique_ptr<Cache> l1d_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<Cache> llc_;
+    LlcObserver llc_observer_;
+    std::uint64_t access_counter_ = 0;
+    std::uint64_t dram_accesses_ = 0;
+};
+
+} // namespace cachemind::sim
+
+#endif // CACHEMIND_SIM_HIERARCHY_HH

@@ -1,0 +1,165 @@
+#include "text/embedding.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "base/str.hh"
+
+namespace cachemind::text {
+
+std::vector<std::string>
+tokenize(const std::string &text)
+{
+    std::vector<std::string> tokens;
+    std::string cur;
+    const std::string lower = str::toLower(text);
+    for (std::size_t i = 0; i < lower.size(); ++i) {
+        const char c = lower[i];
+        const bool word_char =
+            std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+        if (word_char) {
+            cur.push_back(c);
+        } else {
+            if (!cur.empty())
+                tokens.push_back(cur);
+            cur.clear();
+        }
+    }
+    if (!cur.empty())
+        tokens.push_back(cur);
+    return tokens;
+}
+
+double
+cosine(const std::vector<float> &a, const std::vector<float> &b)
+{
+    CM_ASSERT(a.size() == b.size(), "cosine dims mismatch");
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        dot += static_cast<double>(a[i]) * b[i];
+        na += static_cast<double>(a[i]) * a[i];
+        nb += static_cast<double>(b[i]) * b[i];
+    }
+    if (na <= 0.0 || nb <= 0.0)
+        return 0.0;
+    return dot / std::sqrt(na * nb);
+}
+
+HashEmbedder::HashEmbedder(std::size_t dims) : dims_(dims)
+{
+    CM_ASSERT(dims_ >= 8, "embedder needs at least 8 dims");
+}
+
+void
+HashEmbedder::addFeature(std::vector<float> &v, const std::string &feat,
+                         float weight) const
+{
+    const std::uint64_t h = fnv1a(feat);
+    const std::size_t slot = static_cast<std::size_t>(h % dims_);
+    // Signed hashing reduces collision bias.
+    const float sign = (splitMix64(h) & 1) ? 1.0f : -1.0f;
+    v[slot] += sign * weight;
+}
+
+std::vector<float>
+HashEmbedder::embed(const std::string &text) const
+{
+    std::vector<float> v(dims_, 0.0f);
+    const auto tokens = tokenize(text);
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        addFeature(v, tokens[i], 1.0f);
+        if (i + 1 < tokens.size())
+            addFeature(v, tokens[i] + "_" + tokens[i + 1], 0.5f);
+        // Character trigrams give robustness to morphology.
+        const std::string &t = tokens[i];
+        if (t.size() > 3) {
+            for (std::size_t k = 0; k + 3 <= t.size(); ++k)
+                addFeature(v, "#" + t.substr(k, 3), 0.25f);
+        }
+    }
+    double norm = 0.0;
+    for (const float x : v)
+        norm += static_cast<double>(x) * x;
+    if (norm > 0.0) {
+        const float inv = static_cast<float>(1.0 / std::sqrt(norm));
+        for (float &x : v)
+            x *= inv;
+    }
+    return v;
+}
+
+double
+HashEmbedder::similarity(const std::string &a, const std::string &b)
+    const
+{
+    return cosine(embed(a), embed(b));
+}
+
+std::size_t
+VectorIndex::add(std::string payload, std::string tag)
+{
+    vectors_.push_back(embedder_.embed(payload));
+    payloads_.push_back(std::move(payload));
+    tags_.push_back(std::move(tag));
+    return payloads_.size() - 1;
+}
+
+std::vector<IndexHit>
+VectorIndex::topK(const std::string &query, std::size_t k) const
+{
+    const auto q = embedder_.embed(query);
+    std::vector<IndexHit> hits;
+    hits.reserve(vectors_.size());
+    for (std::size_t i = 0; i < vectors_.size(); ++i)
+        hits.push_back(IndexHit{i, cosine(q, vectors_[i])});
+    const std::size_t keep = std::min(k, hits.size());
+    std::partial_sort(hits.begin(), hits.begin() + keep, hits.end(),
+                      [](const IndexHit &a, const IndexHit &b) {
+                          if (a.score != b.score)
+                              return a.score > b.score;
+                          return a.doc < b.doc;
+                      });
+    hits.resize(keep);
+    return hits;
+}
+
+std::vector<NameMatch>
+rankNames(const std::string &query,
+          const std::vector<std::string> &names,
+          const HashEmbedder &embedder)
+{
+    const auto tokens = tokenize(query);
+    const auto qvec = embedder.embed(query);
+    std::vector<NameMatch> out;
+    for (const auto &name : names) {
+        double score = cosine(qvec, embedder.embed(name));
+        // Exact token membership dominates.
+        for (const auto &tok : tokens) {
+            if (tok == str::toLower(name)) {
+                score += 1.0;
+                break;
+            }
+        }
+        // Light fuzzy credit for near-miss spellings ("beladys").
+        std::size_t best_ed = name.size();
+        for (const auto &tok : tokens)
+            best_ed = std::min(best_ed,
+                               str::editDistance(tok,
+                                                 str::toLower(name)));
+        if (best_ed <= 2 && name.size() > 3)
+            score += 0.5 * (3.0 - static_cast<double>(best_ed)) / 3.0;
+        out.push_back(NameMatch{name, score});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const NameMatch &a, const NameMatch &b) {
+                  if (a.score != b.score)
+                      return a.score > b.score;
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+} // namespace cachemind::text

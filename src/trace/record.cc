@@ -1,0 +1,17 @@
+#include "trace/record.hh"
+
+namespace cachemind::trace {
+
+const char *
+accessTypeName(AccessType t)
+{
+    switch (t) {
+      case AccessType::Load: return "LOAD";
+      case AccessType::Store: return "STORE";
+      case AccessType::Prefetch: return "PREFETCH";
+      case AccessType::Writeback: return "WRITEBACK";
+    }
+    return "?";
+}
+
+} // namespace cachemind::trace

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Core trace data types.
+ *
+ * A Trace is an ordered stream of memory accesses, each tagged with the
+ * retiring instruction id, the program counter of the access, and the
+ * byte address touched. Traces are produced by the synthetic workload
+ * models (CPU-level) and by the hierarchy simulator (LLC-level streams
+ * captured after L1/L2 filtering), mirroring the ChampSim/PARROT
+ * pipeline the paper builds on.
+ */
+
+#ifndef CACHEMIND_TRACE_RECORD_HH
+#define CACHEMIND_TRACE_RECORD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cachemind::trace {
+
+/** Kind of memory access carried by a trace record. */
+enum class AccessType : std::uint8_t {
+    Load,
+    Store,
+    Prefetch,
+    Writeback,
+};
+
+/** Human-readable name for an access type. */
+const char *accessTypeName(AccessType t);
+
+/** One memory access event. */
+struct TraceRecord
+{
+    /** Retire-order instruction id (monotone within a trace). */
+    std::uint64_t instr_id = 0;
+    /** Program counter of the memory instruction. */
+    std::uint64_t pc = 0;
+    /** Byte address accessed. */
+    std::uint64_t address = 0;
+    /** Load/store/prefetch/writeback. */
+    AccessType type = AccessType::Load;
+};
+
+/**
+ * An ordered memory-access stream plus identifying metadata.
+ *
+ * The `instructions` field records how many instructions the program
+ * executed up to the last access, so downstream consumers (the core
+ * model) can derive IPC from cache stall cycles.
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+    explicit Trace(std::string workload_name)
+        : workload_(std::move(workload_name))
+    {}
+
+    /** Workload this trace came from (e.g. "mcf"). */
+    const std::string &workload() const { return workload_; }
+    void setWorkload(std::string name) { workload_ = std::move(name); }
+
+    /** Append one record. */
+    void
+    push(const TraceRecord &r)
+    {
+        records_.push_back(r);
+    }
+
+    /** Append by fields. */
+    void
+    push(std::uint64_t instr_id, std::uint64_t pc, std::uint64_t addr,
+         AccessType type = AccessType::Load)
+    {
+        records_.push_back(TraceRecord{instr_id, pc, addr, type});
+    }
+
+    std::size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+
+    const TraceRecord &operator[](std::size_t i) const
+    {
+        return records_[i];
+    }
+
+    const std::vector<TraceRecord> &records() const { return records_; }
+
+    auto begin() const { return records_.begin(); }
+    auto end() const { return records_.end(); }
+
+    /** Total instructions executed (>= last instr_id + 1). */
+    std::uint64_t instructions() const { return instructions_; }
+    void setInstructions(std::uint64_t n) { instructions_ = n; }
+
+    void reserve(std::size_t n) { records_.reserve(n); }
+
+  private:
+    std::string workload_;
+    std::vector<TraceRecord> records_;
+    std::uint64_t instructions_ = 0;
+};
+
+/** Cache-line number for a byte address given a line size. */
+constexpr std::uint64_t
+lineOf(std::uint64_t address, std::uint64_t line_bytes = 64)
+{
+    return address / line_bytes;
+}
+
+} // namespace cachemind::trace
+
+#endif // CACHEMIND_TRACE_RECORD_HH

@@ -1,0 +1,141 @@
+#include "trace/symbols.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "base/str.hh"
+
+namespace cachemind::trace {
+
+void
+SymbolTable::addFunction(FunctionInfo fn)
+{
+    CM_ASSERT(fn.pc_begin < fn.pc_end, "empty function PC range");
+    for (const auto &f : functions_) {
+        const bool disjoint =
+            fn.pc_end <= f.pc_begin || fn.pc_begin >= f.pc_end;
+        if (!disjoint) {
+            CM_PANIC("overlapping function ranges: ", f.name, " and ",
+                     fn.name);
+        }
+    }
+    functions_.push_back(std::move(fn));
+    std::sort(functions_.begin(), functions_.end(),
+              [](const FunctionInfo &a, const FunctionInfo &b) {
+                  return a.pc_begin < b.pc_begin;
+              });
+}
+
+const FunctionInfo *
+SymbolTable::functionFor(std::uint64_t pc) const
+{
+    // functions_ is small (tens of entries); linear scan is fine and
+    // keeps the structure trivially correct.
+    for (const auto &f : functions_) {
+        if (pc >= f.pc_begin && pc < f.pc_end)
+            return &f;
+    }
+    return nullptr;
+}
+
+std::string
+SymbolTable::functionName(std::uint64_t pc) const
+{
+    const FunctionInfo *f = functionFor(pc);
+    return f ? f->name : std::string("unknown");
+}
+
+std::string
+SymbolTable::sourceFor(std::uint64_t pc) const
+{
+    const FunctionInfo *f = functionFor(pc);
+    return f ? f->source : std::string();
+}
+
+namespace {
+
+/** Table of plausible instruction templates; chosen by PC hash. */
+const char *const instr_templates[] = {
+    "mov    -0x%x(%%rbp),%%eax",
+    "mov    (%%rax,%%rbx,8),%%rdx",
+    "lea    0x%x(%%rsi),%%rdi",
+    "add    $0x%x,%%rax",
+    "cmp    %%edx,%%eax",
+    "test   %%al,%%al",
+    "movsd  (%%r12,%%r13,8),%%xmm0",
+    "mulsd  %%xmm1,%%xmm0",
+    "mov    %%rax,0x%x(%%rsp)",
+    "imul   $0x%x,%%rbx,%%rbx",
+    "movzbl (%%rdi),%%eax",
+    "sub    %%rcx,%%rdx",
+};
+
+const char *const branch_templates[] = {
+    "jne    0x%x",
+    "je     0x%x",
+    "jmp    0x%x",
+    "jle    0x%x",
+};
+
+std::string
+formatTemplate(const char *tmpl, std::uint64_t imm)
+{
+    std::string out(tmpl);
+    const std::string imm_hex = [imm] {
+        std::ostringstream os;
+        os << std::hex << (imm & 0xfff);
+        return os.str();
+    }();
+    const auto pos = out.find("%x");
+    if (pos != std::string::npos)
+        out.replace(pos, 2, imm_hex);
+    // Collapse the escaped register sigils used in the template table.
+    return str::replaceAll(out, "%%", "%");
+}
+
+} // namespace
+
+std::string
+renderInstruction(std::uint64_t pc)
+{
+    const std::uint64_t h = splitMix64(pc * 0x9e3779b97f4a7c15ULL + 1);
+    std::ostringstream os;
+    os << std::hex << pc << ": ";
+    if ((h & 0xff) < 0x28) {
+        const auto idx = (h >> 8) %
+            (sizeof(branch_templates) / sizeof(branch_templates[0]));
+        const std::uint64_t target = pc + ((h >> 16) & 0x1ff) - 0x100;
+        os << formatTemplate(branch_templates[idx], target);
+    } else {
+        const auto idx = (h >> 8) %
+            (sizeof(instr_templates) / sizeof(instr_templates[0]));
+        os << formatTemplate(instr_templates[idx], h >> 20);
+    }
+    return os.str();
+}
+
+std::string
+SymbolTable::assemblyAround(std::uint64_t pc, int context) const
+{
+    std::ostringstream os;
+    const FunctionInfo *f = functionFor(pc);
+    if (f)
+        os << "<" << f->name << ">:\n";
+    // Synthetic encoding: instructions are 4 bytes apart.
+    const std::uint64_t step = 4;
+    for (int i = -context; i <= context; ++i) {
+        const std::int64_t off = static_cast<std::int64_t>(i) *
+                                 static_cast<std::int64_t>(step);
+        const std::uint64_t cur =
+            static_cast<std::uint64_t>(static_cast<std::int64_t>(pc) + off);
+        if (f && (cur < f->pc_begin || cur >= f->pc_end))
+            continue;
+        os << (cur == pc ? " => " : "    ") << renderInstruction(cur)
+           << "\n";
+    }
+    return os.str();
+}
+
+} // namespace cachemind::trace

@@ -1,0 +1,66 @@
+#include "trace/workload.hh"
+
+#include "base/logging.hh"
+#include "base/str.hh"
+#include "trace/workload_models.hh"
+
+namespace cachemind::trace {
+
+const std::vector<WorkloadKind> &
+allWorkloads()
+{
+    static const std::vector<WorkloadKind> kinds = {
+        WorkloadKind::Astar, WorkloadKind::Lbm, WorkloadKind::Mcf,
+        WorkloadKind::Milc, WorkloadKind::Microbench,
+    };
+    return kinds;
+}
+
+const char *
+workloadName(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::Astar: return "astar";
+      case WorkloadKind::Lbm: return "lbm";
+      case WorkloadKind::Mcf: return "mcf";
+      case WorkloadKind::Milc: return "milc";
+      case WorkloadKind::Microbench: return "microbench";
+    }
+    return "?";
+}
+
+bool
+workloadKindFromName(const std::string &name, WorkloadKind &out)
+{
+    const std::string lower = str::toLower(str::trim(name));
+    for (WorkloadKind kind : allWorkloads()) {
+        if (lower == workloadName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::unique_ptr<WorkloadModel>
+makeWorkload(WorkloadKind kind)
+{
+    // Per-workload default seeds keep cross-workload streams decorrelated.
+    return makeWorkload(kind,
+                        0xcafef00dULL + static_cast<std::uint64_t>(kind));
+}
+
+std::unique_ptr<WorkloadModel>
+makeWorkload(WorkloadKind kind, std::uint64_t seed)
+{
+    switch (kind) {
+      case WorkloadKind::Astar: return makeAstarModel(seed);
+      case WorkloadKind::Lbm: return makeLbmModel(seed);
+      case WorkloadKind::Mcf: return makeMcfModel(seed);
+      case WorkloadKind::Milc: return makeMilcModel(seed);
+      case WorkloadKind::Microbench: return makeMicrobenchModel(seed);
+    }
+    CM_PANIC("unknown workload kind");
+}
+
+} // namespace cachemind::trace

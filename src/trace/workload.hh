@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Synthetic workload models.
+ *
+ * The paper evaluates on SPEC CPU2006-derived traces (astar, lbm, mcf,
+ * plus milc for the Mockingjay use case and a pointer-chasing
+ * microbenchmark for the software-prefetch use case). Those traces are
+ * not redistributable, so each workload here is a generative model of
+ * the benchmark's memory behaviour — the reuse/recency structure that
+ * CacheMind's analyses depend on is reproduced, as documented per
+ * workload in DESIGN.md §2.
+ */
+
+#ifndef CACHEMIND_TRACE_WORKLOAD_HH
+#define CACHEMIND_TRACE_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "trace/record.hh"
+#include "trace/symbols.hh"
+
+namespace cachemind::trace {
+
+/** The workloads CacheMind ships models for. */
+enum class WorkloadKind {
+    Astar,
+    Lbm,
+    Mcf,
+    Milc,
+    Microbench,
+};
+
+/** All workload kinds in canonical order. */
+const std::vector<WorkloadKind> &allWorkloads();
+
+/** Canonical lower-case name ("astar", "lbm", ...). */
+const char *workloadName(WorkloadKind kind);
+
+/** Parse a workload name (case-insensitive); returns false on failure. */
+bool workloadKindFromName(const std::string &name, WorkloadKind &out);
+
+/** Identifying metadata for a workload model. */
+struct WorkloadInfo
+{
+    /** Canonical name, e.g. "mcf". */
+    std::string name;
+    /** Human-readable description used in retrieval context bundles. */
+    std::string description;
+    /** CPU-level access count that generate() produces by default. */
+    std::uint64_t default_accesses = 0;
+};
+
+/**
+ * Base class for workload models.
+ *
+ * Models are deterministic: generate() always produces the same trace
+ * for the same (seed, n) pair.
+ */
+class WorkloadModel
+{
+  public:
+    virtual ~WorkloadModel() = default;
+
+    const WorkloadInfo &info() const { return info_; }
+    const SymbolTable &symbols() const { return symbols_; }
+
+    /** Produce a trace with approximately `n_accesses` records. */
+    virtual Trace generate(std::uint64_t n_accesses) const = 0;
+
+    /** Produce a trace of the model's default length. */
+    Trace
+    generate() const
+    {
+        return generate(info_.default_accesses);
+    }
+
+  protected:
+    WorkloadInfo info_;
+    SymbolTable symbols_;
+};
+
+/**
+ * Helper that appends accesses to a trace while advancing a synthetic
+ * instruction counter (a few non-memory instructions between memory
+ * operations, drawn deterministically).
+ */
+class StreamBuilder
+{
+  public:
+    StreamBuilder(Trace &t, Rng &rng, std::uint64_t min_gap = 2,
+                  std::uint64_t max_gap = 6)
+        : trace_(t), rng_(rng), min_gap_(min_gap), max_gap_(max_gap)
+    {}
+
+    /** Record one access at `pc` to `addr`. */
+    void
+    access(std::uint64_t pc, std::uint64_t addr,
+           AccessType type = AccessType::Load)
+    {
+        instr_id_ += 1 + rng_.nextBelow(max_gap_ - min_gap_ + 1) +
+                     min_gap_ - 1;
+        trace_.push(instr_id_, pc, addr, type);
+        trace_.setInstructions(instr_id_ + 1);
+    }
+
+    std::uint64_t instrId() const { return instr_id_; }
+
+  private:
+    Trace &trace_;
+    Rng &rng_;
+    std::uint64_t min_gap_;
+    std::uint64_t max_gap_;
+    std::uint64_t instr_id_ = 0;
+};
+
+/** Construct the model for `kind` with a deterministic default seed. */
+std::unique_ptr<WorkloadModel> makeWorkload(WorkloadKind kind);
+
+/** Construct the model for `kind` with an explicit seed. */
+std::unique_ptr<WorkloadModel> makeWorkload(WorkloadKind kind,
+                                            std::uint64_t seed);
+
+} // namespace cachemind::trace
+
+#endif // CACHEMIND_TRACE_WORKLOAD_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Internal factory declarations for the individual workload models.
+ * Users should go through makeWorkload() in workload.hh.
+ */
+
+#ifndef CACHEMIND_TRACE_WORKLOAD_MODELS_HH
+#define CACHEMIND_TRACE_WORKLOAD_MODELS_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "trace/workload.hh"
+
+namespace cachemind::trace {
+
+std::unique_ptr<WorkloadModel> makeAstarModel(std::uint64_t seed);
+std::unique_ptr<WorkloadModel> makeLbmModel(std::uint64_t seed);
+std::unique_ptr<WorkloadModel> makeMcfModel(std::uint64_t seed);
+std::unique_ptr<WorkloadModel> makeMilcModel(std::uint64_t seed);
+std::unique_ptr<WorkloadModel> makeMicrobenchModel(std::uint64_t seed);
+
+/**
+ * Microbenchmark with the §6.3 software fix applied: a
+ * __builtin_prefetch-style access is issued `prefetch_ahead`
+ * iterations before each pointer dereference (0 = unmodified source).
+ */
+std::unique_ptr<WorkloadModel>
+makeMicrobenchModel(std::uint64_t seed, std::uint32_t prefetch_ahead);
+
+} // namespace cachemind::trace
+
+#endif // CACHEMIND_TRACE_WORKLOAD_MODELS_HH

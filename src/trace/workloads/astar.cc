@@ -1,0 +1,143 @@
+/**
+ * @file
+ * astar (SPEC CPU2006 473.astar) workload model.
+ *
+ * Behaviour reproduced: graph path-finding with a wave of map-cell
+ * reads (moderate spatial locality, working set larger than the LLC),
+ * a heavily reused open-list/priority-queue region, region bookkeeping
+ * writes, and a power-of-two-strided bucket table that concentrates on
+ * a few cache sets (the source of the "hot set" phenomenon that the
+ * set-hotness use case detects).
+ */
+
+#include "trace/workload_models.hh"
+
+namespace cachemind::trace {
+namespace {
+
+class AstarModel : public WorkloadModel
+{
+  public:
+    explicit AstarModel(std::uint64_t seed) : seed_(seed)
+    {
+        info_.name = "astar";
+        info_.description =
+            "astar (SPEC CPU2006 473.astar): 2D path-finding over a "
+            "region map. A search wave dereferences map cells with "
+            "moderate spatial locality over a working set larger than "
+            "the LLC, while the open list and a small bucket table are "
+            "reused intensely; power-of-two strides concentrate bucket "
+            "accesses on a few cache sets.";
+        info_.default_accesses = 230000;
+
+        symbols_.addFunction({
+            "_ZN7way2obj11createwayarERP6pointtRi", 0x409200, 0x409300,
+            "for (dir = 0; dir < 8; ++dir) {\n"
+            "    np = p + dirstep[dir];\n"
+            "    if (map[np].region == reg && !map[np].closed)\n"
+            "        waymap[np].dir = dir;\n"
+            "}"});
+        symbols_.addFunction({
+            "_ZN6wayobj10makebound2EPiiS0_", 0x409080, 0x409100,
+            "for (i = 0; i < nbound; ++i) {\n"
+            "    idx = boundar[i];\n"
+            "    bound2ar[nbound2++] = idx + mapeffstep[dir];\n"
+            "}"});
+        symbols_.addFunction({
+            "_ZN9regwayobj10makebound2ERP9flexarrayIP6regobjES5_",
+            0x409500, 0x409580,
+            "for (i = 0; i < bound.elemqu; ++i) {\n"
+            "    rp = bound[i];\n"
+            "    for (j = 0; j < rp->neighborqu; ++j)\n"
+            "        addtobound(rp->neighborar[j]);\n"
+            "}"});
+        symbols_.addFunction({
+            "mainSimpleSort", 0x405800, 0x405900,
+            "while (lo <= hi) {\n"
+            "    v = bucket[ptr[lo] & mask];\n"
+            "    if (v.tag) swap(ptr[lo], ptr[hi]);\n"
+            "    ++lo;\n"
+            "}"});
+    }
+
+    Trace
+    generate(std::uint64_t n_accesses) const override
+    {
+        Trace t("astar");
+        t.reserve(n_accesses);
+        Rng rng(seed_);
+        StreamBuilder sb(t, rng);
+
+        // Memory regions (byte addresses; 64B lines downstream).
+        const std::uint64_t map_base = 0x2bfd4000000ULL;   // 8 MiB map
+        const std::uint64_t map_cells = 8ULL << 20;
+        const std::uint64_t queue_base = 0x2bfd5000000ULL; // 384 KiB
+        const std::uint64_t queue_bytes = 384ULL << 10;
+        const std::uint64_t region_base = 0x2bfd6000000ULL; // 2 MiB
+        const std::uint64_t region_bytes = 2ULL << 20;
+        const std::uint64_t bucket_base = 0x2bfd8000000ULL;
+        // Bucket entries strided by 128 KiB: every entry maps to the
+        // same LLC set group -> a handful of very hot sets.
+        const std::uint64_t bucket_stride = 128ULL << 10;
+        const std::uint64_t bucket_entries = 48;
+
+        const std::uint64_t row = 2048; // map row length in bytes
+
+        std::uint64_t wave = rng.nextBelow(map_cells);
+        std::uint64_t q_head = 0;
+        std::uint64_t q_tail = 0;
+
+        while (t.size() + 8 < n_accesses) {
+            // Pop the open list (hot, cyclic reuse).
+            sb.access(0x409538, queue_base + (q_head % queue_bytes));
+            q_head += 16;
+
+            // Dereference the popped map cell and its neighbours:
+            // wave-front locality with occasional long jumps.
+            if (rng.nextBool(0.02))
+                wave = rng.nextBelow(map_cells);
+            const std::uint64_t cell =
+                map_base + (wave % map_cells);
+            sb.access(0x409270, cell);
+            sb.access(0x409270, cell + row);
+            if (rng.nextBool(0.7))
+                sb.access(0x409228, cell + 64);
+            if (rng.nextBool(0.5))
+                sb.access(0x409228, cell - row);
+            // Advance the wave front; mostly local steps.
+            wave += 64 + rng.nextBelow(3) * row;
+
+            // Push discovered cells (bounded queue write).
+            sb.access(0x4090c3, queue_base + (q_tail % queue_bytes),
+                      AccessType::Store);
+            q_tail += 16;
+
+            // Region bookkeeping: medium-size array, moderate reuse.
+            sb.access(0x4090e0,
+                      region_base + rng.nextBelow(region_bytes),
+                      AccessType::Store);
+
+            // Bucket table: power-of-two stride, conflict-heavy.
+            const std::uint64_t b = rng.nextBelow(bucket_entries);
+            sb.access(0x405832, bucket_base + b * bucket_stride);
+            if (rng.nextBool(0.35)) {
+                sb.access(0x405844, bucket_base + b * bucket_stride + 8,
+                          AccessType::Store);
+            }
+        }
+        return t;
+    }
+
+  private:
+    std::uint64_t seed_;
+};
+
+} // namespace
+
+std::unique_ptr<WorkloadModel>
+makeAstarModel(std::uint64_t seed)
+{
+    return std::make_unique<AstarModel>(seed);
+}
+
+} // namespace cachemind::trace

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * milc (SPEC CPU2006 433.milc) workload model.
+ *
+ * Behaviour reproduced: lattice-QCD su3 matrix sweeps with highly
+ * regular strides, so most PCs exhibit near-constant reuse distances
+ * ("stable" PCs with low ETR variance — exactly what the Mockingjay
+ * use case mines), plus one gather PC with a random neighbour
+ * permutation whose reuse distance is noisy (the "high variance"
+ * class in Figure 10).
+ */
+
+#include "trace/workload_models.hh"
+
+namespace cachemind::trace {
+namespace {
+
+class MilcModel : public WorkloadModel
+{
+  public:
+    explicit MilcModel(std::uint64_t seed) : seed_(seed)
+    {
+        info_.name = "milc";
+        info_.description =
+            "milc (SPEC CPU2006 433.milc): lattice QCD with su3 "
+            "matrix-vector sweeps. Field accesses are strided and "
+            "periodic, so per-PC reuse distances are nearly constant "
+            "(predictable ETR); a neighbour-gather PC with a random "
+            "permutation provides the contrasting high-variance class.";
+        info_.default_accesses = 400000;
+
+        symbols_.addFunction({
+            "mult_su3_na", 0x4184a0, 0x418560,
+            "for (i = 0; i < 3; ++i)\n"
+            "    for (j = 0; j < 3; ++j) {\n"
+            "        c->e[i][j] = cmul(a->e[i][0], b->e[j][0]);\n"
+            "        c->e[i][j] += cmul(a->e[i][1], b->e[j][1]);\n"
+            "    }"});
+        symbols_.addFunction({
+            "scalar_mult_add_su3_vector", 0x413900, 0x413980,
+            "for (i = 0; i < 3; ++i) {\n"
+            "    c->c[i].real = a->c[i].real + s * b->c[i].real;\n"
+            "    c->c[i].imag = a->c[i].imag + s * b->c[i].imag;\n"
+            "}"});
+        symbols_.addFunction({
+            "compute_gen_staple", 0x417f00, 0x417f80,
+            "mult_su3_na(link[dir], staple[nu], &tmat);\n"
+            "add_su3_matrix(&staple_sum, &tmat, &staple_sum);"});
+    }
+
+    Trace
+    generate(std::uint64_t n_accesses) const override
+    {
+        Trace t("milc");
+        t.reserve(n_accesses);
+        Rng rng(seed_);
+        StreamBuilder sb(t, rng);
+
+        const std::uint64_t links_base = 0x3528c000000ULL; // 1 MiB
+        const std::uint64_t links_bytes = 1ULL << 20;
+        const std::uint64_t srcv_base = 0x3528d000000ULL;  // 1.5 MiB
+        const std::uint64_t srcv_bytes = 1024ULL << 10;
+        const std::uint64_t dstv_base = 0x3528e000000ULL;  // 1.5 MiB
+        const std::uint64_t dstv_bytes = 1024ULL << 10;
+        const std::uint64_t staple_base = 0x3528f000000ULL; // 2 MiB
+        const std::uint64_t staple_bytes = 2ULL << 20;
+        const std::uint64_t gather_base = 0x35290000000ULL; // 12 MiB
+        const std::uint64_t gather_bytes = 12ULL << 20;
+
+        const std::uint64_t mat = 144; // su3 matrix bytes
+        const std::uint64_t vec = 48;  // su3 vector bytes
+
+        std::uint64_t site = 0;
+        std::uint64_t phase = 0;
+
+        while (t.size() + 8 < n_accesses) {
+            const std::uint64_t l = (site * mat) % links_bytes;
+            const std::uint64_t v = (site * vec) % srcv_bytes;
+
+            // Regular strided sweep: stable reuse distances.
+            sb.access(0x4184b0, links_base + l);
+            sb.access(0x4184c0, links_base + (l + mat) % links_bytes);
+            sb.access(0x413930, srcv_base + v);
+            sb.access(0x41391c, dstv_base + (site * vec) % dstv_bytes,
+                      AccessType::Store);
+
+            // Periodic staple phase: alternating footprint (medium
+            // reuse-distance variance).
+            if ((phase & 1) == 0) {
+                sb.access(0x417f58,
+                          staple_base + (site * mat) % (staple_bytes / 2));
+            } else {
+                sb.access(0x417f58,
+                          staple_base + staple_bytes / 2 +
+                              (site * mat) % (staple_bytes / 2));
+            }
+
+            // Random-permutation neighbour gather over its own large
+            // field: noisy, unpredictable reuse distances (the
+            // high-variance class of Figure 10).
+            if (rng.nextBool(0.5)) {
+                const std::uint64_t g =
+                    splitMix64(site * 0x9e37ULL + phase) % gather_bytes;
+                sb.access(0x413948, gather_base + g);
+            }
+
+            // Accumulator matrix with short reuse (register-like).
+            sb.access(0x418502, dstv_base + (site % 8) * 64);
+
+            ++site;
+            if (site * vec >= srcv_bytes) {
+                site = 0;
+                ++phase;
+            }
+        }
+        return t;
+    }
+
+  private:
+    std::uint64_t seed_;
+};
+
+} // namespace
+
+std::unique_ptr<WorkloadModel>
+makeMilcModel(std::uint64_t seed)
+{
+    return std::make_unique<MilcModel>(seed);
+}
+
+} // namespace cachemind::trace

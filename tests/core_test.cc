@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the CacheMind facade and chat sessions: engine wiring,
+ * grounded answers through the public API, and conversation memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/str.hh"
+#include "core/cachemind.hh"
+#include "db/builder.hh"
+
+using namespace cachemind;
+using namespace cachemind::core;
+
+namespace {
+
+const db::TraceDatabase &
+sharedDb()
+{
+    static const db::TraceDatabase database = [] {
+        db::BuildOptions options;
+        options.workloads = {trace::WorkloadKind::Astar};
+        options.policies = {policy::PolicyKind::Lru,
+                            policy::PolicyKind::Belady};
+        options.accesses_override = 50000;
+        return db::buildDatabase(options);
+    }();
+    return database;
+}
+
+} // namespace
+
+TEST(EngineTest, DefaultConfigUsesSieveAndGpt4o)
+{
+    CacheMind engine(sharedDb());
+    EXPECT_EQ(engine.config().retriever, RetrieverKind::Sieve);
+    EXPECT_EQ(engine.config().backend, llm::BackendKind::Gpt4o);
+    EXPECT_STREQ(engine.retriever().name(), "sieve");
+}
+
+TEST(EngineTest, AskReturnsGroundedResponse)
+{
+    CacheMind engine(sharedDb());
+    const auto *entry = sharedDb().find("astar_evictions_lru");
+    const std::uint64_t pc = entry->table.pcAt(0);
+    const auto response = engine.ask(
+        "What is the miss rate for PC " + str::hex(pc) +
+        " in the astar workload with LRU?");
+    EXPECT_FALSE(response.text.empty());
+    EXPECT_EQ(response.bundle.trace_key, "astar_evictions_lru");
+    EXPECT_TRUE(response.answer.number.has_value());
+}
+
+TEST(EngineTest, RetrieverKindSelectsImplementation)
+{
+    CacheMind ranger_engine(sharedDb(),
+                            CacheMindConfig{llm::BackendKind::Gpt4o,
+                                            RetrieverKind::Ranger,
+                                            llm::ShotMode::ZeroShot});
+    EXPECT_STREQ(ranger_engine.retriever().name(), "ranger");
+    const auto response = ranger_engine.ask(
+        "How many times did PC 0x409270 appear in the astar workload "
+        "under LRU?");
+    EXPECT_TRUE(response.bundle.total_is_exact);
+}
+
+TEST(EngineTest, RetrieverKindNames)
+{
+    EXPECT_STREQ(retrieverKindName(RetrieverKind::Sieve), "sieve");
+    EXPECT_STREQ(retrieverKindName(RetrieverKind::Ranger), "ranger");
+    EXPECT_STREQ(retrieverKindName(RetrieverKind::LlamaIndex),
+                 "llamaindex");
+}
+
+TEST(ChatSessionTest, TranscriptAccumulates)
+{
+    CacheMind engine(sharedDb());
+    ChatSession chat(engine);
+    chat.ask("Which policy has the lowest miss rate in the astar "
+             "workload?");
+    chat.ask("Identify 3 hot and 3 cold sets by hit rate for the "
+             "astar workload under LRU.");
+    const auto transcript = chat.transcript();
+    EXPECT_NE(transcript.find("User: Which policy"), std::string::npos);
+    EXPECT_NE(transcript.find("Assistant:"), std::string::npos);
+    EXPECT_EQ(chat.memory().totalTurns(), 2u);
+}
+
+TEST(ChatSessionTest, MemoryRecallsEarlierAnswers)
+{
+    CacheMind engine(sharedDb());
+    ChatSession chat(engine);
+    chat.ask("Which policy has the lowest miss rate in the astar "
+             "workload?");
+    const auto recalled =
+        chat.memory().recall("lowest miss rate policy astar");
+    ASSERT_FALSE(recalled.empty());
+    EXPECT_NE(recalled[0].find("miss rate"), std::string::npos);
+}
+
+TEST(ChatSessionTest, AnswersAreReproducibleAcrossSessions)
+{
+    CacheMind e1(sharedDb());
+    CacheMind e2(sharedDb());
+    ChatSession c1(e1);
+    ChatSession c2(e2);
+    const std::string q =
+        "Which policy has the lowest miss rate in the astar workload?";
+    EXPECT_EQ(c1.ask(q).text, c2.ask(q).text);
+}

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Tests for the trace database: table storage round-trip, statistics
+ * expert, metadata strings, and end-to-end building.
+ */
+
+#include <gtest/gtest.h>
+
+#include "db/builder.hh"
+#include "db/database.hh"
+#include "db/stats_expert.hh"
+#include "db/table.hh"
+
+using namespace cachemind;
+using namespace cachemind::db;
+
+namespace {
+
+/** Small hand-built table: 2 PCs, mixed hits/misses. */
+TraceTable
+makeTinyTable()
+{
+    TraceTable t;
+    t.setLineBytes(64);
+    std::vector<PcAddr> history;
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        sim::ReplayEvent ev;
+        ev.index = i;
+        ev.pc = (i % 2) ? 0xB00 : 0xA00;
+        ev.address = 0x1000 + (i % 3) * 64;
+        ev.line = ev.address / 64;
+        ev.set = static_cast<std::uint32_t>(ev.line % 4);
+        ev.hit = i >= 3;             // first three accesses miss
+        ev.miss_type = ev.hit ? sim::MissType::None
+                              : sim::MissType::Compulsory;
+        ev.reuse_distance = (i < 9) ? 3 : policy::kNoNextUse;
+        ev.recency = (i >= 3) ? 3 : sim::kNoPrevUse;
+        if (i == 5) {
+            ev.has_victim = true;
+            ev.evicted_line = 0x7777;
+            ev.evicted_pc = 0xA00;
+            ev.evicted_reuse_distance = 2;
+            ev.wrong_eviction = true;
+        }
+        ev.snapshot = {sim::SnapshotEntry{0xA00, ev.line}};
+        ev.scores = {1, 2, 3, 4};
+        t.append(ev, history);
+        history.push_back(PcAddr{ev.pc, ev.address});
+        if (history.size() > 4)
+            history.erase(history.begin());
+    }
+    return t;
+}
+
+} // namespace
+
+TEST(TraceTableTest, ColumnarRoundTrip)
+{
+    const auto t = makeTinyTable();
+    ASSERT_EQ(t.size(), 10u);
+    EXPECT_EQ(t.pcAt(0), 0xA00u);
+    EXPECT_EQ(t.pcAt(1), 0xB00u);
+    EXPECT_TRUE(t.isMissAt(0));
+    EXPECT_FALSE(t.isMissAt(5));
+    EXPECT_EQ(t.missTypeAt(0), sim::MissType::Compulsory);
+    EXPECT_EQ(t.reuseDistanceAt(0), 3);
+    EXPECT_EQ(t.reuseDistanceAt(9), kNoValue);
+    EXPECT_EQ(t.recencyAt(0), kNoValue);
+    EXPECT_EQ(t.recencyAt(4), 3);
+}
+
+TEST(TraceTableTest, VictimColumns)
+{
+    const auto t = makeTinyTable();
+    EXPECT_TRUE(t.hasVictimAt(5));
+    EXPECT_FALSE(t.hasVictimAt(4));
+    EXPECT_EQ(t.evictedAddressAt(5), 0x7777u * 64);
+    EXPECT_EQ(t.evictedAddressAt(4), 0u);
+    EXPECT_EQ(t.evictedPcAt(5), 0xA00u);
+    EXPECT_TRUE(t.wrongEvictionAt(5));
+    EXPECT_EQ(t.evictedReuseDistanceAt(5), 2);
+}
+
+TEST(TraceTableTest, MembershipChecks)
+{
+    const auto t = makeTinyTable();
+    EXPECT_TRUE(t.containsPc(0xA00));
+    EXPECT_TRUE(t.containsPc(0xB00));
+    EXPECT_FALSE(t.containsPc(0xC00));
+    EXPECT_TRUE(t.containsAddress(0x1000));
+    EXPECT_FALSE(t.containsAddress(0x9999));
+}
+
+TEST(TraceTableTest, FilterByPcAndAddress)
+{
+    const auto t = makeTinyTable();
+    const std::uint64_t pc = 0xA00;
+    const auto rows = t.filter(&pc, nullptr);
+    EXPECT_EQ(rows.size(), 5u);
+    const std::uint64_t addr = 0x1000;
+    const auto rows2 = t.filter(&pc, &addr);
+    for (const auto i : rows2) {
+        EXPECT_EQ(t.pcAt(i), pc);
+        EXPECT_EQ(t.addressAt(i), addr);
+    }
+    const std::uint64_t missing = 0xdead;
+    EXPECT_TRUE(t.filter(&missing, nullptr).empty());
+    EXPECT_EQ(t.filter(&pc, nullptr, 2).size(), 2u);
+}
+
+TEST(TraceTableTest, RowMaterialisation)
+{
+    const auto t = makeTinyTable();
+    const auto row5 = t.row(5);
+    EXPECT_EQ(row5.index, 5u);
+    EXPECT_EQ(row5.program_counter, 0xB00u);
+    EXPECT_FALSE(row5.is_miss);
+    EXPECT_TRUE(row5.has_victim);
+    ASSERT_EQ(row5.current_cache_lines.size(), 1u);
+    EXPECT_EQ(row5.current_cache_lines[0].pc, 0xA00u);
+    EXPECT_EQ(row5.cache_line_eviction_scores.size(), 4u);
+    ASSERT_EQ(row5.recent_access_history.size(), 4u);
+    // Most recent history entry is access 4.
+    EXPECT_EQ(row5.recent_access_history.back().pc, 0xA00u);
+}
+
+TEST(TraceTableTest, RecencyText)
+{
+    const auto t = makeTinyTable();
+    EXPECT_EQ(t.recencyTextAt(0), "first access");
+    EXPECT_EQ(t.recencyTextAt(4), "very recent");
+}
+
+TEST(TraceTableTest, UniquePcsSorted)
+{
+    const auto t = makeTinyTable();
+    const auto pcs = t.uniquePcs();
+    ASSERT_EQ(pcs.size(), 2u);
+    EXPECT_EQ(pcs[0], 0xA00u);
+    EXPECT_EQ(pcs[1], 0xB00u);
+}
+
+TEST(StatsExpertTest, PcAggregates)
+{
+    const auto t = makeTinyTable();
+    const StatsExpert expert(t);
+    const auto a = expert.pcStats(0xA00);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->accesses, 5u);
+    EXPECT_EQ(a->misses, 2u); // accesses 0 and 2 miss
+    EXPECT_NEAR(a->missRate(), 0.4, 1e-12);
+    EXPECT_FALSE(expert.pcStats(0xDEAD).has_value());
+}
+
+TEST(StatsExpertTest, SummaryTotals)
+{
+    const auto t = makeTinyTable();
+    const StatsExpert expert(t);
+    const auto &s = expert.summary();
+    EXPECT_EQ(s.accesses, 10u);
+    EXPECT_EQ(s.misses, 3u);
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.wrong_evictions, 1u);
+    EXPECT_EQ(s.unique_pcs, 2u);
+    EXPECT_NEAR(s.missRate(), 0.3, 1e-12);
+}
+
+TEST(StatsExpertTest, MetadataStringContainsHeadlines)
+{
+    const auto t = makeTinyTable();
+    const StatsExpert expert(t);
+    const auto meta = buildMetadataString(expert);
+    EXPECT_NE(meta.find("10 total accesses"), std::string::npos);
+    EXPECT_NE(meta.find("3 total misses"), std::string::npos);
+    EXPECT_NE(meta.find("30.00% miss rate"), std::string::npos);
+    EXPECT_NE(meta.find("wrong evictions"), std::string::npos);
+    EXPECT_NE(meta.find("correlation"), std::string::npos);
+}
+
+TEST(DatabaseTest, KeyFormat)
+{
+    EXPECT_EQ(TraceDatabase::keyFor("lbm", "lru"), "lbm_evictions_lru");
+}
+
+TEST(DatabaseTest, EndToEndSingleBuild)
+{
+    const auto db = buildSingleDatabase(trace::WorkloadKind::Microbench,
+                                        policy::PolicyKind::Lru, 40000);
+    ASSERT_EQ(db.size(), 1u);
+    const auto *entry = db.find("microbench", "lru");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_GT(entry->table.size(), 1000u);
+    EXPECT_NE(entry->metadata.find("total accesses"),
+              std::string::npos);
+    EXPECT_NE(entry->description.find("LRU"), std::string::npos);
+    // The dominant chase PC must be present with assembly context.
+    EXPECT_TRUE(entry->table.containsPc(0x400512));
+    const auto rows = [&] {
+        const std::uint64_t pc = 0x400512;
+        return entry->table.filter(&pc, nullptr, 1);
+    }();
+    ASSERT_FALSE(rows.empty());
+    const auto row = entry->table.row(rows[0]);
+    EXPECT_EQ(row.function_name, "chase");
+    EXPECT_NE(row.assembly_code.find("chase"), std::string::npos);
+}
+
+TEST(DatabaseTest, StatsForIsCachedAndCorrect)
+{
+    const auto db = buildSingleDatabase(trace::WorkloadKind::Microbench,
+                                        policy::PolicyKind::Lru, 30000);
+    const auto *expert =
+        db.statsFor(TraceDatabase::keyFor("microbench", "lru"));
+    ASSERT_NE(expert, nullptr);
+    EXPECT_EQ(expert,
+              db.statsFor(TraceDatabase::keyFor("microbench", "lru")));
+    EXPECT_GT(expert->summary().accesses, 0u);
+    EXPECT_EQ(db.statsFor("nonexistent_key"), nullptr);
+}
+
+TEST(DatabaseTest, WorkloadAndPolicyEnumeration)
+{
+    BuildOptions opts;
+    opts.workloads = {trace::WorkloadKind::Microbench};
+    opts.policies = {policy::PolicyKind::Lru,
+                     policy::PolicyKind::Belady};
+    opts.accesses_override = 20000;
+    const auto db = buildDatabase(opts);
+    EXPECT_EQ(db.size(), 2u);
+    const auto ws = db.workloads();
+    ASSERT_EQ(ws.size(), 1u);
+    EXPECT_EQ(ws[0], "microbench");
+    const auto ps = db.policies();
+    ASSERT_EQ(ps.size(), 2u);
+    EXPECT_EQ(ps[0], "belady");
+    EXPECT_EQ(ps[1], "lru");
+}
+
+TEST(DatabaseTest, BeladyEntryHasNoWrongEvictions)
+{
+    const auto db = buildSingleDatabase(trace::WorkloadKind::Microbench,
+                                        policy::PolicyKind::Belady,
+                                        30000);
+    const auto *expert =
+        db.statsFor(TraceDatabase::keyFor("microbench", "belady"));
+    ASSERT_NE(expert, nullptr);
+    EXPECT_EQ(expert->summary().wrong_evictions, 0u);
+}
+
+TEST(StatsExpertTest, HotColdSetsOnRealTrace)
+{
+    const auto db = buildSingleDatabase(trace::WorkloadKind::Astar,
+                                        policy::PolicyKind::Lru, 60000);
+    const auto *expert =
+        db.statsFor(TraceDatabase::keyFor("astar", "lru"));
+    ASSERT_NE(expert, nullptr);
+    const auto hot = expert->hottestSets(5);
+    const auto cold = expert->coldestSets(5);
+    ASSERT_EQ(hot.size(), 5u);
+    ASSERT_EQ(cold.size(), 5u);
+    EXPECT_GT(hot.front().hitRate(), cold.front().hitRate());
+}
+
+TEST(StatsExpertTest, TopPcsOrdering)
+{
+    const auto db = buildSingleDatabase(trace::WorkloadKind::Mcf,
+                                        policy::PolicyKind::Lru, 60000);
+    const auto *expert =
+        db.statsFor(TraceDatabase::keyFor("mcf", "lru"));
+    const auto top = expert->topPcs(3, StatsExpert::PcOrder::MissCount);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_GE(top[0].misses, top[1].misses);
+    EXPECT_GE(top[1].misses, top[2].misses);
+}

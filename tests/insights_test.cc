@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the actionable-insight analyzers and their downstream
+ * interventions (§6.3): bypass candidates, PC stability, set hotness,
+ * and dominant-miss-PC discovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_set>
+
+#include "db/builder.hh"
+#include "insights/insights.hh"
+#include "policy/basic_policies.hh"
+#include "policy/mockingjay.hh"
+#include "sim/core_model.hh"
+#include "trace/workload_models.hh"
+
+using namespace cachemind;
+using namespace cachemind::insights;
+
+namespace {
+
+const db::TraceDatabase &
+mcfDb()
+{
+    static const db::TraceDatabase database = [] {
+        db::BuildOptions options;
+        options.workloads = {trace::WorkloadKind::Mcf};
+        options.policies = {policy::PolicyKind::Belady,
+                            policy::PolicyKind::Lru};
+        options.accesses_override = 80000;
+        return db::buildDatabase(options);
+    }();
+    return database;
+}
+
+const db::TraceDatabase &
+microDb()
+{
+    static const db::TraceDatabase database = db::buildSingleDatabase(
+        trace::WorkloadKind::Microbench, policy::PolicyKind::Lru,
+        60000);
+    return database;
+}
+
+} // namespace
+
+TEST(BypassAdvisorTest, FindsTheArcScanPc)
+{
+    const auto candidates =
+        recommendBypassPcs(mcfDb(), "mcf", "belady", 10);
+    ASSERT_FALSE(candidates.empty());
+    bool found_scan = false;
+    for (const auto &c : candidates) {
+        EXPECT_LE(c.hit_rate, 0.12);
+        EXPECT_GE(c.accesses, 100u);
+        found_scan |= c.pc == 0x4037aa;
+    }
+    EXPECT_TRUE(found_scan) << "the pricing-scan PC must be a bypass "
+                               "candidate";
+}
+
+TEST(BypassAdvisorTest, ExcludesHighHitPcs)
+{
+    const auto *expert = mcfDb().statsFor("mcf_evictions_belady");
+    const auto candidates =
+        recommendBypassPcs(mcfDb(), "mcf", "belady", 32);
+    for (const auto &c : candidates) {
+        const auto stats = expert->pcStats(c.pc);
+        ASSERT_TRUE(stats.has_value());
+        EXPECT_LT(stats->hitRate(), 0.5);
+    }
+}
+
+TEST(BypassAdvisorTest, UnknownWorkloadYieldsEmpty)
+{
+    EXPECT_TRUE(recommendBypassPcs(mcfDb(), "gcc", "lru", 5).empty());
+}
+
+TEST(BypassInterventionTest, ImprovesHitRateAndIpc)
+{
+    const auto candidates =
+        recommendBypassPcs(mcfDb(), "mcf", "belady", 10);
+    std::unordered_set<std::uint64_t> pcs;
+    for (const auto &c : candidates)
+        pcs.insert(c.pc);
+
+    const auto cfg = sim::defaultHierarchyConfig();
+    const auto t =
+        trace::makeWorkload(trace::WorkloadKind::Mcf)->generate(80000);
+    const auto base = sim::runTrace(
+        t, cfg, policy::makePolicy(policy::PolicyKind::Lru));
+
+    sim::Hierarchy hier(cfg, policy::makePolicy(policy::PolicyKind::Lru));
+    hier.llc().setBypassFilter(
+        [&pcs](std::uint64_t pc) { return pcs.count(pc) > 0; });
+    const auto with_bypass = sim::runTrace(t, hier);
+
+    EXPECT_GT(with_bypass.llc.hitRate(), base.llc.hitRate());
+    EXPECT_GE(with_bypass.ipc, base.ipc);
+}
+
+TEST(StabilityTest, BucketsAreOrderedByCov)
+{
+    const auto buckets = classifyPcStability(mcfDb(), "mcf", "lru");
+    for (const auto &p : buckets.low_variance)
+        EXPECT_LT(p.cov, 0.35);
+    for (const auto &p : buckets.medium_variance) {
+        EXPECT_GE(p.cov, 0.35);
+        EXPECT_LT(p.cov, 0.55);
+    }
+    for (const auto &p : buckets.high_variance)
+        EXPECT_GE(p.cov, 0.55);
+}
+
+TEST(StabilityTest, StableSetExcludesHighVariance)
+{
+    const auto buckets = classifyPcStability(mcfDb(), "mcf", "lru");
+    const auto stable = buckets.stablePcSet();
+    for (const auto &p : buckets.high_variance)
+        EXPECT_EQ(stable.count(p.pc), 0u);
+    for (const auto &p : buckets.low_variance)
+        EXPECT_EQ(stable.count(p.pc), 1u);
+    for (const auto &p : buckets.medium_variance)
+        EXPECT_EQ(stable.count(p.pc), 1u);
+}
+
+TEST(SetHotnessTest, HotBeatsColdByConstruction)
+{
+    const auto report = analyzeSetHotness(mcfDb(), "mcf", "lru", 5);
+    ASSERT_EQ(report.hot.size(), 5u);
+    ASSERT_EQ(report.cold.size(), 5u);
+    EXPECT_GE(report.hot.back().hitRate(),
+              report.cold.back().hitRate());
+    // Buckets must not overlap.
+    EXPECT_EQ(hotSetOverlap(report.hot, report.cold), 0u);
+}
+
+TEST(SetHotnessTest, OverlapCountsSharedSets)
+{
+    std::vector<db::SetStats> a(3), b(3);
+    a[0].set = 1;
+    a[1].set = 2;
+    a[2].set = 3;
+    b[0].set = 3;
+    b[1].set = 4;
+    b[2].set = 1;
+    EXPECT_EQ(hotSetOverlap(a, b), 2u);
+    EXPECT_EQ(hotSetOverlap(a, {}), 0u);
+}
+
+TEST(PrefetchAdvisorTest, FindsTheChasePc)
+{
+    const auto target =
+        findDominantMissPc(microDb(), "microbench", "lru");
+    EXPECT_EQ(target.pc, 0x400512u);
+    EXPECT_EQ(target.function_name, "chase");
+    EXPECT_GT(target.miss_share, 0.5);
+    EXPECT_GT(target.miss_rate, 0.5);
+}
+
+TEST(PrefetchInterventionTest, SoftwarePrefetchLiftsIpc)
+{
+    const auto cfg = sim::defaultHierarchyConfig();
+    const auto base_trace =
+        trace::makeMicrobenchModel(77)->generate(60000);
+    const auto fixed_trace =
+        trace::makeMicrobenchModel(77, 24)->generate(60000);
+    const auto base = sim::runTrace(
+        base_trace, cfg, policy::makePolicy(policy::PolicyKind::Lru));
+    const auto fixed = sim::runTrace(
+        fixed_trace, cfg, policy::makePolicy(policy::PolicyKind::Lru));
+    EXPECT_GT(fixed.ipc, base.ipc * 1.2);
+}
+
+TEST(MockingjayInterventionTest, StableTrainingDoesNotHurtMilc)
+{
+    const auto database = db::buildSingleDatabase(
+        trace::WorkloadKind::Milc, policy::PolicyKind::Lru, 80000);
+    const auto buckets =
+        classifyPcStability(database, "milc", "lru");
+    ASSERT_FALSE(buckets.stablePcSet().empty());
+
+    const auto cfg = sim::defaultHierarchyConfig();
+    const auto t =
+        trace::makeWorkload(trace::WorkloadKind::Milc)->generate(80000);
+    const auto base = sim::runTrace(
+        t, cfg, std::make_unique<policy::MockingjayPolicy>());
+    auto filtered = std::make_unique<policy::MockingjayPolicy>();
+    filtered->setTrainingFilter(buckets.stablePcSet());
+    const auto stable = sim::runTrace(t, cfg, std::move(filtered));
+    EXPECT_GE(stable.ipc, base.ipc * 0.995);
+}

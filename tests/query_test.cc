@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Tests for the query layer: natural-language parsing (intent +
+ * symbolic slots) and the retrieval DSL interpreter, including the
+ * exact semantics Ranger's execution runtime depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "db/builder.hh"
+#include "query/dsl.hh"
+#include "query/parser.hh"
+
+using namespace cachemind;
+using namespace cachemind::query;
+
+namespace {
+
+NlQueryParser
+makeParser()
+{
+    return NlQueryParser({"astar", "lbm", "mcf", "milc", "microbench"},
+                         {"belady", "lru", "mlp", "parrot"});
+}
+
+const db::TraceDatabase &
+sharedDb()
+{
+    static const db::TraceDatabase database = [] {
+        db::BuildOptions options;
+        options.workloads = {trace::WorkloadKind::Microbench};
+        options.policies = {policy::PolicyKind::Lru,
+                            policy::PolicyKind::Belady};
+        options.accesses_override = 40000;
+        return db::buildDatabase(options);
+    }();
+    return database;
+}
+
+} // namespace
+
+TEST(ParserTest, HitMissQueryExtractsEverything)
+{
+    const auto parser = makeParser();
+    const auto q = parser.parse(
+        "Does the memory access with PC 0x401e31 and address "
+        "0x35e798a637f result in a cache hit or cache miss for the "
+        "lbm workload under PARROT?");
+    EXPECT_EQ(q.intent, QueryIntent::HitMiss);
+    ASSERT_TRUE(q.pc.has_value());
+    EXPECT_EQ(*q.pc, 0x401e31u);
+    ASSERT_TRUE(q.address.has_value());
+    EXPECT_EQ(*q.address, 0x35e798a637fULL);
+    ASSERT_TRUE(q.hasWorkload());
+    EXPECT_EQ(q.workload(), "lbm");
+    ASSERT_TRUE(q.hasPolicy());
+    EXPECT_EQ(q.policy(), "parrot");
+}
+
+TEST(ParserTest, MissRateQuery)
+{
+    const auto parser = makeParser();
+    const auto q = parser.parse(
+        "What is the miss rate for PC 0x4037ba in mcf with PARROT?");
+    EXPECT_EQ(q.intent, QueryIntent::MissRate);
+    EXPECT_EQ(*q.pc, 0x4037bau);
+    EXPECT_EQ(q.workload(), "mcf");
+}
+
+TEST(ParserTest, PolicyComparisonNeedsWorkload)
+{
+    const auto parser = makeParser();
+    const auto q = parser.parse(
+        "Which policy has the lowest miss rate for PC 0x409270 in "
+        "astar?");
+    EXPECT_EQ(q.intent, QueryIntent::PolicyComparison);
+    const auto concept_q = parser.parse(
+        "Which choice gives a lower miss rate, more sets or more "
+        "ways, for a fixed cache size?");
+    EXPECT_EQ(concept_q.intent, QueryIntent::Concept);
+}
+
+TEST(ParserTest, CountQuery)
+{
+    const auto parser = makeParser();
+    const auto q = parser.parse(
+        "How many times did PC 0x405832 appear in astar under LRU?");
+    EXPECT_EQ(q.intent, QueryIntent::Count);
+    EXPECT_EQ(*q.pc, 0x405832u);
+}
+
+TEST(ParserTest, ArithmeticSlots)
+{
+    const auto parser = makeParser();
+    const auto q = parser.parse(
+        "What is the average evicted reuse distance of PC 0x40170a "
+        "for the lbm workload with MLP?");
+    EXPECT_EQ(q.intent, QueryIntent::Arithmetic);
+    EXPECT_EQ(q.agg, AggKind::Mean);
+    EXPECT_EQ(q.field, FieldKind::EvictedReuseDistance);
+
+    const auto q2 = parser.parse(
+        "What is the standard deviation of the reuse distance of PC "
+        "0x413930 in the milc workload under LRU?");
+    EXPECT_EQ(q2.agg, AggKind::Std);
+    EXPECT_EQ(q2.field, FieldKind::ReuseDistance);
+}
+
+TEST(ParserTest, ExplainAndCodeGen)
+{
+    const auto parser = makeParser();
+    EXPECT_EQ(parser
+                  .parse("Why does Belady outperform LRU on PC "
+                         "0x409270 in astar?")
+                  .intent,
+              QueryIntent::Explain);
+    EXPECT_EQ(parser
+                  .parse("Write code to compute hits for PC 0x4037ba "
+                         "in mcf under LRU.")
+                  .intent,
+              QueryIntent::CodeGen);
+}
+
+TEST(ParserTest, ListingsAndSets)
+{
+    const auto parser = makeParser();
+    EXPECT_EQ(parser.parse("List all unique PCs in the mcf workload "
+                           "under LRU.")
+                  .intent,
+              QueryIntent::ListPcs);
+    EXPECT_EQ(parser
+                  .parse("For astar and Belady, could you list the "
+                         "unique cache sets in ascending order?")
+                  .intent,
+              QueryIntent::ListSets);
+    const auto hot = parser.parse(
+        "Identify 5 hot and 5 cold sets by hit rate for astar under "
+        "LRU.");
+    EXPECT_EQ(hot.intent, QueryIntent::SetStats);
+    EXPECT_EQ(hot.top_n, 5u);
+}
+
+TEST(ParserTest, ConceptQuestions)
+{
+    const auto parser = makeParser();
+    EXPECT_EQ(parser
+                  .parse("How does increasing cache size affect miss "
+                         "rate? Compare sets vs ways.")
+                  .intent,
+              QueryIntent::Concept);
+    EXPECT_EQ(parser
+                  .parse("Decompose a memory address into offset, "
+                         "index and tag bits for 64-byte lines.")
+                  .intent,
+              QueryIntent::Concept);
+}
+
+TEST(ParserTest, PcVsAddressDisambiguation)
+{
+    const auto parser = makeParser();
+    // Small hex value = PC; large = data address, regardless of order.
+    const auto q =
+        parser.parse("check 0x2bfd401c63f against 0x409270 in astar");
+    ASSERT_TRUE(q.pc.has_value());
+    EXPECT_EQ(*q.pc, 0x409270u);
+    ASSERT_TRUE(q.address.has_value());
+    EXPECT_EQ(*q.address, 0x2bfd401c63fULL);
+}
+
+// ------------------------------------------------------ interpreter
+
+TEST(DslTest, MissRateMatchesStatsExpert)
+{
+    const auto &database = sharedDb();
+    const Interpreter interp(database);
+    const auto *expert = database.statsFor("microbench_evictions_lru");
+    const auto stats = expert->pcStats(0x400512);
+    ASSERT_TRUE(stats.has_value());
+
+    DslProgram prog;
+    prog.trace_key = "microbench_evictions_lru";
+    prog.pc = 0x400512;
+    prog.op = DslOp::MissRate;
+    const auto res = interp.run(prog);
+    ASSERT_TRUE(res.ok);
+    ASSERT_TRUE(res.number.has_value());
+    EXPECT_NEAR(*res.number, stats->missRate(), 1e-12);
+}
+
+TEST(DslTest, CountMatchesAccesses)
+{
+    const auto &database = sharedDb();
+    const Interpreter interp(database);
+    const auto *expert = database.statsFor("microbench_evictions_lru");
+    const auto stats = expert->pcStats(0x400512);
+
+    DslProgram prog;
+    prog.trace_key = "microbench_evictions_lru";
+    prog.pc = 0x400512;
+    prog.op = DslOp::CountRows;
+    const auto res = interp.run(prog);
+    ASSERT_TRUE(res.ok);
+    EXPECT_DOUBLE_EQ(*res.number,
+                     static_cast<double>(stats->accesses));
+}
+
+TEST(DslTest, HitCountPlusMissesEqualsAccesses)
+{
+    const auto &database = sharedDb();
+    const Interpreter interp(database);
+    DslProgram prog;
+    prog.trace_key = "microbench_evictions_lru";
+    prog.pc = 0x400512;
+
+    prog.op = DslOp::HitCount;
+    const auto hits = interp.run(prog);
+    prog.op = DslOp::CountRows;
+    const auto total = interp.run(prog);
+    prog.op = DslOp::MissRate;
+    const auto rate = interp.run(prog);
+    ASSERT_TRUE(hits.ok && total.ok && rate.ok);
+    EXPECT_NEAR(*hits.number,
+                *total.number * (1.0 - *rate.number), 1e-6);
+}
+
+TEST(DslTest, AggregatesRespectSentinels)
+{
+    const auto &database = sharedDb();
+    const Interpreter interp(database);
+    DslProgram prog;
+    prog.trace_key = "microbench_evictions_lru";
+    prog.op = DslOp::MinField;
+    prog.field = DslField::ReuseDistance;
+    const auto res = interp.run(prog);
+    ASSERT_TRUE(res.ok);
+    EXPECT_GE(*res.number, 0.0); // kNoValue rows are excluded
+}
+
+TEST(DslTest, SelectRowsHonoursLimitAndReportsMatched)
+{
+    const auto &database = sharedDb();
+    const Interpreter interp(database);
+    DslProgram prog;
+    prog.trace_key = "microbench_evictions_lru";
+    prog.pc = 0x400512;
+    prog.op = DslOp::SelectRows;
+    prog.limit = 5;
+    const auto res = interp.run(prog);
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(res.rows.size(), 5u);
+    EXPECT_GT(res.matched, 5u);
+    for (const auto &row : res.rows)
+        EXPECT_EQ(row.program_counter, 0x400512u);
+}
+
+TEST(DslTest, UnknownTraceFails)
+{
+    const auto &database = sharedDb();
+    const Interpreter interp(database);
+    DslProgram prog;
+    prog.trace_key = "gcc_evictions_lru";
+    prog.op = DslOp::CountRows;
+    const auto res = interp.run(prog);
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("gcc_evictions_lru"), std::string::npos);
+}
+
+TEST(DslTest, MetadataOpReturnsSummary)
+{
+    const auto &database = sharedDb();
+    const Interpreter interp(database);
+    DslProgram prog;
+    prog.trace_key = "microbench_evictions_lru";
+    prog.op = DslOp::Metadata;
+    const auto res = interp.run(prog);
+    ASSERT_TRUE(res.ok);
+    EXPECT_NE(res.text.find("total accesses"), std::string::npos);
+}
+
+TEST(DslTest, UniqueListingsSorted)
+{
+    const auto &database = sharedDb();
+    const Interpreter interp(database);
+    DslProgram prog;
+    prog.trace_key = "microbench_evictions_lru";
+    prog.op = DslOp::UniquePcs;
+    const auto res = interp.run(prog);
+    ASSERT_TRUE(res.ok);
+    ASSERT_GT(res.values.size(), 2u);
+    for (std::size_t i = 1; i < res.values.size(); ++i)
+        EXPECT_LT(res.values[i - 1], res.values[i]);
+}
+
+TEST(DslTest, RenderedPythonMentionsFiltersAndTable)
+{
+    DslProgram prog;
+    prog.trace_key = "lbm_evictions_lru";
+    prog.pc = 0x401e31;
+    prog.address = 0x35e798a637f;
+    prog.op = DslOp::MissRate;
+    const auto code = renderProgramAsPython(prog);
+    EXPECT_NE(code.find("lbm_evictions_lru"), std::string::npos);
+    EXPECT_NE(code.find("0x401e31"), std::string::npos);
+    EXPECT_NE(code.find("0x35e798a637f"), std::string::npos);
+    EXPECT_NE(code.find("miss rate"), std::string::npos);
+    EXPECT_NE(code.find("result ="), std::string::npos);
+}
+
+TEST(DslTest, PerSetStatsForOneSet)
+{
+    const auto &database = sharedDb();
+    const Interpreter interp(database);
+    const auto *expert = database.statsFor("microbench_evictions_lru");
+    const auto sets = expert->allSetStats();
+    ASSERT_FALSE(sets.empty());
+
+    DslProgram prog;
+    prog.trace_key = "microbench_evictions_lru";
+    prog.op = DslOp::PerSetStats;
+    prog.set_id = sets.front().set;
+    const auto res = interp.run(prog);
+    ASSERT_TRUE(res.ok);
+    ASSERT_EQ(res.set_stats.size(), 1u);
+    EXPECT_EQ(res.set_stats[0].accesses, sets.front().accesses);
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the text layer: tokenizer, hashed embedder, vector index,
+ * and the fuzzy name matcher that backs Sieve's stage-1 filtering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "text/embedding.hh"
+
+using namespace cachemind;
+using namespace cachemind::text;
+
+TEST(TokenizerTest, SplitsWordsAndKeepsHexTokens)
+{
+    const auto toks =
+        tokenize("Does PC 0x401dc9 hit under LRU on lbm?");
+    ASSERT_GE(toks.size(), 6u);
+    EXPECT_EQ(toks[0], "does");
+    EXPECT_EQ(toks[2], "0x401dc9");
+    EXPECT_EQ(toks.back(), "lbm");
+}
+
+TEST(TokenizerTest, UnderscoresStayInsideTokens)
+{
+    const auto toks = tokenize("loaded_data[lbm_evictions_lru]");
+    ASSERT_EQ(toks.size(), 2u);
+    EXPECT_EQ(toks[0], "loaded_data");
+    EXPECT_EQ(toks[1], "lbm_evictions_lru");
+}
+
+TEST(EmbedderTest, VectorsAreNormalised)
+{
+    const HashEmbedder embedder(64);
+    const auto v = embedder.embed("cache replacement policy");
+    double norm = 0.0;
+    for (const float x : v)
+        norm += static_cast<double>(x) * x;
+    EXPECT_NEAR(norm, 1.0, 1e-6);
+    EXPECT_EQ(v.size(), 64u);
+}
+
+TEST(EmbedderTest, IdenticalTextsHaveSimilarityOne)
+{
+    const HashEmbedder embedder(128);
+    EXPECT_NEAR(embedder.similarity("miss rate for PC",
+                                    "miss rate for PC"),
+                1.0, 1e-9);
+}
+
+TEST(EmbedderTest, RelatedTextsScoreHigherThanUnrelated)
+{
+    const HashEmbedder embedder(128);
+    const double related = embedder.similarity(
+        "cache miss rate under LRU", "the LRU cache miss rate");
+    const double unrelated = embedder.similarity(
+        "cache miss rate under LRU", "quarterly revenue projections");
+    EXPECT_GT(related, unrelated);
+}
+
+TEST(EmbedderTest, NumericRowsAreNearlyIndistinguishable)
+{
+    // The paper's core observation about embedding-based RAG on
+    // traces: rows differing only in hex digits embed almost
+    // identically.
+    const HashEmbedder embedder(128);
+    const std::string row_a =
+        "program_counter=0x409538, memory_address=0x2bfd401b693, "
+        "evict=Cache Miss";
+    const std::string row_b =
+        "program_counter=0x4090c3, memory_address=0x2bfd401caf2, "
+        "evict=Cache Miss";
+    EXPECT_GT(embedder.similarity(row_a, row_b), 0.5);
+}
+
+TEST(EmbedderTest, EmptyTextEmbedsToZeroVector)
+{
+    const HashEmbedder embedder(64);
+    const auto v = embedder.embed("");
+    for (const float x : v)
+        EXPECT_EQ(x, 0.0f);
+    EXPECT_DOUBLE_EQ(cosine(v, v), 0.0);
+}
+
+TEST(VectorIndexTest, TopKReturnsBestMatchFirst)
+{
+    const HashEmbedder embedder(128);
+    VectorIndex index(embedder);
+    index.add("the lbm workload streams two large grids", "lbm");
+    index.add("the mcf workload chases pointers through arcs", "mcf");
+    index.add("totally unrelated cooking recipe for soup", "soup");
+
+    const auto hits = index.topK("pointer chasing in mcf", 2);
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(index.tag(hits[0].doc), "mcf");
+    EXPECT_GE(hits[0].score, hits[1].score);
+}
+
+TEST(VectorIndexTest, KLargerThanIndexIsClamped)
+{
+    const HashEmbedder embedder(64);
+    VectorIndex index(embedder);
+    index.add("only one document");
+    const auto hits = index.topK("one", 10);
+    EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(NameMatcherTest, ExactTokenWins)
+{
+    const HashEmbedder embedder(128);
+    const auto ranked = rankNames(
+        "what is the miss rate on lbm under parrot",
+        {"astar", "lbm", "mcf"}, embedder);
+    ASSERT_EQ(ranked.size(), 3u);
+    EXPECT_EQ(ranked[0].name, "lbm");
+    EXPECT_GT(ranked[0].score, ranked[1].score);
+}
+
+TEST(NameMatcherTest, FuzzyMatchCatchesNearMisses)
+{
+    const HashEmbedder embedder(128);
+    const auto ranked = rankNames("compare beladys decisions",
+                                  {"belady", "lru", "parrot"},
+                                  embedder);
+    EXPECT_EQ(ranked[0].name, "belady");
+}
+
+TEST(NameMatcherTest, NoMentionScoresLow)
+{
+    const HashEmbedder embedder(128);
+    const auto ranked = rankNames("how big is the cache",
+                                  {"astar", "lbm", "mcf"}, embedder);
+    for (const auto &m : ranked)
+        EXPECT_LT(m.score, 0.9);
+}
+
+TEST(CosineTest, OrthogonalAndParallel)
+{
+    const std::vector<float> a = {1, 0, 0, 0};
+    const std::vector<float> b = {0, 1, 0, 0};
+    const std::vector<float> c = {2, 0, 0, 0};
+    EXPECT_DOUBLE_EQ(cosine(a, b), 0.0);
+    EXPECT_NEAR(cosine(a, c), 1.0, 1e-9);
+    EXPECT_NEAR(cosine(b, b), 1.0, 1e-9);
+}
