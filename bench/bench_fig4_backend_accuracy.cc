@@ -16,8 +16,8 @@
 
 #include "benchsuite/generator.hh"
 #include "benchsuite/harness.hh"
+#include "core/cachemind.hh"
 #include "db/builder.hh"
-#include "retrieval/sieve.hh"
 
 using namespace cachemind;
 
@@ -34,9 +34,13 @@ main()
 
     std::vector<benchsuite::EvalResult> results;
     for (const auto backend : llm::allBackends()) {
-        retrieval::SieveRetriever sieve(database);
-        const llm::GeneratorLlm gen(backend);
-        results.push_back(harness.evaluate(sieve, gen));
+        auto engine = core::CacheMind::Builder(database)
+                          .withRetriever("sieve")
+                          .withBackend(llm::backendKey(backend))
+                          .withBatchWorkers(4)
+                          .build()
+                          .expect("building the Figure 4 engine");
+        results.push_back(harness.evaluate(engine));
     }
 
     std::printf("=== Figure 4: accuracy by category x backend (Sieve "

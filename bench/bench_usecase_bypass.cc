@@ -35,16 +35,18 @@ main()
     const auto database = db::buildDatabase(opts);
 
     // --- Figure 11 chat: the discovery queries.
-    core::CacheMind engine(database,
-                           core::CacheMindConfig{
-                               llm::BackendKind::Gpt4o,
-                               core::RetrieverKind::Sieve,
-                               llm::ShotMode::ZeroShot});
+    auto engine = core::CacheMind::Builder(database)
+                      .withRetriever("sieve")
+                      .withBackend("gpt-4o")
+                      .build()
+                      .expect("building the bypass-study engine");
     core::ChatSession chat(engine);
     std::printf("\n=== Chat transcript (Figure 11) ===\n");
-    chat.ask("List all PCs in the mcf workload under Belady.");
+    chat.ask("List all PCs in the mcf workload under Belady.")
+        .expect("chat turn");
     chat.ask("Identify PCs suitable for bypassing to improve IPC in "
-             "the mcf workload under Belady.");
+             "the mcf workload under Belady.")
+        .expect("chat turn");
     std::printf("%s", chat.transcript().c_str());
 
     const auto candidates =

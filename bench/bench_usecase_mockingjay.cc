@@ -32,18 +32,21 @@ main()
         trace::WorkloadKind::Milc, policy::PolicyKind::Lru);
 
     // --- Figure 10 chat: grouping PCs by ETR variance.
-    core::CacheMind engine(database,
-                           core::CacheMindConfig{
-                               llm::BackendKind::Gpt4o,
-                               core::RetrieverKind::Ranger,
-                               llm::ShotMode::ZeroShot});
+    auto engine = core::CacheMind::Builder(database)
+                      .withRetriever("ranger")
+                      .withBackend("gpt-4o")
+                      .build()
+                      .expect("building the mockingjay-study engine");
     core::ChatSession chat(engine);
     std::printf("\n=== Chat transcript (Figure 10) ===\n");
-    chat.ask("List all unique PCs in the milc workload under LRU.");
+    chat.ask("List all unique PCs in the milc workload under LRU.")
+        .expect("chat turn");
     chat.ask("What is the standard deviation of the reuse distance of "
-             "PC 0x413930 in the milc workload under LRU?");
+             "PC 0x413930 in the milc workload under LRU?")
+        .expect("chat turn");
     chat.ask("What is the standard deviation of the reuse distance of "
-             "PC 0x413948 in the milc workload under LRU?");
+             "PC 0x413948 in the milc workload under LRU?")
+        .expect("chat turn");
     std::printf("%s", chat.transcript().c_str());
 
     const auto buckets =

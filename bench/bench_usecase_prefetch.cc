@@ -31,21 +31,24 @@ main()
         trace::WorkloadKind::Microbench, policy::PolicyKind::Lru);
 
     // --- Figure 12 chat: recover the unknown dominant PC.
-    core::CacheMind engine(database,
-                           core::CacheMindConfig{
-                               llm::BackendKind::Gpt4o,
-                               core::RetrieverKind::Ranger,
-                               llm::ShotMode::ZeroShot});
+    auto engine = core::CacheMind::Builder(database)
+                      .withRetriever("ranger")
+                      .withBackend("gpt-4o")
+                      .build()
+                      .expect("building the prefetch-study engine");
     core::ChatSession chat(engine);
     std::printf("\n=== Chat transcript (Figure 12) ===\n");
     chat.ask("List all unique PCs in the microbench workload under "
-             "LRU.");
+             "LRU.")
+        .expect("chat turn");
     chat.ask("From the unique PCs, identify the PC causing the most "
-             "cache misses in the microbench workload under LRU.");
+             "cache misses in the microbench workload under LRU.")
+        .expect("chat turn");
     const auto verified = insights::findDominantMissPc(
         database, "microbench", "lru");
     chat.ask("What is the miss rate of PC " + str::hex(verified.pc) +
-             " in the microbench workload under LRU?");
+             " in the microbench workload under LRU?")
+        .expect("chat turn");
     std::printf("%s", chat.transcript().c_str());
 
     std::printf("Verified dominant miss PC: %s in %s (%.2f%% miss "

@@ -29,20 +29,23 @@ main()
     const auto database = db::buildDatabase(opts);
 
     // --- Figure 13 chat.
-    core::CacheMind engine(database,
-                           core::CacheMindConfig{
-                               llm::BackendKind::Gpt4o,
-                               core::RetrieverKind::Sieve,
-                               llm::ShotMode::ZeroShot});
+    auto engine = core::CacheMind::Builder(database)
+                      .withRetriever("sieve")
+                      .withBackend("gpt-4o")
+                      .build()
+                      .expect("building the set-hotness engine");
     core::ChatSession chat(engine);
     std::printf("\n=== Chat transcript (Figure 13) ===\n");
     chat.ask("For the astar workload and Belady replacement policy, "
              "could you list the unique cache sets in ascending "
-             "order?");
+             "order?")
+        .expect("chat turn");
     chat.ask("Identify 5 hot and 5 cold sets by hit rate for the "
-             "astar workload under Belady.");
+             "astar workload under Belady.")
+        .expect("chat turn");
     chat.ask("Identify 5 hot and 5 cold sets by hit rate for the "
-             "astar workload under LRU.");
+             "astar workload under LRU.")
+        .expect("chat turn");
     std::printf("%s", chat.transcript().c_str());
 
     // --- Verified analysis + cross-policy comparison.

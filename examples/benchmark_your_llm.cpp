@@ -13,8 +13,6 @@
 #include "benchsuite/harness.hh"
 #include "core/cachemind.hh"
 #include "db/builder.hh"
-#include "retrieval/ranger.hh"
-#include "retrieval/sieve.hh"
 
 using namespace cachemind;
 
@@ -25,7 +23,9 @@ main()
     db::BuildOptions options;
     options.workloads = {trace::WorkloadKind::Astar,
                          trace::WorkloadKind::Mcf};
-    options.accesses_override = 80000;
+    // Full-length traces: the question generator needs enough PC
+    // diversity (Belady-vs-LRU gaps with >= 100 accesses) to fill
+    // every category of even a reduced suite.
     const auto database = db::buildDatabase(options);
 
     // A reduced suite keeps the demo quick.
@@ -46,19 +46,17 @@ main()
     const benchsuite::EvalHarness harness(generator.generate());
     std::printf("Suite: %zu questions.\n\n", harness.suite().size());
 
-    const llm::GeneratorLlm backend(llm::BackendKind::Gpt4oMini);
-    for (const auto retriever_kind :
-         {core::RetrieverKind::Sieve, core::RetrieverKind::Ranger}) {
-        benchsuite::EvalResult result;
-        if (retriever_kind == core::RetrieverKind::Sieve) {
-            retrieval::SieveRetriever sieve(database);
-            result = harness.evaluate(sieve, backend);
-        } else {
-            retrieval::RangerRetriever ranger(database);
-            result = harness.evaluate(ranger, backend);
-        }
-        std::printf("=== %s + GPT-4o-mini ===\n",
-                    core::retrieverKindName(retriever_kind));
+    // Engines are assembled by registry name; the whole suite runs
+    // through the engine's batched ask() on its worker pool.
+    for (const char *retriever_name : {"sieve", "ranger"}) {
+        auto engine = core::CacheMind::Builder(database)
+                          .withRetriever(retriever_name)
+                          .withBackend("gpt-4o-mini")
+                          .withBatchWorkers(4)
+                          .build()
+                          .expect("building the benchmark engine");
+        const auto result = harness.evaluate(engine);
+        std::printf("=== %s + GPT-4o-mini ===\n", retriever_name);
         for (const auto &[cat, score] : result.by_category) {
             std::printf("  %-28s %5.1f%% (%zu questions)\n",
                         benchsuite::categoryName(cat), score.pct(),
@@ -66,6 +64,10 @@ main()
         }
         std::printf("  %-28s %5.1f%%\n", "weighted total",
                     result.weightedTotalPct());
+        const auto stats = engine.stats();
+        std::printf("  served %llu questions, p99 latency %.2f ms\n",
+                    static_cast<unsigned long long>(stats.questions),
+                    stats.latency_p99_ms);
     }
     return 0;
 }

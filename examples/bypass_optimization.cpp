@@ -11,6 +11,7 @@
 #include <unordered_set>
 
 #include "base/str.hh"
+#include "core/cachemind.hh"
 #include "db/builder.hh"
 #include "insights/insights.hh"
 #include "policy/basic_policies.hh"
@@ -26,6 +27,23 @@ main()
     const auto database = db::buildSingleDatabase(
         trace::WorkloadKind::Mcf, policy::PolicyKind::Belady, 80000);
 
+    // Discovery through the natural-language interface first, the way
+    // the §6.3 transcript runs it...
+    auto engine = core::CacheMind::Builder(database)
+                      .withRetriever("sieve")
+                      .withBackend("gpt-4o")
+                      .build()
+                      .expect("building the discovery engine");
+    const auto discovery =
+        engine
+            .ask("Identify PCs suitable for bypassing to improve IPC "
+                 "in the mcf workload under Belady.")
+            .expect("discovery question");
+    std::printf("\nQ: Identify PCs suitable for bypassing to improve "
+                "IPC in the mcf workload under Belady.\nA: %s\n\n",
+                discovery.text.c_str());
+
+    // ...then the verified analysis the intervention actually uses.
     const auto candidates =
         insights::recommendBypassPcs(database, "mcf", "belady", 10);
     std::printf("Bypass candidates:\n");

@@ -26,11 +26,11 @@ main()
     options.accesses_override = 60000;
     const auto database = db::buildDatabase(options);
 
-    core::CacheMind engine(database,
-                           core::CacheMindConfig{
-                               llm::BackendKind::Gpt4o,
-                               core::RetrieverKind::Ranger,
-                               llm::ShotMode::ZeroShot});
+    auto engine = core::CacheMind::Builder(database)
+                      .withRetriever("ranger")
+                      .withBackend("gpt-4o")
+                      .build()
+                      .expect("building the chat engine");
     core::ChatSession chat(engine);
 
     const char *turns[] = {
@@ -40,11 +40,12 @@ main()
         "workload under LRU.",
         "How many times did PC 0x409270 appear in the astar workload "
         "under LRU?",
-        "What is the miss rate for PC 0x409270 in the astar workload "
-        "with LRU?",
+        // Under-specified follow-up: conversation memory fills the
+        // workload/policy slots before retrieval.
+        "What is the miss rate for PC 0x409270?",
     };
     for (const char *turn : turns)
-        chat.ask(turn);
+        chat.ask(turn).expect("chat turn");
 
     std::printf("\n=== Transcript ===\n%s", chat.transcript().c_str());
     std::printf("=== Memory state ===\n");

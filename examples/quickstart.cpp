@@ -1,7 +1,8 @@
 /**
  * @file
  * Quickstart: build a small trace database, stand up a CacheMind
- * engine, and ask trace-grounded questions in natural language.
+ * engine with the v2 fluent Builder, and ask trace-grounded questions
+ * in natural language — one at a time and as a concurrent batch.
  *
  *   $ ./example_quickstart
  */
@@ -33,27 +34,58 @@ main()
                     database.find(key)->table.size());
     }
 
-    // 2. Create the engine: Sieve retrieval + the GPT-4o-profile
-    //    generator backend.
-    core::CacheMind engine(database);
+    // 2. Create the engine: components are picked by registry name,
+    //    and misconfiguration surfaces as a typed error instead of a
+    //    silent default.
+    auto engine = core::CacheMind::Builder(database)
+                      .withRetriever("sieve")
+                      .withBackend("gpt-4o")
+                      .withShotMode(llm::ShotMode::ZeroShot)
+                      .build()
+                      .expect("building the CacheMind engine");
 
     // 3. Ask questions. Every answer is grounded in retrieved rows,
     //    statistics, and metadata from the database.
-    const char *questions[] = {
+    const std::vector<std::string> questions = {
         "What is the miss rate for PC 0x4037aa in the mcf workload "
         "with LRU?",
         "Which policy has the lowest miss rate in the mcf workload?",
         "Why does Belady outperform LRU on PC 0x4037ba in the mcf "
         "workload?",
     };
-    for (const char *question : questions) {
-        std::printf("\nQ: %s\n", question);
-        const auto response = engine.ask(question);
+    for (const auto &question : questions) {
+        std::printf("\nQ: %s\n", question.c_str());
+        auto result = engine.ask(question);
+        if (!result.ok()) {
+            std::printf("error: %s\n",
+                        core::errorMessage(result.error()).c_str());
+            continue;
+        }
+        const auto &response = result.value();
         std::printf("A: %s\n", response.text.c_str());
         std::printf("   [retriever=%s, trace=%s, %.2f ms]\n",
                     response.bundle.retriever.c_str(),
                     response.bundle.trace_key.c_str(),
                     response.bundle.retrieval_ms);
     }
+
+    // 4. The same questions as one concurrent batch: answers are
+    //    byte-identical to the sequential loop and keep their order.
+    const auto batch = engine.askBatch(questions)
+                           .expect("batched ask over the demo questions");
+    std::printf("\n=== askBatch (%zu questions, up to %zu workers) "
+                "===\n",
+                batch.size(), engine.options().batch_workers);
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        std::printf("A%zu: %.72s...\n", i, batch[i].text.c_str());
+
+    const auto stats = engine.stats();
+    std::printf("\nEngine stats: %llu questions, %llu batch(es), "
+                "%.0f%% high-quality retrieval, p50=%.2f ms "
+                "p99=%.2f ms\n",
+                static_cast<unsigned long long>(stats.questions),
+                static_cast<unsigned long long>(stats.batches),
+                100.0 * stats.highQualityFraction(),
+                stats.latency_p50_ms, stats.latency_p99_ms);
     return 0;
 }

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Check C++ formatting with clang-format (config: .clang-format).
+#
+# Usage: scripts/check_format.sh [file...]
+#   With no arguments, checks every tracked C++ source file.
+#   Exits non-zero when any file needs reformatting.
+set -u
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+    echo "check_format: $CLANG_FORMAT not found; skipping." >&2
+    exit 0
+fi
+
+if [ "$#" -gt 0 ]; then
+    files=("$@")
+else
+    mapfile -t files < <(git ls-files '*.cc' '*.hh' '*.cpp')
+fi
+
+if [ "${#files[@]}" -eq 0 ]; then
+    echo "check_format: no files to check."
+    exit 0
+fi
+
+bad=0
+for f in "${files[@]}"; do
+    if ! "$CLANG_FORMAT" --dry-run -Werror "$f" >/dev/null 2>&1; then
+        echo "needs formatting: $f"
+        bad=1
+    fi
+done
+
+if [ "$bad" -ne 0 ]; then
+    echo "check_format: run '$CLANG_FORMAT -i <file>' to fix." >&2
+    exit 1
+fi
+echo "check_format: ${#files[@]} files clean."

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A minimal typed-error result: either a value T or an error E.
+ *
+ * The v2 engine API returns Result instead of silently falling back
+ * to defaults: misconfiguration (unknown retriever/backend names) and
+ * malformed requests surface as typed errors the caller can branch
+ * on, log, or escalate.
+ */
+
+#ifndef CACHEMIND_BASE_RESULT_HH
+#define CACHEMIND_BASE_RESULT_HH
+
+#include <utility>
+#include <variant>
+
+#include "base/logging.hh"
+
+namespace cachemind {
+
+/**
+ * Holds exactly one of a success value T or an error E.
+ *
+ * Construction is implicit from either alternative, so functions can
+ * `return value;` or `return error;` directly. Accessors assert the
+ * active alternative: calling value() on an error (or vice versa) is
+ * a caller bug and panics.
+ *
+ * `expect(context)` is the terse consumption form for tools and
+ * examples where an error is unrecoverable: it moves the value out or
+ * exits with the rendered error. It relies on an ADL-visible
+ * `errorMessage(const E &)` overload.
+ */
+template <typename T, typename E>
+class [[nodiscard]] Result
+{
+  public:
+    Result(T value) : v_(std::in_place_index<0>, std::move(value)) {}
+    Result(E error) : v_(std::in_place_index<1>, std::move(error)) {}
+
+    /** True when this result holds a value. */
+    bool ok() const { return v_.index() == 0; }
+    explicit operator bool() const { return ok(); }
+
+    const T &
+    value() const &
+    {
+        CM_ASSERT(ok(), "Result::value() on an error result");
+        return std::get<0>(v_);
+    }
+
+    T &
+    value() &
+    {
+        CM_ASSERT(ok(), "Result::value() on an error result");
+        return std::get<0>(v_);
+    }
+
+    T &&
+    value() &&
+    {
+        CM_ASSERT(ok(), "Result::value() on an error result");
+        return std::move(std::get<0>(v_));
+    }
+
+    const E &
+    error() const
+    {
+        CM_ASSERT(!ok(), "Result::error() on a success result");
+        return std::get<1>(v_);
+    }
+
+    /** Move the value out, or exit fatally with the rendered error. */
+    T
+    expect(const char *context) &&
+    {
+        if (!ok())
+            CM_FATAL(context, ": ", errorMessage(std::get<1>(v_)));
+        return std::move(std::get<0>(v_));
+    }
+
+  private:
+    std::variant<T, E> v_;
+};
+
+} // namespace cachemind
+
+#endif // CACHEMIND_BASE_RESULT_HH

@@ -51,9 +51,15 @@ median(std::vector<double> xs)
 double
 percentile(std::vector<double> xs, double p)
 {
+    std::sort(xs.begin(), xs.end());
+    return percentileSorted(xs, p);
+}
+
+double
+percentileSorted(const std::vector<double> &xs, double p)
+{
     if (xs.empty())
         return 0.0;
-    std::sort(xs.begin(), xs.end());
     if (p <= 0.0)
         return xs.front();
     if (p >= 100.0)

@@ -29,6 +29,9 @@ double median(std::vector<double> xs);
 /** Linear-interpolated percentile, p in [0, 100]. */
 double percentile(std::vector<double> xs, double p);
 
+/** Percentile over data the caller has already sorted ascending. */
+double percentileSorted(const std::vector<double> &xs, double p);
+
 /** Pearson correlation; 0 if undefined (constant input or size < 2). */
 double pearson(const std::vector<double> &xs,
                const std::vector<double> &ys);

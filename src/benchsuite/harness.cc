@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "base/logging.hh"
+
 namespace cachemind::benchsuite {
 
 double
@@ -77,6 +79,28 @@ EvalResult::araScoreHistogram() const
     return hist;
 }
 
+void
+EvalHarness::accumulate(const Question &q,
+                        const retrieval::ContextBundle &bundle,
+                        const llm::Answer &answer,
+                        EvalResult &result) const
+{
+    QuestionRecord rec;
+    rec.question_id = q.id;
+    rec.category = q.category;
+    rec.grade = grade(q, answer);
+    rec.quality = retrieval::assessQuality(bundle);
+    rec.score_bucket = static_cast<int>(std::lround(rec.grade.score));
+    rec.answer_text = answer.text;
+    result.records.push_back(rec);
+
+    CategoryScore &cs = result.by_category[q.category];
+    cs.category = q.category;
+    cs.earned += rec.grade.score;
+    cs.max += rec.grade.max;
+    ++cs.questions;
+}
+
 EvalResult
 EvalHarness::evaluate(retrieval::Retriever &retriever,
                       const llm::GeneratorLlm &generator,
@@ -87,21 +111,34 @@ EvalHarness::evaluate(retrieval::Retriever &retriever,
     for (const auto &q : suite_) {
         const auto bundle = retriever.retrieve(q.text);
         const auto answer = generator.answer(bundle, opts);
-        QuestionRecord rec;
-        rec.question_id = q.id;
-        rec.category = q.category;
-        rec.grade = grade(q, answer);
-        rec.quality = retrieval::assessQuality(bundle);
-        rec.score_bucket =
-            static_cast<int>(std::lround(rec.grade.score));
-        rec.answer_text = answer.text;
-        result.records.push_back(rec);
+        accumulate(q, bundle, answer, result);
+    }
+    return result;
+}
 
-        CategoryScore &cs = result.by_category[q.category];
-        cs.category = q.category;
-        cs.earned += rec.grade.score;
-        cs.max += rec.grade.max;
-        ++cs.questions;
+EvalResult
+EvalHarness::evaluate(core::CacheMind &engine) const
+{
+    std::vector<std::string> texts;
+    texts.reserve(suite_.size());
+    for (const auto &q : suite_)
+        texts.push_back(q.text);
+
+    // A malformed suite (e.g. a blank question in a user-supplied
+    // vector) is a user error: exit with the typed message rather
+    // than aborting.
+    auto batch = engine.askBatch(texts);
+    if (!batch.ok()) {
+        CM_FATAL("askBatch failed over the question suite: ",
+                 core::errorMessage(batch.error()));
+    }
+    const auto responses = std::move(batch).value();
+
+    EvalResult result;
+    result.records.reserve(suite_.size());
+    for (std::size_t i = 0; i < suite_.size(); ++i) {
+        accumulate(suite_[i], responses[i].bundle, responses[i].answer,
+                   result);
     }
     return result;
 }

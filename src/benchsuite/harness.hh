@@ -13,6 +13,7 @@
 
 #include "benchsuite/grader.hh"
 #include "benchsuite/question.hh"
+#include "core/cachemind.hh"
 #include "llm/generator.hh"
 #include "retrieval/context.hh"
 
@@ -81,7 +82,18 @@ class EvalHarness
                         const llm::GenerationOptions &opts =
                             llm::GenerationOptions{}) const;
 
+    /**
+     * Evaluate a Builder-configured engine, driving the whole suite
+     * through CacheMind::askBatch on the engine's worker pool.
+     */
+    EvalResult evaluate(core::CacheMind &engine) const;
+
   private:
+    /** Grade one answered question into an EvalResult. */
+    void accumulate(const Question &q,
+                    const retrieval::ContextBundle &bundle,
+                    const llm::Answer &answer, EvalResult &result) const;
+
     std::vector<Question> suite_;
 };
 

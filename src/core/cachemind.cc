@@ -1,71 +1,264 @@
 #include "core/cachemind.hh"
 
+#include <atomic>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "base/logging.hh"
-#include "retrieval/llamaindex.hh"
-#include "retrieval/ranger.hh"
-#include "retrieval/sieve.hh"
+#include "base/stopwatch.hh"
+#include "base/str.hh"
+#include "llm/registry.hh"
+#include "retrieval/registry.hh"
 
 namespace cachemind::core {
 
 const char *
-retrieverKindName(RetrieverKind kind)
+engineErrorCodeName(EngineErrorCode code)
 {
-    switch (kind) {
-      case RetrieverKind::Sieve: return "sieve";
-      case RetrieverKind::Ranger: return "ranger";
-      case RetrieverKind::LlamaIndex: return "llamaindex";
+    switch (code) {
+      case EngineErrorCode::UnknownRetriever: return "unknown-retriever";
+      case EngineErrorCode::UnknownBackend: return "unknown-backend";
+      case EngineErrorCode::InvalidOptions: return "invalid-options";
+      case EngineErrorCode::EmptyQuestion: return "empty-question";
     }
     return "?";
 }
 
-CacheMind::CacheMind(const db::TraceDatabase &db, CacheMindConfig cfg)
-    : db_(db), cfg_(cfg)
+std::string
+errorMessage(const EngineError &error)
 {
-    switch (cfg_.retriever) {
-      case RetrieverKind::Sieve:
-        retriever_ = std::make_unique<retrieval::SieveRetriever>(db_);
-        break;
-      case RetrieverKind::Ranger:
-        retriever_ = std::make_unique<retrieval::RangerRetriever>(db_);
-        break;
-      case RetrieverKind::LlamaIndex:
-        retriever_ =
-            std::make_unique<retrieval::LlamaIndexRetriever>(db_);
-        break;
-    }
-    generator_ = std::make_unique<llm::GeneratorLlm>(cfg_.backend);
+    return std::string(engineErrorCodeName(error.code)) + ": " +
+           error.message;
 }
+
+Result<CacheMind, EngineError>
+CacheMind::create(const db::TraceDatabase &db, EngineOptions opts)
+{
+    opts.retriever = str::toLower(str::trim(opts.retriever));
+    opts.backend = str::toLower(str::trim(opts.backend));
+    if (opts.batch_workers == 0) {
+        return EngineError{EngineErrorCode::InvalidOptions,
+                           "batch_workers must be >= 1"};
+    }
+
+    auto &retrievers = retrieval::RetrieverRegistry::instance();
+    auto retriever = retrievers.create(opts.retriever, db);
+    if (!retriever) {
+        return EngineError{
+            EngineErrorCode::UnknownRetriever,
+            "no retriever registered as '" + opts.retriever +
+                "' (registered: " +
+                str::join(retrievers.names(), ", ") + ")"};
+    }
+
+    auto &backends = llm::BackendRegistry::instance();
+    auto generator = backends.create(opts.backend);
+    if (!generator) {
+        return EngineError{
+            EngineErrorCode::UnknownBackend,
+            "no backend registered as '" + opts.backend +
+                "' (registered: " +
+                str::join(backends.names(), ", ") + ")"};
+    }
+
+    return CacheMind(db, std::move(opts), std::move(retriever),
+                     std::move(generator));
+}
+
+/**
+ * Extra worker retrievers for askBatch (the engine's primary
+ * retriever serves worker 0), built on first use and reused across
+ * batches: rebuilding, say, a LlamaIndex embedding index per batch
+ * would dwarf the answering work. The mutex guards pool growth; it
+ * is not a concurrency contract for the engine itself (see the
+ * header: an engine instance is single-caller).
+ */
+struct CacheMind::BatchPool
+{
+    std::mutex mu;
+    std::vector<std::unique_ptr<retrieval::Retriever>> retrievers;
+};
+
+CacheMind::CacheMind(const db::TraceDatabase &db, EngineOptions opts,
+                     std::unique_ptr<retrieval::Retriever> retriever,
+                     std::unique_ptr<llm::GeneratorLlm> generator)
+    : db_(db), opts_(std::move(opts)), retriever_(std::move(retriever)),
+      generator_(std::move(generator)),
+      stats_(std::make_unique<EngineStatsRecorder>()),
+      batch_pool_(std::make_unique<BatchPool>())
+{
+}
+
+CacheMind::CacheMind(CacheMind &&) noexcept = default;
 
 CacheMind::~CacheMind() = default;
 
 Response
-CacheMind::ask(const std::string &question)
+CacheMind::answerOne(retrieval::Retriever &retriever,
+                     const std::string &question) const
 {
     Response r;
-    r.bundle = retriever_->retrieve(question);
-    llm::GenerationOptions opts;
-    opts.shot_mode = cfg_.shot_mode;
-    r.answer = generator_->answer(r.bundle, opts);
+    r.bundle = retriever.retrieve(question);
+    llm::GenerationOptions gen_opts;
+    gen_opts.shot_mode = opts_.shot_mode;
+    r.answer = generator_->answer(r.bundle, gen_opts);
     r.text = r.answer.text;
     return r;
 }
 
+Result<Response, EngineError>
+CacheMind::ask(const std::string &question)
+{
+    if (str::trim(question).empty()) {
+        return EngineError{EngineErrorCode::EmptyQuestion,
+                           "question is empty"};
+    }
+    Stopwatch timer;
+    Response r = answerOne(*retriever_, question);
+    stats_->record(timer.milliseconds(),
+                   retrieval::assessQuality(r.bundle));
+    return r;
+}
+
+Result<std::vector<Response>, EngineError>
+CacheMind::askBatch(const std::vector<std::string> &questions)
+{
+    // Pre-flight validation keeps the concurrent section infallible,
+    // so error selection cannot depend on scheduling order.
+    for (std::size_t i = 0; i < questions.size(); ++i) {
+        if (str::trim(questions[i]).empty()) {
+            return EngineError{EngineErrorCode::EmptyQuestion,
+                               "batch question #" + std::to_string(i) +
+                                   " is empty"};
+        }
+    }
+
+    std::vector<Response> responses(questions.size());
+    std::vector<double> latencies(questions.size(), 0.0);
+    const std::size_t workers =
+        std::min(std::max<std::size_t>(opts_.batch_workers, 1),
+                 std::max<std::size_t>(questions.size(), 1));
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < questions.size(); ++i) {
+            Stopwatch timer;
+            responses[i] = answerOne(*retriever_, questions[i]);
+            latencies[i] = timer.milliseconds();
+        }
+    } else {
+        // One retriever per worker: retrievers are not required to be
+        // thread-safe, and every retrieval/generation draw is keyed
+        // by the question text alone, so the answers are
+        // byte-identical to a sequential ask() loop regardless of how
+        // questions land on workers. Worker 0 reuses the engine's
+        // primary retriever; the extra workers draw on the lazily
+        // built, batch-to-batch reusable pool.
+        auto &extras = batch_pool_->retrievers;
+        {
+            std::lock_guard<std::mutex> pool_lock(batch_pool_->mu);
+            while (extras.size() < workers - 1) {
+                auto r =
+                    retrieval::RetrieverRegistry::instance().create(
+                        opts_.retriever, db_);
+                CM_ASSERT(r != nullptr,
+                          "retriever vanished from registry: ",
+                          opts_.retriever);
+                extras.push_back(std::move(r));
+            }
+        }
+
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+            pool.emplace_back([&, w] {
+                retrieval::Retriever &worker_retriever =
+                    w == 0 ? *retriever_ : *extras[w - 1];
+                while (true) {
+                    const std::size_t i = next.fetch_add(1);
+                    if (i >= questions.size())
+                        break;
+                    Stopwatch timer;
+                    responses[i] =
+                        answerOne(worker_retriever, questions[i]);
+                    latencies[i] = timer.milliseconds();
+                }
+            });
+        }
+        for (auto &t : pool)
+            t.join();
+    }
+
+    for (std::size_t i = 0; i < questions.size(); ++i) {
+        stats_->record(latencies[i],
+                       retrieval::assessQuality(responses[i].bundle));
+    }
+    stats_->recordBatch();
+    return responses;
+}
+
 ChatSession::ChatSession(CacheMind &engine, llm::MemoryConfig memory_cfg)
-    : engine_(engine), memory_(memory_cfg)
+    : engine_(engine),
+      parser_(engine.database().workloads(),
+              engine.database().policies()),
+      memory_(memory_cfg)
 {
 }
 
-Response
+std::string
+ChatSession::augmentQuery(const std::string &question,
+                          const std::vector<std::string> &recalled) const
+{
+    const auto slots = parser_.parse(question);
+    // Concept/code questions are retrieval-light; pinning a workload
+    // from memory onto them would change what they are asking.
+    if (slots.intent == query::QueryIntent::Concept ||
+        slots.intent == query::QueryIntent::CodeGen) {
+        return question;
+    }
+    if (slots.hasWorkload() && slots.hasPolicy())
+        return question;
+
+    if (recalled.empty())
+        return question;
+    std::string recalled_text;
+    for (const auto &fact : recalled)
+        recalled_text += fact + "\n";
+    const auto mem = parser_.parse(recalled_text);
+
+    std::string augmented = question;
+    if (!slots.hasWorkload() && mem.hasWorkload())
+        augmented += " (in the " + mem.workload() + " workload)";
+    // A comparison question deliberately names no single policy; do
+    // not pin one onto it from memory.
+    if (!slots.hasPolicy() && mem.hasPolicy() &&
+        slots.intent != query::QueryIntent::PolicyComparison) {
+        augmented += " (under " + mem.policy() + ")";
+    }
+    return augmented;
+}
+
+Result<Response, EngineError>
 ChatSession::ask(const std::string &question)
 {
-    // Conversation memory augments the query before retrieval: noted
-    // facts from earlier turns sharpen under-specified follow-ups.
-    Response r = engine_.ask(question);
+    // Reject blank input before augmentation: memory hints could turn
+    // it into a fabricated non-empty query the engine would answer.
+    if (str::trim(question).empty()) {
+        return EngineError{EngineErrorCode::EmptyQuestion,
+                           "question is empty"};
+    }
+    // Conversation memory augments the query *before* retrieval:
+    // noted facts from earlier turns fill slots the follow-up leaves
+    // unspecified, so retrieval sees the sharpened query.
+    const auto recalled = memory_.recall(question);
+    auto result = engine_.ask(augmentQuery(question, recalled));
+    if (!result.ok())
+        return result;
+    Response r = std::move(result).value();
     // Prepend recalled memory to the rendered context so transcripts
     // show the carried state.
-    const std::string memory_block = memory_.renderContext(question);
+    const std::string memory_block = memory_.renderContext(recalled);
     if (!memory_block.empty())
         r.bundle.result_text = memory_block + r.bundle.result_text;
     memory_.addTurn(question, r.text);

@@ -1,36 +1,69 @@
 /**
  * @file
- * The CacheMind engine: the public facade wiring a trace database, a
- * retriever (Sieve, Ranger, or the LlamaIndex baseline), and a
- * generator backend into a single ask() call, plus a ChatSession that
- * layers conversation memory on top (the assistive chat tool of the
- * paper's use-case transcripts).
+ * The CacheMind engine: the public v2 facade wiring a trace database,
+ * a registry-constructed retriever, and a registry-constructed
+ * generator backend into ask()/askBatch() calls, plus a ChatSession
+ * that layers conversation memory on top (the assistive chat tool of
+ * the paper's use-case transcripts).
+ *
+ * Components are referenced by registry name (see
+ * retrieval::RetrieverRegistry and llm::BackendRegistry): new
+ * retrievers and backends self-register from their own translation
+ * units, so this facade never changes when one is added.
+ * Misconfiguration surfaces as typed Result errors instead of silent
+ * defaults, and independent questions can be answered concurrently
+ * through a small worker pool with deterministic answers and stable
+ * output ordering.
  */
 
 #ifndef CACHEMIND_CORE_CACHEMIND_HH
 #define CACHEMIND_CORE_CACHEMIND_HH
 
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "base/result.hh"
+#include "core/engine_stats.hh"
 #include "db/database.hh"
 #include "llm/generator.hh"
 #include "llm/memory.hh"
+#include "query/parser.hh"
 #include "retrieval/context.hh"
 
 namespace cachemind::core {
 
-/** Which retriever the engine uses. */
-enum class RetrieverKind { Sieve, Ranger, LlamaIndex };
-
-const char *retrieverKindName(RetrieverKind kind);
-
-/** Engine configuration. */
-struct CacheMindConfig
+/** Engine configuration: components by registry name. */
+struct EngineOptions
 {
-    llm::BackendKind backend = llm::BackendKind::Gpt4o;
-    RetrieverKind retriever = RetrieverKind::Sieve;
+    /** Retriever registry key ("sieve", "ranger", "llamaindex", ...). */
+    std::string retriever = "sieve";
+    /** Backend registry key ("gpt-4o", "o3", ...). */
+    std::string backend = "gpt-4o";
+    /** Prompting mode passed to the generator. */
     llm::ShotMode shot_mode = llm::ShotMode::ZeroShot;
+    /** Worker threads used by askBatch (>= 1). */
+    std::size_t batch_workers = 4;
 };
+
+/** What went wrong, as a branchable code plus a rendered message. */
+enum class EngineErrorCode {
+    UnknownRetriever,
+    UnknownBackend,
+    InvalidOptions,
+    EmptyQuestion,
+};
+
+const char *engineErrorCodeName(EngineErrorCode code);
+
+struct EngineError
+{
+    EngineErrorCode code = EngineErrorCode::InvalidOptions;
+    std::string message;
+};
+
+/** Render an EngineError for logs (also used by Result::expect). */
+std::string errorMessage(const EngineError &error);
 
 /** One complete question/answer exchange. */
 struct Response
@@ -43,30 +76,129 @@ struct Response
     llm::Answer answer;
 };
 
-/** The engine. The database must outlive the engine. */
+/**
+ * The engine. The database must outlive the engine.
+ *
+ * Concurrency contract: askBatch fans out internally, and stats()
+ * snapshots are safe from any thread, but an engine instance expects
+ * one caller at a time for ask()/askBatch() — callers wanting
+ * parallel serving run one engine per thread (engines are cheap; the
+ * database is shared and read-only).
+ */
 class CacheMind
 {
   public:
-    explicit CacheMind(const db::TraceDatabase &db,
-                       CacheMindConfig cfg = CacheMindConfig{});
-    ~CacheMind();
+    class Builder;
 
+    /**
+     * Construct an engine from options; typed errors for unknown
+     * component names or invalid settings.
+     */
+    static Result<CacheMind, EngineError>
+    create(const db::TraceDatabase &db,
+           EngineOptions opts = EngineOptions{});
+
+    // Moves and the destructor are defined out of line where
+    // BatchPool is a complete type.
+    CacheMind(CacheMind &&) noexcept;
+    ~CacheMind();
     CacheMind(const CacheMind &) = delete;
     CacheMind &operator=(const CacheMind &) = delete;
 
     /** Answer one natural-language question, trace-grounded. */
-    Response ask(const std::string &question);
+    Result<Response, EngineError> ask(const std::string &question);
+
+    /**
+     * Answer independent questions concurrently on the engine's
+     * worker pool. Answers are deterministic — byte-identical to a
+     * sequential ask() loop — and results preserve question order.
+     * Each worker gets its own registry-constructed retriever, and
+     * every generator draw is keyed by the question text alone, so
+     * scheduling order cannot leak into any answer.
+     */
+    Result<std::vector<Response>, EngineError>
+    askBatch(const std::vector<std::string> &questions);
+
+    /** Aggregate serving statistics (thread-safe snapshot). */
+    EngineStats stats() const { return stats_->snapshot(); }
 
     retrieval::Retriever &retriever() { return *retriever_; }
     const llm::GeneratorLlm &generator() const { return *generator_; }
-    const CacheMindConfig &config() const { return cfg_; }
+    const EngineOptions &options() const { return opts_; }
     const db::TraceDatabase &database() const { return db_; }
 
   private:
+    CacheMind(const db::TraceDatabase &db, EngineOptions opts,
+              std::unique_ptr<retrieval::Retriever> retriever,
+              std::unique_ptr<llm::GeneratorLlm> generator);
+
+    /** Retrieve + generate for one question (no stats side effects). */
+    Response answerOne(retrieval::Retriever &retriever,
+                       const std::string &question) const;
+
+    struct BatchPool;
+
     const db::TraceDatabase &db_;
-    CacheMindConfig cfg_;
+    EngineOptions opts_;
     std::unique_ptr<retrieval::Retriever> retriever_;
     std::unique_ptr<llm::GeneratorLlm> generator_;
+    std::unique_ptr<EngineStatsRecorder> stats_;
+    /** Lazily-built per-worker retrievers, reused across batches. */
+    std::unique_ptr<BatchPool> batch_pool_;
+};
+
+/**
+ * Fluent construction:
+ *
+ *   auto engine = core::CacheMind::Builder(db)
+ *                     .withRetriever("sieve")
+ *                     .withBackend("gpt-4o")
+ *                     .withShotMode(llm::ShotMode::ZeroShot)
+ *                     .build()           // Result<CacheMind, ...>
+ *                     .expect("engine");
+ */
+class CacheMind::Builder
+{
+  public:
+    explicit Builder(const db::TraceDatabase &db) : db_(db) {}
+
+    Builder &
+    withRetriever(std::string name)
+    {
+        opts_.retriever = std::move(name);
+        return *this;
+    }
+
+    Builder &
+    withBackend(std::string name)
+    {
+        opts_.backend = std::move(name);
+        return *this;
+    }
+
+    Builder &
+    withShotMode(llm::ShotMode mode)
+    {
+        opts_.shot_mode = mode;
+        return *this;
+    }
+
+    Builder &
+    withBatchWorkers(std::size_t workers)
+    {
+        opts_.batch_workers = workers;
+        return *this;
+    }
+
+    Result<CacheMind, EngineError>
+    build() const
+    {
+        return CacheMind::create(db_, opts_);
+    }
+
+  private:
+    const db::TraceDatabase &db_;
+    EngineOptions opts_;
 };
 
 /** Multi-turn session with conversation memory. */
@@ -78,7 +210,7 @@ class ChatSession
                              llm::MemoryConfig{});
 
     /** Ask with conversation context; records the turn. */
-    Response ask(const std::string &question);
+    Result<Response, EngineError> ask(const std::string &question);
 
     const llm::ConversationMemory &memory() const { return memory_; }
 
@@ -86,7 +218,17 @@ class ChatSession
     std::string transcript() const;
 
   private:
+    /**
+     * Fill slots the question leaves unspecified (workload/policy)
+     * from the recalled conversation facts, so retrieval sees the
+     * sharpened query. Explicit slots in the question always win.
+     */
+    std::string
+    augmentQuery(const std::string &question,
+                 const std::vector<std::string> &recalled) const;
+
     CacheMind &engine_;
+    query::NlQueryParser parser_;
     llm::ConversationMemory memory_;
     std::vector<llm::Turn> turns_;
 };

@@ -1,0 +1,64 @@
+#include "core/engine_stats.hh"
+
+#include <algorithm>
+
+#include "base/random.hh"
+#include "base/stats_util.hh"
+
+namespace cachemind::core {
+
+void
+EngineStatsRecorder::record(double latency_ms,
+                            retrieval::ContextQuality quality)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++questions_;
+    latency_sum_ms_ += latency_ms;
+    if (latency_reservoir_ms_.size() < kReservoirCap) {
+        latency_reservoir_ms_.push_back(latency_ms);
+    } else {
+        // Algorithm R with a deterministic (hash-keyed) draw: sample
+        // i replaces a random slot with probability cap/i.
+        const std::uint64_t slot =
+            splitMix64(questions_) % questions_;
+        if (slot < kReservoirCap)
+            latency_reservoir_ms_[static_cast<std::size_t>(slot)] =
+                latency_ms;
+    }
+    switch (quality) {
+      case retrieval::ContextQuality::Low: ++quality_low_; break;
+      case retrieval::ContextQuality::Medium: ++quality_medium_; break;
+      case retrieval::ContextQuality::High: ++quality_high_; break;
+    }
+}
+
+void
+EngineStatsRecorder::recordBatch()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++batches_;
+}
+
+EngineStats
+EngineStatsRecorder::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    EngineStats s;
+    s.questions = questions_;
+    s.batches = batches_;
+    s.quality_low = quality_low_;
+    s.quality_medium = quality_medium_;
+    s.quality_high = quality_high_;
+    if (!latency_reservoir_ms_.empty()) {
+        std::vector<double> sorted = latency_reservoir_ms_;
+        std::sort(sorted.begin(), sorted.end());
+        s.latency_p50_ms = stats::percentileSorted(sorted, 50.0);
+        s.latency_p90_ms = stats::percentileSorted(sorted, 90.0);
+        s.latency_p99_ms = stats::percentileSorted(sorted, 99.0);
+        s.latency_mean_ms =
+            latency_sum_ms_ / static_cast<double>(questions_);
+    }
+    return s;
+}
+
+} // namespace cachemind::core

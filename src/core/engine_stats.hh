@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Per-engine aggregate serving statistics: questions served, retrieval
+ * hit quality, and latency percentiles. The recorder is thread-safe so
+ * askBatch workers can publish into it concurrently; snapshots are
+ * cheap value types for reporting.
+ */
+
+#ifndef CACHEMIND_CORE_ENGINE_STATS_HH
+#define CACHEMIND_CORE_ENGINE_STATS_HH
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "retrieval/context.hh"
+
+namespace cachemind::core {
+
+/** Point-in-time aggregate over everything the engine has served. */
+struct EngineStats
+{
+    /** Questions answered (ask + askBatch). */
+    std::uint64_t questions = 0;
+    /** askBatch invocations. */
+    std::uint64_t batches = 0;
+
+    /** Retrieval-quality population (Figure 5 buckets). */
+    std::uint64_t quality_low = 0;
+    std::uint64_t quality_medium = 0;
+    std::uint64_t quality_high = 0;
+
+    /** End-to-end per-question latency percentiles (milliseconds). */
+    double latency_p50_ms = 0.0;
+    double latency_p90_ms = 0.0;
+    double latency_p99_ms = 0.0;
+    double latency_mean_ms = 0.0;
+
+    /** Fraction of questions with high-quality retrieved context. */
+    double
+    highQualityFraction() const
+    {
+        return questions == 0
+                   ? 0.0
+                   : static_cast<double>(quality_high) /
+                         static_cast<double>(questions);
+    }
+};
+
+/** Thread-safe accumulator behind CacheMind::stats(). */
+class EngineStatsRecorder
+{
+  public:
+    /** Record one answered question. */
+    void record(double latency_ms, retrieval::ContextQuality quality);
+
+    /** Record one completed askBatch call. */
+    void recordBatch();
+
+    /** Aggregate snapshot (percentiles via base/stats_util). */
+    EngineStats snapshot() const;
+
+  private:
+    /**
+     * Latency percentiles come from a bounded deterministic
+     * reservoir, so a long-lived engine's memory and snapshot cost
+     * stay flat no matter how many questions it serves. Counts and
+     * the mean stay exact.
+     */
+    static constexpr std::size_t kReservoirCap = 4096;
+
+    mutable std::mutex mu_;
+    std::uint64_t questions_ = 0;
+    std::uint64_t batches_ = 0;
+    std::uint64_t quality_low_ = 0;
+    std::uint64_t quality_medium_ = 0;
+    std::uint64_t quality_high_ = 0;
+    double latency_sum_ms_ = 0.0;
+    std::vector<double> latency_reservoir_ms_;
+};
+
+} // namespace cachemind::core
+
+#endif // CACHEMIND_CORE_ENGINE_STATS_HH

@@ -2,6 +2,7 @@
 
 #include "base/logging.hh"
 #include "base/random.hh"
+#include "llm/registry.hh"
 
 namespace cachemind::llm {
 
@@ -24,6 +25,19 @@ backendName(BackendKind kind)
       case BackendKind::Gpt4o: return "GPT-4o";
       case BackendKind::Gpt4oMini: return "GPT-4o-mini";
       case BackendKind::FinetunedGpt4oMini: return "Finetuned-4o-mini";
+    }
+    return "?";
+}
+
+const char *
+backendKey(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::Gpt35Turbo: return "gpt-3.5-turbo";
+      case BackendKind::O3: return "o3";
+      case BackendKind::Gpt4o: return "gpt-4o";
+      case BackendKind::Gpt4oMini: return "gpt-4o-mini";
+      case BackendKind::FinetunedGpt4oMini: return "finetuned-4o-mini";
     }
     return "?";
 }
@@ -87,10 +101,40 @@ std::uint64_t
 decisionKey(BackendKind kind, std::uint64_t question_key,
             const char *skill)
 {
-    return hashCombine(
-        hashCombine(question_key,
-                    static_cast<std::uint64_t>(kind) + 0x1001),
-        fnv1a(skill));
+    return decisionKeyFor(static_cast<std::uint64_t>(kind),
+                          question_key, skill);
 }
+
+std::uint64_t
+decisionKeyFor(std::uint64_t identity, std::uint64_t question_key,
+               const char *skill)
+{
+    return hashCombine(hashCombine(question_key, identity + 0x1001),
+                       fnv1a(skill));
+}
+
+namespace {
+
+BackendRegistry::Factory
+builtinBackendFactory(BackendKind kind)
+{
+    return [kind] { return std::make_unique<GeneratorLlm>(kind); };
+}
+
+// The paper's five backends self-register under their canonical keys.
+const BackendRegistrar builtin_backend_registrars[] = {
+    {backendKey(BackendKind::Gpt35Turbo),
+     builtinBackendFactory(BackendKind::Gpt35Turbo)},
+    {backendKey(BackendKind::O3),
+     builtinBackendFactory(BackendKind::O3)},
+    {backendKey(BackendKind::Gpt4o),
+     builtinBackendFactory(BackendKind::Gpt4o)},
+    {backendKey(BackendKind::Gpt4oMini),
+     builtinBackendFactory(BackendKind::Gpt4oMini)},
+    {backendKey(BackendKind::FinetunedGpt4oMini),
+     builtinBackendFactory(BackendKind::FinetunedGpt4oMini)},
+};
+
+} // namespace
 
 } // namespace cachemind::llm

@@ -37,6 +37,9 @@ const std::vector<BackendKind> &allBackends();
 /** Display name, e.g. "GPT-4o". */
 const char *backendName(BackendKind kind);
 
+/** Canonical registry key, e.g. "gpt-4o" (see llm::BackendRegistry). */
+const char *backendKey(BackendKind kind);
+
 /** Per-skill success probabilities in [0, 1]. */
 struct CapabilityProfile
 {
@@ -87,6 +90,15 @@ const CapabilityProfile &profileFor(BackendKind kind);
  */
 std::uint64_t decisionKey(BackendKind kind, std::uint64_t question_key,
                           const char *skill);
+
+/**
+ * Identity-salted variant backing decisionKey. Built-in backends use
+ * their enum value as the salt (bit-identical to decisionKey); custom
+ * registry backends use a hash of their name.
+ */
+std::uint64_t decisionKeyFor(std::uint64_t identity,
+                             std::uint64_t question_key,
+                             const char *skill);
 
 } // namespace cachemind::llm
 

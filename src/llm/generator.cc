@@ -54,6 +54,16 @@ missRateFromMetadata(const std::string &metadata)
 
 } // namespace
 
+GeneratorLlm::GeneratorLlm(const std::string &name,
+                           CapabilityProfile profile)
+    : name_(name),
+      // Keep the salt above the built-in enum range so a custom
+      // backend never shares a built-in backend's draw stream.
+      identity_(fnv1a(name) | 0x100),
+      profile_(std::move(profile))
+{
+}
+
 bool
 GeneratorLlm::roll(std::uint64_t qkey, const char *skill, double p) const
 {
@@ -258,7 +268,7 @@ GeneratorLlm::answerHitMiss(const ContextBundle &bundle,
     // Ungrounded guesses skew toward "hit": a plausible-sounding
     // positive is the characteristic hallucination.
     const bool guess_hit = keyedBernoulli(
-        decisionKey(kind_, qkey, "hallucinated-guess"), 0.75);
+        decisionKeyFor(identity_, qkey, "hallucinated-guess"), 0.75);
     a.says_hit = guess_hit;
     a.text = std::string("The access results in a ") +
              (guess_hit ? "Cache Hit." : "Cache Miss.");
@@ -320,7 +330,7 @@ GeneratorLlm::answerComparison(const ContextBundle &bundle,
         static const char *fallback[] = {"lru", "belady", "parrot",
                                          "mlp"};
         const auto pick = keyedPick(
-            decisionKey(kind_, qkey, "comparison-guess"), 4);
+            decisionKeyFor(identity_, qkey, "comparison-guess"), 4);
         a.chosen_policy = fallback[pick];
         a.text = "Evidence is incomplete, but " + *a.chosen_policy +
                  " likely has the best behaviour here.";
@@ -623,7 +633,7 @@ GeneratorLlm::answerConcept(const ContextBundle &bundle,
     if (!bundle.rows.empty() &&
         retrieval::assessQuality(bundle) != ContextQuality::High) {
         suppressed = keyedBernoulli(
-            decisionKey(kind_, qkey, "context-suppression"), 0.5);
+            decisionKeyFor(identity_, qkey, "context-suppression"), 0.5);
     }
     std::ostringstream os;
     std::size_t included = 0;
@@ -677,7 +687,7 @@ GeneratorLlm::answerCodeGen(const ContextBundle &bundle,
         roll(qkey, "codegen-plan", 0.5 + 0.5 * profile_.codegen);
     if (!faithful) {
         prog.op = query::DslOp::SelectRows;
-        switch (keyedPick(decisionKey(kind_, qkey, "codegen-error"),
+        switch (keyedPick(decisionKeyFor(identity_, qkey, "codegen-error"),
                           2)) {
           case 0: prog.address.reset(); break;
           default: prog.pc.reset(); break;
@@ -828,7 +838,7 @@ GeneratorLlm::answerExplain(const ContextBundle &bundle,
     if (!cited_numbers &&
         roll(qkey, "fabricate", profile_.context_overreliance * 0.6)) {
         os << " Empirically the gap is about "
-           << 3 + (decisionKey(kind_, qkey, "fab") % 20)
+           << 3 + (decisionKeyFor(identity_, qkey, "fab") % 20)
            << "% in our runs.";
         a.copied_example = true; // flag as ungrounded specifics
     }

@@ -60,10 +60,21 @@ class GeneratorLlm
 {
   public:
     explicit GeneratorLlm(BackendKind kind)
-        : kind_(kind), profile_(profileFor(kind))
+        : name_(backendKey(kind)),
+          identity_(static_cast<std::uint64_t>(kind)),
+          profile_(profileFor(kind))
     {}
 
-    BackendKind kind() const { return kind_; }
+    /**
+     * Custom backend: answers per `profile`, with its deterministic
+     * draws keyed by `name` so they are independent of the built-in
+     * kinds. This is how downstream users benchmark their own model
+     * through llm::BackendRegistry.
+     */
+    GeneratorLlm(const std::string &name, CapabilityProfile profile);
+
+    /** Registry key ("gpt-4o") or the custom backend's name. */
+    const std::string &name() const { return name_; }
     const CapabilityProfile &profile() const { return profile_; }
 
     /**
@@ -112,8 +123,10 @@ class GeneratorLlm
                           const Prompt &prompt, std::uint64_t qkey,
                           Answer &out) const;
 
-    BackendKind kind_;
-    const CapabilityProfile &profile_;
+    std::string name_;
+    /** Salt for identity-dependent draws (enum value or name hash). */
+    std::uint64_t identity_;
+    CapabilityProfile profile_;
 };
 
 } // namespace cachemind::llm

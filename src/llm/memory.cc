@@ -63,6 +63,13 @@ ConversationMemory::recall(const std::string &query) const
 std::string
 ConversationMemory::renderContext(const std::string &query) const
 {
+    return renderContext(recall(query));
+}
+
+std::string
+ConversationMemory::renderContext(
+    const std::vector<std::string> &recalled) const
+{
     std::ostringstream os;
     if (!summary_.empty())
         os << "[Conversation summary]\n" << summary_;
@@ -73,7 +80,6 @@ ConversationMemory::renderContext(const std::string &query) const
                << t.assistant.substr(0, 200) << "\n";
         }
     }
-    const auto recalled = recall(query);
     if (!recalled.empty()) {
         os << "[Recalled facts]\n";
         for (const auto &f : recalled)

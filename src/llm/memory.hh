@@ -60,6 +60,13 @@ class ConversationMemory
     /** Rendered memory block to prepend to a prompt. */
     std::string renderContext(const std::string &query) const;
 
+    /**
+     * Same, but over facts the caller already recalled for the query
+     * (avoids recalling twice when the caller also needs the facts).
+     */
+    std::string
+    renderContext(const std::vector<std::string> &recalled) const;
+
     std::size_t factCount() const { return facts_.size(); }
     std::size_t totalTurns() const { return total_turns_; }
 

@@ -1,0 +1,66 @@
+#include "llm/registry.hh"
+
+#include "base/logging.hh"
+#include "base/str.hh"
+
+namespace cachemind::llm {
+
+BackendRegistry &
+BackendRegistry::instance()
+{
+    static BackendRegistry registry;
+    return registry;
+}
+
+bool
+BackendRegistry::add(const std::string &name, Factory factory)
+{
+    const std::string key = str::toLower(str::trim(name));
+    if (key.empty() || !factory)
+        return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    return factories_.emplace(key, std::move(factory)).second;
+}
+
+bool
+BackendRegistry::has(const std::string &name) const
+{
+    const std::string key = str::toLower(str::trim(name));
+    std::lock_guard<std::mutex> lock(mu_);
+    return factories_.count(key) > 0;
+}
+
+std::unique_ptr<GeneratorLlm>
+BackendRegistry::create(const std::string &name) const
+{
+    const std::string key = str::toLower(str::trim(name));
+    Factory factory;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = factories_.find(key);
+        if (it == factories_.end())
+            return nullptr;
+        factory = it->second;
+    }
+    return factory();
+}
+
+std::vector<std::string>
+BackendRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto &[name, factory] : factories_)
+        out.push_back(name);
+    return out;
+}
+
+BackendRegistrar::BackendRegistrar(const std::string &name,
+                                   BackendRegistry::Factory factory)
+{
+    if (!BackendRegistry::instance().add(name, std::move(factory)))
+        warn("duplicate backend registration ignored: ", name);
+}
+
+} // namespace cachemind::llm

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * String-keyed factory registry for generator backends.
+ *
+ * The five built-in capability profiles self-register from
+ * backend.cc under their canonical keys ("gpt-4o", "o3", ...). A
+ * downstream user benchmarks their own model by registering a factory
+ * that builds a GeneratorLlm from a custom CapabilityProfile (or any
+ * subclass behaviour they simulate) and passing the new name to
+ * CacheMind::Builder — the engine core never changes.
+ */
+
+#ifndef CACHEMIND_LLM_REGISTRY_HH
+#define CACHEMIND_LLM_REGISTRY_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "llm/generator.hh"
+
+namespace cachemind::llm {
+
+/** Process-wide name -> backend-factory table. */
+class BackendRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<GeneratorLlm>()>;
+
+    /** The singleton registry. */
+    static BackendRegistry &instance();
+
+    /**
+     * Register a factory under a (case-insensitive) name. Returns
+     * false and leaves the registry unchanged when the name is
+     * already taken.
+     */
+    bool add(const std::string &name, Factory factory);
+
+    /** True when a factory is registered under the name. */
+    bool has(const std::string &name) const;
+
+    /** Construct the named backend; nullptr when unknown. */
+    std::unique_ptr<GeneratorLlm> create(const std::string &name) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    BackendRegistry() = default;
+
+    mutable std::mutex mu_;
+    std::map<std::string, Factory> factories_;
+};
+
+/** Static-initialisation helper mirroring RetrieverRegistrar. */
+class BackendRegistrar
+{
+  public:
+    BackendRegistrar(const std::string &name,
+                     BackendRegistry::Factory factory);
+};
+
+} // namespace cachemind::llm
+
+#endif // CACHEMIND_LLM_REGISTRY_HH

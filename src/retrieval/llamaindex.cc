@@ -1,5 +1,7 @@
 #include "retrieval/llamaindex.hh"
 
+#include "retrieval/registry.hh"
+
 #include <sstream>
 
 #include "base/stopwatch.hh"
@@ -71,5 +73,14 @@ LlamaIndexRetriever::retrieve(const std::string &query)
     bundle.retrieval_ms = timer.milliseconds();
     return bundle;
 }
+
+namespace {
+
+const RetrieverRegistrar llamaindex_registrar(
+    "llamaindex", [](const db::TraceDatabase &db) {
+        return std::make_unique<LlamaIndexRetriever>(db);
+    });
+
+} // namespace
 
 } // namespace cachemind::retrieval

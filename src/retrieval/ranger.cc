@@ -1,5 +1,7 @@
 #include "retrieval/ranger.hh"
 
+#include "retrieval/registry.hh"
+
 #include <algorithm>
 #include <sstream>
 
@@ -311,5 +313,14 @@ RangerRetriever::retrieve(const std::string &query)
     bundle.retrieval_ms = timer.milliseconds();
     return bundle;
 }
+
+namespace {
+
+const RetrieverRegistrar ranger_registrar(
+    "ranger", [](const db::TraceDatabase &db) {
+        return std::make_unique<RangerRetriever>(db);
+    });
+
+} // namespace
 
 } // namespace cachemind::retrieval

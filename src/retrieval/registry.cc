@@ -1,0 +1,67 @@
+#include "retrieval/registry.hh"
+
+#include "base/logging.hh"
+#include "base/str.hh"
+
+namespace cachemind::retrieval {
+
+RetrieverRegistry &
+RetrieverRegistry::instance()
+{
+    static RetrieverRegistry registry;
+    return registry;
+}
+
+bool
+RetrieverRegistry::add(const std::string &name, Factory factory)
+{
+    const std::string key = str::toLower(str::trim(name));
+    if (key.empty() || !factory)
+        return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    return factories_.emplace(key, std::move(factory)).second;
+}
+
+bool
+RetrieverRegistry::has(const std::string &name) const
+{
+    const std::string key = str::toLower(str::trim(name));
+    std::lock_guard<std::mutex> lock(mu_);
+    return factories_.count(key) > 0;
+}
+
+std::unique_ptr<Retriever>
+RetrieverRegistry::create(const std::string &name,
+                          const db::TraceDatabase &db) const
+{
+    const std::string key = str::toLower(str::trim(name));
+    Factory factory;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = factories_.find(key);
+        if (it == factories_.end())
+            return nullptr;
+        factory = it->second;
+    }
+    return factory(db);
+}
+
+std::vector<std::string>
+RetrieverRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto &[name, factory] : factories_)
+        out.push_back(name);
+    return out;
+}
+
+RetrieverRegistrar::RetrieverRegistrar(const std::string &name,
+                                       RetrieverRegistry::Factory factory)
+{
+    if (!RetrieverRegistry::instance().add(name, std::move(factory)))
+        warn("duplicate retriever registration ignored: ", name);
+}
+
+} // namespace cachemind::retrieval

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * String-keyed factory registry for retrievers.
+ *
+ * Retrievers self-register from their own translation units (see the
+ * registrar blocks at the bottom of sieve.cc, ranger.cc and
+ * llamaindex.cc), so the engine core constructs components by name
+ * and never changes when a new retriever is added. Downstream users
+ * plug in custom retrievers the same way: register a factory under a
+ * fresh name and pass that name to CacheMind::Builder.
+ */
+
+#ifndef CACHEMIND_RETRIEVAL_REGISTRY_HH
+#define CACHEMIND_RETRIEVAL_REGISTRY_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "db/database.hh"
+#include "retrieval/context.hh"
+
+namespace cachemind::retrieval {
+
+/** Process-wide name -> retriever-factory table. */
+class RetrieverRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<Retriever>(
+        const db::TraceDatabase &)>;
+
+    /** The singleton registry. */
+    static RetrieverRegistry &instance();
+
+    /**
+     * Register a factory under a (case-insensitive) name. Returns
+     * false and leaves the registry unchanged when the name is
+     * already taken.
+     */
+    bool add(const std::string &name, Factory factory);
+
+    /** True when a factory is registered under the name. */
+    bool has(const std::string &name) const;
+
+    /**
+     * Construct the named retriever over a database; nullptr when the
+     * name is unknown.
+     */
+    std::unique_ptr<Retriever> create(const std::string &name,
+                                      const db::TraceDatabase &db) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    RetrieverRegistry() = default;
+
+    mutable std::mutex mu_;
+    std::map<std::string, Factory> factories_;
+};
+
+/**
+ * Static-initialisation helper: a namespace-scope registrar in a
+ * component's translation unit registers it before main() runs.
+ */
+class RetrieverRegistrar
+{
+  public:
+    RetrieverRegistrar(const std::string &name,
+                       RetrieverRegistry::Factory factory);
+};
+
+} // namespace cachemind::retrieval
+
+#endif // CACHEMIND_RETRIEVAL_REGISTRY_HH

@@ -1,5 +1,7 @@
 #include "retrieval/sieve.hh"
 
+#include "retrieval/registry.hh"
+
 #include <algorithm>
 
 #include "base/stopwatch.hh"
@@ -252,5 +254,16 @@ SieveRetriever::retrieve(const std::string &query)
     bundle.retrieval_ms = timer.milliseconds();
     return bundle;
 }
+
+namespace {
+
+// Self-registration: the engine constructs Sieve by name through
+// RetrieverRegistry and never references this translation unit.
+const RetrieverRegistrar sieve_registrar(
+    "sieve", [](const db::TraceDatabase &db) {
+        return std::make_unique<SieveRetriever>(db);
+    });
+
+} // namespace
 
 } // namespace cachemind::retrieval

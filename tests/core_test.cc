@@ -1,7 +1,9 @@
 /**
  * @file
- * Tests for the CacheMind facade and chat sessions: engine wiring,
- * grounded answers through the public API, and conversation memory.
+ * Tests for the CacheMind v2 facade and chat sessions: Builder
+ * construction, typed errors, grounded answers through the public
+ * API, batched concurrent ask, engine statistics, and conversation
+ * memory (including memory-sharpened retrieval for follow-ups).
  */
 
 #include <gtest/gtest.h>
@@ -29,58 +31,193 @@ sharedDb()
     return database;
 }
 
+CacheMind
+defaultEngine()
+{
+    return CacheMind::Builder(sharedDb()).build().expect("engine");
+}
+
+/** A spread of intents exercising retrieval, stats, and reasoning. */
+std::vector<std::string>
+suiteQuestions()
+{
+    const auto *entry = sharedDb().find("astar_evictions_lru");
+    const std::uint64_t pc = entry->table.pcAt(0);
+    return {
+        "What is the miss rate for PC " + str::hex(pc) +
+            " in the astar workload with LRU?",
+        "Which policy has the lowest miss rate in the astar workload?",
+        "List all unique PCs in the astar workload under LRU.",
+        "Identify 3 hot and 3 cold sets by hit rate for the astar "
+        "workload under LRU.",
+        "How many times did PC " + str::hex(pc) +
+            " appear in the astar workload under LRU?",
+        "What is the mean reuse distance of PC " + str::hex(pc) +
+            " in the astar workload under LRU?",
+        "Why does Belady outperform LRU in the astar workload?",
+        "What is a compulsory miss?",
+    };
+}
+
 } // namespace
 
-TEST(EngineTest, DefaultConfigUsesSieveAndGpt4o)
+TEST(EngineTest, BuilderDefaultsToSieveAndGpt4o)
 {
-    CacheMind engine(sharedDb());
-    EXPECT_EQ(engine.config().retriever, RetrieverKind::Sieve);
-    EXPECT_EQ(engine.config().backend, llm::BackendKind::Gpt4o);
+    auto engine = defaultEngine();
+    EXPECT_EQ(engine.options().retriever, "sieve");
+    EXPECT_EQ(engine.options().backend, "gpt-4o");
     EXPECT_STREQ(engine.retriever().name(), "sieve");
+    EXPECT_EQ(engine.generator().name(), "gpt-4o");
 }
 
 TEST(EngineTest, AskReturnsGroundedResponse)
 {
-    CacheMind engine(sharedDb());
+    auto engine = defaultEngine();
     const auto *entry = sharedDb().find("astar_evictions_lru");
     const std::uint64_t pc = entry->table.pcAt(0);
-    const auto response = engine.ask(
+    auto result = engine.ask(
         "What is the miss rate for PC " + str::hex(pc) +
         " in the astar workload with LRU?");
+    ASSERT_TRUE(result.ok());
+    const auto &response = result.value();
     EXPECT_FALSE(response.text.empty());
     EXPECT_EQ(response.bundle.trace_key, "astar_evictions_lru");
     EXPECT_TRUE(response.answer.number.has_value());
 }
 
-TEST(EngineTest, RetrieverKindSelectsImplementation)
+TEST(EngineTest, BuilderSelectsRetrieverByName)
 {
-    CacheMind ranger_engine(sharedDb(),
-                            CacheMindConfig{llm::BackendKind::Gpt4o,
-                                            RetrieverKind::Ranger,
-                                            llm::ShotMode::ZeroShot});
-    EXPECT_STREQ(ranger_engine.retriever().name(), "ranger");
-    const auto response = ranger_engine.ask(
+    auto engine = CacheMind::Builder(sharedDb())
+                      .withRetriever("ranger")
+                      .build()
+                      .expect("ranger engine");
+    EXPECT_STREQ(engine.retriever().name(), "ranger");
+    auto result = engine.ask(
         "How many times did PC 0x409270 appear in the astar workload "
         "under LRU?");
-    EXPECT_TRUE(response.bundle.total_is_exact);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.value().bundle.total_is_exact);
 }
 
-TEST(EngineTest, RetrieverKindNames)
+TEST(EngineTest, BuilderNormalizesComponentNames)
 {
-    EXPECT_STREQ(retrieverKindName(RetrieverKind::Sieve), "sieve");
-    EXPECT_STREQ(retrieverKindName(RetrieverKind::Ranger), "ranger");
-    EXPECT_STREQ(retrieverKindName(RetrieverKind::LlamaIndex),
-                 "llamaindex");
+    auto engine = CacheMind::Builder(sharedDb())
+                      .withRetriever("  SiEvE ")
+                      .withBackend(" GPT-4O")
+                      .build()
+                      .expect("normalized engine");
+    EXPECT_EQ(engine.options().retriever, "sieve");
+    EXPECT_EQ(engine.options().backend, "gpt-4o");
+}
+
+TEST(EngineTest, AskRejectsEmptyQuestion)
+{
+    auto engine = defaultEngine();
+    auto result = engine.ask("   ");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, EngineErrorCode::EmptyQuestion);
+    EXPECT_EQ(engine.stats().questions, 0u);
+}
+
+TEST(EngineTest, AskBatchMatchesSequentialAsk)
+{
+    const auto questions = suiteQuestions();
+
+    auto sequential_engine = defaultEngine();
+    std::vector<Response> expected;
+    for (const auto &q : questions)
+        expected.push_back(sequential_engine.ask(q).expect("ask"));
+
+    auto batch_engine = CacheMind::Builder(sharedDb())
+                            .withBatchWorkers(4)
+                            .build()
+                            .expect("batch engine");
+    auto batch =
+        batch_engine.askBatch(questions).expect("askBatch");
+    ASSERT_EQ(batch.size(), expected.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(batch[i].text, expected[i].text) << "question " << i;
+        EXPECT_EQ(batch[i].answer.number, expected[i].answer.number);
+        EXPECT_EQ(batch[i].answer.chosen_policy,
+                  expected[i].answer.chosen_policy);
+        EXPECT_EQ(batch[i].answer.listed_values,
+                  expected[i].answer.listed_values);
+        EXPECT_EQ(batch[i].bundle.trace_key,
+                  expected[i].bundle.trace_key);
+    }
+}
+
+TEST(EngineTest, AskBatchIsDeterministicAcrossRuns)
+{
+    const auto questions = suiteQuestions();
+    auto engine = CacheMind::Builder(sharedDb())
+                      .withBatchWorkers(4)
+                      .build()
+                      .expect("engine");
+    const auto a = engine.askBatch(questions).expect("first batch");
+    const auto b = engine.askBatch(questions).expect("second batch");
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].text, b[i].text) << "question " << i;
+}
+
+TEST(EngineTest, AskBatchPreservesOrder)
+{
+    const auto questions = suiteQuestions();
+    auto engine = CacheMind::Builder(sharedDb())
+                      .withBatchWorkers(4)
+                      .build()
+                      .expect("engine");
+    const auto batch = engine.askBatch(questions).expect("batch");
+    ASSERT_EQ(batch.size(), questions.size());
+    // Each response's bundle carries the parsed query it answered;
+    // slot i must answer question i.
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        EXPECT_EQ(batch[i].bundle.parsed.raw, questions[i]);
+}
+
+TEST(EngineTest, AskBatchRejectsEmptyQuestion)
+{
+    auto engine = defaultEngine();
+    auto result = engine.askBatch({"Which policy is best?", " "});
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, EngineErrorCode::EmptyQuestion);
+    EXPECT_NE(result.error().message.find("#1"), std::string::npos);
+    EXPECT_EQ(engine.stats().questions, 0u);
+}
+
+TEST(EngineTest, StatsCountQuestionsQualityAndLatency)
+{
+    const auto questions = suiteQuestions();
+    auto engine = CacheMind::Builder(sharedDb())
+                      .withBatchWorkers(4)
+                      .build()
+                      .expect("engine");
+    engine.askBatch(questions).expect("batch");
+    engine.ask(questions[0]).expect("ask");
+
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.questions, questions.size() + 1);
+    EXPECT_EQ(stats.batches, 1u);
+    EXPECT_EQ(stats.quality_low + stats.quality_medium +
+                  stats.quality_high,
+              stats.questions);
+    EXPECT_GT(stats.highQualityFraction(), 0.0);
+    EXPECT_LE(stats.latency_p50_ms, stats.latency_p90_ms);
+    EXPECT_LE(stats.latency_p90_ms, stats.latency_p99_ms);
+    EXPECT_GT(stats.latency_mean_ms, 0.0);
 }
 
 TEST(ChatSessionTest, TranscriptAccumulates)
 {
-    CacheMind engine(sharedDb());
+    auto engine = defaultEngine();
     ChatSession chat(engine);
     chat.ask("Which policy has the lowest miss rate in the astar "
-             "workload?");
+             "workload?")
+        .expect("turn 1");
     chat.ask("Identify 3 hot and 3 cold sets by hit rate for the "
-             "astar workload under LRU.");
+             "astar workload under LRU.")
+        .expect("turn 2");
     const auto transcript = chat.transcript();
     EXPECT_NE(transcript.find("User: Which policy"), std::string::npos);
     EXPECT_NE(transcript.find("Assistant:"), std::string::npos);
@@ -89,10 +226,11 @@ TEST(ChatSessionTest, TranscriptAccumulates)
 
 TEST(ChatSessionTest, MemoryRecallsEarlierAnswers)
 {
-    CacheMind engine(sharedDb());
+    auto engine = defaultEngine();
     ChatSession chat(engine);
     chat.ask("Which policy has the lowest miss rate in the astar "
-             "workload?");
+             "workload?")
+        .expect("turn");
     const auto recalled =
         chat.memory().recall("lowest miss rate policy astar");
     ASSERT_FALSE(recalled.empty());
@@ -101,11 +239,51 @@ TEST(ChatSessionTest, MemoryRecallsEarlierAnswers)
 
 TEST(ChatSessionTest, AnswersAreReproducibleAcrossSessions)
 {
-    CacheMind e1(sharedDb());
-    CacheMind e2(sharedDb());
+    auto e1 = defaultEngine();
+    auto e2 = defaultEngine();
     ChatSession c1(e1);
     ChatSession c2(e2);
     const std::string q =
         "Which policy has the lowest miss rate in the astar workload?";
-    EXPECT_EQ(c1.ask(q).text, c2.ask(q).text);
+    EXPECT_EQ(c1.ask(q).expect("c1").text, c2.ask(q).expect("c2").text);
+}
+
+TEST(ChatSessionTest, RejectsBlankQuestionEvenWithMemory)
+{
+    auto engine = defaultEngine();
+    ChatSession chat(engine);
+    chat.ask("Which policy has the lowest miss rate in the astar "
+             "workload?")
+        .expect("turn 1");
+    // Memory augmentation must not turn blank input into an
+    // answerable fabricated query.
+    auto blank = chat.ask("   ");
+    ASSERT_FALSE(blank.ok());
+    EXPECT_EQ(blank.error().code, EngineErrorCode::EmptyQuestion);
+    EXPECT_EQ(chat.memory().totalTurns(), 1u);
+}
+
+TEST(ChatSessionTest, MemorySharpensUnderSpecifiedFollowUp)
+{
+    const auto *entry = sharedDb().find("astar_evictions_lru");
+    const std::uint64_t pc = entry->table.pcAt(0);
+    const std::string follow_up =
+        "What is the miss rate for PC " + str::hex(pc) + "?";
+
+    // Without conversation state the follow-up names no workload, so
+    // retrieval cannot resolve a trace.
+    auto bare_engine = defaultEngine();
+    auto bare = bare_engine.ask(follow_up).expect("bare ask");
+    EXPECT_TRUE(bare.bundle.trace_key.empty());
+
+    // With memory of an earlier astar/LRU turn, the recalled facts
+    // fill the missing slots *before* retrieval.
+    auto engine = defaultEngine();
+    ChatSession chat(engine);
+    chat.ask("What is the miss rate for PC " + str::hex(pc) +
+             " in the astar workload with LRU?")
+        .expect("turn 1");
+    auto sharpened = chat.ask(follow_up).expect("turn 2");
+    EXPECT_EQ(sharpened.bundle.trace_key, "astar_evictions_lru");
+    EXPECT_TRUE(sharpened.answer.number.has_value());
 }
