@@ -28,10 +28,9 @@ policyDisplay(const std::string &policy)
 
 } // namespace
 
-BenchGenerator::BenchGenerator(const db::TraceDatabase &db,
-                               std::uint64_t seed,
+BenchGenerator::BenchGenerator(db::ShardSet shards, std::uint64_t seed,
                                SuiteComposition composition)
-    : db_(db), seed_(seed), comp_(composition)
+    : db_(std::move(shards)), seed_(seed), comp_(composition)
 {
     CM_ASSERT(db_.size() > 0, "benchmark needs a non-empty database");
 }
@@ -179,7 +178,7 @@ BenchGenerator::makePolicyComparison(std::size_t n, std::size_t) const
             bool ok = true;
             for (const auto &policy : policies) {
                 const auto *expert = db_.statsFor(
-                    db::TraceDatabase::keyFor(workload, policy));
+                    db::shardKey(workload, policy));
                 if (!expert) {
                     ok = false;
                     break;
@@ -196,7 +195,7 @@ BenchGenerator::makePolicyComparison(std::size_t n, std::size_t) const
         } else {
             for (const auto &policy : policies) {
                 const auto *expert = db_.statsFor(
-                    db::TraceDatabase::keyFor(workload, policy));
+                    db::shardKey(workload, policy));
                 if (!expert)
                     continue;
                 rates.emplace_back(policy,
@@ -221,7 +220,7 @@ BenchGenerator::makePolicyComparison(std::size_t n, std::size_t) const
         }
         Question q;
         q.category = Category::PolicyComparison;
-        q.trace_key = db::TraceDatabase::keyFor(workload, "lru");
+        q.trace_key = db::shardKey(workload, "lru");
         std::ostringstream os;
         os << "Which policy has the " << (lowest ? "lowest" : "highest")
            << " miss rate ";
@@ -442,7 +441,7 @@ BenchGenerator::makeTrick(std::size_t n, std::size_t) const
             const std::size_t i =
                 rng.nextBelow(entry_a->table.size());
             const std::uint64_t addr = entry_a->table.addressAt(i);
-            q.trace_key = db::TraceDatabase::keyFor(wa, policy);
+            q.trace_key = db::shardKey(wa, policy);
             std::ostringstream os;
             os << "Does the memory access with PC " << str::hex(foreign)
                << " and address " << str::hex(addr)
@@ -461,7 +460,7 @@ BenchGenerator::makeTrick(std::size_t n, std::size_t) const
                 continue;
             if (!table.filter(&pc, &addr, 1).empty())
                 continue;
-            q.trace_key = db::TraceDatabase::keyFor(wa, policy);
+            q.trace_key = db::shardKey(wa, policy);
             std::ostringstream os;
             os << "Does the memory access with PC " << str::hex(pc)
                << " and address " << str::hex(addr)
@@ -565,9 +564,9 @@ BenchGenerator::makePolicyAnalysis(std::size_t n, std::size_t) const
         const auto &workload =
             workloads[rng.nextBelow(workloads.size())];
         const auto *belady_exp = db_.statsFor(
-            db::TraceDatabase::keyFor(workload, "belady"));
+            db::shardKey(workload, "belady"));
         const auto *lru_exp =
-            db_.statsFor(db::TraceDatabase::keyFor(workload, "lru"));
+            db_.statsFor(db::shardKey(workload, "lru"));
         if (!belady_exp || !lru_exp)
             continue;
         const auto *entry = db_.find(workload, "lru");
@@ -581,7 +580,7 @@ BenchGenerator::makePolicyAnalysis(std::size_t n, std::size_t) const
             continue;
         Question q;
         q.category = Category::ReplacementPolicyAnalysis;
-        q.trace_key = db::TraceDatabase::keyFor(workload, "belady");
+        q.trace_key = db::shardKey(workload, "belady");
         std::ostringstream os;
         os << "Why does Belady outperform LRU on PC " << str::hex(pc)
            << " in the " << workload << " workload?";
@@ -612,7 +611,7 @@ BenchGenerator::makeWorkloadAnalysis(std::size_t n, std::size_t) const
         double best_rate = -1.0;
         for (const auto &workload : workloads) {
             const auto *expert = db_.statsFor(
-                db::TraceDatabase::keyFor(workload, policy));
+                db::shardKey(workload, policy));
             if (!expert)
                 continue;
             if (expert->summary().missRate() > best_rate) {
@@ -625,7 +624,7 @@ BenchGenerator::makeWorkloadAnalysis(std::size_t n, std::size_t) const
         Question q;
         q.category = Category::WorkloadAnalysis;
         q.trace_key =
-            db::TraceDatabase::keyFor(best_workload, policy);
+            db::shardKey(best_workload, policy);
         std::ostringstream os;
         if (out.size() % 2 == 0) {
             os << "Comparing the ";

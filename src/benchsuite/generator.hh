@@ -14,7 +14,7 @@
 #define CACHEMIND_BENCHSUITE_GENERATOR_HH
 
 #include "benchsuite/question.hh"
-#include "db/database.hh"
+#include "db/shard.hh"
 
 namespace cachemind::benchsuite {
 
@@ -42,12 +42,11 @@ struct SuiteComposition
     }
 };
 
-/** Deterministic benchmark generator over a built database. */
+/** Deterministic benchmark generator over a built shard view. */
 class BenchGenerator
 {
   public:
-    BenchGenerator(const db::TraceDatabase &db,
-                   std::uint64_t seed = 0xbe7c4ULL,
+    BenchGenerator(db::ShardSet shards, std::uint64_t seed = 0xbe7c4ULL,
                    SuiteComposition composition = SuiteComposition{});
 
     /** Generate the full suite (Table 1 composition). */
@@ -80,7 +79,7 @@ class BenchGenerator
                                                std::size_t first_id)
         const;
 
-    const db::TraceDatabase &db_;
+    db::ShardSet db_;
     std::uint64_t seed_;
     SuiteComposition comp_;
 };

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "base/logging.hh"
+#include "base/parallel.hh"
 #include "base/stopwatch.hh"
 #include "base/str.hh"
 #include "llm/registry.hh"
@@ -42,8 +43,12 @@ CacheMind::create(const db::TraceDatabase &db, EngineOptions opts)
                            "batch_workers must be >= 1"};
     }
 
+    // One shard view, derived once, shared by the primary retriever
+    // and every batch worker built later.
+    db::ShardSet shards = db.shards();
+
     auto &retrievers = retrieval::RetrieverRegistry::instance();
-    auto retriever = retrievers.create(opts.retriever, db);
+    auto retriever = retrievers.create(opts.retriever, shards);
     if (!retriever) {
         return EngineError{
             EngineErrorCode::UnknownRetriever,
@@ -62,8 +67,8 @@ CacheMind::create(const db::TraceDatabase &db, EngineOptions opts)
                 str::join(backends.names(), ", ") + ")"};
     }
 
-    return CacheMind(db, std::move(opts), std::move(retriever),
-                     std::move(generator));
+    return CacheMind(db, std::move(shards), std::move(opts),
+                     std::move(retriever), std::move(generator));
 }
 
 /**
@@ -80,11 +85,12 @@ struct CacheMind::BatchPool
     std::vector<std::unique_ptr<retrieval::Retriever>> retrievers;
 };
 
-CacheMind::CacheMind(const db::TraceDatabase &db, EngineOptions opts,
+CacheMind::CacheMind(const db::TraceDatabase &db, db::ShardSet shards,
+                     EngineOptions opts,
                      std::unique_ptr<retrieval::Retriever> retriever,
                      std::unique_ptr<llm::GeneratorLlm> generator)
-    : db_(db), opts_(std::move(opts)), retriever_(std::move(retriever)),
-      generator_(std::move(generator)),
+    : db_(db), shards_(std::move(shards)), opts_(std::move(opts)),
+      retriever_(std::move(retriever)), generator_(std::move(generator)),
       stats_(std::make_unique<EngineStatsRecorder>()),
       batch_pool_(std::make_unique<BatchPool>())
 {
@@ -157,14 +163,31 @@ CacheMind::askBatch(const std::vector<std::string> &questions)
         auto &extras = batch_pool_->retrievers;
         {
             std::lock_guard<std::mutex> pool_lock(batch_pool_->mu);
-            while (extras.size() < workers - 1) {
-                auto r =
-                    retrieval::RetrieverRegistry::instance().create(
-                        opts_.retriever, db_);
-                CM_ASSERT(r != nullptr,
-                          "retriever vanished from registry: ",
-                          opts_.retriever);
-                extras.push_back(std::move(r));
+            if (extras.size() < workers - 1) {
+                // Construct the missing workers concurrently on the
+                // build_threads pool: per-worker construction can be
+                // heavy (LlamaIndex re-embeds its whole index), and
+                // each factory call is independent over the shared
+                // read-only shard view.
+                const std::size_t need = workers - 1 - extras.size();
+                const std::size_t ctor_threads =
+                    opts_.build_threads
+                        ? opts_.build_threads
+                        : std::max<std::size_t>(
+                              std::thread::hardware_concurrency(), 1);
+                std::vector<std::unique_ptr<retrieval::Retriever>>
+                    fresh(need);
+                parallelFor(need, ctor_threads, [&](std::size_t i) {
+                    fresh[i] =
+                        retrieval::RetrieverRegistry::instance().create(
+                            opts_.retriever, shards_);
+                });
+                for (auto &r : fresh) {
+                    CM_ASSERT(r != nullptr,
+                              "retriever vanished from registry: ",
+                              opts_.retriever);
+                    extras.push_back(std::move(r));
+                }
             }
         }
 

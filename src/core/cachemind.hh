@@ -44,6 +44,14 @@ struct EngineOptions
     llm::ShotMode shot_mode = llm::ShotMode::ZeroShot;
     /** Worker threads used by askBatch (>= 1). */
     std::size_t batch_workers = 4;
+    /**
+     * Threads used when the engine constructs components — today the
+     * per-worker retriever pool built on first askBatch, where e.g.
+     * LlamaIndex re-embeds its whole index per worker. Same sentinel
+     * as db::BuildOptions::build_threads: 0 = one thread per hardware
+     * core (always clamped to the work available).
+     */
+    std::size_t build_threads = 0;
 };
 
 /** What went wrong, as a branchable code plus a rendered message. */
@@ -126,9 +134,12 @@ class CacheMind
     const llm::GeneratorLlm &generator() const { return *generator_; }
     const EngineOptions &options() const { return opts_; }
     const db::TraceDatabase &database() const { return db_; }
+    /** The shard view the engine's retrievers serve from. */
+    const db::ShardSet &shards() const { return shards_; }
 
   private:
-    CacheMind(const db::TraceDatabase &db, EngineOptions opts,
+    CacheMind(const db::TraceDatabase &db, db::ShardSet shards,
+              EngineOptions opts,
               std::unique_ptr<retrieval::Retriever> retriever,
               std::unique_ptr<llm::GeneratorLlm> generator);
 
@@ -139,6 +150,8 @@ class CacheMind
     struct BatchPool;
 
     const db::TraceDatabase &db_;
+    /** Immutable shard view handed to every registry-built retriever. */
+    db::ShardSet shards_;
     EngineOptions opts_;
     std::unique_ptr<retrieval::Retriever> retriever_;
     std::unique_ptr<llm::GeneratorLlm> generator_;
@@ -187,6 +200,13 @@ class CacheMind::Builder
     withBatchWorkers(std::size_t workers)
     {
         opts_.batch_workers = workers;
+        return *this;
+    }
+
+    Builder &
+    withBuildThreads(std::size_t threads)
+    {
+        opts_.build_threads = threads;
         return *this;
     }
 

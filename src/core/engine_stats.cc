@@ -50,11 +50,12 @@ EngineStatsRecorder::snapshot() const
     s.quality_medium = quality_medium_;
     s.quality_high = quality_high_;
     if (!latency_reservoir_ms_.empty()) {
-        std::vector<double> sorted = latency_reservoir_ms_;
-        std::sort(sorted.begin(), sorted.end());
-        s.latency_p50_ms = stats::percentileSorted(sorted, 50.0);
-        s.latency_p90_ms = stats::percentileSorted(sorted, 90.0);
-        s.latency_p99_ms = stats::percentileSorted(sorted, 99.0);
+        sort_scratch_.assign(latency_reservoir_ms_.begin(),
+                             latency_reservoir_ms_.end());
+        std::sort(sort_scratch_.begin(), sort_scratch_.end());
+        s.latency_p50_ms = stats::percentileSorted(sort_scratch_, 50.0);
+        s.latency_p90_ms = stats::percentileSorted(sort_scratch_, 90.0);
+        s.latency_p99_ms = stats::percentileSorted(sort_scratch_, 99.0);
         s.latency_mean_ms =
             latency_sum_ms_ / static_cast<double>(questions_);
     }

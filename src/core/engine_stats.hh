@@ -77,6 +77,12 @@ class EngineStatsRecorder
     std::uint64_t quality_high_ = 0;
     double latency_sum_ms_ = 0.0;
     std::vector<double> latency_reservoir_ms_;
+    /**
+     * Scratch for percentile extraction: the reservoir is copied and
+     * sorted exactly once per snapshot, into a buffer reused across
+     * snapshots so steady-state polling allocates nothing.
+     */
+    mutable std::vector<double> sort_scratch_;
 };
 
 } // namespace cachemind::core

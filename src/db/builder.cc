@@ -2,8 +2,10 @@
 
 #include <deque>
 #include <sstream>
+#include <thread>
 
 #include "base/logging.hh"
+#include "base/parallel.hh"
 #include "base/str.hh"
 #include "policy/parrot.hh"
 #include "sim/llc_replay.hh"
@@ -101,25 +103,91 @@ buildEntry(const std::string &workload_name,
 TraceDatabase
 buildDatabase(const BuildOptions &options)
 {
+    const std::size_t threads =
+        options.build_threads
+            ? options.build_threads
+            : std::max<std::size_t>(
+                  std::thread::hardware_concurrency(), 1);
+
     TraceDatabase db;
-    for (const auto wk : options.workloads) {
-        auto model = trace::makeWorkload(wk);
-        const trace::SymbolTable *symbols =
-            db.addSymbols(model->info().name, model->symbols());
+    if (threads <= 1) {
+        // Sequential path: one workload's artifacts live at a time,
+        // so peak memory stays at a single stream.
+        for (const auto wk : options.workloads) {
+            auto model = trace::makeWorkload(wk);
+            const trace::SymbolTable *symbols =
+                db.addSymbols(model->info().name, model->symbols());
+            const auto cpu_trace =
+                options.accesses_override
+                    ? model->generate(options.accesses_override)
+                    : model->generate();
+            const auto stream =
+                sim::captureLlcStream(cpu_trace, options.hierarchy);
+            const auto oracle = sim::computeOracle(stream);
+            for (const auto pk : options.policies) {
+                db.addEntry(buildEntry(
+                    model->info().name, model->info().description, pk,
+                    stream, oracle, options.hierarchy, symbols,
+                    options.history_len));
+            }
+        }
+        return db;
+    }
+
+    // Parallel path. Every task is a pure function of its inputs
+    // (trace synthesis, replay, and Parrot training all draw from
+    // deterministic keyed generators), so the result is byte-identical
+    // to the sequential build; only wall-clock changes. Peak memory
+    // holds every workload's LLC stream at once — the price of the
+    // workload-level fan-out.
+    struct WorkloadArtifacts
+    {
+        std::string name;
+        std::string description;
+        trace::SymbolTable symbols;
+        std::vector<sim::LlcAccess> stream;
+        sim::OracleInfo oracle;
+    };
+
+    // Stage 1: per-workload trace generation, LLC capture, and oracle
+    // computation — done once per workload and shared read-only by
+    // every policy replay below.
+    const std::size_t n_workloads = options.workloads.size();
+    std::vector<WorkloadArtifacts> arts(n_workloads);
+    parallelFor(n_workloads, threads, [&](std::size_t wi) {
+        auto model = trace::makeWorkload(options.workloads[wi]);
+        WorkloadArtifacts &a = arts[wi];
+        a.name = model->info().name;
+        a.description = model->info().description;
+        a.symbols = model->symbols();
         const auto cpu_trace =
             options.accesses_override
                 ? model->generate(options.accesses_override)
                 : model->generate();
-        const auto stream =
-            sim::captureLlcStream(cpu_trace, options.hierarchy);
-        const auto oracle = sim::computeOracle(stream);
-        for (const auto pk : options.policies) {
-            db.addEntry(buildEntry(
-                model->info().name, model->info().description, pk,
-                stream, oracle, options.hierarchy, symbols,
-                options.history_len));
-        }
-    }
+        a.stream = sim::captureLlcStream(cpu_trace, options.hierarchy);
+        a.oracle = sim::computeOracle(a.stream);
+    });
+
+    // Symbol registration mutates the database: single-threaded, in
+    // workload order, before any entry references the tables.
+    std::vector<const trace::SymbolTable *> symbols(n_workloads);
+    for (std::size_t wi = 0; wi < n_workloads; ++wi)
+        symbols[wi] = db.addSymbols(arts[wi].name,
+                                    std::move(arts[wi].symbols));
+
+    // Stage 2: one task per (workload, policy) pair.
+    const std::size_t n_policies = options.policies.size();
+    std::vector<TraceEntry> entries(n_workloads * n_policies);
+    parallelFor(entries.size(), threads, [&](std::size_t t) {
+        const WorkloadArtifacts &a = arts[t / n_policies];
+        entries[t] = buildEntry(a.name, a.description,
+                                options.policies[t % n_policies],
+                                a.stream, a.oracle, options.hierarchy,
+                                symbols[t / n_policies],
+                                options.history_len);
+    });
+    for (auto &entry : entries)
+        db.addEntry(std::move(entry));
     return db;
 }
 

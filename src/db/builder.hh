@@ -31,6 +31,15 @@ struct BuildOptions
     std::uint64_t accesses_override = 0;
     /** Recent-access-history window stored per row. */
     std::uint32_t history_len = 4;
+    /**
+     * Worker threads for the parallel build path: trace generation
+     * and oracle computation run once per workload, replays run once
+     * per (workload, policy) pair, both fanned out on a small pool.
+     * The output is byte-identical to the sequential build (tables,
+     * metadata strings, key ordering). 1 = sequential; 0 = one thread
+     * per hardware core.
+     */
+    std::size_t build_threads = 1;
 };
 
 /** Build the metadata summary string from a computed expert. */

@@ -1,7 +1,5 @@
 #include "db/database.hh"
 
-#include <algorithm>
-
 #include "base/logging.hh"
 
 namespace cachemind::db {
@@ -10,7 +8,7 @@ std::string
 TraceDatabase::keyFor(const std::string &workload,
                       const std::string &policy)
 {
-    return workload + "_evictions_" + policy;
+    return shardKey(workload, policy);
 }
 
 const trace::SymbolTable *
@@ -33,16 +31,18 @@ TraceDatabase::symbolsFor(const std::string &workload) const
 void
 TraceDatabase::addEntry(TraceEntry entry)
 {
-    const std::string key = keyFor(entry.workload, entry.policy);
-    entries_[key] = std::move(entry);
-    experts_.erase(key);
+    std::string key = keyFor(entry.workload, entry.policy);
+    // Replacing the whole shard discards any previously built expert;
+    // a once_flag cannot be re-armed in place.
+    auto shard = std::make_unique<TraceShard>(key, std::move(entry));
+    shards_[std::move(key)] = std::move(shard);
 }
 
 const TraceEntry *
 TraceDatabase::find(const std::string &key) const
 {
-    const auto it = entries_.find(key);
-    return it == entries_.end() ? nullptr : &it->second;
+    const auto it = shards_.find(key);
+    return it == shards_.end() ? nullptr : &it->second->entry();
 }
 
 const TraceEntry *
@@ -55,25 +55,41 @@ TraceDatabase::find(const std::string &workload,
 const StatsExpert *
 TraceDatabase::statsFor(const std::string &key) const
 {
-    const TraceEntry *entry = find(key);
-    if (!entry)
-        return nullptr;
-    auto it = experts_.find(key);
-    if (it == experts_.end()) {
-        it = experts_
-                 .emplace(key,
-                          std::make_unique<StatsExpert>(entry->table))
-                 .first;
-    }
-    return it->second.get();
+    const auto it = shards_.find(key);
+    return it == shards_.end() ? nullptr : it->second->stats();
+}
+
+TraceShardView
+TraceDatabase::shard(const std::string &key) const
+{
+    const auto it = shards_.find(key);
+    return TraceShardView(it == shards_.end() ? nullptr
+                                              : it->second.get());
+}
+
+TraceShardView
+TraceDatabase::shard(const std::string &workload,
+                     const std::string &policy) const
+{
+    return shard(keyFor(workload, policy));
+}
+
+ShardSet
+TraceDatabase::shards() const
+{
+    std::vector<const TraceShard *> all;
+    all.reserve(shards_.size());
+    for (const auto &[key, shard] : shards_)
+        all.push_back(shard.get());
+    return ShardSet(std::move(all));
 }
 
 std::vector<std::string>
 TraceDatabase::keys() const
 {
     std::vector<std::string> out;
-    out.reserve(entries_.size());
-    for (const auto &[key, entry] : entries_)
+    out.reserve(shards_.size());
+    for (const auto &[key, shard] : shards_)
         out.push_back(key);
     return out;
 }
@@ -81,29 +97,13 @@ TraceDatabase::keys() const
 std::vector<std::string>
 TraceDatabase::workloads() const
 {
-    std::vector<std::string> out;
-    for (const auto &[key, entry] : entries_) {
-        if (std::find(out.begin(), out.end(), entry.workload) ==
-            out.end()) {
-            out.push_back(entry.workload);
-        }
-    }
-    std::sort(out.begin(), out.end());
-    return out;
+    return shards().workloads();
 }
 
 std::vector<std::string>
 TraceDatabase::policies() const
 {
-    std::vector<std::string> out;
-    for (const auto &[key, entry] : entries_) {
-        if (std::find(out.begin(), out.end(), entry.policy) ==
-            out.end()) {
-            out.push_back(entry.policy);
-        }
-    }
-    std::sort(out.begin(), out.end());
-    return out;
+    return shards().policies();
 }
 
 } // namespace cachemind::db

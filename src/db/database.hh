@@ -7,6 +7,13 @@
  * human-readable description — exactly the three fields of the paper's
  * `loaded_data` dictionary. The database also owns the per-workload
  * symbol tables that back the string columns.
+ *
+ * Internally the database is partitioned into per-(workload, policy)
+ * TraceShards (see db/shard.hh): each shard owns its entry and its
+ * lazily built StatsExpert, so concurrent readers never contend on —
+ * or race over — a global expert cache. Mutation (addEntry/addSymbols)
+ * is build-phase only: it is not synchronized against readers, and
+ * views handed out by shard()/shards() are invalidated by it.
  */
 
 #ifndef CACHEMIND_DB_DATABASE_HH
@@ -16,22 +23,11 @@
 #include <memory>
 #include <string>
 
+#include "db/shard.hh"
 #include "db/stats_expert.hh"
 #include "db/table.hh"
 
 namespace cachemind::db {
-
-/** One `loaded_data[key]` entry. */
-struct TraceEntry
-{
-    TraceTable table;
-    /** Free-form whole-trace summary string (paper's `metadata`). */
-    std::string metadata;
-    /** Workload + policy description (paper's `description`). */
-    std::string description;
-    std::string workload;
-    std::string policy;
-};
 
 /** The full external store. */
 class TraceDatabase
@@ -54,7 +50,13 @@ class TraceDatabase
     const trace::SymbolTable *symbolsFor(const std::string &workload)
         const;
 
-    /** Add an entry (moves it in). */
+    /**
+     * Add an entry (moves it in). Replacing an existing key swaps in
+     * a whole new shard: TraceEntry pointers, expert pointers, and
+     * shard views previously obtained for that key dangle afterwards.
+     * Mutation is build-phase only — never add entries while engines
+     * or retrievers hold views of this database.
+     */
     void addEntry(TraceEntry entry);
 
     /** Lookup by key; nullptr if absent. */
@@ -64,8 +66,21 @@ class TraceDatabase
     const TraceEntry *find(const std::string &workload,
                            const std::string &policy) const;
 
-    /** Lazily built statistics expert for an entry key. */
+    /**
+     * Lazily built statistics expert for an entry key. Thread-safe:
+     * the expert is constructed once under the owning shard's
+     * once_flag, so concurrent askBatch workers on the same (or
+     * sibling) keys never race.
+     */
     const StatsExpert *statsFor(const std::string &key) const;
+
+    /** Handle to one shard; invalid view when the key is absent. */
+    TraceShardView shard(const std::string &key) const;
+    TraceShardView shard(const std::string &workload,
+                         const std::string &policy) const;
+
+    /** Read-only view over every shard (what retrievers consume). */
+    ShardSet shards() const;
 
     /** All keys, sorted. */
     std::vector<std::string> keys() const;
@@ -76,13 +91,12 @@ class TraceDatabase
     /** Distinct policy names present, sorted. */
     std::vector<std::string> policies() const;
 
-    std::size_t size() const { return entries_.size(); }
+    std::size_t size() const { return shards_.size(); }
 
   private:
-    std::map<std::string, TraceEntry> entries_;
+    /** unique_ptr: shards hold a once_flag and need stable addresses. */
+    std::map<std::string, std::unique_ptr<TraceShard>> shards_;
     std::map<std::string, std::unique_ptr<trace::SymbolTable>> symbols_;
-    /** Cache of lazily constructed experts (mutable: logical const). */
-    mutable std::map<std::string, std::unique_ptr<StatsExpert>> experts_;
 };
 
 } // namespace cachemind::db

@@ -1,0 +1,129 @@
+#include "db/shard.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "db/database.hh"
+
+namespace cachemind::db {
+
+std::string
+shardKey(const std::string &workload, const std::string &policy)
+{
+    return workload + "_evictions_" + policy;
+}
+
+const StatsExpert *
+TraceShard::stats() const
+{
+    std::call_once(expert_once_, [this] {
+        expert_ = std::make_unique<StatsExpert>(entry_.table);
+    });
+    return expert_.get();
+}
+
+namespace {
+
+bool
+keyLess(const TraceShard *a, const TraceShard *b)
+{
+    return a->key() < b->key();
+}
+
+} // namespace
+
+ShardSet::ShardSet(const TraceDatabase &db) : ShardSet(db.shards()) {}
+
+ShardSet::ShardSet(std::vector<const TraceShard *> shards)
+    : shards_(std::move(shards))
+{
+    std::sort(shards_.begin(), shards_.end(), keyLess);
+}
+
+const TraceShard *
+ShardSet::lookup(const std::string &key) const
+{
+    const auto it = std::lower_bound(
+        shards_.begin(), shards_.end(), key,
+        [](const TraceShard *s, const std::string &k) {
+            return s->key() < k;
+        });
+    if (it == shards_.end() || (*it)->key() != key)
+        return nullptr;
+    return *it;
+}
+
+TraceShardView
+ShardSet::shard(const std::string &key) const
+{
+    return TraceShardView(lookup(key));
+}
+
+TraceShardView
+ShardSet::shard(const std::string &workload,
+                const std::string &policy) const
+{
+    return shard(shardKey(workload, policy));
+}
+
+ShardSet
+ShardSet::forWorkload(const std::string &workload) const
+{
+    std::vector<const TraceShard *> subset;
+    for (const auto *s : shards_) {
+        if (s->entry().workload == workload)
+            subset.push_back(s);
+    }
+    return ShardSet(std::move(subset));
+}
+
+const TraceEntry *
+ShardSet::find(const std::string &key) const
+{
+    const TraceShard *s = lookup(key);
+    return s ? &s->entry() : nullptr;
+}
+
+const TraceEntry *
+ShardSet::find(const std::string &workload,
+               const std::string &policy) const
+{
+    return find(shardKey(workload, policy));
+}
+
+const StatsExpert *
+ShardSet::statsFor(const std::string &key) const
+{
+    const TraceShard *s = lookup(key);
+    return s ? s->stats() : nullptr;
+}
+
+std::vector<std::string>
+ShardSet::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(shards_.size());
+    for (const auto *s : shards_)
+        out.push_back(s->key());
+    return out;
+}
+
+std::vector<std::string>
+ShardSet::workloads() const
+{
+    std::set<std::string> seen;
+    for (const auto *s : shards_)
+        seen.insert(s->entry().workload);
+    return {seen.begin(), seen.end()};
+}
+
+std::vector<std::string>
+ShardSet::policies() const
+{
+    std::set<std::string> seen;
+    for (const auto *s : shards_)
+        seen.insert(s->entry().policy);
+    return {seen.begin(), seen.end()};
+}
+
+} // namespace cachemind::db

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Shard-level ownership and views of the trace database (§4.3 data
+ * organization, partitioned).
+ *
+ * A TraceShard is the unit of ownership behind one
+ * `<workload>_evictions_<policy>` key: the TraceEntry, the lazily
+ * built StatsExpert (constructed under a per-shard std::once_flag so
+ * concurrent askBatch workers race-freely share one expert), and the
+ * workload's shared symbol table reached through the entry's table.
+ *
+ * TraceShardView is a cheap handle to one shard. ShardSet is an
+ * immutable, key-sorted view over many shards — the read surface that
+ * retrievers, the query interpreter, and the benchmark generator
+ * consume instead of a whole mutable database reference, so the ask
+ * hot path touches no global mutable state.
+ */
+
+#ifndef CACHEMIND_DB_SHARD_HH
+#define CACHEMIND_DB_SHARD_HH
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "db/stats_expert.hh"
+#include "db/table.hh"
+
+namespace cachemind::db {
+
+class TraceDatabase;
+
+/** Canonical entry key: `<workload>_evictions_<policy>`. */
+std::string shardKey(const std::string &workload,
+                     const std::string &policy);
+
+/** One `loaded_data[key]` entry. */
+struct TraceEntry
+{
+    TraceTable table;
+    /** Free-form whole-trace summary string (paper's `metadata`). */
+    std::string metadata;
+    /** Workload + policy description (paper's `description`). */
+    std::string description;
+    std::string workload;
+    std::string policy;
+};
+
+/**
+ * Unit of ownership for one (workload, policy) pair. Shards are
+ * immutable after construction except for the expert cache, which is
+ * built exactly once under the once_flag — safe to hit from any
+ * number of threads.
+ */
+class TraceShard
+{
+  public:
+    TraceShard(std::string key, TraceEntry entry)
+        : key_(std::move(key)), entry_(std::move(entry))
+    {
+    }
+    TraceShard(const TraceShard &) = delete;
+    TraceShard &operator=(const TraceShard &) = delete;
+
+    const std::string &key() const { return key_; }
+    const TraceEntry &entry() const { return entry_; }
+    const TraceTable &table() const { return entry_.table; }
+
+    /** The workload's symbol table (nullptr when absent). */
+    const trace::SymbolTable *
+    symbols() const
+    {
+        return entry_.table.symbols();
+    }
+
+    /** The shard's statistics expert, built once, thread-safe. */
+    const StatsExpert *stats() const;
+
+  private:
+    std::string key_;
+    TraceEntry entry_;
+    mutable std::once_flag expert_once_;
+    mutable std::unique_ptr<StatsExpert> expert_;
+};
+
+/**
+ * Non-owning handle to one shard. Default-constructed views are
+ * invalid; entry()/table()/key() must only be called on valid views,
+ * stats()/symbols() return nullptr on invalid ones.
+ */
+class TraceShardView
+{
+  public:
+    TraceShardView() = default;
+    explicit TraceShardView(const TraceShard *shard) : shard_(shard) {}
+
+    bool valid() const { return shard_ != nullptr; }
+    explicit operator bool() const { return valid(); }
+
+    const std::string &key() const { return shard_->key(); }
+    const TraceEntry &entry() const { return shard_->entry(); }
+    const TraceTable &table() const { return shard_->table(); }
+
+    const StatsExpert *
+    stats() const
+    {
+        return shard_ ? shard_->stats() : nullptr;
+    }
+
+    const trace::SymbolTable *
+    symbols() const
+    {
+        return shard_ ? shard_->symbols() : nullptr;
+    }
+
+  private:
+    const TraceShard *shard_ = nullptr;
+};
+
+/**
+ * Immutable, key-sorted view over a set of shards. Cheap to copy
+ * (a vector of pointers); the shards — and hence the database that
+ * owns them — must outlive every view.
+ */
+class ShardSet
+{
+  public:
+    ShardSet() = default;
+
+    /**
+     * Bridging view over every shard of a database. Deliberately
+     * implicit: call sites that passed `const TraceDatabase &` into
+     * retrievers, the interpreter, or the generator keep compiling
+     * while now receiving only the read surface.
+     */
+    ShardSet(const TraceDatabase &db);
+
+    /** View over an explicit shard list (sorted by key internally). */
+    explicit ShardSet(std::vector<const TraceShard *> shards);
+
+    /** Handle for one key; invalid view when absent. */
+    TraceShardView shard(const std::string &key) const;
+    TraceShardView shard(const std::string &workload,
+                         const std::string &policy) const;
+
+    /**
+     * Subset holding every policy shard of one workload — the natural
+     * scope for cross-policy comparison intents.
+     */
+    ShardSet forWorkload(const std::string &workload) const;
+
+    /** Lookup by key; nullptr if absent. */
+    const TraceEntry *find(const std::string &key) const;
+    const TraceEntry *find(const std::string &workload,
+                           const std::string &policy) const;
+
+    /** Thread-safe lazily built expert; nullptr if absent. */
+    const StatsExpert *statsFor(const std::string &key) const;
+
+    /** All keys, sorted. */
+    std::vector<std::string> keys() const;
+
+    /** Distinct workload names present, sorted. */
+    std::vector<std::string> workloads() const;
+
+    /** Distinct policy names present, sorted. */
+    std::vector<std::string> policies() const;
+
+    std::size_t size() const { return shards_.size(); }
+    bool empty() const { return shards_.empty(); }
+
+  private:
+    const TraceShard *lookup(const std::string &key) const;
+
+    /** Sorted by key (binary-search lookups, deterministic order). */
+    std::vector<const TraceShard *> shards_;
+};
+
+} // namespace cachemind::db
+
+#endif // CACHEMIND_DB_SHARD_HH

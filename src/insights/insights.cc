@@ -9,16 +9,16 @@ namespace cachemind::insights {
 namespace {
 
 const db::StatsExpert *
-expertFor(const db::TraceDatabase &db, const std::string &workload,
+expertFor(const db::ShardSet &db, const std::string &workload,
           const std::string &policy)
 {
-    return db.statsFor(db::TraceDatabase::keyFor(workload, policy));
+    return db.statsFor(db::shardKey(workload, policy));
 }
 
 } // namespace
 
 std::vector<BypassCandidate>
-recommendBypassPcs(const db::TraceDatabase &db,
+recommendBypassPcs(const db::ShardSet &db,
                    const std::string &workload,
                    const std::string &policy, std::size_t n)
 {
@@ -70,7 +70,7 @@ StabilityBuckets::stablePcSet() const
 }
 
 StabilityBuckets
-classifyPcStability(const db::TraceDatabase &db,
+classifyPcStability(const db::ShardSet &db,
                     const std::string &workload,
                     const std::string &policy,
                     std::uint64_t min_accesses, double low_cov,
@@ -114,7 +114,7 @@ classifyPcStability(const db::TraceDatabase &db,
 }
 
 SetHotnessReport
-analyzeSetHotness(const db::TraceDatabase &db,
+analyzeSetHotness(const db::ShardSet &db,
                   const std::string &workload,
                   const std::string &policy, std::size_t n)
 {
@@ -144,12 +144,12 @@ hotSetOverlap(const std::vector<db::SetStats> &a,
 }
 
 PrefetchTarget
-findDominantMissPc(const db::TraceDatabase &db,
+findDominantMissPc(const db::ShardSet &db,
                    const std::string &workload,
                    const std::string &policy)
 {
     PrefetchTarget target;
-    const std::string key = db::TraceDatabase::keyFor(workload, policy);
+    const std::string key = db::shardKey(workload, policy);
     const db::StatsExpert *expert = db.statsFor(key);
     const db::TraceEntry *entry = db.find(key);
     if (!expert || !entry)

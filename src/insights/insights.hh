@@ -16,7 +16,7 @@
 
 #include <unordered_set>
 
-#include "db/database.hh"
+#include "db/shard.hh"
 
 namespace cachemind::insights {
 
@@ -37,7 +37,7 @@ struct BypassCandidate
  * reference policy — inserting them only pollutes the cache.
  */
 std::vector<BypassCandidate>
-recommendBypassPcs(const db::TraceDatabase &db,
+recommendBypassPcs(const db::ShardSet &db,
                    const std::string &workload,
                    const std::string &policy, std::size_t n);
 
@@ -74,7 +74,7 @@ struct StabilityBuckets
  * coefficient of variation (stdev / mean): PCs below `low_cov` are
  * low-variance, below `high_cov` medium, and high otherwise.
  */
-StabilityBuckets classifyPcStability(const db::TraceDatabase &db,
+StabilityBuckets classifyPcStability(const db::ShardSet &db,
                                      const std::string &workload,
                                      const std::string &policy,
                                      std::uint64_t min_accesses = 100,
@@ -89,7 +89,7 @@ struct SetHotnessReport
 };
 
 /** Identify the n hottest/coldest sets by hit rate. */
-SetHotnessReport analyzeSetHotness(const db::TraceDatabase &db,
+SetHotnessReport analyzeSetHotness(const db::ShardSet &db,
                                    const std::string &workload,
                                    const std::string &policy,
                                    std::size_t n);
@@ -110,7 +110,7 @@ struct PrefetchTarget
 };
 
 /** Find the PC responsible for the most misses. */
-PrefetchTarget findDominantMissPc(const db::TraceDatabase &db,
+PrefetchTarget findDominantMissPc(const db::ShardSet &db,
                                   const std::string &workload,
                                   const std::string &policy);
 

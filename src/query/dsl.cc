@@ -133,7 +133,7 @@ DslResult
 Interpreter::run(const DslProgram &prog) const
 {
     DslResult res;
-    const db::TraceEntry *entry = db_.find(prog.trace_key);
+    const db::TraceEntry *entry = shards_.find(prog.trace_key);
     if (!entry) {
         res.error = "no trace named '" + prog.trace_key +
                     "' in the database";
@@ -158,7 +158,7 @@ Interpreter::run(const DslProgram &prog) const
         return res;
     }
     if (prog.op == DslOp::PerPcStats || prog.op == DslOp::PerSetStats) {
-        const db::StatsExpert *expert = db_.statsFor(prog.trace_key);
+        const db::StatsExpert *expert = shards_.statsFor(prog.trace_key);
         res.ok = true;
         if (prog.op == DslOp::PerPcStats) {
             if (prog.pc) {

@@ -18,7 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "db/database.hh"
+#include "db/shard.hh"
 
 namespace cachemind::query {
 
@@ -100,16 +100,19 @@ struct DslResult
     std::string text;
 };
 
-/** Executes DslPrograms against a database. */
+/** Executes DslPrograms against a shard view. */
 class Interpreter
 {
   public:
-    explicit Interpreter(const db::TraceDatabase &db) : db_(db) {}
+    explicit Interpreter(db::ShardSet shards)
+        : shards_(std::move(shards))
+    {
+    }
 
     DslResult run(const DslProgram &prog) const;
 
   private:
-    const db::TraceDatabase &db_;
+    db::ShardSet shards_;
 };
 
 } // namespace cachemind::query

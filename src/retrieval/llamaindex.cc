@@ -9,10 +9,11 @@
 
 namespace cachemind::retrieval {
 
-LlamaIndexRetriever::LlamaIndexRetriever(const db::TraceDatabase &db,
+LlamaIndexRetriever::LlamaIndexRetriever(db::ShardSet shards,
                                          LlamaIndexConfig cfg)
-    : db_(db), cfg_(std::move(cfg)),
-      parser_(db.workloads(), db.policies()), embedder_(cfg_.dims)
+    : shards_(std::move(shards)), cfg_(std::move(cfg)),
+      parser_(shards_.workloads(), shards_.policies()),
+      embedder_(cfg_.dims)
 {
     index_ = std::make_unique<text::VectorIndex>(embedder_);
     buildIndex();
@@ -21,8 +22,8 @@ LlamaIndexRetriever::LlamaIndexRetriever(const db::TraceDatabase &db,
 void
 LlamaIndexRetriever::buildIndex()
 {
-    for (const auto &key : db_.keys()) {
-        const auto *entry = db_.find(key);
+    for (const auto &key : shards_.keys()) {
+        const auto *entry = shards_.find(key);
         // Summary document per trace.
         {
             std::ostringstream os;
@@ -77,8 +78,8 @@ LlamaIndexRetriever::retrieve(const std::string &query)
 namespace {
 
 const RetrieverRegistrar llamaindex_registrar(
-    "llamaindex", [](const db::TraceDatabase &db) {
-        return std::make_unique<LlamaIndexRetriever>(db);
+    "llamaindex", [](const db::ShardSet &shards) {
+        return std::make_unique<LlamaIndexRetriever>(shards);
     });
 
 } // namespace

@@ -16,7 +16,7 @@
 
 #include <memory>
 
-#include "db/database.hh"
+#include "db/shard.hh"
 #include "query/parser.hh"
 #include "retrieval/context.hh"
 #include "text/embedding.hh"
@@ -38,7 +38,7 @@ struct LlamaIndexConfig
 class LlamaIndexRetriever : public Retriever
 {
   public:
-    LlamaIndexRetriever(const db::TraceDatabase &db,
+    LlamaIndexRetriever(db::ShardSet shards,
                         LlamaIndexConfig cfg = LlamaIndexConfig{});
 
     const char *name() const override { return "llamaindex"; }
@@ -49,7 +49,7 @@ class LlamaIndexRetriever : public Retriever
   private:
     void buildIndex();
 
-    const db::TraceDatabase &db_;
+    db::ShardSet shards_;
     LlamaIndexConfig cfg_;
     query::NlQueryParser parser_;
     text::HashEmbedder embedder_;

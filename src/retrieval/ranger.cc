@@ -19,10 +19,10 @@ using query::FieldKind;
 using query::ParsedQuery;
 using query::QueryIntent;
 
-RangerRetriever::RangerRetriever(const db::TraceDatabase &db,
-                                 RangerConfig cfg)
-    : db_(db), cfg_(std::move(cfg)),
-      parser_(db.workloads(), db.policies()), interp_(db)
+RangerRetriever::RangerRetriever(db::ShardSet shards, RangerConfig cfg)
+    : shards_(std::move(shards)), cfg_(std::move(cfg)),
+      parser_(shards_.workloads(), shards_.policies()),
+      interp_(shards_)
 {
 }
 
@@ -33,9 +33,8 @@ RangerRetriever::resolveTraceKey(const ParsedQuery &q) const
         return "";
     const std::string policy =
         q.hasPolicy() ? q.policy() : cfg_.default_policy;
-    const std::string key =
-        db::TraceDatabase::keyFor(q.workload(), policy);
-    return db_.find(key) ? key : "";
+    const std::string key = db::shardKey(q.workload(), policy);
+    return shards_.find(key) ? key : "";
 }
 
 namespace {
@@ -103,13 +102,12 @@ RangerRetriever::planPrograms(const ParsedQuery &q,
         break;
       }
       case QueryIntent::PolicyComparison: {
-        for (const auto &policy : db_.policies()) {
-            const std::string key =
-                db::TraceDatabase::keyFor(q.workload(), policy);
-            if (!db_.find(key))
-                continue;
+        // One program per policy shard of the queried workload.
+        const db::ShardSet workload_shards =
+            shards_.forWorkload(q.workload());
+        for (const auto &policy : workload_shards.policies()) {
             DslProgram p = base;
-            p.trace_key = key;
+            p.trace_key = db::shardKey(q.workload(), policy);
             p.op = DslOp::MissRate;
             progs.push_back(p);
         }
@@ -199,7 +197,7 @@ RangerRetriever::retrieve(const std::string &query)
         bundle.retrieval_ms = timer.milliseconds();
         return bundle;
     }
-    const db::TraceEntry &entry = *db_.find(bundle.trace_key);
+    const db::TraceEntry &entry = *shards_.find(bundle.trace_key);
 
     auto progs = planPrograms(q, bundle.trace_key);
     const std::uint64_t qkey =
@@ -220,7 +218,7 @@ RangerRetriever::retrieve(const std::string &query)
         if (res.number) {
             if (prog.op == DslOp::MissRate) {
                 bundle.policy_numbers.push_back(PolicyNumber{
-                    db_.find(prog.trace_key)->policy, *res.number,
+                    shards_.find(prog.trace_key)->policy, *res.number,
                     res.matched});
                 bundle.policy_numbers_label = "miss rates";
                 text << "[" << prog.trace_key << "] miss rate = "
@@ -290,8 +288,8 @@ RangerRetriever::retrieve(const std::string &query)
         bundle.premise_violation = true;
         bundle.premise_note = "Exact PC, Memory Address match not found "
                               "in " + bundle.trace_key + ".";
-        for (const auto &key : db_.keys()) {
-            const auto *other = db_.find(key);
+        for (const auto &key : shards_.keys()) {
+            const auto *other = shards_.find(key);
             if (other && key != bundle.trace_key &&
                 other->table.containsPc(*q.pc)) {
                 bundle.premise_note += " PC appears in " + key + ".";
@@ -317,8 +315,8 @@ RangerRetriever::retrieve(const std::string &query)
 namespace {
 
 const RetrieverRegistrar ranger_registrar(
-    "ranger", [](const db::TraceDatabase &db) {
-        return std::make_unique<RangerRetriever>(db);
+    "ranger", [](const db::ShardSet &shards) {
+        return std::make_unique<RangerRetriever>(shards);
     });
 
 } // namespace

@@ -16,7 +16,7 @@
 #ifndef CACHEMIND_RETRIEVAL_RANGER_HH
 #define CACHEMIND_RETRIEVAL_RANGER_HH
 
-#include "db/database.hh"
+#include "db/shard.hh"
 #include "query/dsl.hh"
 #include "query/parser.hh"
 #include "retrieval/context.hh"
@@ -40,11 +40,11 @@ struct RangerConfig
     std::uint64_t seed = 0x7a9eULL;
 };
 
-/** The Ranger retriever. */
+/** The Ranger retriever (serves any shard view, full store or subset). */
 class RangerRetriever : public Retriever
 {
   public:
-    RangerRetriever(const db::TraceDatabase &db,
+    RangerRetriever(db::ShardSet shards,
                     RangerConfig cfg = RangerConfig{});
 
     const char *name() const override { return "ranger"; }
@@ -61,7 +61,7 @@ class RangerRetriever : public Retriever
 
     std::string resolveTraceKey(const query::ParsedQuery &q) const;
 
-    const db::TraceDatabase &db_;
+    db::ShardSet shards_;
     RangerConfig cfg_;
     query::NlQueryParser parser_;
     query::Interpreter interp_;

@@ -32,7 +32,7 @@ RetrieverRegistry::has(const std::string &name) const
 
 std::unique_ptr<Retriever>
 RetrieverRegistry::create(const std::string &name,
-                          const db::TraceDatabase &db) const
+                          const db::ShardSet &shards) const
 {
     const std::string key = str::toLower(str::trim(name));
     Factory factory;
@@ -43,7 +43,7 @@ RetrieverRegistry::create(const std::string &name,
             return nullptr;
         factory = it->second;
     }
-    return factory(db);
+    return factory(shards);
 }
 
 std::vector<std::string>

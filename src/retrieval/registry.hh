@@ -8,6 +8,11 @@
  * and never changes when a new retriever is added. Downstream users
  * plug in custom retrievers the same way: register a factory under a
  * fresh name and pass that name to CacheMind::Builder.
+ *
+ * Factories receive a db::ShardSet — the read-only shard view — not a
+ * whole database reference, so a retriever can be scoped to any shard
+ * subset (one workload, one policy family) as easily as to the full
+ * store. A `const TraceDatabase &` still converts implicitly.
  */
 
 #ifndef CACHEMIND_RETRIEVAL_REGISTRY_HH
@@ -20,7 +25,7 @@
 #include <string>
 #include <vector>
 
-#include "db/database.hh"
+#include "db/shard.hh"
 #include "retrieval/context.hh"
 
 namespace cachemind::retrieval {
@@ -29,8 +34,8 @@ namespace cachemind::retrieval {
 class RetrieverRegistry
 {
   public:
-    using Factory = std::function<std::unique_ptr<Retriever>(
-        const db::TraceDatabase &)>;
+    using Factory =
+        std::function<std::unique_ptr<Retriever>(const db::ShardSet &)>;
 
     /** The singleton registry. */
     static RetrieverRegistry &instance();
@@ -46,11 +51,11 @@ class RetrieverRegistry
     bool has(const std::string &name) const;
 
     /**
-     * Construct the named retriever over a database; nullptr when the
-     * name is unknown.
+     * Construct the named retriever over a shard view; nullptr when
+     * the name is unknown.
      */
     std::unique_ptr<Retriever> create(const std::string &name,
-                                      const db::TraceDatabase &db) const;
+                                      const db::ShardSet &shards) const;
 
     /** All registered names, sorted. */
     std::vector<std::string> names() const;

@@ -12,10 +12,9 @@ namespace cachemind::retrieval {
 using query::ParsedQuery;
 using query::QueryIntent;
 
-SieveRetriever::SieveRetriever(const db::TraceDatabase &db,
-                               SieveConfig cfg)
-    : db_(db), cfg_(std::move(cfg)),
-      parser_(db.workloads(), db.policies())
+SieveRetriever::SieveRetriever(db::ShardSet shards, SieveConfig cfg)
+    : shards_(std::move(shards)), cfg_(std::move(cfg)),
+      parser_(shards_.workloads(), shards_.policies())
 {
 }
 
@@ -26,9 +25,8 @@ SieveRetriever::resolveTraceKey(const ParsedQuery &q) const
         return "";
     const std::string policy =
         q.hasPolicy() ? q.policy() : cfg_.default_policy;
-    const std::string key =
-        db::TraceDatabase::keyFor(q.workload(), policy);
-    return db_.find(key) ? key : "";
+    const std::string key = db::shardKey(q.workload(), policy);
+    return shards_.find(key) ? key : "";
 }
 
 void
@@ -42,8 +40,8 @@ SieveRetriever::checkPremise(const ParsedQuery &q,
             "PC " + str::hex(*q.pc) + " does not appear in trace " +
             bundle.trace_key + ".";
         // Look for the PC in other workloads to aid the rejection.
-        for (const auto &key : db_.keys()) {
-            const auto *other = db_.find(key);
+        for (const auto &key : shards_.keys()) {
+            const auto *other = shards_.find(key);
             if (other && key != bundle.trace_key &&
                 other->table.containsPc(*q.pc)) {
                 bundle.premise_note +=
@@ -94,8 +92,8 @@ SieveRetriever::retrieve(const std::string &query)
     if (bundle.trace_key.empty()) {
         // Could not resolve a trace: provide what global context we
         // can (descriptions of everything mentioned).
-        for (const auto &key : db_.keys()) {
-            const auto *entry = db_.find(key);
+        for (const auto &key : shards_.keys()) {
+            const auto *entry = shards_.find(key);
             if (q.hasWorkload() && entry->workload == q.workload()) {
                 bundle.workload_description = entry->description;
                 break;
@@ -105,8 +103,8 @@ SieveRetriever::retrieve(const std::string &query)
         return bundle;
     }
 
-    const db::TraceEntry &entry = *db_.find(bundle.trace_key);
-    const db::StatsExpert *expert = db_.statsFor(bundle.trace_key);
+    const db::TraceEntry &entry = *shards_.find(bundle.trace_key);
+    const db::StatsExpert *expert = shards_.statsFor(bundle.trace_key);
     bundle.workload_description = entry.description;
     bundle.policy_description =
         "Policy '" + entry.policy + "' on workload '" + entry.workload +
@@ -138,14 +136,15 @@ SieveRetriever::retrieve(const std::string &query)
 
     switch (q.intent) {
       case QueryIntent::PolicyComparison: {
-        // Gather the same statistic under every policy of the
-        // workload present in the database.
-        for (const auto &policy : db_.policies()) {
-            const auto *other = db_.find(q.workload(), policy);
-            if (!other)
+        // Gather the same statistic under every policy shard of the
+        // workload present in the view.
+        const db::ShardSet workload_shards =
+            shards_.forWorkload(q.workload());
+        for (const auto &policy : workload_shards.policies()) {
+            const auto *oexp = workload_shards.statsFor(
+                db::shardKey(q.workload(), policy));
+            if (!oexp)
                 continue;
-            const auto *oexp = db_.statsFor(
-                db::TraceDatabase::keyFor(q.workload(), policy));
             if (q.pc) {
                 if (auto ps = oexp->pcStats(*q.pc)) {
                     bundle.policy_numbers.push_back(PolicyNumber{
@@ -211,8 +210,8 @@ SieveRetriever::retrieve(const std::string &query)
             const std::string policy =
                 q.hasPolicy() ? q.policy() : cfg_.default_policy;
             for (const auto &workload : q.workloads) {
-                const auto *oexp = db_.statsFor(
-                    db::TraceDatabase::keyFor(workload, policy));
+                const auto *oexp =
+                    shards_.statsFor(db::shardKey(workload, policy));
                 if (!oexp)
                     continue;
                 bundle.policy_numbers.push_back(
@@ -222,9 +221,11 @@ SieveRetriever::retrieve(const std::string &query)
             bundle.policy_numbers_label = "workload miss rates";
         } else if (q.pc) {
             // Cross-policy numbers help "why does X beat Y on Z".
-            for (const auto &policy : db_.policies()) {
-                const auto *oexp = db_.statsFor(
-                    db::TraceDatabase::keyFor(q.workload(), policy));
+            const db::ShardSet workload_shards =
+                shards_.forWorkload(q.workload());
+            for (const auto &policy : workload_shards.policies()) {
+                const auto *oexp = workload_shards.statsFor(
+                    db::shardKey(q.workload(), policy));
                 if (!oexp)
                     continue;
                 if (auto ps = oexp->pcStats(*q.pc)) {
@@ -260,8 +261,8 @@ namespace {
 // Self-registration: the engine constructs Sieve by name through
 // RetrieverRegistry and never references this translation unit.
 const RetrieverRegistrar sieve_registrar(
-    "sieve", [](const db::TraceDatabase &db) {
-        return std::make_unique<SieveRetriever>(db);
+    "sieve", [](const db::ShardSet &shards) {
+        return std::make_unique<SieveRetriever>(shards);
     });
 
 } // namespace

@@ -10,7 +10,7 @@
 #ifndef CACHEMIND_RETRIEVAL_SIEVE_HH
 #define CACHEMIND_RETRIEVAL_SIEVE_HH
 
-#include "db/database.hh"
+#include "db/shard.hh"
 #include "query/parser.hh"
 #include "retrieval/context.hh"
 
@@ -34,12 +34,11 @@ struct SieveConfig
     bool degrade_filters = false;
 };
 
-/** The Sieve retriever. */
+/** The Sieve retriever (serves any shard view, full store or subset). */
 class SieveRetriever : public Retriever
 {
   public:
-    SieveRetriever(const db::TraceDatabase &db,
-                   SieveConfig cfg = SieveConfig{});
+    SieveRetriever(db::ShardSet shards, SieveConfig cfg = SieveConfig{});
 
     const char *name() const override { return "sieve"; }
     ContextBundle retrieve(const std::string &query) override;
@@ -59,7 +58,7 @@ class SieveRetriever : public Retriever
                            const db::TraceEntry &entry,
                            ContextBundle &bundle) const;
 
-    const db::TraceDatabase &db_;
+    db::ShardSet shards_;
     SieveConfig cfg_;
     query::NlQueryParser parser_;
 };

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/stats_util.hh"
 #include "base/str.hh"
 #include "core/cachemind.hh"
 #include "db/builder.hh"
@@ -184,6 +185,48 @@ TEST(EngineTest, AskBatchRejectsEmptyQuestion)
     EXPECT_EQ(result.error().code, EngineErrorCode::EmptyQuestion);
     EXPECT_NE(result.error().message.find("#1"), std::string::npos);
     EXPECT_EQ(engine.stats().questions, 0u);
+}
+
+TEST(EngineTest, BuildThreadsKnobPlumbsThroughBuilder)
+{
+    auto engine = CacheMind::Builder(sharedDb())
+                      .withBatchWorkers(4)
+                      .withBuildThreads(3)
+                      .build()
+                      .expect("engine");
+    EXPECT_EQ(engine.options().build_threads, 3u);
+    EXPECT_EQ(engine.shards().size(), sharedDb().size());
+
+    // The worker retrievers constructed concurrently on the
+    // build_threads pool must answer byte-identically to a
+    // sequential ask() loop.
+    const auto questions = suiteQuestions();
+    const auto batch = engine.askBatch(questions).expect("batch");
+    auto sequential_engine = defaultEngine();
+    ASSERT_EQ(batch.size(), questions.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(batch[i].text,
+                  sequential_engine.ask(questions[i]).expect("ask").text)
+            << "question " << i;
+    }
+}
+
+TEST(EngineStatsTest, PercentileSortedEdgeCases)
+{
+    // The snapshot percentile path leans on these clamps: pin them.
+    const std::vector<double> empty;
+    EXPECT_EQ(stats::percentileSorted(empty, 50.0), 0.0);
+
+    const std::vector<double> one{7.0};
+    for (const double p : {-10.0, 0.0, 50.0, 100.0, 250.0})
+        EXPECT_EQ(stats::percentileSorted(one, p), 7.0) << "p=" << p;
+
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_EQ(stats::percentileSorted(xs, 0.0), 1.0);
+    EXPECT_EQ(stats::percentileSorted(xs, -5.0), 1.0);
+    EXPECT_EQ(stats::percentileSorted(xs, 100.0), 4.0);
+    EXPECT_EQ(stats::percentileSorted(xs, 120.0), 4.0);
+    EXPECT_NEAR(stats::percentileSorted(xs, 50.0), 2.5, 1e-12);
 }
 
 TEST(EngineTest, StatsCountQuestionsQualityAndLatency)

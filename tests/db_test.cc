@@ -1,13 +1,19 @@
 /**
  * @file
  * Tests for the trace database: table storage round-trip, statistics
- * expert, metadata strings, and end-to-end building.
+ * expert, metadata strings, end-to-end building, shard views, the
+ * thread safety of the lazy expert cache, and the byte-identical
+ * equivalence of the parallel build to the sequential one.
  */
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <thread>
+
 #include "db/builder.hh"
 #include "db/database.hh"
+#include "db/shard.hh"
 #include "db/stats_expert.hh"
 #include "db/table.hh"
 
@@ -271,4 +277,181 @@ TEST(StatsExpertTest, TopPcsOrdering)
     ASSERT_EQ(top.size(), 3u);
     EXPECT_GE(top[0].misses, top[1].misses);
     EXPECT_GE(top[1].misses, top[2].misses);
+}
+
+namespace {
+
+/**
+ * Deterministic digest of every columnar field plus a sample of fully
+ * materialised rows (string columns included) — byte-identical tables
+ * produce byte-identical digests.
+ */
+std::string
+tableFingerprint(const TraceTable &t)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        os << t.pcAt(i) << ',' << t.addressAt(i) << ',' << t.setAt(i)
+           << ',' << t.isMissAt(i) << t.bypassedAt(i)
+           << t.hasVictimAt(i) << t.wrongEvictionAt(i) << ','
+           << static_cast<int>(t.missTypeAt(i)) << ','
+           << t.reuseDistanceAt(i) << ',' << t.recencyAt(i) << ','
+           << t.evictedReuseDistanceAt(i) << ','
+           << t.evictedAddressAt(i) << ',' << t.evictedPcAt(i) << '\n';
+        if (i % 97 == 0) {
+            const auto row = t.row(i);
+            os << row.function_name << '|' << row.recency_text << '|'
+               << row.recent_access_history.size() << '|'
+               << row.current_cache_lines.size() << '|'
+               << row.cache_line_eviction_scores.size() << '\n';
+        }
+    }
+    return os.str();
+}
+
+} // namespace
+
+TEST(DatabaseTest, StatsForIsThreadSafeOnOverlappingKeys)
+{
+    BuildOptions opts;
+    opts.workloads = {trace::WorkloadKind::Microbench};
+    opts.policies = {policy::PolicyKind::Lru,
+                     policy::PolicyKind::Belady};
+    opts.accesses_override = 20000;
+    const auto db = buildDatabase(opts);
+    const auto keys = db.keys();
+    ASSERT_EQ(keys.size(), 2u);
+
+    // Hammer the lazy expert cache from 8 threads on overlapping (and
+    // identical) keys. Pre-fix, the unsynchronized emplace into the
+    // expert map raced the moment two threads touched sibling keys;
+    // now the per-shard once_flag makes every observation identical.
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kIters = 200;
+    std::vector<std::vector<const StatsExpert *>> seen(kThreads);
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            for (std::size_t iter = 0; iter < kIters; ++iter) {
+                for (const auto &key : keys)
+                    seen[t].push_back(db.statsFor(key));
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        ASSERT_EQ(seen[t].size(), kIters * keys.size());
+        for (std::size_t i = 0; i < seen[t].size(); ++i) {
+            ASSERT_NE(seen[t][i], nullptr);
+            EXPECT_EQ(seen[t][i], db.statsFor(keys[i % keys.size()]));
+        }
+    }
+}
+
+TEST(DatabaseTest, EnumerationsAreSortedAndDeduplicated)
+{
+    BuildOptions opts;
+    // Insertion order deliberately not alphabetical.
+    opts.workloads = {trace::WorkloadKind::Microbench,
+                      trace::WorkloadKind::Astar};
+    opts.policies = {policy::PolicyKind::Lru, policy::PolicyKind::Belady,
+                     policy::PolicyKind::Mlp};
+    opts.accesses_override = 20000;
+    const auto db = buildDatabase(opts);
+    ASSERT_EQ(db.size(), 6u);
+
+    // Each workload appears in 3 entries and each policy in 2, but
+    // the enumerations are deduplicated and sorted.
+    const std::vector<std::string> want_ws{"astar", "microbench"};
+    EXPECT_EQ(db.workloads(), want_ws);
+    const std::vector<std::string> want_ps{"belady", "lru", "mlp"};
+    EXPECT_EQ(db.policies(), want_ps);
+    const auto shards = db.shards();
+    EXPECT_EQ(shards.workloads(), want_ws);
+    EXPECT_EQ(shards.policies(), want_ps);
+}
+
+TEST(ShardTest, ShardViewExposesEntryStatsAndSymbols)
+{
+    const auto db = buildSingleDatabase(trace::WorkloadKind::Microbench,
+                                        policy::PolicyKind::Lru, 20000);
+    const auto view = db.shard("microbench", "lru");
+    ASSERT_TRUE(view.valid());
+    EXPECT_EQ(view.key(), "microbench_evictions_lru");
+    EXPECT_EQ(&view.entry(), db.find("microbench", "lru"));
+    EXPECT_EQ(&view.table(), &db.find("microbench", "lru")->table);
+    EXPECT_EQ(view.stats(), db.statsFor("microbench_evictions_lru"));
+    EXPECT_EQ(view.symbols(), db.symbolsFor("microbench"));
+
+    const auto missing = db.shard("no_such_key");
+    EXPECT_FALSE(missing.valid());
+    EXPECT_EQ(missing.stats(), nullptr);
+    EXPECT_EQ(missing.symbols(), nullptr);
+}
+
+TEST(ShardTest, ShardSetSubsetsByWorkload)
+{
+    BuildOptions opts;
+    opts.workloads = {trace::WorkloadKind::Microbench,
+                      trace::WorkloadKind::Astar};
+    opts.policies = {policy::PolicyKind::Lru,
+                     policy::PolicyKind::Belady};
+    opts.accesses_override = 20000;
+    const auto db = buildDatabase(opts);
+
+    const ShardSet all = db.shards();
+    EXPECT_EQ(all.size(), 4u);
+    EXPECT_EQ(all.keys(), db.keys());
+    EXPECT_EQ(all.statsFor("astar_evictions_lru"),
+              db.statsFor("astar_evictions_lru"));
+
+    const ShardSet micro = all.forWorkload("microbench");
+    EXPECT_EQ(micro.size(), 2u);
+    EXPECT_EQ(micro.workloads(),
+              std::vector<std::string>{"microbench"});
+    const std::vector<std::string> want_ps{"belady", "lru"};
+    EXPECT_EQ(micro.policies(), want_ps);
+    EXPECT_NE(micro.find("microbench", "lru"), nullptr);
+    EXPECT_EQ(micro.find("astar", "lru"), nullptr);
+    EXPECT_FALSE(micro.shard("astar_evictions_lru").valid());
+
+    EXPECT_TRUE(all.forWorkload("no_such_workload").empty());
+}
+
+TEST(BuilderTest, ParallelBuildIsByteIdenticalAcrossThreadCounts)
+{
+    BuildOptions opts;
+    opts.workloads = {trace::WorkloadKind::Microbench,
+                      trace::WorkloadKind::Astar};
+    opts.policies = {policy::PolicyKind::Lru,
+                     policy::PolicyKind::Belady,
+                     policy::PolicyKind::Parrot};
+    opts.accesses_override = 20000;
+
+    opts.build_threads = 1;
+    const auto reference = buildDatabase(opts);
+    const auto ref_keys = reference.keys();
+    ASSERT_EQ(ref_keys.size(), 6u);
+
+    for (const std::size_t threads : {2u, 8u}) {
+        opts.build_threads = threads;
+        const auto parallel = buildDatabase(opts);
+        ASSERT_EQ(parallel.keys(), ref_keys)
+            << "threads=" << threads;
+        for (const auto &key : ref_keys) {
+            const auto *a = reference.find(key);
+            const auto *b = parallel.find(key);
+            ASSERT_NE(b, nullptr) << key;
+            EXPECT_EQ(a->workload, b->workload) << key;
+            EXPECT_EQ(a->policy, b->policy) << key;
+            EXPECT_EQ(a->metadata, b->metadata) << key;
+            EXPECT_EQ(a->description, b->description) << key;
+            ASSERT_EQ(a->table.size(), b->table.size()) << key;
+            EXPECT_EQ(tableFingerprint(a->table),
+                      tableFingerprint(b->table))
+                << key << " threads=" << threads;
+        }
+    }
 }

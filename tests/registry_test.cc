@@ -61,7 +61,7 @@ registerCustomComponents()
 {
     static const bool done = [] {
         retrieval::RetrieverRegistry::instance().add(
-            "echo-test", [](const db::TraceDatabase &) {
+            "echo-test", [](const db::ShardSet &) {
                 return std::make_unique<EchoRetriever>();
             });
         llm::CapabilityProfile perfect;
@@ -107,7 +107,7 @@ TEST(RetrieverRegistryTest, DuplicateNameRejected)
 {
     auto &registry = retrieval::RetrieverRegistry::instance();
     const bool added = registry.add(
-        "sieve", [](const db::TraceDatabase &) {
+        "sieve", [](const db::ShardSet &) {
             return std::make_unique<EchoRetriever>();
         });
     EXPECT_FALSE(added);
@@ -129,6 +129,21 @@ TEST(RetrieverRegistryTest, CustomRetrieverPlugsIntoEngine)
     EXPECT_EQ(response.bundle.retriever, "echo-test");
     EXPECT_NE(response.bundle.result_text.find("echo: Any question"),
               std::string::npos);
+}
+
+TEST(RetrieverRegistryTest, CreateAcceptsShardSubsetView)
+{
+    auto &registry = retrieval::RetrieverRegistry::instance();
+    // Factories take a shard view, so a retriever can be scoped to a
+    // subset (here one workload's shards) instead of a whole database.
+    const db::ShardSet subset =
+        sharedDb().shards().forWorkload("astar");
+    ASSERT_FALSE(subset.empty());
+    auto retriever = registry.create("sieve", subset);
+    ASSERT_NE(retriever, nullptr);
+    const auto bundle = retriever->retrieve(
+        "What is the miss rate in the astar workload under LRU?");
+    EXPECT_EQ(bundle.trace_key, "astar_evictions_lru");
 }
 
 TEST(BackendRegistryTest, BuiltinsSelfRegister)
