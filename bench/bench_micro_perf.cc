@@ -2,15 +2,24 @@
  * @file
  * E15: google-benchmark microbenchmarks for the performance-critical
  * substrate paths — cache simulation throughput, oracle pre-passes,
- * embedding, retrieval latency (Sieve vs Ranger), and the DSL
- * interpreter. These back the Figure 9 latency ordering with
- * statistically sound timings.
+ * embedding, retrieval latency (Sieve vs Ranger), the DSL
+ * interpreter, and the serving pipeline's cross-question retrieval
+ * cache (repeated-slot askBatch, cache on vs off). These back the
+ * Figure 9 latency ordering with statistically sound timings.
+ *
+ * JSON output (counters like repeated-slot hit_rate included):
+ *   ./bench_micro_perf --benchmark_format=json \
+ *       --benchmark_out=BENCH_micro_perf.json
  */
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "base/str.hh"
+#include "core/cachemind.hh"
 #include "db/builder.hh"
 #include "policy/basic_policies.hh"
 #include "query/dsl.hh"
@@ -157,5 +166,67 @@ BM_StatsExpertBuild(benchmark::State &state)
         benchmark::DoNotOptimize(db::StatsExpert(entry->table));
 }
 BENCHMARK(BM_StatsExpertBuild)->Unit(benchmark::kMillisecond);
+
+namespace {
+
+/**
+ * The serving-cache scenario: a batch of 64 questions drawn from 8
+ * distinct slot tuples (each asked through several phrasings, the
+ * overlapping-users pattern of the paper's serving story). With the
+ * cross-question cache on, slot-equal questions share one retrieval.
+ */
+std::vector<std::string>
+repeatedSlotQuestions()
+{
+    const auto &database = microDb();
+    const auto *entry = database.find("mcf_evictions_lru");
+    std::vector<std::string> questions;
+    for (std::size_t slot = 0; slot < 8; ++slot) {
+        const std::string pc =
+            str::hex(entry->table.pcAt(slot * 64));
+        const std::string a = "What is the miss rate for PC " + pc +
+                              " in the mcf workload with LRU?";
+        const std::string b = "For the mcf workload under LRU, what "
+                              "miss rate does PC " +
+                              pc + " have?";
+        for (int rep = 0; rep < 4; ++rep) {
+            questions.push_back(a);
+            questions.push_back(b);
+        }
+    }
+    return questions;
+}
+
+} // namespace
+
+static void
+BM_AskBatchRepeatedSlots(benchmark::State &state)
+{
+    const bool cache_on = state.range(0) != 0;
+    const auto questions = repeatedSlotQuestions();
+    auto engine =
+        core::CacheMind::Builder(microDb())
+            .withBatchWorkers(4)
+            .withRetrievalCacheCapacity(cache_on ? 4096 : 0)
+            .build()
+            .expect("bench engine");
+    for (auto _ : state) {
+        auto batch = engine.askBatch(questions);
+        benchmark::DoNotOptimize(batch);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(questions.size()));
+    const auto stats = engine.stats();
+    state.counters["hit_rate"] = stats.cache.hitRate();
+    state.counters["cache_hits"] =
+        static_cast<double>(stats.cache.hits);
+    state.counters["cache_misses"] =
+        static_cast<double>(stats.cache.misses);
+}
+BENCHMARK(BM_AskBatchRepeatedSlots)
+    ->Arg(0)  // cache off
+    ->Arg(1)  // cache on
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

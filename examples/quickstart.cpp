@@ -87,5 +87,13 @@ main()
                 static_cast<unsigned long long>(stats.batches),
                 100.0 * stats.highQualityFraction(),
                 stats.latency_p50_ms, stats.latency_p99_ms);
+    // The batch re-asked the three sequential questions, so the
+    // shared cross-question retrieval cache served their evidence
+    // bundles without re-running retrieval.
+    std::printf("Retrieval cache: %llu hits / %llu misses "
+                "(%.0f%% hit rate)\n",
+                static_cast<unsigned long long>(stats.cache.hits),
+                static_cast<unsigned long long>(stats.cache.misses),
+                100.0 * stats.cache.hitRate());
     return 0;
 }

@@ -48,7 +48,10 @@ CacheMind::create(const db::TraceDatabase &db, EngineOptions opts)
     db::ShardSet shards = db.shards();
 
     auto &retrievers = retrieval::RetrieverRegistry::instance();
-    auto retriever = retrievers.create(opts.retriever, shards);
+    const retrieval::RetrieverOptions retriever_opts{
+        opts.retriever_params};
+    auto retriever =
+        retrievers.create(opts.retriever, shards, retriever_opts);
     if (!retriever) {
         return EngineError{
             EngineErrorCode::UnknownRetriever,
@@ -91,6 +94,12 @@ CacheMind::CacheMind(const db::TraceDatabase &db, db::ShardSet shards,
                      std::unique_ptr<llm::GeneratorLlm> generator)
     : db_(db), shards_(std::move(shards)), opts_(std::move(opts)),
       retriever_(std::move(retriever)), generator_(std::move(generator)),
+      parser_(std::make_unique<query::NlQueryParser>(
+          shards_.workloads(), shards_.policies())),
+      cache_(opts_.retrieval_cache_capacity
+                 ? std::make_shared<retrieval::RetrievalCache>(
+                       opts_.retrieval_cache_capacity)
+                 : nullptr),
       stats_(std::make_unique<EngineStatsRecorder>()),
       batch_pool_(std::make_unique<BatchPool>())
 {
@@ -100,17 +109,81 @@ CacheMind::CacheMind(CacheMind &&) noexcept = default;
 
 CacheMind::~CacheMind() = default;
 
+query::ParsedQuery
+CacheMind::parseStage(const std::string &question) const
+{
+    return parser_->parse(question);
+}
+
+std::string
+CacheMind::planStage(const retrieval::Retriever &retriever,
+                     const query::ParsedQuery &parsed) const
+{
+    if (!cache_)
+        return std::string();
+    const std::string slot_key = retriever.cacheKey(parsed);
+    if (slot_key.empty())
+        return std::string(); // retriever opted this query out
+    // '\x1f' (unit separator) never appears in a fingerprint, so the
+    // first one always delimits it — the components cannot
+    // ambiguously concatenate even when a slot key embeds raw text.
+    return retriever.cacheFingerprint() + '\x1f' + slot_key;
+}
+
+std::shared_ptr<const retrieval::ContextBundle>
+CacheMind::retrieveStage(retrieval::Retriever &retriever,
+                         const query::ParsedQuery &parsed,
+                         const std::string &cache_key) const
+{
+    if (cache_key.empty()) {
+        return std::make_shared<const retrieval::ContextBundle>(
+            retriever.retrieveParsed(parsed));
+    }
+    retrieval::RetrievalCache::Outcome outcome;
+    auto evidence = cache_->getOrCompute(
+        cache_key,
+        [&] {
+            return std::make_shared<const retrieval::ContextBundle>(
+                retriever.retrieveParsed(parsed));
+        },
+        &outcome);
+    stats_->recordCacheLookup(retriever.name(), outcome.hit,
+                              outcome.evictions);
+    return evidence;
+}
+
 Response
-CacheMind::answerOne(retrieval::Retriever &retriever,
-                     const std::string &question) const
+CacheMind::generateStage(
+    const query::ParsedQuery &parsed,
+    const std::shared_ptr<const retrieval::ContextBundle> &evidence,
+    double retrieval_ms) const
 {
     Response r;
-    r.bundle = retriever.retrieve(question);
+    r.bundle = *evidence;
+    // The cached evidence may have been assembled for a different
+    // phrasing of the same slots; the response carries *this*
+    // question's parsed identity so generation (keyed by the raw
+    // text) and transcripts stay byte-identical to a cache-off run.
+    // Likewise the latency is *this* question's retrieve-stage cost —
+    // near zero on a cache hit — not the computing question's.
+    r.bundle.parsed = parsed;
+    r.bundle.retrieval_ms = retrieval_ms;
     llm::GenerationOptions gen_opts;
     gen_opts.shot_mode = opts_.shot_mode;
     r.answer = generator_->answer(r.bundle, gen_opts);
     r.text = r.answer.text;
     return r;
+}
+
+Response
+CacheMind::answerParsed(retrieval::Retriever &retriever,
+                        const query::ParsedQuery &parsed) const
+{
+    const std::string cache_key = planStage(retriever, parsed);
+    Stopwatch retrieve_timer;
+    const auto evidence = retrieveStage(retriever, parsed, cache_key);
+    return generateStage(parsed, evidence,
+                         retrieve_timer.milliseconds());
 }
 
 Result<Response, EngineError>
@@ -121,7 +194,21 @@ CacheMind::ask(const std::string &question)
                            "question is empty"};
     }
     Stopwatch timer;
-    Response r = answerOne(*retriever_, question);
+    Response r = answerParsed(*retriever_, parseStage(question));
+    stats_->record(timer.milliseconds(),
+                   retrieval::assessQuality(r.bundle));
+    return r;
+}
+
+Result<Response, EngineError>
+CacheMind::askParsed(const query::ParsedQuery &parsed)
+{
+    if (str::trim(parsed.raw).empty()) {
+        return EngineError{EngineErrorCode::EmptyQuestion,
+                           "question is empty"};
+    }
+    Stopwatch timer;
+    Response r = answerParsed(*retriever_, parsed);
     stats_->record(timer.milliseconds(),
                    retrieval::assessQuality(r.bundle));
     return r;
@@ -149,7 +236,8 @@ CacheMind::askBatch(const std::vector<std::string> &questions)
     if (workers <= 1) {
         for (std::size_t i = 0; i < questions.size(); ++i) {
             Stopwatch timer;
-            responses[i] = answerOne(*retriever_, questions[i]);
+            responses[i] =
+                answerParsed(*retriever_, parseStage(questions[i]));
             latencies[i] = timer.milliseconds();
         }
     } else {
@@ -157,7 +245,12 @@ CacheMind::askBatch(const std::vector<std::string> &questions)
         // thread-safe, and every retrieval/generation draw is keyed
         // by the question text alone, so the answers are
         // byte-identical to a sequential ask() loop regardless of how
-        // questions land on workers. Worker 0 reuses the engine's
+        // questions land on workers. The cross-question cache is
+        // shared by all workers (identically configured retrievers
+        // assemble identical bundles for equal keys, so which worker
+        // populates an entry cannot change any answer), and a hot
+        // slot key retrieves once: concurrent misses coalesce onto
+        // the first in-flight retrieval. Worker 0 reuses the engine's
         // primary retriever; the extra workers draw on the lazily
         // built, batch-to-batch reusable pool.
         auto &extras = batch_pool_->retrievers;
@@ -175,12 +268,14 @@ CacheMind::askBatch(const std::vector<std::string> &questions)
                         ? opts_.build_threads
                         : std::max<std::size_t>(
                               std::thread::hardware_concurrency(), 1);
+                const retrieval::RetrieverOptions retriever_opts{
+                    opts_.retriever_params};
                 std::vector<std::unique_ptr<retrieval::Retriever>>
                     fresh(need);
                 parallelFor(need, ctor_threads, [&](std::size_t i) {
                     fresh[i] =
                         retrieval::RetrieverRegistry::instance().create(
-                            opts_.retriever, shards_);
+                            opts_.retriever, shards_, retriever_opts);
                 });
                 for (auto &r : fresh) {
                     CM_ASSERT(r != nullptr,
@@ -203,8 +298,8 @@ CacheMind::askBatch(const std::vector<std::string> &questions)
                     if (i >= questions.size())
                         break;
                     Stopwatch timer;
-                    responses[i] =
-                        answerOne(worker_retriever, questions[i]);
+                    responses[i] = answerParsed(
+                        worker_retriever, parseStage(questions[i]));
                     latencies[i] = timer.milliseconds();
                 }
             });
@@ -222,44 +317,46 @@ CacheMind::askBatch(const std::vector<std::string> &questions)
 }
 
 ChatSession::ChatSession(CacheMind &engine, llm::MemoryConfig memory_cfg)
-    : engine_(engine),
-      parser_(engine.database().workloads(),
-              engine.database().policies()),
-      memory_(memory_cfg)
+    : engine_(engine), memory_(memory_cfg)
 {
 }
 
-std::string
-ChatSession::augmentQuery(const std::string &question,
-                          const std::vector<std::string> &recalled) const
+query::ParsedQuery
+ChatSession::augmentParsed(query::ParsedQuery parsed,
+                           const std::vector<std::string> &recalled)
+    const
 {
-    const auto slots = parser_.parse(question);
     // Concept/code questions are retrieval-light; pinning a workload
     // from memory onto them would change what they are asking.
-    if (slots.intent == query::QueryIntent::Concept ||
-        slots.intent == query::QueryIntent::CodeGen) {
-        return question;
+    if (parsed.intent == query::QueryIntent::Concept ||
+        parsed.intent == query::QueryIntent::CodeGen) {
+        return parsed;
     }
-    if (slots.hasWorkload() && slots.hasPolicy())
-        return question;
+    if (parsed.hasWorkload() && parsed.hasPolicy())
+        return parsed;
 
     if (recalled.empty())
-        return question;
+        return parsed;
     std::string recalled_text;
     for (const auto &fact : recalled)
         recalled_text += fact + "\n";
-    const auto mem = parser_.parse(recalled_text);
+    const auto mem = engine_.parser().parse(recalled_text);
 
-    std::string augmented = question;
-    if (!slots.hasWorkload() && mem.hasWorkload())
-        augmented += " (in the " + mem.workload() + " workload)";
+    // Fill the missing slots directly (no re-parse of an augmented
+    // string); `raw` is annotated the same way, so transcripts and
+    // the generator's question key see what retrieval saw.
+    if (!parsed.hasWorkload() && mem.hasWorkload()) {
+        parsed.workloads.push_back(mem.workload());
+        parsed.raw += " (in the " + mem.workload() + " workload)";
+    }
     // A comparison question deliberately names no single policy; do
     // not pin one onto it from memory.
-    if (!slots.hasPolicy() && mem.hasPolicy() &&
-        slots.intent != query::QueryIntent::PolicyComparison) {
-        augmented += " (under " + mem.policy() + ")";
+    if (!parsed.hasPolicy() && mem.hasPolicy() &&
+        parsed.intent != query::QueryIntent::PolicyComparison) {
+        parsed.policies.push_back(mem.policy());
+        parsed.raw += " (under " + mem.policy() + ")";
     }
-    return augmented;
+    return parsed;
 }
 
 Result<Response, EngineError>
@@ -273,9 +370,14 @@ ChatSession::ask(const std::string &question)
     }
     // Conversation memory augments the query *before* retrieval:
     // noted facts from earlier turns fill slots the follow-up leaves
-    // unspecified, so retrieval sees the sharpened query.
+    // unspecified, so retrieval sees the sharpened query. The
+    // question is parsed exactly once — the augmented ParsedQuery
+    // enters the engine's staged pipeline directly instead of being
+    // rendered back to text and parsed a second time.
     const auto recalled = memory_.recall(question);
-    auto result = engine_.ask(augmentQuery(question, recalled));
+    const auto parsed = augmentParsed(
+        engine_.parser().parse(question), recalled);
+    auto result = engine_.askParsed(parsed);
     if (!result.ok())
         return result;
     Response r = std::move(result).value();

@@ -6,6 +6,14 @@
  * that layers conversation memory on top (the assistive chat tool of
  * the paper's use-case transcripts).
  *
+ * ask() runs an explicit staged pipeline — parse, plan, retrieve,
+ * generate. Parsing happens exactly once per question at the engine
+ * level; the plan stage derives a cache key from (retriever
+ * fingerprint, shard key, slot key); the retrieve stage serves the
+ * evidence bundle from a shared, thread-safe cross-question
+ * RetrievalCache (single-flight: concurrent misses on a hot slice
+ * coalesce onto one retrieval) before the generator answers from it.
+ *
  * Components are referenced by registry name (see
  * retrieval::RetrieverRegistry and llm::BackendRegistry): new
  * retrievers and backends self-register from their own translation
@@ -19,6 +27,7 @@
 #ifndef CACHEMIND_CORE_CACHEMIND_HH
 #define CACHEMIND_CORE_CACHEMIND_HH
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +38,7 @@
 #include "llm/generator.hh"
 #include "llm/memory.hh"
 #include "query/parser.hh"
+#include "retrieval/cache.hh"
 #include "retrieval/context.hh"
 
 namespace cachemind::core {
@@ -52,6 +62,22 @@ struct EngineOptions
      * core (always clamped to the work available).
      */
     std::size_t build_threads = 0;
+    /**
+     * Capacity (resident bundles) of the shared cross-question
+     * retrieval cache; 0 disables it. One cache is shared by ask()
+     * and every askBatch worker, so overlapping questions about the
+     * same trace slice assemble their evidence bundle once.
+     */
+    std::size_t retrieval_cache_capacity = 1024;
+    /**
+     * Per-retriever scenario knobs forwarded verbatim to the registry
+     * factory (e.g. {"evidence_window","4"} for Sieve, {"fidelity",
+     * "0.6"} for Ranger) — Figure 5/6-style sweeps run through the
+     * Builder instead of constructing components directly. Knobs feed
+     * the retriever's cache fingerprint, so differently tuned engines
+     * never alias each other's cached bundles.
+     */
+    std::map<std::string, std::string> retriever_params;
 };
 
 /** What went wrong, as a branchable code plus a rendered message. */
@@ -117,6 +143,15 @@ class CacheMind
     Result<Response, EngineError> ask(const std::string &question);
 
     /**
+     * Answer an already-parsed question. This is the pipeline entry
+     * for callers that parse (or augment) upstream — ChatSession
+     * sharpens under-specified follow-ups at the slot level and hands
+     * the result here, so the question is parsed exactly once.
+     */
+    Result<Response, EngineError>
+    askParsed(const query::ParsedQuery &parsed);
+
+    /**
      * Answer independent questions concurrently on the engine's
      * worker pool. Answers are deterministic — byte-identical to a
      * sequential ask() loop — and results preserve question order.
@@ -136,6 +171,14 @@ class CacheMind
     const db::TraceDatabase &database() const { return db_; }
     /** The shard view the engine's retrievers serve from. */
     const db::ShardSet &shards() const { return shards_; }
+    /** The engine-level parser (vocabulary from the shard view). */
+    const query::NlQueryParser &parser() const { return *parser_; }
+    /** The shared cross-question cache; nullptr when disabled. */
+    const retrieval::RetrievalCache *
+    retrievalCache() const
+    {
+        return cache_.get();
+    }
 
   private:
     CacheMind(const db::TraceDatabase &db, db::ShardSet shards,
@@ -143,9 +186,47 @@ class CacheMind
               std::unique_ptr<retrieval::Retriever> retriever,
               std::unique_ptr<llm::GeneratorLlm> generator);
 
-    /** Retrieve + generate for one question (no stats side effects). */
-    Response answerOne(retrieval::Retriever &retriever,
-                       const std::string &question) const;
+    // ------------------------------------------------ pipeline stages
+    //
+    // parse -> plan -> retrieve -> generate. Each stage is pure with
+    // respect to answer bytes: scheduling and cache state can change
+    // *when* evidence is assembled, never *what* is answered.
+
+    /** Stage 1: parse the question once, at the engine level. */
+    query::ParsedQuery parseStage(const std::string &question) const;
+
+    /**
+     * Stage 2: derive the cross-question cache key for this
+     * (retriever, parsed query) pair; "" = do not cache.
+     */
+    std::string planStage(const retrieval::Retriever &retriever,
+                          const query::ParsedQuery &parsed) const;
+
+    /**
+     * Stage 3: produce the evidence bundle, through the shared cache
+     * when the plan allows (single-flight on concurrent misses).
+     */
+    std::shared_ptr<const retrieval::ContextBundle>
+    retrieveStage(retrieval::Retriever &retriever,
+                  const query::ParsedQuery &parsed,
+                  const std::string &cache_key) const;
+
+    /**
+     * Stage 4: generate the answer from the evidence. The response
+     * bundle is a per-question copy patched with *this* question's
+     * parsed identity (so bundle sharing never leaks another
+     * phrasing's raw text into generation) and *this* question's
+     * retrieve-stage latency (near zero on a cache hit).
+     */
+    Response
+    generateStage(const query::ParsedQuery &parsed,
+                  const std::shared_ptr<const retrieval::ContextBundle>
+                      &evidence,
+                  double retrieval_ms) const;
+
+    /** Stages 2-4 for one parsed question (no latency recording). */
+    Response answerParsed(retrieval::Retriever &retriever,
+                          const query::ParsedQuery &parsed) const;
 
     struct BatchPool;
 
@@ -155,6 +236,10 @@ class CacheMind
     EngineOptions opts_;
     std::unique_ptr<retrieval::Retriever> retriever_;
     std::unique_ptr<llm::GeneratorLlm> generator_;
+    /** Engine-level query parser: one parse per question, any stage. */
+    std::unique_ptr<query::NlQueryParser> parser_;
+    /** Shared cross-question retrieval cache (nullptr = disabled). */
+    std::shared_ptr<retrieval::RetrievalCache> cache_;
     std::unique_ptr<EngineStatsRecorder> stats_;
     /** Lazily-built per-worker retrievers, reused across batches. */
     std::unique_ptr<BatchPool> batch_pool_;
@@ -210,6 +295,38 @@ class CacheMind::Builder
         return *this;
     }
 
+    /** Shared cross-question retrieval-cache capacity (0 = off). */
+    Builder &
+    withRetrievalCacheCapacity(std::size_t bundles)
+    {
+        opts_.retrieval_cache_capacity = bundles;
+        return *this;
+    }
+
+    /** Raw scenario knob forwarded to the retriever factory. */
+    Builder &
+    withRetrieverParam(std::string key, std::string value)
+    {
+        opts_.retriever_params[std::move(key)] = std::move(value);
+        return *this;
+    }
+
+    /** Sieve evidence-window knob (Figure 5-style sweeps). */
+    Builder &
+    withSieveEvidenceWindow(std::size_t rows)
+    {
+        return withRetrieverParam("evidence_window",
+                                  std::to_string(rows));
+    }
+
+    /** Ranger codegen-fidelity knob (Figure 6-style sweeps). */
+    Builder &
+    withRangerFidelity(double fidelity)
+    {
+        return withRetrieverParam("fidelity",
+                                  std::to_string(fidelity));
+    }
+
     Result<CacheMind, EngineError>
     build() const
     {
@@ -242,13 +359,16 @@ class ChatSession
      * Fill slots the question leaves unspecified (workload/policy)
      * from the recalled conversation facts, so retrieval sees the
      * sharpened query. Explicit slots in the question always win.
+     * Operates on the parsed query directly — the augmented result is
+     * handed to CacheMind::askParsed, never re-parsed — with `raw`
+     * annotated to keep transcripts and generator keying faithful to
+     * what retrieval actually saw.
      */
-    std::string
-    augmentQuery(const std::string &question,
-                 const std::vector<std::string> &recalled) const;
+    query::ParsedQuery
+    augmentParsed(query::ParsedQuery parsed,
+                  const std::vector<std::string> &recalled) const;
 
     CacheMind &engine_;
-    query::NlQueryParser parser_;
     llm::ConversationMemory memory_;
     std::vector<llm::Turn> turns_;
 };

@@ -39,6 +39,19 @@ EngineStatsRecorder::recordBatch()
     ++batches_;
 }
 
+void
+EngineStatsRecorder::recordCacheLookup(const std::string &retriever,
+                                       bool hit, std::uint64_t evictions)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    RetrievalCacheStats &s = cache_by_retriever_[retriever];
+    if (hit)
+        ++s.hits;
+    else
+        ++s.misses;
+    s.evictions += evictions;
+}
+
 EngineStats
 EngineStatsRecorder::snapshot() const
 {
@@ -49,6 +62,13 @@ EngineStatsRecorder::snapshot() const
     s.quality_low = quality_low_;
     s.quality_medium = quality_medium_;
     s.quality_high = quality_high_;
+    s.cache_by_retriever = cache_by_retriever_;
+    for (const auto &[name, counters] : cache_by_retriever_) {
+        (void)name;
+        s.cache.hits += counters.hits;
+        s.cache.misses += counters.misses;
+        s.cache.evictions += counters.evictions;
+    }
     if (!latency_reservoir_ms_.empty()) {
         sort_scratch_.assign(latency_reservoir_ms_.begin(),
                              latency_reservoir_ms_.end());

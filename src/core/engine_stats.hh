@@ -10,12 +10,31 @@
 #define CACHEMIND_CORE_ENGINE_STATS_HH
 
 #include <cstdint>
+#include <map>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "retrieval/context.hh"
 
 namespace cachemind::core {
+
+/** Cross-question retrieval-cache counters (per retriever or total). */
+struct RetrievalCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+
+    double
+    hitRate() const
+    {
+        const std::uint64_t lookups = hits + misses;
+        return lookups == 0 ? 0.0
+                            : static_cast<double>(hits) /
+                                  static_cast<double>(lookups);
+    }
+};
 
 /** Point-in-time aggregate over everything the engine has served. */
 struct EngineStats
@@ -35,6 +54,11 @@ struct EngineStats
     double latency_p90_ms = 0.0;
     double latency_p99_ms = 0.0;
     double latency_mean_ms = 0.0;
+
+    /** Retrieval-cache totals across all retrievers. */
+    RetrievalCacheStats cache;
+    /** Retrieval-cache counters split by retriever name. */
+    std::map<std::string, RetrievalCacheStats> cache_by_retriever;
 
     /** Fraction of questions with high-quality retrieved context. */
     double
@@ -57,6 +81,13 @@ class EngineStatsRecorder
     /** Record one completed askBatch call. */
     void recordBatch();
 
+    /**
+     * Record one retrieval-cache lookup for the named retriever: hit
+     * or miss, plus any entries the lookup's insertion evicted.
+     */
+    void recordCacheLookup(const std::string &retriever, bool hit,
+                           std::uint64_t evictions);
+
     /** Aggregate snapshot (percentiles via base/stats_util). */
     EngineStats snapshot() const;
 
@@ -76,6 +107,7 @@ class EngineStatsRecorder
     std::uint64_t quality_medium_ = 0;
     std::uint64_t quality_high_ = 0;
     double latency_sum_ms_ = 0.0;
+    std::map<std::string, RetrievalCacheStats> cache_by_retriever_;
     std::vector<double> latency_reservoir_ms_;
     /**
      * Scratch for percentile extraction: the reservoir is copied and

@@ -1,5 +1,7 @@
 #include "query/parsed_query.hh"
 
+#include "base/str.hh"
+
 namespace cachemind::query {
 
 const char *
@@ -38,6 +40,42 @@ fieldName(FieldKind field)
       case FieldKind::Accesses: return "accesses";
     }
     return "?";
+}
+
+const char *
+aggName(AggKind agg)
+{
+    switch (agg) {
+      case AggKind::Mean: return "mean";
+      case AggKind::Sum: return "sum";
+      case AggKind::Min: return "min";
+      case AggKind::Max: return "max";
+      case AggKind::Std: return "std";
+      case AggKind::Count: return "count";
+    }
+    return "?";
+}
+
+std::string
+ParsedQuery::slotKey() const
+{
+    // Field order is part of the canonical form; absent optionals are
+    // omitted entirely so present/absent never alias.
+    std::string key = intentName(intent);
+    if (pc)
+        key += "|pc=" + str::hex(*pc);
+    if (address)
+        key += "|addr=" + str::hex(*address);
+    if (set_id)
+        key += "|set=" + std::to_string(*set_id);
+    if (!workloads.empty())
+        key += "|wl=" + str::join(workloads, ",");
+    if (!policies.empty())
+        key += "|pol=" + str::join(policies, ",");
+    key += std::string("|agg=") + aggName(agg);
+    key += std::string("|field=") + fieldName(field);
+    key += "|topn=" + std::to_string(top_n);
+    return key;
 }
 
 } // namespace cachemind::query

@@ -64,6 +64,9 @@ enum class FieldKind {
 
 const char *fieldName(FieldKind field);
 
+/** Human-readable aggregate name (slot keys, logging). */
+const char *aggName(AggKind agg);
+
 /** A parsed query: symbolic slots extracted from free text. */
 struct ParsedQuery
 {
@@ -86,6 +89,15 @@ struct ParsedQuery
     bool hasPolicy() const { return !policies.empty(); }
     const std::string &workload() const { return workloads.front(); }
     const std::string &policy() const { return policies.front(); }
+
+    /**
+     * Canonical, hashable rendering of every slot *except* `raw`: two
+     * queries with equal slot keys ask for the same evidence, however
+     * they were phrased. This is the per-query component of the
+     * cross-question retrieval-cache key (retrievers whose output
+     * depends on the raw text extend it — see Retriever::cacheKey).
+     */
+    std::string slotKey() const;
 };
 
 } // namespace cachemind::query

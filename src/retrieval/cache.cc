@@ -1,0 +1,127 @@
+#include "retrieval/cache.hh"
+
+#include <algorithm>
+
+#include "base/random.hh"
+
+namespace cachemind::retrieval {
+
+RetrievalCache::RetrievalCache(std::size_t capacity,
+                               std::size_t lock_shards)
+    : capacity_(capacity)
+{
+    const std::size_t n =
+        std::max<std::size_t>(1, std::min(lock_shards,
+                                          std::max<std::size_t>(
+                                              capacity, 1)));
+    per_shard_capacity_ = capacity ? (capacity + n - 1) / n : 0;
+    shards_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        shards_.push_back(std::make_unique<LockShard>());
+}
+
+RetrievalCache::LockShard &
+RetrievalCache::shardFor(const std::string &key)
+{
+    return *shards_[fnv1a(key) % shards_.size()];
+}
+
+RetrievalCache::BundlePtr
+RetrievalCache::getOrCompute(const std::string &key,
+                             const ComputeFn &compute, Outcome *outcome)
+{
+    if (outcome)
+        *outcome = Outcome{};
+    if (!enabled())
+        return compute();
+
+    LockShard &s = shardFor(key);
+    std::unique_lock<std::mutex> lock(s.mu);
+    const auto it = s.entries.find(key);
+    if (it != s.entries.end()) {
+        if (it->second.ready) {
+            // Hot hit: bump to the front of the LRU order.
+            s.lru.splice(s.lru.begin(), s.lru, it->second.lru_pos);
+            ++s.counters.hits;
+            if (outcome)
+                outcome->hit = true;
+            return it->second.value;
+        }
+        // Another worker is assembling this bundle right now; wait on
+        // its in-flight computation instead of re-running retrieval.
+        std::shared_future<BundlePtr> pending = it->second.pending;
+        ++s.counters.hits;
+        lock.unlock();
+        if (outcome)
+            outcome->hit = true;
+        return pending.get();
+    }
+
+    // Miss: claim the key, then compute outside the lock so other
+    // keys (and other shards) keep flowing.
+    std::promise<BundlePtr> promise;
+    Entry claimed;
+    claimed.pending = promise.get_future().share();
+    s.entries.emplace(key, std::move(claimed));
+    ++s.counters.misses;
+    lock.unlock();
+
+    BundlePtr value;
+    try {
+        value = compute();
+    } catch (...) {
+        lock.lock();
+        s.entries.erase(key);
+        lock.unlock();
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+
+    std::uint64_t evicted = 0;
+    lock.lock();
+    Entry &entry = s.entries.find(key)->second;
+    entry.value = value;
+    entry.ready = true;
+    s.lru.push_front(key);
+    entry.lru_pos = s.lru.begin();
+    // In-flight entries never sit in the LRU list, so eviction only
+    // ever drops fully published bundles.
+    while (s.lru.size() > per_shard_capacity_) {
+        s.entries.erase(s.lru.back());
+        s.lru.pop_back();
+        ++evicted;
+    }
+    s.counters.evictions += evicted;
+    lock.unlock();
+    promise.set_value(value);
+
+    if (outcome)
+        outcome->evictions = evicted;
+    return value;
+}
+
+std::size_t
+RetrievalCache::size() const
+{
+    std::size_t total = 0;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        total += s->lru.size();
+    }
+    return total;
+}
+
+RetrievalCache::Counters
+RetrievalCache::counters() const
+{
+    Counters total;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        total.hits += s->counters.hits;
+        total.misses += s->counters.misses;
+        total.evictions += s->counters.evictions;
+    }
+    return total;
+}
+
+} // namespace cachemind::retrieval

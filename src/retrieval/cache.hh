@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The shared cross-question retrieval cache: a thread-safe,
+ * sharded-lock LRU mapping (retriever fingerprint, shard key, slot
+ * key) strings to immutable evidence bundles.
+ *
+ * Many users asking overlapping questions about the same (workload,
+ * policy) trace slice assemble byte-identical context bundles; the
+ * engine memoizes them here so only the first question per slice pays
+ * the retrieval cost. Lookups are *single-flight*: when a hot key
+ * misses while another worker is already assembling its bundle, the
+ * late arrivals wait on the in-flight computation instead of
+ * re-running retrieval — the evidence-reuse idea ReasonCache applies
+ * to shared KV prefixes, applied to trace-grounded context bundles.
+ *
+ * Bundles are stored behind shared_ptr<const ContextBundle> and never
+ * mutated after insertion; consumers copy-and-patch per-question
+ * fields (the parsed query identity) on their own copies.
+ */
+
+#ifndef CACHEMIND_RETRIEVAL_CACHE_HH
+#define CACHEMIND_RETRIEVAL_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "retrieval/context.hh"
+
+namespace cachemind::retrieval {
+
+/** Thread-safe sharded-lock LRU over immutable context bundles. */
+class RetrievalCache
+{
+  public:
+    using BundlePtr = std::shared_ptr<const ContextBundle>;
+    using ComputeFn = std::function<BundlePtr()>;
+
+    /** What one lookup did (per-retriever stats attribution). */
+    struct Outcome
+    {
+        /** Served from cache (including coalesced in-flight waits). */
+        bool hit = false;
+        /** Entries this lookup's insertion evicted. */
+        std::uint64_t evictions = 0;
+    };
+
+    /** Aggregate counters across all lock shards. */
+    struct Counters
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+    };
+
+    /**
+     * @param capacity Maximum resident bundles (0 disables caching:
+     *        every lookup computes). Sharded caches round the per-shard
+     *        budget up, so the effective capacity can exceed this by
+     *        up to lock_shards - 1.
+     * @param lock_shards Number of independently locked segments.
+     *        More shards = less contention; 1 gives a single global
+     *        LRU order (deterministic eviction, used by tests).
+     */
+    explicit RetrievalCache(std::size_t capacity,
+                            std::size_t lock_shards = 8);
+
+    RetrievalCache(const RetrievalCache &) = delete;
+    RetrievalCache &operator=(const RetrievalCache &) = delete;
+
+    /**
+     * Return the bundle for `key`, computing it at most once per
+     * residency: a hit returns the shared bundle immediately; a miss
+     * runs `compute` (outside the shard lock) and publishes the
+     * result; concurrent misses on the same key wait for the first
+     * computation instead of re-running it (counted as hits).
+     */
+    BundlePtr getOrCompute(const std::string &key,
+                           const ComputeFn &compute,
+                           Outcome *outcome = nullptr);
+
+    bool enabled() const { return capacity_ > 0; }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Resident (ready) bundles across all shards. */
+    std::size_t size() const;
+
+    /** Lifetime hit/miss/eviction totals. */
+    Counters counters() const;
+
+  private:
+    struct Entry
+    {
+        /** The published bundle (set exactly once, under the lock). */
+        BundlePtr value;
+        /** Waited on by coalesced lookups while the bundle computes. */
+        std::shared_future<BundlePtr> pending;
+        /** Position in the shard's LRU list (ready entries only). */
+        std::list<std::string>::iterator lru_pos;
+        bool ready = false;
+    };
+
+    struct LockShard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<std::string, Entry> entries;
+        /** Ready keys, most recently used first. */
+        std::list<std::string> lru;
+        Counters counters;
+    };
+
+    LockShard &shardFor(const std::string &key);
+
+    std::size_t capacity_ = 0;
+    std::size_t per_shard_capacity_ = 0;
+    std::vector<std::unique_ptr<LockShard>> shards_;
+};
+
+} // namespace cachemind::retrieval
+
+#endif // CACHEMIND_RETRIEVAL_CACHE_HH

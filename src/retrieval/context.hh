@@ -112,13 +112,58 @@ ContextQuality assessQuality(const ContextBundle &bundle);
 /** Compact single-line rendering of a row (slice listings). */
 std::string renderRowLine(const db::AccessRow &row);
 
-/** Abstract retriever interface. */
+/**
+ * Abstract retriever interface.
+ *
+ * The staged ask() pipeline parses each question exactly once at the
+ * engine level and enters through retrieveParsed(); the string
+ * overload remains as a parsing shim for direct/standalone use. The
+ * cache hooks let the engine share evidence bundles across questions:
+ * cacheFingerprint() identifies the retriever configuration (two
+ * retrievers with equal fingerprints assemble identical evidence for
+ * equal cache keys), and cacheKey() maps one parsed query to its
+ * per-query key — or "" when the bundle must not be shared.
+ */
 class Retriever
 {
   public:
     virtual ~Retriever() = default;
     virtual const char *name() const = 0;
+
+    /** String entry point (parsing shim over retrieveParsed). */
     virtual ContextBundle retrieve(const std::string &query) = 0;
+
+    /**
+     * Primary pipeline entry point: assemble evidence for an
+     * already-parsed query. The default forwards to the string
+     * overload so pre-pipeline custom retrievers keep working.
+     */
+    virtual ContextBundle
+    retrieveParsed(const query::ParsedQuery &parsed)
+    {
+        return retrieve(parsed.raw);
+    }
+
+    /**
+     * Stable identity of this retriever's configuration, the first
+     * component of the retrieval-cache key. Every option that changes
+     * retrieval output must appear here, or two engines tuned
+     * differently would alias each other's bundles.
+     */
+    virtual std::string cacheFingerprint() const { return name(); }
+
+    /**
+     * Per-query cache key ("" = this query's bundle must not be
+     * shared). The default is conservative — nothing is cacheable —
+     * because a custom retriever may depend on the raw question text;
+     * the built-ins override with (shard key, slot key) or stronger.
+     */
+    virtual std::string
+    cacheKey(const query::ParsedQuery &parsed) const
+    {
+        (void)parsed;
+        return std::string();
+    }
 };
 
 } // namespace cachemind::retrieval

@@ -52,12 +52,36 @@ LlamaIndexRetriever::buildIndex()
 ContextBundle
 LlamaIndexRetriever::retrieve(const std::string &query)
 {
+    return retrieveParsed(parser_.parse(query));
+}
+
+std::string
+LlamaIndexRetriever::cacheFingerprint() const
+{
+    return std::string("llamaindex|s=") +
+           std::to_string(cfg_.row_stride) +
+           "|k=" + std::to_string(cfg_.top_k) +
+           "|d=" + std::to_string(cfg_.dims);
+}
+
+std::string
+LlamaIndexRetriever::cacheKey(const query::ParsedQuery &parsed) const
+{
+    // Cosine retrieval is a function of the raw text (the query
+    // embedding), so slot-equal paraphrases can score chunks
+    // differently and must not share; verbatim repeats still hit.
+    return "raw=" + parsed.raw;
+}
+
+ContextBundle
+LlamaIndexRetriever::retrieveParsed(const query::ParsedQuery &parsed)
+{
     Stopwatch timer;
     ContextBundle bundle;
     bundle.retriever = name();
-    bundle.parsed = parser_.parse(query);
+    bundle.parsed = parsed;
 
-    const auto hits = index_->topK(query, cfg_.top_k);
+    const auto hits = index_->topK(parsed.raw, cfg_.top_k);
     std::ostringstream text;
     for (const auto &hit : hits) {
         text << str::fixed(hit.score, 6) << "\n"
@@ -77,9 +101,16 @@ LlamaIndexRetriever::retrieve(const std::string &query)
 
 namespace {
 
+// Factory knobs (ROADMAP "engine-level scenario configs"); all three
+// shape the index and are part of cacheFingerprint().
 const RetrieverRegistrar llamaindex_registrar(
-    "llamaindex", [](const db::ShardSet &shards) {
-        return std::make_unique<LlamaIndexRetriever>(shards);
+    "llamaindex",
+    [](const db::ShardSet &shards, const RetrieverOptions &opts) {
+        LlamaIndexConfig cfg;
+        cfg.row_stride = opts.getSize("row_stride", cfg.row_stride);
+        cfg.top_k = opts.getSize("top_k", cfg.top_k);
+        cfg.dims = opts.getSize("dims", cfg.dims);
+        return std::make_unique<LlamaIndexRetriever>(shards, cfg);
     });
 
 } // namespace

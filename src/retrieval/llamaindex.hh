@@ -42,7 +42,19 @@ class LlamaIndexRetriever : public Retriever
                         LlamaIndexConfig cfg = LlamaIndexConfig{});
 
     const char *name() const override { return "llamaindex"; }
+    /** Parsing shim: parse the question, then retrieveParsed. */
     ContextBundle retrieve(const std::string &query) override;
+    ContextBundle
+    retrieveParsed(const query::ParsedQuery &parsed) override;
+
+    /** "llamaindex" + the index-shaping config. */
+    std::string cacheFingerprint() const override;
+    /**
+     * Dense retrieval embeds the raw question text, not the slots, so
+     * only verbatim repeats may share a bundle.
+     */
+    std::string
+    cacheKey(const query::ParsedQuery &parsed) const override;
 
     std::size_t indexedChunks() const { return index_->size(); }
 

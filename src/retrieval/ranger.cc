@@ -184,10 +184,38 @@ RangerRetriever::corrupt(DslProgram &prog, std::uint64_t key) const
 ContextBundle
 RangerRetriever::retrieve(const std::string &query)
 {
+    return retrieveParsed(parser_.parse(query));
+}
+
+std::string
+RangerRetriever::cacheFingerprint() const
+{
+    return std::string("ranger|f=") +
+           str::fixed(cfg_.codegen_fidelity, 6) +
+           "|lim=" + std::to_string(cfg_.select_limit) +
+           "|p=" + cfg_.default_policy +
+           "|seed=" + std::to_string(cfg_.seed);
+}
+
+std::string
+RangerRetriever::cacheKey(const ParsedQuery &parsed) const
+{
+    std::string key = resolveTraceKey(parsed) + "|" + parsed.slotKey();
+    // corrupt() keys its mis-generation draws on the raw text: two
+    // phrasings of the same slots can execute different programs, so
+    // below full fidelity only verbatim repeats may share a bundle.
+    if (cfg_.codegen_fidelity < 1.0)
+        key += "|raw=" + parsed.raw;
+    return key;
+}
+
+ContextBundle
+RangerRetriever::retrieveParsed(const ParsedQuery &parsed)
+{
     Stopwatch timer;
     ContextBundle bundle;
     bundle.retriever = name();
-    bundle.parsed = parser_.parse(query);
+    bundle.parsed = parsed;
     const ParsedQuery &q = bundle.parsed;
 
     bundle.trace_key = resolveTraceKey(q);
@@ -200,8 +228,9 @@ RangerRetriever::retrieve(const std::string &query)
     const db::TraceEntry &entry = *shards_.find(bundle.trace_key);
 
     auto progs = planPrograms(q, bundle.trace_key);
-    const std::uint64_t qkey =
-        hashCombine(fnv1a(query), cfg_.seed);
+    // Mis-generation draws stay keyed by the raw question text (the
+    // paper's per-question codegen roll), independent of scheduling.
+    const std::uint64_t qkey = hashCombine(fnv1a(q.raw), cfg_.seed);
     std::ostringstream code;
     std::ostringstream text;
     bool any_rows = false;
@@ -314,9 +343,20 @@ RangerRetriever::retrieve(const std::string &query)
 
 namespace {
 
+// Factory knobs (ROADMAP "engine-level scenario configs"): codegen
+// fidelity drives the Figure 5/6-style sweeps through the Builder.
+// Every knob consumed here is part of cacheFingerprint().
 const RetrieverRegistrar ranger_registrar(
-    "ranger", [](const db::ShardSet &shards) {
-        return std::make_unique<RangerRetriever>(shards);
+    "ranger",
+    [](const db::ShardSet &shards, const RetrieverOptions &opts) {
+        RangerConfig cfg;
+        cfg.codegen_fidelity =
+            opts.getDouble("fidelity", cfg.codegen_fidelity);
+        cfg.select_limit = opts.getSize("select_limit", cfg.select_limit);
+        cfg.default_policy =
+            opts.get("default_policy", cfg.default_policy);
+        cfg.seed = opts.getSize("seed", cfg.seed);
+        return std::make_unique<RangerRetriever>(shards, cfg);
     });
 
 } // namespace

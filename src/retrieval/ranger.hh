@@ -48,7 +48,20 @@ class RangerRetriever : public Retriever
                     RangerConfig cfg = RangerConfig{});
 
     const char *name() const override { return "ranger"; }
+    /** Parsing shim: parse the question, then retrieveParsed. */
     ContextBundle retrieve(const std::string &query) override;
+    ContextBundle
+    retrieveParsed(const query::ParsedQuery &parsed) override;
+
+    /** "ranger" + every RangerConfig knob that shapes programs. */
+    std::string cacheFingerprint() const override;
+    /**
+     * (resolved shard key, slot key); below full fidelity the
+     * mis-generation draws are keyed by the raw question text, so the
+     * raw text joins the key and only verbatim repeats share.
+     */
+    std::string
+    cacheKey(const query::ParsedQuery &parsed) const override;
 
   private:
     /** Plan the program(s) for a parsed query. */

@@ -5,6 +5,54 @@
 
 namespace cachemind::retrieval {
 
+bool
+RetrieverOptions::has(const std::string &key) const
+{
+    return params.count(key) > 0;
+}
+
+std::string
+RetrieverOptions::get(const std::string &key,
+                      const std::string &dflt) const
+{
+    const auto it = params.find(key);
+    return it == params.end() ? dflt : it->second;
+}
+
+std::size_t
+RetrieverOptions::getSize(const std::string &key, std::size_t dflt) const
+{
+    const auto it = params.find(key);
+    if (it == params.end())
+        return dflt;
+    const auto parsed = str::parseU64(str::trim(it->second));
+    return parsed ? static_cast<std::size_t>(*parsed) : dflt;
+}
+
+double
+RetrieverOptions::getDouble(const std::string &key, double dflt) const
+{
+    const auto it = params.find(key);
+    if (it == params.end())
+        return dflt;
+    const auto parsed = str::parseDouble(str::trim(it->second));
+    return parsed ? *parsed : dflt;
+}
+
+bool
+RetrieverOptions::getBool(const std::string &key, bool dflt) const
+{
+    const auto it = params.find(key);
+    if (it == params.end())
+        return dflt;
+    const std::string v = str::toLower(str::trim(it->second));
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    return dflt;
+}
+
 RetrieverRegistry &
 RetrieverRegistry::instance()
 {
@@ -23,6 +71,19 @@ RetrieverRegistry::add(const std::string &name, Factory factory)
 }
 
 bool
+RetrieverRegistry::add(const std::string &name, SimpleFactory factory)
+{
+    if (!factory)
+        return false;
+    return add(name,
+               Factory([factory = std::move(factory)](
+                           const db::ShardSet &shards,
+                           const RetrieverOptions &) {
+                   return factory(shards);
+               }));
+}
+
+bool
 RetrieverRegistry::has(const std::string &name) const
 {
     const std::string key = str::toLower(str::trim(name));
@@ -34,6 +95,14 @@ std::unique_ptr<Retriever>
 RetrieverRegistry::create(const std::string &name,
                           const db::ShardSet &shards) const
 {
+    return create(name, shards, RetrieverOptions{});
+}
+
+std::unique_ptr<Retriever>
+RetrieverRegistry::create(const std::string &name,
+                          const db::ShardSet &shards,
+                          const RetrieverOptions &options) const
+{
     const std::string key = str::toLower(str::trim(name));
     Factory factory;
     {
@@ -43,7 +112,7 @@ RetrieverRegistry::create(const std::string &name,
             return nullptr;
         factory = it->second;
     }
-    return factory(shards);
+    return factory(shards, options);
 }
 
 std::vector<std::string>
@@ -59,6 +128,13 @@ RetrieverRegistry::names() const
 
 RetrieverRegistrar::RetrieverRegistrar(const std::string &name,
                                        RetrieverRegistry::Factory factory)
+{
+    if (!RetrieverRegistry::instance().add(name, std::move(factory)))
+        warn("duplicate retriever registration ignored: ", name);
+}
+
+RetrieverRegistrar::RetrieverRegistrar(
+    const std::string &name, RetrieverRegistry::SimpleFactory factory)
 {
     if (!RetrieverRegistry::instance().add(name, std::move(factory)))
         warn("duplicate retriever registration ignored: ", name);

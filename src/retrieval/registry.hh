@@ -30,11 +30,35 @@
 
 namespace cachemind::retrieval {
 
+/**
+ * Scenario knobs forwarded from EngineOptions to a retriever factory
+ * as string key/value pairs: each factory consumes the keys it knows
+ * (e.g. Sieve's "evidence_window", Ranger's "fidelity") and ignores
+ * the rest, so the registry never names concrete retriever types.
+ * Every consumed knob must also appear in the constructed retriever's
+ * cacheFingerprint() — tuned retrievers must never alias each other's
+ * cached bundles.
+ */
+struct RetrieverOptions
+{
+    std::map<std::string, std::string> params;
+
+    bool has(const std::string &key) const;
+    std::string get(const std::string &key,
+                    const std::string &dflt) const;
+    std::size_t getSize(const std::string &key, std::size_t dflt) const;
+    double getDouble(const std::string &key, double dflt) const;
+    bool getBool(const std::string &key, bool dflt) const;
+};
+
 /** Process-wide name -> retriever-factory table. */
 class RetrieverRegistry
 {
   public:
-    using Factory =
+    using Factory = std::function<std::unique_ptr<Retriever>(
+        const db::ShardSet &, const RetrieverOptions &)>;
+    /** Options-unaware factory (custom retrievers with no knobs). */
+    using SimpleFactory =
         std::function<std::unique_ptr<Retriever>(const db::ShardSet &)>;
 
     /** The singleton registry. */
@@ -46,6 +70,7 @@ class RetrieverRegistry
      * already taken.
      */
     bool add(const std::string &name, Factory factory);
+    bool add(const std::string &name, SimpleFactory factory);
 
     /** True when a factory is registered under the name. */
     bool has(const std::string &name) const;
@@ -56,6 +81,9 @@ class RetrieverRegistry
      */
     std::unique_ptr<Retriever> create(const std::string &name,
                                       const db::ShardSet &shards) const;
+    std::unique_ptr<Retriever>
+    create(const std::string &name, const db::ShardSet &shards,
+           const RetrieverOptions &options) const;
 
     /** All registered names, sorted. */
     std::vector<std::string> names() const;
@@ -76,6 +104,8 @@ class RetrieverRegistrar
   public:
     RetrieverRegistrar(const std::string &name,
                        RetrieverRegistry::Factory factory);
+    RetrieverRegistrar(const std::string &name,
+                       RetrieverRegistry::SimpleFactory factory);
 };
 
 } // namespace cachemind::retrieval

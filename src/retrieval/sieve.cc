@@ -82,10 +82,35 @@ SieveRetriever::fillSourceContext(std::uint64_t pc,
 ContextBundle
 SieveRetriever::retrieve(const std::string &query)
 {
+    return retrieveParsed(parser_.parse(query));
+}
+
+std::string
+SieveRetriever::cacheFingerprint() const
+{
+    return std::string("sieve|w=") +
+           std::to_string(cfg_.evidence_window) +
+           "|l=" + std::to_string(cfg_.listing_limit) +
+           "|p=" + cfg_.default_policy +
+           "|d=" + (cfg_.degrade_filters ? "1" : "0");
+}
+
+std::string
+SieveRetriever::cacheKey(const ParsedQuery &parsed) const
+{
+    // Everything Sieve assembles is a pure function of the slots, the
+    // resolved shard, and the config (in the fingerprint) — never of
+    // the raw phrasing — so slot-equal questions share bundles.
+    return resolveTraceKey(parsed) + "|" + parsed.slotKey();
+}
+
+ContextBundle
+SieveRetriever::retrieveParsed(const ParsedQuery &parsed)
+{
     Stopwatch timer;
     ContextBundle bundle;
     bundle.retriever = name();
-    bundle.parsed = parser_.parse(query);
+    bundle.parsed = parsed;
     const ParsedQuery &q = bundle.parsed;
 
     bundle.trace_key = resolveTraceKey(q);
@@ -259,10 +284,24 @@ SieveRetriever::retrieve(const std::string &query)
 namespace {
 
 // Self-registration: the engine constructs Sieve by name through
-// RetrieverRegistry and never references this translation unit.
+// RetrieverRegistry and never references this translation unit. The
+// factory consumes the engine's per-retriever scenario knobs (ROADMAP
+// "engine-level scenario configs"); every knob consumed here is also
+// part of cacheFingerprint() above, so tuned engines never alias each
+// other's cached bundles.
 const RetrieverRegistrar sieve_registrar(
-    "sieve", [](const db::ShardSet &shards) {
-        return std::make_unique<SieveRetriever>(shards);
+    "sieve",
+    [](const db::ShardSet &shards, const RetrieverOptions &opts) {
+        SieveConfig cfg;
+        cfg.evidence_window =
+            opts.getSize("evidence_window", cfg.evidence_window);
+        cfg.listing_limit =
+            opts.getSize("listing_limit", cfg.listing_limit);
+        cfg.default_policy =
+            opts.get("default_policy", cfg.default_policy);
+        cfg.degrade_filters =
+            opts.getBool("degrade_filters", cfg.degrade_filters);
+        return std::make_unique<SieveRetriever>(shards, cfg);
     });
 
 } // namespace

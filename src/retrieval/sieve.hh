@@ -41,7 +41,16 @@ class SieveRetriever : public Retriever
     SieveRetriever(db::ShardSet shards, SieveConfig cfg = SieveConfig{});
 
     const char *name() const override { return "sieve"; }
+    /** Parsing shim: parse the question, then retrieveParsed. */
     ContextBundle retrieve(const std::string &query) override;
+    ContextBundle
+    retrieveParsed(const query::ParsedQuery &parsed) override;
+
+    /** "sieve" + every SieveConfig knob that shapes evidence. */
+    std::string cacheFingerprint() const override;
+    /** (resolved shard key, slot key): Sieve evidence is slot-pure. */
+    std::string
+    cacheKey(const query::ParsedQuery &parsed) const override;
 
     const query::NlQueryParser &parser() const { return parser_; }
 

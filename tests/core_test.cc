@@ -12,6 +12,7 @@
 #include "base/str.hh"
 #include "core/cachemind.hh"
 #include "db/builder.hh"
+#include "retrieval/ranger.hh"
 
 using namespace cachemind;
 using namespace cachemind::core;
@@ -185,6 +186,176 @@ TEST(EngineTest, AskBatchRejectsEmptyQuestion)
     EXPECT_EQ(result.error().code, EngineErrorCode::EmptyQuestion);
     EXPECT_NE(result.error().message.find("#1"), std::string::npos);
     EXPECT_EQ(engine.stats().questions, 0u);
+}
+
+TEST(EngineTest, AskBatchByteIdenticalCacheOnVsOff)
+{
+    // Repeated-slot batch: the suite three times over, so the shared
+    // cache serves most questions from memoized bundles. Answers must
+    // be byte-identical to a cache-off engine, question by question.
+    const auto base = suiteQuestions();
+    std::vector<std::string> questions;
+    for (int round = 0; round < 3; ++round)
+        questions.insert(questions.end(), base.begin(), base.end());
+
+    auto cache_off = CacheMind::Builder(sharedDb())
+                         .withBatchWorkers(4)
+                         .withRetrievalCacheCapacity(0)
+                         .build()
+                         .expect("cache-off engine");
+    auto cache_on = CacheMind::Builder(sharedDb())
+                        .withBatchWorkers(4)
+                        .withRetrievalCacheCapacity(4096)
+                        .build()
+                        .expect("cache-on engine");
+    EXPECT_EQ(cache_off.retrievalCache(), nullptr);
+    ASSERT_NE(cache_on.retrievalCache(), nullptr);
+
+    const auto off = cache_off.askBatch(questions).expect("off batch");
+    const auto on = cache_on.askBatch(questions).expect("on batch");
+    ASSERT_EQ(off.size(), on.size());
+    for (std::size_t i = 0; i < off.size(); ++i) {
+        EXPECT_EQ(on[i].text, off[i].text) << "question " << i;
+        EXPECT_EQ(on[i].answer.number, off[i].answer.number);
+        EXPECT_EQ(on[i].answer.chosen_policy,
+                  off[i].answer.chosen_policy);
+        EXPECT_EQ(on[i].answer.listed_values,
+                  off[i].answer.listed_values);
+        EXPECT_EQ(on[i].bundle.trace_key, off[i].bundle.trace_key);
+        // The rendered evidence covers every bundle field the
+        // generator can read: byte-identical context, not just
+        // byte-identical answers.
+        EXPECT_EQ(on[i].bundle.render(), off[i].bundle.render())
+            << "question " << i;
+    }
+
+    // The repeated rounds must have hit: 8 distinct questions were
+    // asked 24 times.
+    const auto stats = cache_on.stats();
+    EXPECT_GT(stats.cache.hits, 0u);
+    EXPECT_GT(stats.cache.hitRate(), 0.5);
+    EXPECT_EQ(stats.cache.hits + stats.cache.misses,
+              static_cast<std::uint64_t>(questions.size()));
+    // Cache-off engines record no cache traffic at all.
+    EXPECT_EQ(cache_off.stats().cache.hits +
+                  cache_off.stats().cache.misses,
+              0u);
+}
+
+TEST(EngineTest, CacheStatsAreSplitByRetriever)
+{
+    auto engine = defaultEngine();
+    const auto q = suiteQuestions()[0];
+    engine.ask(q).expect("miss");
+    engine.ask(q).expect("hit");
+    const auto stats = engine.stats();
+    ASSERT_EQ(stats.cache_by_retriever.count("sieve"), 1u);
+    const auto &sieve = stats.cache_by_retriever.at("sieve");
+    EXPECT_EQ(sieve.misses, 1u);
+    EXPECT_EQ(sieve.hits, 1u);
+    EXPECT_DOUBLE_EQ(sieve.hitRate(), 0.5);
+    EXPECT_EQ(stats.cache.hits, sieve.hits);
+}
+
+TEST(EngineTest, SlotEqualPhrasingsShareOneRetrieval)
+{
+    // Two phrasings of the same slots assemble the evidence bundle
+    // once, yet each answer is keyed by its own raw text.
+    auto engine = defaultEngine();
+    const auto *entry = sharedDb().find("astar_evictions_lru");
+    const std::uint64_t pc = entry->table.pcAt(0);
+    const std::string a = "What is the miss rate for PC " +
+                          str::hex(pc) +
+                          " in the astar workload with LRU?";
+    const std::string b = "For the astar workload under LRU, what "
+                          "miss rate does PC " +
+                          str::hex(pc) + " have?";
+    const auto ra = engine.ask(a).expect("a");
+    const auto rb = engine.ask(b).expect("b");
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.cache.misses, 1u);
+    EXPECT_EQ(stats.cache.hits, 1u);
+    // Same evidence, each response's bundle carries its own raw text.
+    EXPECT_EQ(ra.bundle.trace_key, rb.bundle.trace_key);
+    EXPECT_EQ(ra.bundle.parsed.raw, a);
+    EXPECT_EQ(rb.bundle.parsed.raw, b);
+    // And each answer matches a fresh single-question engine's.
+    auto fresh = defaultEngine();
+    EXPECT_EQ(rb.text, fresh.ask(b).expect("fresh").text);
+}
+
+TEST(EngineTest, AskParsedMatchesAsk)
+{
+    const auto questions = suiteQuestions();
+    auto via_ask = defaultEngine();
+    auto via_parsed = defaultEngine();
+    for (const auto &q : questions) {
+        const auto a = via_ask.ask(q).expect("ask");
+        const auto b = via_parsed.askParsed(via_parsed.parser().parse(q))
+                           .expect("askParsed");
+        EXPECT_EQ(a.text, b.text) << q;
+        EXPECT_EQ(a.bundle.render(), b.bundle.render()) << q;
+    }
+}
+
+TEST(EngineTest, AskParsedRejectsBlankRaw)
+{
+    auto engine = defaultEngine();
+    auto result = engine.askParsed(engine.parser().parse("  "));
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, EngineErrorCode::EmptyQuestion);
+}
+
+TEST(EngineTest, SieveEvidenceWindowKnobPlumbsThroughBuilder)
+{
+    // ROADMAP "engine-level scenario configs": a Figure 5-style sweep
+    // runs through the Builder instead of constructing SieveRetriever
+    // directly.
+    auto tight = CacheMind::Builder(sharedDb())
+                     .withSieveEvidenceWindow(2)
+                     .build()
+                     .expect("tight engine");
+    EXPECT_EQ(tight.options().retriever_params.at("evidence_window"),
+              "2");
+    const auto *entry = sharedDb().find("astar_evictions_lru");
+    const std::uint64_t pc = entry->table.pcAt(0);
+    const std::string q = "What is the miss rate for PC " +
+                          str::hex(pc) +
+                          " in the astar workload with LRU?";
+    const auto bounded = tight.ask(q).expect("bounded");
+    EXPECT_LE(bounded.bundle.rows.size(), 2u);
+
+    auto stock = defaultEngine();
+    const auto full = stock.ask(q).expect("full");
+    EXPECT_GT(full.bundle.rows.size(), 2u);
+}
+
+TEST(EngineTest, RangerFidelityKnobPlumbsThroughBuilder)
+{
+    // ROADMAP "engine-level scenario configs": the Builder knob must
+    // configure exactly what direct construction configures.
+    const std::string q =
+        "What is the average reuse distance of PC 0x409270 for the "
+        "astar workload with LRU?";
+    auto engine = CacheMind::Builder(sharedDb())
+                      .withRetriever("ranger")
+                      .withRangerFidelity(0.0)
+                      .build()
+                      .expect("low-fidelity ranger engine");
+    retrieval::RangerConfig cfg;
+    cfg.codegen_fidelity = 0.0;
+    retrieval::RangerRetriever direct(sharedDb(), cfg);
+
+    const auto via_engine = engine.ask(q).expect("engine ask");
+    const auto via_direct = direct.retrieve(q);
+    EXPECT_EQ(via_engine.bundle.render(), via_direct.render());
+    EXPECT_EQ(via_engine.bundle.generated_code,
+              via_direct.generated_code);
+    // And the knob separates the cache fingerprint from a stock
+    // ranger, so tuned engines never alias cached bundles.
+    retrieval::RangerRetriever stock(sharedDb());
+    EXPECT_NE(engine.retriever().cacheFingerprint(),
+              stock.cacheFingerprint());
 }
 
 TEST(EngineTest, BuildThreadsKnobPlumbsThroughBuilder)

@@ -3,15 +3,23 @@
  * Tests for the retrievers: Sieve's symbolic filtering, premise
  * checks, and evidence windows; Ranger's planning, execution, and
  * exact counting; the LlamaIndex baseline's characteristic failure;
- * and cross-retriever properties (parameterized).
+ * cross-retriever properties (parameterized); and the shared
+ * cross-question RetrievalCache (LRU order, single-flight under a
+ * multi-thread hammer, cache-key discipline).
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <map>
 #include <memory>
+#include <thread>
 
 #include "base/str.hh"
 #include "db/builder.hh"
+#include "query/parser.hh"
+#include "retrieval/cache.hh"
 #include "retrieval/llamaindex.hh"
 #include "retrieval/ranger.hh"
 #include "retrieval/sieve.hh"
@@ -301,4 +309,260 @@ TEST(ContextQualityTest, NamesAreStable)
     EXPECT_STREQ(contextQualityName(ContextQuality::Low), "Low");
     EXPECT_STREQ(contextQualityName(ContextQuality::Medium), "Medium");
     EXPECT_STREQ(contextQualityName(ContextQuality::High), "High");
+}
+
+// ------------------------------------ staged-pipeline entry points
+
+namespace {
+
+query::NlQueryParser
+sharedParser()
+{
+    return query::NlQueryParser(sharedDb().workloads(),
+                                sharedDb().policies());
+}
+
+/** A payload-free bundle tagged so tests can tell bundles apart. */
+RetrievalCache::BundlePtr
+taggedBundle(const std::string &tag)
+{
+    auto bundle = std::make_shared<ContextBundle>();
+    bundle->result_text = tag;
+    return bundle;
+}
+
+} // namespace
+
+TEST_P(RetrieverParamTest, RetrieveParsedMatchesStringShim)
+{
+    // The string overload is now a parsing shim: retrieveParsed on
+    // the engine-level parse must assemble the identical bundle.
+    const auto parser = sharedParser();
+    const std::vector<std::string> questions = {
+        "What is the miss rate for PC 0x4037aa in the mcf workload "
+        "with LRU?",
+        "Which policy has the lowest miss rate in the mcf workload?",
+        "Why does Belady outperform LRU in the mcf workload?",
+    };
+    for (const auto &q : questions) {
+        auto via_string = make();
+        auto via_parsed = make();
+        const auto a = via_string->retrieve(q);
+        const auto b = via_parsed->retrieveParsed(parser.parse(q));
+        EXPECT_EQ(a.render(), b.render()) << q;
+        EXPECT_EQ(a.trace_key, b.trace_key) << q;
+        EXPECT_EQ(a.parsed.raw, b.parsed.raw) << q;
+    }
+}
+
+TEST(CacheKeyTest, SieveSharesAcrossPhrasingsOfTheSameSlots)
+{
+    SieveRetriever sieve(sharedDb());
+    const auto parser = sharedParser();
+    const auto a = parser.parse(
+        "What is the miss rate for PC 0x4037aa in the mcf workload "
+        "with LRU?");
+    const auto b = parser.parse(
+        "For the mcf workload under LRU, what miss rate does PC "
+        "0x4037aa have?");
+    ASSERT_EQ(a.slotKey(), b.slotKey());
+    EXPECT_EQ(sieve.cacheKey(a), sieve.cacheKey(b));
+    EXPECT_FALSE(sieve.cacheKey(a).empty());
+
+    // Different slots must never alias.
+    const auto c = parser.parse(
+        "What is the miss rate for PC 0x4037ab in the mcf workload "
+        "with LRU?");
+    EXPECT_NE(sieve.cacheKey(a), sieve.cacheKey(c));
+}
+
+TEST(CacheKeyTest, ConfigChangesTheFingerprint)
+{
+    SieveRetriever stock(sharedDb());
+    SieveConfig tuned_cfg;
+    tuned_cfg.evidence_window = 3;
+    SieveRetriever tuned(sharedDb(), tuned_cfg);
+    // A differently tuned retriever assembles different evidence for
+    // the same slots; the fingerprints must keep them apart.
+    EXPECT_NE(stock.cacheFingerprint(), tuned.cacheFingerprint());
+
+    RangerRetriever faithful(sharedDb());
+    RangerConfig low_cfg;
+    low_cfg.codegen_fidelity = 0.5;
+    RangerRetriever low(sharedDb(), low_cfg);
+    EXPECT_NE(faithful.cacheFingerprint(), low.cacheFingerprint());
+}
+
+TEST(CacheKeyTest, RawDependentRetrieversKeyOnRawText)
+{
+    const auto parser = sharedParser();
+    const auto a = parser.parse(
+        "What is the miss rate for PC 0x4037aa in the mcf workload "
+        "with LRU?");
+    const auto b = parser.parse(
+        "For the mcf workload under LRU, what miss rate does PC "
+        "0x4037aa have?");
+    ASSERT_EQ(a.slotKey(), b.slotKey());
+
+    // Dense retrieval embeds the raw text: paraphrases never share.
+    LlamaIndexConfig llama_cfg;
+    llama_cfg.row_stride = 128;
+    LlamaIndexRetriever llama(sharedDb(), llama_cfg);
+    EXPECT_NE(llama.cacheKey(a), llama.cacheKey(b));
+
+    // Ranger below full fidelity keys its mis-generation draws on the
+    // raw text, so slot-equal paraphrases must not share either.
+    RangerConfig low_cfg;
+    low_cfg.codegen_fidelity = 0.5;
+    RangerRetriever low(sharedDb(), low_cfg);
+    EXPECT_NE(low.cacheKey(a), low.cacheKey(b));
+    RangerRetriever faithful(sharedDb());
+    EXPECT_EQ(faithful.cacheKey(a), faithful.cacheKey(b));
+}
+
+// --------------------------------------------- RetrievalCache unit
+
+TEST(RetrievalCacheTest, HitReturnsTheSharedBundle)
+{
+    RetrievalCache cache(/*capacity=*/8, /*lock_shards=*/1);
+    int computes = 0;
+    const auto compute = [&] {
+        ++computes;
+        return taggedBundle("v");
+    };
+    const auto first = cache.getOrCompute("k", compute);
+    RetrievalCache::Outcome outcome;
+    const auto second = cache.getOrCompute("k", compute, &outcome);
+    EXPECT_EQ(computes, 1);
+    EXPECT_EQ(first.get(), second.get()); // the same immutable bundle
+    EXPECT_TRUE(outcome.hit);
+    const auto counters = cache.counters();
+    EXPECT_EQ(counters.hits, 1u);
+    EXPECT_EQ(counters.misses, 1u);
+    EXPECT_EQ(counters.evictions, 0u);
+}
+
+TEST(RetrievalCacheTest, LruEvictionOrder)
+{
+    // One lock shard = one global LRU order, so eviction order is
+    // exactly observable.
+    RetrievalCache cache(/*capacity=*/3, /*lock_shards=*/1);
+    std::map<std::string, int> computes;
+    const auto insert = [&](const std::string &key) {
+        return cache.getOrCompute(key, [&] {
+            ++computes[key];
+            return taggedBundle(key);
+        });
+    };
+    insert("a");
+    insert("b");
+    insert("c");
+    EXPECT_EQ(cache.size(), 3u);
+
+    insert("a"); // touch: a becomes most recent, b is now the LRU
+    insert("d"); // evicts b
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.counters().evictions, 1u);
+
+    insert("a"); // still resident
+    insert("c"); // still resident
+    insert("d"); // still resident
+    EXPECT_EQ(computes["a"], 1);
+    EXPECT_EQ(computes["c"], 1);
+    EXPECT_EQ(computes["d"], 1);
+
+    insert("b"); // was evicted: recomputes
+    EXPECT_EQ(computes["b"], 2);
+}
+
+TEST(RetrievalCacheTest, CapacityZeroDisablesCaching)
+{
+    RetrievalCache cache(/*capacity=*/0);
+    EXPECT_FALSE(cache.enabled());
+    int computes = 0;
+    for (int i = 0; i < 3; ++i) {
+        RetrievalCache::Outcome outcome;
+        cache.getOrCompute(
+            "k",
+            [&] {
+                ++computes;
+                return taggedBundle("v");
+            },
+            &outcome);
+        EXPECT_FALSE(outcome.hit);
+    }
+    EXPECT_EQ(computes, 3);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(RetrievalCacheTest, HotKeyHammerIsSingleFlight)
+{
+    // 8 threads hammer one hot slot key. The bundle must be computed
+    // exactly once — concurrent misses coalesce onto the in-flight
+    // computation — and every thread must see the same bundle. Run
+    // under TSan in CI to keep shared-cache races from regressing.
+    RetrievalCache cache(/*capacity=*/64);
+    constexpr int kThreads = 8;
+    constexpr int kIters = 200;
+    std::atomic<int> computes{0};
+    std::atomic<int> mismatches{0};
+    const auto compute = [&] {
+        computes.fetch_add(1);
+        // Widen the in-flight window so late arrivals actually wait.
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        return taggedBundle("hot");
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&] {
+            for (int i = 0; i < kIters; ++i) {
+                const auto bundle =
+                    cache.getOrCompute("hot-slot", compute);
+                if (!bundle || bundle->result_text != "hot")
+                    mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+
+    EXPECT_EQ(computes.load(), 1);
+    EXPECT_EQ(mismatches.load(), 0);
+    const auto counters = cache.counters();
+    EXPECT_EQ(counters.misses, 1u);
+    EXPECT_EQ(counters.hits,
+              static_cast<std::uint64_t>(kThreads) * kIters - 1);
+}
+
+TEST(RetrievalCacheTest, DistinctKeysUnderConcurrency)
+{
+    // Multi-key hammer across lock shards: every key computes exactly
+    // once and keeps its own bundle.
+    RetrievalCache cache(/*capacity=*/256, /*lock_shards=*/8);
+    constexpr int kThreads = 8;
+    constexpr int kKeys = 32;
+    std::atomic<int> computes{0};
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> pool;
+    pool.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&] {
+            for (int i = 0; i < kKeys; ++i) {
+                const std::string key = "key-" + std::to_string(i);
+                const auto bundle = cache.getOrCompute(key, [&, key] {
+                    computes.fetch_add(1);
+                    return taggedBundle(key);
+                });
+                if (!bundle || bundle->result_text != key)
+                    mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    EXPECT_EQ(computes.load(), kKeys);
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_EQ(cache.size(), static_cast<std::size_t>(kKeys));
 }
