@@ -3,17 +3,21 @@
  * E15: google-benchmark microbenchmarks for the performance-critical
  * substrate paths — cache simulation throughput, oracle pre-passes,
  * embedding, retrieval latency (Sieve vs Ranger), the DSL
- * interpreter, and the serving pipeline's cross-question retrieval
- * cache (repeated-slot askBatch, cache on vs off). These back the
- * Figure 9 latency ordering with statistically sound timings.
+ * interpreter, cold-question retrieval over the postings index vs the
+ * reference scan, the per-shard index build itself, and the serving
+ * pipeline's cross-question retrieval cache (repeated-slot askBatch,
+ * cache on vs off). These back the Figure 9 latency ordering with
+ * statistically sound timings.
  *
- * JSON output (counters like repeated-slot hit_rate included):
- *   ./bench_micro_perf --benchmark_format=json \
- *       --benchmark_out=BENCH_micro_perf.json
+ * The binary emits the machine-readable perf trajectory
+ * `BENCH_micro_perf.json` by default (cold vs cached retrieval
+ * throughput, index build time, cache hit rates); pass your own
+ * --benchmark_out=... to override.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +25,7 @@
 #include "base/str.hh"
 #include "core/cachemind.hh"
 #include "db/builder.hh"
+#include "db/index.hh"
 #include "policy/basic_policies.hh"
 #include "query/dsl.hh"
 #include "retrieval/ranger.hh"
@@ -167,6 +172,121 @@ BM_StatsExpertBuild(benchmark::State &state)
 }
 BENCHMARK(BM_StatsExpertBuild)->Unit(benchmark::kMillisecond);
 
+static void
+BM_TraceIndexBuild(benchmark::State &state)
+{
+    // The one-time per-shard cost the lazy postings index pays before
+    // filters and DSL aggregates go sublinear.
+    const auto &database = microDb();
+    const auto *entry = database.find("mcf_evictions_lru");
+    for (auto _ : state) {
+        db::TraceIndex index(entry->table);
+        benchmark::DoNotOptimize(index.totals());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(entry->table.size()));
+}
+BENCHMARK(BM_TraceIndexBuild)->Unit(benchmark::kMillisecond);
+
+namespace {
+
+/**
+ * The cold-sweep scenario (the CacheMindBench common case): every
+ * question is unique, so the cross-question bundle cache never hits
+ * and each question pays full filter/DSL execution on its shard.
+ */
+const db::TraceDatabase &
+fullDb()
+{
+    // The default 12-table composition (3 workloads x 4 policies),
+    // bounded per-trace so the one-time fixture build stays quick.
+    static const auto database = [] {
+        db::BuildOptions options;
+        options.accesses_override = 150000;
+        options.build_threads = 0;
+        return db::buildDatabase(options);
+    }();
+    return database;
+}
+
+std::vector<std::string>
+coldUniqueQuestions()
+{
+    const auto &database = fullDb();
+    std::vector<std::string> questions;
+    for (const auto &key : database.keys()) {
+        const auto *entry = database.find(key);
+        const auto &pcs = entry->table.uniquePcsScan();
+        // 8 distinct PCs per shard, spread across the PC space; one
+        // DSL-heavy question form per (shard, pc) — all unique.
+        for (std::size_t k = 0; k < 8 && k < pcs.size(); ++k) {
+            const std::string pc = str::hex(
+                pcs[(k * pcs.size()) / 8 % pcs.size()]);
+            const std::string where = " in the " + entry->workload +
+                                      " workload under " +
+                                      entry->policy + "?";
+            switch (k % 4) {
+              case 0:
+                questions.push_back(
+                    "What is the miss rate for PC " + pc + where);
+                break;
+              case 1:
+                questions.push_back("How many times did PC " + pc +
+                                    " appear" + where);
+                break;
+              case 2:
+                questions.push_back(
+                    "What is the average reuse distance of PC " + pc +
+                    where);
+                break;
+              default:
+                questions.push_back(
+                    "What is the standard deviation of the reuse "
+                    "distance of PC " + pc + where);
+                break;
+            }
+        }
+    }
+    return questions;
+}
+
+} // namespace
+
+static void
+BM_ColdQuestionRetrieval(benchmark::State &state)
+{
+    // All-unique questions, retrieval cache off: arg 0 executes on
+    // the pre-index reference scan path, arg 1 on the postings index.
+    const bool use_index = state.range(0) != 0;
+    const auto questions = coldUniqueQuestions();
+    auto engine =
+        core::CacheMind::Builder(fullDb())
+            .withRetriever("ranger")
+            .withBatchWorkers(4)
+            .withRetrievalCacheCapacity(0)
+            .withRetrieverParam("use_index", use_index ? "1" : "0")
+            .build()
+            .expect("cold-question bench engine");
+    for (auto _ : state) {
+        auto batch = engine.askBatch(questions);
+        benchmark::DoNotOptimize(batch);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(questions.size()));
+    const auto stats = engine.stats();
+    state.counters["index_build_ms"] = stats.index.build_ms_total;
+    state.counters["indexed_lookups"] =
+        static_cast<double>(stats.index.lookups);
+    state.counters["rows_skipped"] =
+        static_cast<double>(stats.index.rows_skipped);
+}
+BENCHMARK(BM_ColdQuestionRetrieval)
+    ->Arg(0)  // reference scan path
+    ->Arg(1)  // postings index
+    ->Unit(benchmark::kMillisecond);
+
 namespace {
 
 /**
@@ -229,4 +349,29 @@ BENCHMARK(BM_AskBatchRepeatedSlots)
     ->Arg(1)  // cache on
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Default to the machine-readable perf trajectory (consumed by
+    // the CI perf-smoke step) unless the caller chose an output.
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i) {
+        // Exact flag only: "--benchmark_out_format" must not match.
+        if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0)
+            has_out = true;
+    }
+    std::vector<char *> args(argv, argv + argc);
+    std::string out_flag = "--benchmark_out=BENCH_micro_perf.json";
+    std::string fmt_flag = "--benchmark_out_format=json";
+    if (!has_out) {
+        args.push_back(out_flag.data());
+        args.push_back(fmt_flag.data());
+    }
+    int argn = static_cast<int>(args.size());
+    benchmark::Initialize(&argn, args.data());
+    if (benchmark::ReportUnrecognizedArguments(argn, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

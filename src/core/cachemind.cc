@@ -96,10 +96,12 @@ CacheMind::CacheMind(const db::TraceDatabase &db, db::ShardSet shards,
       retriever_(std::move(retriever)), generator_(std::move(generator)),
       parser_(std::make_unique<query::NlQueryParser>(
           shards_.workloads(), shards_.policies())),
-      cache_(opts_.retrieval_cache_capacity
-                 ? std::make_shared<retrieval::RetrievalCache>(
-                       opts_.retrieval_cache_capacity)
-                 : nullptr),
+      cache_(opts_.shared_retrieval_cache
+                 ? opts_.shared_retrieval_cache
+                 : (opts_.retrieval_cache_capacity
+                        ? std::make_shared<retrieval::RetrievalCache>(
+                              opts_.retrieval_cache_capacity)
+                        : nullptr)),
       stats_(std::make_unique<EngineStatsRecorder>()),
       batch_pool_(std::make_unique<BatchPool>())
 {

@@ -70,6 +70,16 @@ struct EngineOptions
      */
     std::size_t retrieval_cache_capacity = 1024;
     /**
+     * Externally owned retrieval cache shared *across engines*. When
+     * set, it replaces the engine-private cache (the capacity knob is
+     * ignored). Retrieval is backend-independent and cache keys embed
+     * the retriever fingerprint, so a multi-backend sweep over the
+     * same shard view (the Figure 4/6 harness) can hand every engine
+     * one cache and assemble each evidence bundle once instead of
+     * once per backend. The cache must outlive every engine using it.
+     */
+    std::shared_ptr<retrieval::RetrievalCache> shared_retrieval_cache;
+    /**
      * Per-retriever scenario knobs forwarded verbatim to the registry
      * factory (e.g. {"evidence_window","4"} for Sieve, {"fidelity",
      * "0.6"} for Ranger) — Figure 5/6-style sweeps run through the
@@ -163,7 +173,13 @@ class CacheMind
     askBatch(const std::vector<std::string> &questions);
 
     /** Aggregate serving statistics (thread-safe snapshot). */
-    EngineStats stats() const { return stats_->snapshot(); }
+    EngineStats
+    stats() const
+    {
+        EngineStats s = stats_->snapshot();
+        s.index = shards_.indexTotals();
+        return s;
+    }
 
     retrieval::Retriever &retriever() { return *retriever_; }
     const llm::GeneratorLlm &generator() const { return *generator_; }
@@ -300,6 +316,18 @@ class CacheMind::Builder
     withRetrievalCacheCapacity(std::size_t bundles)
     {
         opts_.retrieval_cache_capacity = bundles;
+        return *this;
+    }
+
+    /**
+     * Externally owned bundle cache shared across engines (the
+     * multi-backend sweep pattern); overrides the capacity knob.
+     */
+    Builder &
+    withSharedRetrievalCache(
+        std::shared_ptr<retrieval::RetrievalCache> cache)
+    {
+        opts_.shared_retrieval_cache = std::move(cache);
         return *this;
     }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "db/index.hh"
 #include "retrieval/context.hh"
 
 namespace cachemind::core {
@@ -59,6 +60,14 @@ struct EngineStats
     RetrievalCacheStats cache;
     /** Retrieval-cache counters split by retriever name. */
     std::map<std::string, RetrievalCacheStats> cache_by_retriever;
+
+    /**
+     * Postings-index instrumentation over the engine's shard view:
+     * shards indexed so far, total one-time build cost, indexed
+     * lookups served, and the scan-equivalent rows they skipped.
+     * Filled by CacheMind::stats() from the shards, not the recorder.
+     */
+    db::IndexTotals index;
 
     /** Fraction of questions with high-quality retrieved context. */
     double

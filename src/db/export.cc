@@ -107,7 +107,9 @@ exportManifest(const TraceDatabase &db, std::ostream &os)
         os << "workload = " << entry->workload << "\n";
         os << "policy = " << entry->policy << "\n";
         os << "rows = " << entry->table.size() << "\n";
-        os << "unique_pcs = " << entry->table.uniquePcs().size()
+        // Scan variant: a manifest dump only needs the count, and
+        // must not force (and retain) a postings-index build.
+        os << "unique_pcs = " << entry->table.uniquePcsScan().size()
            << "\n";
         os << "description = " << csvField(entry->description) << "\n";
         os << "metadata = " << csvField(entry->metadata) << "\n";

@@ -1,0 +1,176 @@
+#include "db/index.hh"
+
+#include <algorithm>
+
+#include "base/stopwatch.hh"
+#include "db/table.hh"
+
+namespace cachemind::db {
+
+namespace {
+
+/** CSR fill: prefix-sum offsets, then place rows in order. */
+void
+buildCsr(std::vector<std::uint32_t> &off, std::vector<std::uint32_t> &rows,
+         const std::vector<IndexKeyCounts> &counts, std::size_t n)
+{
+    off.assign(counts.size() + 1, 0);
+    for (std::size_t k = 0; k < counts.size(); ++k) {
+        off[k + 1] =
+            off[k] + static_cast<std::uint32_t>(counts[k].accesses);
+    }
+    rows.resize(n);
+}
+
+} // namespace
+
+TraceIndex::TraceIndex(const TraceTable &t)
+{
+    Stopwatch timer;
+    rows_ = t.size();
+    const std::size_t n = rows_;
+
+    const std::size_t num_pcs = t.pcs_.size();
+    const std::size_t num_addrs = t.addrs_.size();
+    std::uint32_t max_set = 0;
+    for (const auto s : t.set_)
+        max_set = std::max(max_set, s);
+    const std::size_t num_sets = n == 0 ? 0 : max_set + 1u;
+
+    pc_counts_.assign(num_pcs, IndexKeyCounts{});
+    addr_counts_.assign(num_addrs, IndexKeyCounts{});
+    set_counts_.assign(num_sets, IndexKeyCounts{});
+
+    // Pass 1: per-key and whole-table counters.
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool miss = (t.flags_[i] & TraceTable::kMissBit) != 0;
+        const bool evict = (t.flags_[i] & TraceTable::kVictimBit) != 0;
+        for (IndexKeyCounts *c : {&pc_counts_[t.pc_id_[i]],
+                                  &addr_counts_[t.addr_id_[i]],
+                                  &set_counts_[t.set_[i]]}) {
+            ++c->accesses;
+            c->misses += miss;
+            c->evictions += evict;
+        }
+        ++totals_.accesses;
+        totals_.misses += miss;
+        totals_.evictions += evict;
+    }
+
+    // Pass 2: row-ordered postings (CSR) per key space. Filling in
+    // row order keeps every postings list ascending, which is what
+    // makes indexed results byte-identical to the reference scan.
+    buildCsr(pc_post_.off, pc_post_.rows, pc_counts_, n);
+    buildCsr(addr_post_.off, addr_post_.rows, addr_counts_, n);
+    buildCsr(set_post_.off, set_post_.rows, set_counts_, n);
+    std::vector<std::uint32_t> pc_fill(
+        pc_post_.off.begin(), pc_post_.off.begin() + num_pcs);
+    std::vector<std::uint32_t> addr_fill(
+        addr_post_.off.begin(), addr_post_.off.begin() + num_addrs);
+    std::vector<std::uint32_t> set_fill(
+        set_post_.off.begin(), set_post_.off.begin() + num_sets);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto row = static_cast<std::uint32_t>(i);
+        pc_post_.rows[pc_fill[t.pc_id_[i]]++] = row;
+        addr_post_.rows[addr_fill[t.addr_id_[i]]++] = row;
+        set_post_.rows[set_fill[t.set_[i]]++] = row;
+    }
+
+    // Build-time unique listings (previously re-sorted per call).
+    unique_pcs_.assign(t.pcs_.begin(), t.pcs_.end());
+    std::sort(unique_pcs_.begin(), unique_pcs_.end());
+    unique_sets_.reserve(64);
+    for (std::uint32_t s = 0; s < num_sets; ++s) {
+        if (set_counts_[s].accesses > 0)
+            unique_sets_.push_back(s);
+    }
+
+    build_ms_ = timer.milliseconds();
+}
+
+PostingsSpan
+TraceIndex::pcPostings(std::uint32_t pc_id) const
+{
+    return pc_post_.span(pc_id);
+}
+
+PostingsSpan
+TraceIndex::addrPostings(std::uint32_t addr_id) const
+{
+    return addr_post_.span(addr_id);
+}
+
+PostingsSpan
+TraceIndex::setPostings(std::uint32_t set) const
+{
+    return set_post_.span(set);
+}
+
+const IndexKeyCounts *
+TraceIndex::pcCounts(std::uint32_t pc_id) const
+{
+    return pc_id < pc_counts_.size() ? &pc_counts_[pc_id] : nullptr;
+}
+
+const IndexKeyCounts *
+TraceIndex::addrCounts(std::uint32_t addr_id) const
+{
+    return addr_id < addr_counts_.size() ? &addr_counts_[addr_id]
+                                         : nullptr;
+}
+
+const IndexKeyCounts *
+TraceIndex::setCounts(std::uint32_t set) const
+{
+    if (set >= set_counts_.size() || set_counts_[set].accesses == 0)
+        return nullptr;
+    return &set_counts_[set];
+}
+
+namespace {
+
+/**
+ * Exponential probe + binary search: first element >= v in [first,
+ * last). O(log d) in the distance d advanced, which is what makes the
+ * intersection "galloping" — skew between list lengths is cheap.
+ */
+const std::uint32_t *
+gallopLowerBound(const std::uint32_t *first, const std::uint32_t *last,
+                 std::uint32_t v)
+{
+    std::size_t step = 1;
+    const std::uint32_t *lo = first;
+    const std::uint32_t *hi = first;
+    while (hi < last && *hi < v) {
+        lo = hi + 1;
+        hi = static_cast<std::size_t>(last - lo) > step ? lo + step
+                                                        : last;
+        step <<= 1;
+    }
+    return std::lower_bound(lo, hi, v);
+}
+
+} // namespace
+
+std::vector<std::size_t>
+TraceIndex::intersect(PostingsSpan a, PostingsSpan b, std::size_t limit)
+{
+    std::vector<std::size_t> out;
+    if (a.size() > b.size())
+        std::swap(a, b);
+    const std::uint32_t *bp = b.begin();
+    for (const std::uint32_t *ap = a.begin(); ap != a.end(); ++ap) {
+        bp = gallopLowerBound(bp, b.end(), *ap);
+        if (bp == b.end())
+            break;
+        if (*bp == *ap) {
+            out.push_back(*ap);
+            ++bp;
+            if (limit && out.size() >= limit)
+                break;
+        }
+    }
+    return out;
+}
+
+} // namespace cachemind::db

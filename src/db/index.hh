@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Per-shard postings index over one TraceTable — the sublinear
+ * execution substrate behind filter/DSL retrieval.
+ *
+ * The paper's trace-grounding contract (§4.3) turns every answer into
+ * a query over a per-(workload, policy) dataframe; in a CacheMindBench
+ * sweep nearly every question is *cold* (unique slots), so the
+ * cross-question bundle cache never amortises the scan. The index
+ * amortises it at the shard level instead: one O(n) build per shard
+ * yields row-ordered postings lists keyed by pc/address dictionary id
+ * and by cache set, precomputed per-key hit/miss/eviction counters,
+ * and the sorted unique-PC/set listings — after which every filter is
+ * a postings lookup (or a galloping intersection) and every counting
+ * aggregate is an O(1) counter read.
+ *
+ * Postings preserve row order, so every consumer remains byte-
+ * identical to the reference scan (enforced by randomized
+ * index-vs-scan equivalence tests). The index is immutable after
+ * construction except for two relaxed instrumentation counters
+ * (lookups / rows skipped) surfaced through EngineStats.
+ */
+
+#ifndef CACHEMIND_DB_INDEX_HH
+#define CACHEMIND_DB_INDEX_HH
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace cachemind::db {
+
+class TraceTable;
+
+/** Precomputed aggregates for one postings key (pc, address or set). */
+struct IndexKeyCounts
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    /** Accesses under this key that evicted a victim. */
+    std::uint64_t evictions = 0;
+
+    std::uint64_t hits() const { return accesses - misses; }
+};
+
+/**
+ * Aggregate index instrumentation across a shard set (EngineStats):
+ * how many shards have paid the one-time build, what it cost, and how
+ * much scan work the postings have avoided since.
+ */
+struct IndexTotals
+{
+    /** Shards whose lazy index has been built. */
+    std::uint64_t shards_indexed = 0;
+    /** Total one-time build cost across those shards. */
+    double build_ms_total = 0.0;
+    /** Indexed lookups served (filters + DSL aggregates). */
+    std::uint64_t lookups = 0;
+    /** Scan-equivalent rows the postings avoided walking. */
+    std::uint64_t rows_skipped = 0;
+};
+
+/** A borrowed, ascending run of row indices inside the index. */
+struct PostingsSpan
+{
+    const std::uint32_t *first = nullptr;
+    const std::uint32_t *last = nullptr;
+
+    std::size_t size() const
+    {
+        return static_cast<std::size_t>(last - first);
+    }
+    bool empty() const { return first == last; }
+    const std::uint32_t *begin() const { return first; }
+    const std::uint32_t *end() const { return last; }
+};
+
+/** The per-shard postings index. Build once, read from any thread. */
+class TraceIndex
+{
+  public:
+    /** One full build pass over the table (timed; see buildMs). */
+    explicit TraceIndex(const TraceTable &table);
+
+    std::size_t rows() const { return rows_; }
+    /** Wall-clock cost of the constructor's build pass. */
+    double buildMs() const { return build_ms_; }
+
+    /** Whole-table counters (unfiltered aggregates). */
+    const IndexKeyCounts &totals() const { return totals_; }
+
+    // ---- postings by dictionary id / set value (row-ordered) ----
+    PostingsSpan pcPostings(std::uint32_t pc_id) const;
+    PostingsSpan addrPostings(std::uint32_t addr_id) const;
+    /** Postings for a set *value*; empty when the set is untouched. */
+    PostingsSpan setPostings(std::uint32_t set) const;
+
+    // ---- per-key counters (nullptr when the key is absent) ----
+    const IndexKeyCounts *pcCounts(std::uint32_t pc_id) const;
+    const IndexKeyCounts *addrCounts(std::uint32_t addr_id) const;
+    const IndexKeyCounts *setCounts(std::uint32_t set) const;
+
+    /** Sorted unique PC values, cached at build time. */
+    const std::vector<std::uint64_t> &uniquePcs() const
+    {
+        return unique_pcs_;
+    }
+    /** Sorted unique set values, cached at build time. */
+    const std::vector<std::uint32_t> &uniqueSets() const
+    {
+        return unique_sets_;
+    }
+
+    /**
+     * Galloping intersection of two ascending postings runs; stops
+     * early once `limit` matches are found (0 = unbounded). Output is
+     * ascending, so intersected filters stay byte-identical to the
+     * reference scan.
+     */
+    static std::vector<std::size_t>
+    intersect(PostingsSpan a, PostingsSpan b, std::size_t limit = 0);
+
+    /**
+     * Record one indexed operation that touched `rows_visited` rows
+     * where a scan would have walked the whole table. Relaxed
+     * counters: instrumentation only, never part of any answer.
+     */
+    void
+    noteLookup(std::size_t rows_visited) const
+    {
+        lookups_.fetch_add(1, std::memory_order_relaxed);
+        if (rows_visited < rows_) {
+            rows_skipped_.fetch_add(rows_ - rows_visited,
+                                    std::memory_order_relaxed);
+        }
+    }
+
+    std::uint64_t
+    lookups() const
+    {
+        return lookups_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t
+    rowsSkipped() const
+    {
+        return rows_skipped_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /** CSR postings: rows of key k live in [off[k], off[k+1]). */
+    struct Csr
+    {
+        std::vector<std::uint32_t> off;
+        std::vector<std::uint32_t> rows;
+
+        PostingsSpan
+        span(std::size_t key) const
+        {
+            if (key + 1 >= off.size())
+                return PostingsSpan{};
+            return PostingsSpan{rows.data() + off[key],
+                                rows.data() + off[key + 1]};
+        }
+    };
+
+    std::size_t rows_ = 0;
+    double build_ms_ = 0.0;
+    IndexKeyCounts totals_;
+
+    Csr pc_post_;
+    Csr addr_post_;
+    /** Set postings are keyed by set value (dense, small range). */
+    Csr set_post_;
+
+    std::vector<IndexKeyCounts> pc_counts_;
+    std::vector<IndexKeyCounts> addr_counts_;
+    std::vector<IndexKeyCounts> set_counts_;
+
+    std::vector<std::uint64_t> unique_pcs_;
+    std::vector<std::uint32_t> unique_sets_;
+
+    mutable std::atomic<std::uint64_t> lookups_{0};
+    mutable std::atomic<std::uint64_t> rows_skipped_{0};
+};
+
+} // namespace cachemind::db
+
+#endif // CACHEMIND_DB_INDEX_HH

@@ -98,6 +98,29 @@ ShardSet::statsFor(const std::string &key) const
     return s ? s->stats() : nullptr;
 }
 
+const TraceIndex *
+ShardSet::indexFor(const std::string &key) const
+{
+    const TraceShard *s = lookup(key);
+    return s ? s->index() : nullptr;
+}
+
+IndexTotals
+ShardSet::indexTotals() const
+{
+    IndexTotals totals;
+    for (const auto *s : shards_) {
+        const TraceIndex *idx = s->table().indexIfBuilt();
+        if (!idx)
+            continue;
+        ++totals.shards_indexed;
+        totals.build_ms_total += idx->buildMs();
+        totals.lookups += idx->lookups();
+        totals.rows_skipped += idx->rowsSkipped();
+    }
+    return totals;
+}
+
 std::vector<std::string>
 ShardSet::keys() const
 {

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "db/index.hh"
 #include "db/stats_expert.hh"
 #include "db/table.hh"
 
@@ -77,6 +78,12 @@ class TraceShard
     /** The shard's statistics expert, built once, thread-safe. */
     const StatsExpert *stats() const;
 
+    /**
+     * The shard's postings index, built once under the table's
+     * once_flag (same lazy pattern as stats()), thread-safe.
+     */
+    const TraceIndex *index() const { return &entry_.table.index(); }
+
   private:
     std::string key_;
     TraceEntry entry_;
@@ -106,6 +113,13 @@ class TraceShardView
     stats() const
     {
         return shard_ ? shard_->stats() : nullptr;
+    }
+
+    /** Lazily built postings index; nullptr on invalid views. */
+    const TraceIndex *
+    index() const
+    {
+        return shard_ ? shard_->index() : nullptr;
     }
 
     const trace::SymbolTable *
@@ -157,6 +171,17 @@ class ShardSet
 
     /** Thread-safe lazily built expert; nullptr if absent. */
     const StatsExpert *statsFor(const std::string &key) const;
+
+    /** Thread-safe lazily built postings index; nullptr if absent. */
+    const TraceIndex *indexFor(const std::string &key) const;
+
+    /**
+     * Aggregate index instrumentation over every shard in the view:
+     * which shards have paid the one-time build, the total build
+     * cost, and the scan work the postings have avoided. Never forces
+     * a build — unbuilt shards simply do not contribute.
+     */
+    IndexTotals indexTotals() const;
 
     /** All keys, sorted. */
     std::vector<std::string> keys() const;

@@ -4,8 +4,34 @@
 
 #include "base/logging.hh"
 #include "base/str.hh"
+#include "db/index.hh"
 
 namespace cachemind::db {
+
+// Out of line: LazyIndex holds a unique_ptr<TraceIndex>, so these
+// need TraceIndex complete (db/index.hh is a .cc-only include).
+TraceTable::TraceTable() : lazy_(std::make_unique<LazyIndex>()) {}
+TraceTable::~TraceTable() = default;
+TraceTable::TraceTable(TraceTable &&) noexcept = default;
+TraceTable &TraceTable::operator=(TraceTable &&) noexcept = default;
+
+const TraceIndex &
+TraceTable::index() const
+{
+    std::call_once(lazy_->once, [this] {
+        lazy_->index = std::make_unique<TraceIndex>(*this);
+        lazy_->built.store(true, std::memory_order_release);
+    });
+    return *lazy_->index;
+}
+
+const TraceIndex *
+TraceTable::indexIfBuilt() const
+{
+    return lazy_->built.load(std::memory_order_acquire)
+               ? lazy_->index.get()
+               : nullptr;
+}
 
 void
 TraceTable::reserve(std::size_t n)
@@ -149,8 +175,20 @@ TraceTable::recencyTextAt(std::size_t i) const
     return "very distant";
 }
 
-std::vector<std::uint64_t>
+const std::vector<std::uint64_t> &
 TraceTable::uniquePcs() const
+{
+    return index().uniquePcs();
+}
+
+const std::vector<std::uint32_t> &
+TraceTable::uniqueSets() const
+{
+    return index().uniqueSets();
+}
+
+std::vector<std::uint64_t>
+TraceTable::uniquePcsScan() const
 {
     std::vector<std::uint64_t> pcs(pcs_.begin(), pcs_.end());
     std::sort(pcs.begin(), pcs.end());
@@ -158,13 +196,16 @@ TraceTable::uniquePcs() const
 }
 
 std::vector<std::uint32_t>
-TraceTable::uniqueSets() const
+TraceTable::uniqueSetsScan() const
 {
-    std::vector<bool> seen;
+    // Size the seen-bitmap once (it used to grow incrementally,
+    // reallocating on every new high-water set id).
+    std::uint32_t max_set = 0;
+    for (const auto s : set_)
+        max_set = std::max(max_set, s);
+    std::vector<bool> seen(set_.empty() ? 0 : max_set + 1u, false);
     std::vector<std::uint32_t> out;
     for (const auto s : set_) {
-        if (s >= seen.size())
-            seen.resize(s + 1, false);
         if (!seen[s]) {
             seen[s] = true;
             out.push_back(s);
@@ -186,9 +227,63 @@ TraceTable::containsAddress(std::uint64_t address) const
     return addr_lookup_.count(address) > 0;
 }
 
+std::optional<std::uint32_t>
+TraceTable::pcIdOf(std::uint64_t pc) const
+{
+    const auto it = pc_lookup_.find(pc);
+    if (it == pc_lookup_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<std::uint32_t>
+TraceTable::addrIdOf(std::uint64_t address) const
+{
+    const auto it = addr_lookup_.find(address);
+    if (it == addr_lookup_.end())
+        return std::nullopt;
+    return it->second;
+}
+
 std::vector<std::size_t>
 TraceTable::filter(const std::uint64_t *pc, const std::uint64_t *address,
                    std::size_t limit) const
+{
+    if (!pc && !address)
+        return filterScan(pc, address, limit);
+
+    const auto pc_id = pc ? pcIdOf(*pc) : std::nullopt;
+    if (pc && !pc_id)
+        return {};
+    const auto addr_id = address ? addrIdOf(*address) : std::nullopt;
+    if (address && !addr_id)
+        return {};
+
+    const TraceIndex &idx = index();
+    if (pc_id && addr_id) {
+        const PostingsSpan a = idx.pcPostings(*pc_id);
+        const PostingsSpan b = idx.addrPostings(*addr_id);
+        auto out = TraceIndex::intersect(a, b, limit);
+        idx.noteLookup(std::min(a.size(), b.size()));
+        return out;
+    }
+
+    const PostingsSpan post =
+        pc_id ? idx.pcPostings(*pc_id) : idx.addrPostings(*addr_id);
+    const std::size_t take =
+        limit ? std::min(limit, post.size()) : post.size();
+    std::vector<std::size_t> out;
+    out.reserve(take);
+    for (std::size_t k = 0; k < take; ++k)
+        out.push_back(post.begin()[k]);
+    idx.noteLookup(take);
+    return out;
+}
+
+std::vector<std::size_t>
+TraceTable::filterScan(const std::uint64_t *pc,
+                       const std::uint64_t *address,
+                       std::size_t limit) const
 {
     std::vector<std::size_t> out;
     std::uint32_t pc_id = 0, addr_id = 0;

@@ -14,7 +14,11 @@
 #ifndef CACHEMIND_DB_TABLE_HH
 #define CACHEMIND_DB_TABLE_HH
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -24,6 +28,8 @@
 #include "trace/symbols.hh"
 
 namespace cachemind::db {
+
+class TraceIndex;
 
 /** Numeric sentinel for "no value" (-1 in the paper's dataframes). */
 constexpr std::int64_t kNoValue = -1;
@@ -77,7 +83,14 @@ struct AccessRow
 class TraceTable
 {
   public:
-    TraceTable() = default;
+    TraceTable();
+    ~TraceTable();
+    // Move-only: the lazy postings index holds a once_flag. Moves are
+    // build-phase only (single-threaded), like all table mutation.
+    TraceTable(TraceTable &&) noexcept;
+    TraceTable &operator=(TraceTable &&) noexcept;
+    TraceTable(const TraceTable &) = delete;
+    TraceTable &operator=(const TraceTable &) = delete;
 
     /** Symbol table used to render string columns (non-owning). */
     void setSymbols(const trace::SymbolTable *symbols)
@@ -146,25 +159,62 @@ class TraceTable
     /** Textual recency descriptor used in the string column. */
     std::string recencyTextAt(std::size_t i) const;
 
-    /** Unique PCs appearing in the table, ascending. */
-    std::vector<std::uint64_t> uniquePcs() const;
-    /** Unique sets touched, ascending. */
-    std::vector<std::uint32_t> uniqueSets() const;
+    /**
+     * Unique PCs appearing in the table, ascending — served from the
+     * postings index's build-time cache (no per-call sort).
+     */
+    const std::vector<std::uint64_t> &uniquePcs() const;
+    /** Unique sets touched, ascending (index-cached, no re-sort). */
+    const std::vector<std::uint32_t> &uniqueSets() const;
+
+    /** Reference O(n) unique-PC listing (equivalence tests). */
+    std::vector<std::uint64_t> uniquePcsScan() const;
+    /** Reference O(n) unique-set listing (equivalence tests). */
+    std::vector<std::uint32_t> uniqueSetsScan() const;
 
     /** Does this exact (pc) appear anywhere? O(1). */
     bool containsPc(std::uint64_t pc) const;
     /** Does this exact (address) appear anywhere? O(1). */
     bool containsAddress(std::uint64_t address) const;
 
-    /** Row indices matching optional pc/address filters. */
+    /** Dictionary id for a PC value; nullopt when absent. */
+    std::optional<std::uint32_t> pcIdOf(std::uint64_t pc) const;
+    /** Dictionary id for an address value; nullopt when absent. */
+    std::optional<std::uint32_t> addrIdOf(std::uint64_t address) const;
+
+    /**
+     * Row indices matching optional pc/address filters, ascending.
+     * Served from the postings index (lookup or galloping
+     * intersection) — byte-identical to filterScan, sublinear in the
+     * table size.
+     */
     std::vector<std::size_t>
     filter(const std::uint64_t *pc, const std::uint64_t *address,
            std::size_t limit = 0) const;
+
+    /**
+     * Reference O(n) row walk with identical semantics to filter():
+     * the pre-index scan path, kept for equivalence tests and
+     * scan-mode retrievers (never touches the index).
+     */
+    std::vector<std::size_t>
+    filterScan(const std::uint64_t *pc, const std::uint64_t *address,
+               std::size_t limit = 0) const;
+
+    /**
+     * The table's postings index, built lazily exactly once under a
+     * once_flag (same pattern as the shard's StatsExpert) — safe to
+     * hit from any number of concurrent readers.
+     */
+    const TraceIndex &index() const;
+    /** The index if some reader already built it; nullptr otherwise. */
+    const TraceIndex *indexIfBuilt() const;
 
     /** Materialise a full row with all string columns. */
     AccessRow row(std::size_t i) const;
 
   private:
+    friend class TraceIndex;
     static constexpr std::uint8_t kMissBit = 1 << 0;
     static constexpr std::uint8_t kBypassBit = 1 << 1;
     static constexpr std::uint8_t kVictimBit = 1 << 2;
@@ -215,6 +265,19 @@ class TraceTable
     std::vector<std::uint32_t> hist_pc_id_;
     std::vector<std::uint32_t> hist_addr_id_;
     std::vector<std::uint8_t> hist_count_;
+
+    /**
+     * Lazily built postings index. Heap-allocated so the table stays
+     * movable during the single-threaded build phase; the once_flag
+     * makes the build race-free once concurrent readers arrive.
+     */
+    struct LazyIndex
+    {
+        std::once_flag once;
+        std::atomic<bool> built{false};
+        std::unique_ptr<TraceIndex> index;
+    };
+    mutable std::unique_ptr<LazyIndex> lazy_;
 };
 
 } // namespace cachemind::db

@@ -127,6 +127,48 @@ fieldValue(const db::TraceTable &t, std::size_t i, DslField field)
     return db::kNoValue;
 }
 
+/**
+ * Final aggregate over the collected finite samples — shared by both
+ * execution modes so the arithmetic (and therefore every output bit)
+ * is identical by construction.
+ */
+void
+aggregateSamples(const std::vector<double> &xs, const DslProgram &prog,
+                 DslResult &res)
+{
+    if (xs.empty()) {
+        res.error = "no finite samples for field " +
+                    std::string(dslFieldName(prog.field));
+        return;
+    }
+    double out = 0.0;
+    switch (prog.op) {
+      case DslOp::MeanField: out = stats::mean(xs); break;
+      case DslOp::SumField:
+        for (const double x : xs)
+            out += x;
+        break;
+      case DslOp::MinField:
+        out = *std::min_element(xs.begin(), xs.end());
+        break;
+      case DslOp::MaxField:
+        out = *std::max_element(xs.begin(), xs.end());
+        break;
+      case DslOp::StdField: out = stats::stdev(xs); break;
+      default: break;
+    }
+    res.number = out;
+    res.ok = true;
+}
+
+bool
+isAggregateOp(DslOp op)
+{
+    return op == DslOp::MeanField || op == DslOp::SumField ||
+           op == DslOp::MinField || op == DslOp::MaxField ||
+           op == DslOp::StdField;
+}
+
 } // namespace
 
 DslResult
@@ -148,13 +190,20 @@ Interpreter::run(const DslProgram &prog) const
     }
     if (prog.op == DslOp::UniquePcs) {
         res.ok = true;
-        res.values = table.uniquePcs();
+        // Indexed: the build-time sorted listing; scan: re-sort.
+        res.values = mode_ == ExecMode::Indexed ? table.uniquePcs()
+                                                : table.uniquePcsScan();
         return res;
     }
     if (prog.op == DslOp::UniqueSets) {
         res.ok = true;
-        for (const auto s : table.uniqueSets())
-            res.values.push_back(s);
+        if (mode_ == ExecMode::Indexed) {
+            for (const auto s : table.uniqueSets())
+                res.values.push_back(s);
+        } else {
+            for (const auto s : table.uniqueSetsScan())
+                res.values.push_back(s);
+        }
         return res;
     }
     if (prog.op == DslOp::PerPcStats || prog.op == DslOp::PerSetStats) {
@@ -178,13 +227,214 @@ Interpreter::run(const DslProgram &prog) const
         return res;
     }
 
-    // Row-filtered operations.
+    return mode_ == ExecMode::Indexed
+               ? runFilteredIndexed(*entry, prog)
+               : runFilteredScan(*entry, prog);
+}
+
+/**
+ * Row-filtered operations on the postings index. Counting aggregates
+ * (CountRows/HitCount/MissRate) over zero or one filter key are
+ * served straight from precomputed counters without touching a single
+ * row; everything else walks only matching rows — the smallest
+ * applicable postings list, with residual filters checked against the
+ * columns (postings are ascending, so the visit order, and hence
+ * every output bit, matches the reference scan).
+ */
+DslResult
+Interpreter::runFilteredIndexed(const db::TraceEntry &entry,
+                                const DslProgram &prog) const
+{
+    DslResult res;
+    const db::TraceTable &table = entry.table;
+    const db::TraceIndex &idx = table.index();
+    const std::size_t n = table.size();
+
+    // Resolve filter keys; any absent key means zero matches.
+    bool absent = false;
+    std::optional<std::uint32_t> pc_id, addr_id;
+    if (prog.pc) {
+        pc_id = table.pcIdOf(*prog.pc);
+        absent |= !pc_id;
+    }
+    if (prog.address) {
+        addr_id = table.addrIdOf(*prog.address);
+        absent |= !addr_id;
+    }
+    if (prog.set_id && !absent && idx.setCounts(*prog.set_id) == nullptr)
+        absent = true;
+
+    const int dims = (prog.pc ? 1 : 0) + (prog.address ? 1 : 0) +
+                     (prog.set_id ? 1 : 0);
+
+    // Scan-equivalent instrumentation: rows actually walked.
+    std::size_t visited = 0;
+
+    db::PostingsSpan primary; // smallest postings list (dims >= 1)
+    if (!absent && dims > 0) {
+        primary = pc_id ? idx.pcPostings(*pc_id) : db::PostingsSpan{};
+        if (addr_id) {
+            const auto span = idx.addrPostings(*addr_id);
+            if (!prog.pc || span.size() < primary.size())
+                primary = span;
+        }
+        if (prog.set_id) {
+            const auto span = idx.setPostings(*prog.set_id);
+            if ((!prog.pc && !prog.address) ||
+                span.size() < primary.size()) {
+                primary = span;
+            }
+        }
+    }
+
+    const auto rowMatches = [&](std::size_t i) {
+        if (prog.pc && table.pcAt(i) != *prog.pc)
+            return false;
+        if (prog.address && table.addressAt(i) != *prog.address)
+            return false;
+        if (prog.set_id && table.setAt(i) != *prog.set_id)
+            return false;
+        return true;
+    };
+
+    // Matched/miss counters are O(1) reads for zero or one filter
+    // dimension; with two or more, each op fuses the counting into
+    // its single walk over the smallest postings list (so the list is
+    // never walked twice and `visited` stays scan-comparable).
+    const bool have_counts = absent || dims <= 1;
+    std::size_t matched = 0, misses = 0;
+    if (absent) {
+        // matched stays 0.
+    } else if (dims == 0) {
+        matched = n;
+        misses = static_cast<std::size_t>(idx.totals().misses);
+    } else if (dims == 1) {
+        const db::IndexKeyCounts *c =
+            pc_id ? idx.pcCounts(*pc_id)
+                  : (addr_id ? idx.addrCounts(*addr_id)
+                             : idx.setCounts(*prog.set_id));
+        matched = static_cast<std::size_t>(c->accesses);
+        misses = static_cast<std::size_t>(c->misses);
+    }
+
+    switch (prog.op) {
+      case DslOp::SelectRows: {
+        if (have_counts) {
+            const std::size_t take =
+                prog.limit ? std::min(prog.limit, matched) : matched;
+            if (take > 0 && dims == 0) {
+                for (std::size_t i = 0; i < take; ++i)
+                    res.rows.push_back(table.row(i));
+            } else if (take > 0) {
+                for (const auto i : primary) {
+                    ++visited;
+                    if (!rowMatches(i))
+                        continue;
+                    res.rows.push_back(table.row(i));
+                    if (res.rows.size() >= take)
+                        break;
+                }
+            }
+        } else {
+            // One walk: count every match, materialise the first
+            // `limit` (0 = all) — same rows, same order as the scan.
+            for (const auto i : primary) {
+                if (!rowMatches(i))
+                    continue;
+                ++matched;
+                if (!prog.limit || res.rows.size() < prog.limit)
+                    res.rows.push_back(table.row(i));
+            }
+            visited += primary.size();
+        }
+        res.ok = true;
+        break;
+      }
+      case DslOp::CountRows:
+      case DslOp::MissRate:
+      case DslOp::HitCount: {
+        if (!have_counts) {
+            for (const auto i : primary) {
+                if (rowMatches(i)) {
+                    ++matched;
+                    misses += table.isMissAt(i);
+                }
+            }
+            visited += primary.size();
+        }
+        if (prog.op == DslOp::CountRows) {
+            res.number = static_cast<double>(matched);
+            res.ok = true;
+        } else if (prog.op == DslOp::MissRate) {
+            if (matched == 0) {
+                res.error = "no rows match the filters";
+                break;
+            }
+            res.number = static_cast<double>(misses) /
+                         static_cast<double>(matched);
+            res.ok = true;
+        } else {
+            res.number = static_cast<double>(matched - misses);
+            res.ok = true;
+        }
+        break;
+      }
+      case DslOp::MeanField:
+      case DslOp::SumField:
+      case DslOp::MinField:
+      case DslOp::MaxField:
+      case DslOp::StdField: {
+        std::vector<double> xs;
+        xs.reserve(matched);
+        const auto collect = [&](std::size_t i) {
+            const std::int64_t v = fieldValue(table, i, prog.field);
+            if (v != db::kNoValue)
+                xs.push_back(static_cast<double>(v));
+        };
+        if (!absent && dims == 0) {
+            for (std::size_t i = 0; i < n; ++i)
+                collect(i);
+            visited += n;
+        } else if (!absent && have_counts) {
+            for (const auto i : primary) {
+                if (rowMatches(i))
+                    collect(i);
+            }
+            visited += primary.size();
+        } else if (!absent) {
+            for (const auto i : primary) {
+                if (rowMatches(i)) {
+                    ++matched;
+                    collect(i);
+                }
+            }
+            visited += primary.size();
+        }
+        aggregateSamples(xs, prog, res);
+        break;
+      }
+      default: res.error = "unsupported operation"; break;
+    }
+
+    res.matched = matched;
+    idx.noteLookup(visited);
+    return res;
+}
+
+/** The pre-index O(n) row walk — the executable specification. */
+DslResult
+Interpreter::runFilteredScan(const db::TraceEntry &entry,
+                             const DslProgram &prog) const
+{
+    DslResult res;
+    const db::TraceTable &table = entry.table;
+
     std::vector<std::size_t> rows;
     if (prog.pc || prog.address) {
         const std::uint64_t *pc = prog.pc ? &*prog.pc : nullptr;
         const std::uint64_t *addr =
             prog.address ? &*prog.address : nullptr;
-        rows = table.filter(pc, addr);
+        rows = table.filterScan(pc, addr);
     } else {
         rows.resize(table.size());
         for (std::size_t i = 0; i < table.size(); ++i)
@@ -235,11 +485,10 @@ Interpreter::run(const DslProgram &prog) const
         res.ok = true;
         return res;
       }
-      case DslOp::MeanField:
-      case DslOp::SumField:
-      case DslOp::MinField:
-      case DslOp::MaxField:
-      case DslOp::StdField: {
+      default: break;
+    }
+
+    if (isAggregateOp(prog.op)) {
         std::vector<double> xs;
         xs.reserve(rows.size());
         for (const auto i : rows) {
@@ -247,32 +496,8 @@ Interpreter::run(const DslProgram &prog) const
             if (v != db::kNoValue)
                 xs.push_back(static_cast<double>(v));
         }
-        if (xs.empty()) {
-            res.error = "no finite samples for field " +
-                        std::string(dslFieldName(prog.field));
-            return res;
-        }
-        double out = 0.0;
-        switch (prog.op) {
-          case DslOp::MeanField: out = stats::mean(xs); break;
-          case DslOp::SumField:
-            for (const double x : xs)
-                out += x;
-            break;
-          case DslOp::MinField:
-            out = *std::min_element(xs.begin(), xs.end());
-            break;
-          case DslOp::MaxField:
-            out = *std::max_element(xs.begin(), xs.end());
-            break;
-          case DslOp::StdField: out = stats::stdev(xs); break;
-          default: break;
-        }
-        res.number = out;
-        res.ok = true;
+        aggregateSamples(xs, prog, res);
         return res;
-      }
-      default: break;
     }
     res.error = "unsupported operation";
     return res;

@@ -100,19 +100,42 @@ struct DslResult
     std::string text;
 };
 
+/**
+ * How the interpreter executes row-filtered operations.
+ *
+ * Indexed (the default) serves filters from each shard's postings
+ * index and counting aggregates from its precomputed counters —
+ * sublinear in the table size. ReferenceScan is the pre-index O(n)
+ * row walk, kept as the executable specification: randomized
+ * equivalence tests assert both modes produce byte-identical results.
+ */
+enum class ExecMode {
+    Indexed,
+    ReferenceScan,
+};
+
 /** Executes DslPrograms against a shard view. */
 class Interpreter
 {
   public:
-    explicit Interpreter(db::ShardSet shards)
-        : shards_(std::move(shards))
+    explicit Interpreter(db::ShardSet shards,
+                         ExecMode mode = ExecMode::Indexed)
+        : shards_(std::move(shards)), mode_(mode)
     {
     }
+
+    ExecMode mode() const { return mode_; }
 
     DslResult run(const DslProgram &prog) const;
 
   private:
+    DslResult runFilteredIndexed(const db::TraceEntry &entry,
+                                 const DslProgram &prog) const;
+    DslResult runFilteredScan(const db::TraceEntry &entry,
+                              const DslProgram &prog) const;
+
     db::ShardSet shards_;
+    ExecMode mode_ = ExecMode::Indexed;
 };
 
 } // namespace cachemind::query

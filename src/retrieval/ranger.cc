@@ -22,7 +22,8 @@ using query::QueryIntent;
 RangerRetriever::RangerRetriever(db::ShardSet shards, RangerConfig cfg)
     : shards_(std::move(shards)), cfg_(std::move(cfg)),
       parser_(shards_.workloads(), shards_.policies()),
-      interp_(shards_)
+      interp_(shards_, cfg_.use_index ? query::ExecMode::Indexed
+                                      : query::ExecMode::ReferenceScan)
 {
 }
 
@@ -194,7 +195,8 @@ RangerRetriever::cacheFingerprint() const
            str::fixed(cfg_.codegen_fidelity, 6) +
            "|lim=" + std::to_string(cfg_.select_limit) +
            "|p=" + cfg_.default_policy +
-           "|seed=" + std::to_string(cfg_.seed);
+           "|seed=" + std::to_string(cfg_.seed) +
+           "|i=" + (cfg_.use_index ? "1" : "0");
 }
 
 std::string
@@ -356,6 +358,7 @@ const RetrieverRegistrar ranger_registrar(
         cfg.default_policy =
             opts.get("default_policy", cfg.default_policy);
         cfg.seed = opts.getSize("seed", cfg.seed);
+        cfg.use_index = opts.getBool("use_index", cfg.use_index);
         return std::make_unique<RangerRetriever>(shards, cfg);
     });
 

@@ -38,6 +38,12 @@ struct RangerConfig
     std::string default_policy = "lru";
     /** Seed salt for the mis-generation draws. */
     std::uint64_t seed = 0x7a9eULL;
+    /**
+     * Execute programs on the postings index (default). Off = the
+     * reference O(n) scan interpreter, kept for equivalence tests and
+     * scan-vs-index measurement; results are byte-identical.
+     */
+    bool use_index = true;
 };
 
 /** The Ranger retriever (serves any shard view, full store or subset). */

@@ -52,7 +52,7 @@ SieveRetriever::checkPremise(const ParsedQuery &q,
         return;
     }
     if (q.pc && q.address) {
-        const auto rows = entry.table.filter(&*q.pc, &*q.address, 1);
+        const auto rows = filterRows(entry.table, &*q.pc, &*q.address, 1);
         if (rows.empty()) {
             // The tuple never occurs even though the PC exists.
             bool addr_known = entry.table.containsAddress(*q.address);
@@ -64,6 +64,31 @@ SieveRetriever::checkPremise(const ParsedQuery &q,
                             : " (the address never appears at all).");
         }
     }
+}
+
+namespace {
+
+/** Truncated unique-value listing into the bundle. */
+template <typename T>
+void
+fillListing(const std::vector<T> &values, std::size_t limit,
+            ContextBundle &bundle)
+{
+    bundle.values_complete = values.size() <= limit;
+    for (std::size_t i = 0; i < std::min(values.size(), limit); ++i)
+        bundle.values.push_back(values[i]);
+}
+
+} // namespace
+
+std::vector<std::size_t>
+SieveRetriever::filterRows(const db::TraceTable &table,
+                           const std::uint64_t *pc,
+                           const std::uint64_t *address,
+                           std::size_t limit) const
+{
+    return cfg_.use_index ? table.filter(pc, address, limit)
+                          : table.filterScan(pc, address, limit);
 }
 
 void
@@ -92,7 +117,8 @@ SieveRetriever::cacheFingerprint() const
            std::to_string(cfg_.evidence_window) +
            "|l=" + std::to_string(cfg_.listing_limit) +
            "|p=" + cfg_.default_policy +
-           "|d=" + (cfg_.degrade_filters ? "1" : "0");
+           "|d=" + (cfg_.degrade_filters ? "1" : "0") +
+           "|i=" + (cfg_.use_index ? "1" : "0");
 }
 
 std::string
@@ -146,7 +172,7 @@ SieveRetriever::retrieveParsed(const ParsedQuery &parsed)
             (q.address && !cfg_.degrade_filters) ? &*q.address
                                                  : nullptr;
         const auto idxs =
-            entry.table.filter(pc, addr, cfg_.evidence_window);
+            filterRows(entry.table, pc, addr, cfg_.evidence_window);
         for (const auto i : idxs)
             bundle.rows.push_back(entry.table.row(i));
         bundle.total_matches = bundle.rows.size();
@@ -184,24 +210,23 @@ SieveRetriever::retrieveParsed(const ParsedQuery &parsed)
         bundle.policy_numbers_label = "miss rates";
         break;
       }
-      case QueryIntent::ListPcs: {
-        const auto pcs = entry.table.uniquePcs();
-        bundle.values_complete = pcs.size() <= cfg_.listing_limit;
-        for (std::size_t i = 0;
-             i < std::min(pcs.size(), cfg_.listing_limit); ++i) {
-            bundle.values.push_back(pcs[i]);
-        }
+      case QueryIntent::ListPcs:
+        // Indexed: the build-time sorted listing, no per-call sort.
+        if (cfg_.use_index)
+            fillListing(entry.table.uniquePcs(), cfg_.listing_limit,
+                        bundle);
+        else
+            fillListing(entry.table.uniquePcsScan(),
+                        cfg_.listing_limit, bundle);
         break;
-      }
-      case QueryIntent::ListSets: {
-        const auto sets = entry.table.uniqueSets();
-        bundle.values_complete = sets.size() <= cfg_.listing_limit;
-        for (std::size_t i = 0;
-             i < std::min(sets.size(), cfg_.listing_limit); ++i) {
-            bundle.values.push_back(sets[i]);
-        }
+      case QueryIntent::ListSets:
+        if (cfg_.use_index)
+            fillListing(entry.table.uniqueSets(), cfg_.listing_limit,
+                        bundle);
+        else
+            fillListing(entry.table.uniqueSetsScan(),
+                        cfg_.listing_limit, bundle);
         break;
-      }
       case QueryIntent::SetStats: {
         const std::size_t n = q.top_n ? q.top_n : 5;
         if (q.set_id) {
@@ -301,6 +326,7 @@ const RetrieverRegistrar sieve_registrar(
             opts.get("default_policy", cfg.default_policy);
         cfg.degrade_filters =
             opts.getBool("degrade_filters", cfg.degrade_filters);
+        cfg.use_index = opts.getBool("use_index", cfg.use_index);
         return std::make_unique<SieveRetriever>(shards, cfg);
     });
 

@@ -32,6 +32,13 @@ struct SieveConfig
      * evidence" (medium-quality context).
      */
     bool degrade_filters = false;
+    /**
+     * Serve slices and listings from the per-shard postings index
+     * (default). Off = the reference O(n) scan path, kept for
+     * equivalence tests and scan-vs-index measurement; bundles are
+     * byte-identical either way.
+     */
+    bool use_index = true;
 };
 
 /** The Sieve retriever (serves any shard view, full store or subset). */
@@ -62,6 +69,11 @@ class SieveRetriever : public Retriever
     void checkPremise(const query::ParsedQuery &q,
                       const db::TraceEntry &entry,
                       ContextBundle &bundle) const;
+
+    /** Row slice via the postings index or the reference scan. */
+    std::vector<std::size_t>
+    filterRows(const db::TraceTable &table, const std::uint64_t *pc,
+               const std::uint64_t *address, std::size_t limit) const;
 
     void fillSourceContext(std::uint64_t pc,
                            const db::TraceEntry &entry,

@@ -501,3 +501,72 @@ TEST(ChatSessionTest, MemorySharpensUnderSpecifiedFollowUp)
     EXPECT_EQ(sharpened.bundle.trace_key, "astar_evictions_lru");
     EXPECT_TRUE(sharpened.answer.number.has_value());
 }
+
+// --------------------------- cross-engine shared retrieval cache
+
+TEST(EngineTest, SharedRetrievalCacheIsReusedAcrossEngines)
+{
+    // The multi-backend sweep pattern: engines differing only in
+    // backend share one externally owned bundle cache, so the second
+    // engine's retrieval is served from the first engine's work.
+    auto shared_cache =
+        std::make_shared<retrieval::RetrievalCache>(256);
+    const auto questions = suiteQuestions();
+
+    auto first = CacheMind::Builder(sharedDb())
+                     .withBackend("gpt-4o")
+                     .withSharedRetrievalCache(shared_cache)
+                     .build()
+                     .expect("first engine");
+    auto second = CacheMind::Builder(sharedDb())
+                      .withBackend("o3")
+                      .withSharedRetrievalCache(shared_cache)
+                      .build()
+                      .expect("second engine");
+    EXPECT_EQ(first.retrievalCache(), shared_cache.get());
+    EXPECT_EQ(second.retrievalCache(), shared_cache.get());
+
+    // Reference: an isolated engine with the same backend as second.
+    auto isolated = CacheMind::Builder(sharedDb())
+                        .withBackend("o3")
+                        .build()
+                        .expect("isolated engine");
+
+    for (const auto &q : questions)
+        (void)first.ask(q).expect("first ask");
+    const auto first_stats = first.stats();
+    EXPECT_GT(first_stats.cache.misses, 0u);
+
+    for (const auto &q : questions) {
+        const auto shared_resp = second.ask(q).expect("second ask");
+        const auto isolated_resp = isolated.ask(q).expect("isolated");
+        // Shared bundles must never change a single answer byte.
+        EXPECT_EQ(shared_resp.text, isolated_resp.text) << q;
+        EXPECT_EQ(shared_resp.bundle.render(),
+                  isolated_resp.bundle.render())
+            << q;
+    }
+    // Identical retriever fingerprints: every question the second
+    // engine asked was served from the first engine's entries.
+    const auto second_stats = second.stats();
+    EXPECT_EQ(second_stats.cache.misses, 0u);
+    EXPECT_EQ(second_stats.cache.hits, questions.size());
+}
+
+TEST(EngineStatsTest, IndexTotalsSurfaceThroughEngineStats)
+{
+    auto engine = defaultEngine();
+    const auto *entry = sharedDb().find("astar_evictions_lru");
+    const std::uint64_t pc = entry->table.pcAt(0);
+    (void)engine
+        .ask("What is the miss rate for PC " + str::hex(pc) +
+             " in the astar workload with LRU?")
+        .expect("ask");
+    const auto stats = engine.stats();
+    // Sieve's evidence slice went through the postings index: the
+    // queried shard reports its build and the skipped scan work.
+    EXPECT_GE(stats.index.shards_indexed, 1u);
+    EXPECT_GT(stats.index.lookups, 0u);
+    EXPECT_GT(stats.index.rows_skipped, 0u);
+    EXPECT_GT(stats.index.build_ms_total, 0.0);
+}

@@ -2,17 +2,22 @@
  * @file
  * Tests for the trace database: table storage round-trip, statistics
  * expert, metadata strings, end-to-end building, shard views, the
- * thread safety of the lazy expert cache, and the byte-identical
- * equivalence of the parallel build to the sequential one.
+ * thread safety of the lazy expert and postings-index caches, the
+ * index-vs-reference-scan equivalence of filters and listings, and
+ * the byte-identical equivalence of the parallel build to the
+ * sequential one.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
 #include <sstream>
 #include <thread>
 
 #include "db/builder.hh"
 #include "db/database.hh"
+#include "db/index.hh"
 #include "db/shard.hh"
 #include "db/stats_expert.hh"
 #include "db/table.hh"
@@ -418,6 +423,180 @@ TEST(ShardTest, ShardSetSubsetsByWorkload)
     EXPECT_FALSE(micro.shard("astar_evictions_lru").valid());
 
     EXPECT_TRUE(all.forWorkload("no_such_workload").empty());
+}
+
+// ----------------------------------------------- postings index
+
+TEST(TraceIndexTest, FilterMatchesReferenceScanOnRandomQueries)
+{
+    // Property test: indexed filter() must be byte-identical to the
+    // reference scan over randomized (pc, address, limit) queries,
+    // including keys absent from the table.
+    const auto db = buildSingleDatabase(trace::WorkloadKind::Mcf,
+                                        policy::PolicyKind::Lru, 50000);
+    const auto *entry = db.find("mcf", "lru");
+    const TraceTable &t = entry->table;
+    const auto pcs = t.uniquePcsScan();
+    ASSERT_FALSE(pcs.empty());
+
+    std::mt19937_64 rng(0xfeedULL);
+    for (int iter = 0; iter < 400; ++iter) {
+        const bool with_pc = rng() % 4 != 0;
+        const bool with_addr = rng() % 2 == 0;
+        if (!with_pc && !with_addr)
+            continue;
+        // 1 in 5 keys is absent from the table on purpose.
+        std::uint64_t pc = rng() % 5 == 0
+                               ? 0xdead0000 + (rng() % 64)
+                               : pcs[rng() % pcs.size()];
+        std::uint64_t addr = rng() % 5 == 0
+                                 ? 0x1234000 + (rng() % 64)
+                                 : t.addressAt(rng() % t.size());
+        const std::size_t limits[] = {0, 1, 7, 64};
+        const std::size_t limit = limits[rng() % 4];
+
+        const auto indexed = t.filter(with_pc ? &pc : nullptr,
+                                      with_addr ? &addr : nullptr,
+                                      limit);
+        const auto scanned = t.filterScan(with_pc ? &pc : nullptr,
+                                          with_addr ? &addr : nullptr,
+                                          limit);
+        ASSERT_EQ(indexed, scanned)
+            << "iter=" << iter << " pc=" << with_pc << ":" << pc
+            << " addr=" << with_addr << ":" << addr
+            << " limit=" << limit;
+    }
+}
+
+TEST(TraceIndexTest, PerKeyCountsMatchStatsExpert)
+{
+    const auto t = makeTinyTable();
+    const TraceIndex &idx = t.index();
+    const StatsExpert expert(t);
+
+    EXPECT_EQ(idx.rows(), t.size());
+    EXPECT_EQ(idx.totals().accesses, expert.summary().accesses);
+    EXPECT_EQ(idx.totals().misses, expert.summary().misses);
+    EXPECT_EQ(idx.totals().evictions, expert.summary().evictions);
+
+    for (const auto pc : t.uniquePcsScan()) {
+        const auto id = t.pcIdOf(pc);
+        ASSERT_TRUE(id.has_value());
+        const IndexKeyCounts *c = idx.pcCounts(*id);
+        ASSERT_NE(c, nullptr);
+        const auto ps = expert.pcStats(pc);
+        ASSERT_TRUE(ps.has_value());
+        EXPECT_EQ(c->accesses, ps->accesses) << pc;
+        EXPECT_EQ(c->misses, ps->misses) << pc;
+        EXPECT_EQ(c->hits(), ps->hits) << pc;
+        // Postings lengths agree with the counters.
+        EXPECT_EQ(idx.pcPostings(*id).size(), c->accesses) << pc;
+    }
+    for (const auto &ss : expert.allSetStats()) {
+        const IndexKeyCounts *c = idx.setCounts(ss.set);
+        ASSERT_NE(c, nullptr);
+        EXPECT_EQ(c->accesses, ss.accesses);
+        EXPECT_EQ(c->hits(), ss.hits);
+        EXPECT_EQ(idx.setPostings(ss.set).size(), c->accesses);
+    }
+    EXPECT_EQ(idx.setCounts(0xffff), nullptr);
+    EXPECT_TRUE(idx.setPostings(0xffff).empty());
+}
+
+TEST(TraceIndexTest, UniqueListingsAreCachedAndMatchScan)
+{
+    const auto t = makeTinyTable();
+    EXPECT_EQ(t.uniquePcs(), t.uniquePcsScan());
+    EXPECT_EQ(t.uniqueSets(), t.uniqueSetsScan());
+    // Cached: repeated calls return the same build-time vector.
+    EXPECT_EQ(&t.uniquePcs(), &t.uniquePcs());
+    EXPECT_EQ(&t.uniqueSets(), &t.uniqueSets());
+}
+
+TEST(TraceIndexTest, GallopingIntersectionAgainstNaive)
+{
+    std::mt19937_64 rng(0x5eedULL);
+    for (int iter = 0; iter < 200; ++iter) {
+        // Sorted unique candidate lists of very different lengths —
+        // the skew galloping is built for.
+        std::vector<std::uint32_t> a, b;
+        const std::size_t na = 1 + rng() % 8;
+        const std::size_t nb = 1 + rng() % 512;
+        for (std::size_t i = 0; i < na; ++i)
+            a.push_back(rng() % 600);
+        for (std::size_t i = 0; i < nb; ++i)
+            b.push_back(rng() % 600);
+        for (auto *v : {&a, &b}) {
+            std::sort(v->begin(), v->end());
+            v->erase(std::unique(v->begin(), v->end()), v->end());
+        }
+        std::vector<std::size_t> naive;
+        std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                              std::back_inserter(naive));
+        const PostingsSpan sa{a.data(), a.data() + a.size()};
+        const PostingsSpan sb{b.data(), b.data() + b.size()};
+        EXPECT_EQ(TraceIndex::intersect(sa, sb, 0), naive) << iter;
+        // Limit early-exit keeps the prefix.
+        if (naive.size() > 1) {
+            naive.resize(1);
+            EXPECT_EQ(TraceIndex::intersect(sa, sb, 1), naive) << iter;
+        }
+    }
+}
+
+TEST(TraceIndexTest, LazyBuildIsThreadSafeAndStable)
+{
+    // TSan-covered hammer: concurrent readers racing to trigger the
+    // lazy per-shard index build must all observe one index (same
+    // pattern — and same CI job — as the statsFor expert hammer).
+    BuildOptions opts;
+    opts.workloads = {trace::WorkloadKind::Microbench};
+    opts.policies = {policy::PolicyKind::Lru,
+                     policy::PolicyKind::Belady};
+    opts.accesses_override = 20000;
+    const auto db = buildDatabase(opts);
+    const ShardSet shards = db.shards();
+    const auto keys = shards.keys();
+
+    // Before anyone touches it, no shard reports a built index.
+    EXPECT_EQ(shards.indexTotals().shards_indexed, 0u);
+
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kIters = 100;
+    std::vector<std::vector<const TraceIndex *>> seen(kThreads);
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            for (std::size_t iter = 0; iter < kIters; ++iter) {
+                for (const auto &key : keys) {
+                    const auto view = shards.shard(key);
+                    seen[t].push_back(view.index());
+                    // Exercise reads through the fresh index too.
+                    const auto &table = view.table();
+                    const std::uint64_t pc = table.pcAt(iter % 7);
+                    const auto rows = table.filter(&pc, nullptr, 3);
+                    if (!rows.empty())
+                        seen[t].back()->noteLookup(rows.size());
+                }
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        ASSERT_EQ(seen[t].size(), kIters * keys.size());
+        for (std::size_t i = 0; i < seen[t].size(); ++i) {
+            ASSERT_NE(seen[t][i], nullptr);
+            EXPECT_EQ(seen[t][i],
+                      shards.indexFor(keys[i % keys.size()]));
+        }
+    }
+
+    const auto totals = shards.indexTotals();
+    EXPECT_EQ(totals.shards_indexed, keys.size());
+    EXPECT_GT(totals.lookups, 0u);
+    EXPECT_GT(totals.rows_skipped, 0u);
 }
 
 TEST(BuilderTest, ParallelBuildIsByteIdenticalAcrossThreadCounts)

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+#include <sstream>
+
 #include "db/builder.hh"
 #include "query/dsl.hh"
 #include "query/parser.hh"
@@ -304,6 +307,140 @@ TEST(DslTest, RenderedPythonMentionsFiltersAndTable)
     EXPECT_NE(code.find("0x35e798a637f"), std::string::npos);
     EXPECT_NE(code.find("miss rate"), std::string::npos);
     EXPECT_NE(code.find("result ="), std::string::npos);
+}
+
+// -------------------------------------- index-vs-scan equivalence
+
+namespace {
+
+/** Deterministic digest of one materialised row, every field. */
+std::string
+rowSignature(const db::AccessRow &r)
+{
+    std::ostringstream os;
+    os << r.index << '|' << r.program_counter << '|'
+       << r.memory_address << '|' << r.cache_set_id << '|' << r.is_miss
+       << r.bypassed << r.has_victim << r.wrong_eviction << '|'
+       << static_cast<int>(r.miss_type) << '|' << r.evicted_address
+       << '|' << r.accessed_reuse_distance << '|' << r.accessed_recency
+       << '|' << r.evicted_reuse_distance << '|' << r.recency_text
+       << '|' << r.function_name << '|'
+       << r.current_cache_lines.size() << '|'
+       << r.cache_line_eviction_scores.size() << '|'
+       << r.recent_access_history.size();
+    return os.str();
+}
+
+/** Assert two DslResults are byte-identical, field by field. */
+void
+expectSameResult(const DslResult &a, const DslResult &b,
+                 const std::string &what)
+{
+    EXPECT_EQ(a.ok, b.ok) << what;
+    EXPECT_EQ(a.error, b.error) << what;
+    EXPECT_EQ(a.matched, b.matched) << what;
+    ASSERT_EQ(a.number.has_value(), b.number.has_value()) << what;
+    if (a.number) {
+        // Bit-exact: the indexed path must visit the same samples in
+        // the same order, so even floating aggregates are identical.
+        EXPECT_EQ(*a.number, *b.number) << what;
+    }
+    EXPECT_EQ(a.values, b.values) << what;
+    EXPECT_EQ(a.text, b.text) << what;
+    ASSERT_EQ(a.rows.size(), b.rows.size()) << what;
+    for (std::size_t i = 0; i < a.rows.size(); ++i) {
+        EXPECT_EQ(rowSignature(a.rows[i]), rowSignature(b.rows[i]))
+            << what << " row " << i;
+    }
+}
+
+} // namespace
+
+TEST(DslIndexEquivalenceTest, RandomizedProgramsMatchReferenceScan)
+{
+    // Property test: the indexed interpreter must produce
+    // byte-identical results to the reference O(n) scan over
+    // randomized programs — every op, random pc/address/set filters
+    // (present and absent), random fields and limits.
+    const auto &database = sharedDb();
+    const Interpreter indexed(database, ExecMode::Indexed);
+    const Interpreter scan(database, ExecMode::ReferenceScan);
+    ASSERT_EQ(indexed.mode(), ExecMode::Indexed);
+    ASSERT_EQ(scan.mode(), ExecMode::ReferenceScan);
+
+    const std::string key = "microbench_evictions_lru";
+    const auto *entry = database.find(key);
+    ASSERT_NE(entry, nullptr);
+    const db::TraceTable &table = entry->table;
+    const auto pcs = table.uniquePcsScan();
+    const auto sets = table.uniqueSetsScan();
+    ASSERT_FALSE(pcs.empty());
+    ASSERT_FALSE(sets.empty());
+
+    const DslOp ops[] = {DslOp::SelectRows, DslOp::CountRows,
+                         DslOp::MissRate,   DslOp::HitCount,
+                         DslOp::MeanField,  DslOp::SumField,
+                         DslOp::MinField,   DslOp::MaxField,
+                         DslOp::StdField,   DslOp::UniquePcs,
+                         DslOp::UniqueSets};
+    const DslField fields[] = {DslField::ReuseDistance,
+                               DslField::EvictedReuseDistance,
+                               DslField::Recency};
+    const std::size_t limits[] = {0, 1, 5, 16};
+
+    std::mt19937_64 rng(0xca6eULL);
+    for (int iter = 0; iter < 400; ++iter) {
+        DslProgram prog;
+        prog.trace_key = key;
+        prog.op = ops[rng() % (sizeof(ops) / sizeof(ops[0]))];
+        prog.field = fields[rng() % 3];
+        prog.limit = limits[rng() % 4];
+        if (rng() % 2 == 0) {
+            prog.pc = rng() % 5 == 0 ? 0xdead0000 + (rng() % 16)
+                                     : pcs[rng() % pcs.size()];
+        }
+        if (rng() % 3 == 0) {
+            prog.address = rng() % 5 == 0
+                               ? 0x1230000 + (rng() % 16)
+                               : table.addressAt(rng() % table.size());
+        }
+        if (rng() % 3 == 0) {
+            prog.set_id = rng() % 5 == 0
+                              ? 0xfff0u + (rng() % 8)
+                              : sets[rng() % sets.size()];
+        }
+        const auto a = indexed.run(prog);
+        const auto b = scan.run(prog);
+        std::ostringstream what;
+        what << "iter=" << iter << " op=" << dslOpName(prog.op);
+        if (prog.pc)
+            what << " pc=" << *prog.pc;
+        if (prog.address)
+            what << " addr=" << *prog.address;
+        if (prog.set_id)
+            what << " set=" << *prog.set_id;
+        what << " limit=" << prog.limit;
+        expectSameResult(a, b, what.str());
+    }
+}
+
+TEST(DslIndexEquivalenceTest, UnfilteredAggregatesMatchWithoutRowVector)
+{
+    // The unfiltered paths (previously an n-element row-index vector
+    // per call) must agree with the scan on whole-table answers.
+    const auto &database = sharedDb();
+    const Interpreter indexed(database, ExecMode::Indexed);
+    const Interpreter scan(database, ExecMode::ReferenceScan);
+    for (const auto op :
+         {DslOp::CountRows, DslOp::HitCount, DslOp::MissRate,
+          DslOp::MeanField, DslOp::StdField, DslOp::SelectRows}) {
+        DslProgram prog;
+        prog.trace_key = "microbench_evictions_lru";
+        prog.op = op;
+        prog.limit = 4;
+        expectSameResult(indexed.run(prog), scan.run(prog),
+                         dslOpName(op));
+    }
 }
 
 TEST(DslTest, PerSetStatsForOneSet)

@@ -566,3 +566,80 @@ TEST(RetrievalCacheTest, DistinctKeysUnderConcurrency)
     EXPECT_EQ(mismatches.load(), 0);
     EXPECT_EQ(cache.size(), static_cast<std::size_t>(kKeys));
 }
+
+// ------------------------------------ indexed vs scan execution
+
+TEST(IndexedRetrievalTest, SieveBundlesByteIdenticalToScanPath)
+{
+    // The postings index is a pure execution strategy: bundles must
+    // be byte-identical to the pre-index scan path for every intent
+    // that touches filters or listings.
+    SieveConfig scan_cfg;
+    scan_cfg.use_index = false;
+    SieveRetriever indexed(sharedDb());
+    SieveRetriever scanner(sharedDb(), scan_cfg);
+    const auto known = knownAccess("mcf_evictions_lru");
+    const std::vector<std::string> questions = {
+        "What is the miss rate for PC " + str::hex(known.pc) +
+            " in the mcf workload with LRU?",
+        "Does the memory access with PC " + str::hex(known.pc) +
+            " and address " + str::hex(known.address) +
+            " result in a cache hit or cache miss for the mcf "
+            "workload under LRU?",
+        "How many times did PC " + str::hex(known.pc) +
+            " appear in the mcf workload under LRU?",
+        "List all unique PCs in the mcf workload under LRU.",
+        "For mcf and LRU, could you list the unique cache sets in "
+        "ascending order?",
+        "What is the miss rate for PC 0xdeadbeef in the mcf workload "
+        "with LRU?", // premise violation path
+        "Why does Belady outperform LRU in the mcf workload?",
+    };
+    for (const auto &q : questions) {
+        const auto a = indexed.retrieve(q);
+        const auto b = scanner.retrieve(q);
+        EXPECT_EQ(a.render(), b.render()) << q;
+        EXPECT_EQ(a.premise_note, b.premise_note) << q;
+        EXPECT_EQ(a.values, b.values) << q;
+        EXPECT_EQ(a.total_matches, b.total_matches) << q;
+    }
+    // The execution knob is config like any other: fingerprinted.
+    EXPECT_NE(indexed.cacheFingerprint(), scanner.cacheFingerprint());
+}
+
+TEST(IndexedRetrievalTest, RangerBundlesByteIdenticalToScanPath)
+{
+    RangerConfig scan_cfg;
+    scan_cfg.use_index = false;
+    RangerRetriever indexed(sharedDb());
+    RangerRetriever scanner(sharedDb(), scan_cfg);
+    const auto known = knownAccess("mcf_evictions_lru");
+    const std::vector<std::string> questions = {
+        "What is the miss rate for PC " + str::hex(known.pc) +
+            " in the mcf workload with LRU?",
+        "How many times did PC " + str::hex(known.pc) +
+            " appear in the mcf workload under LRU?",
+        "What is the average reuse distance of PC " +
+            str::hex(known.pc) + " for the mcf workload with LRU?",
+        "What is the standard deviation of the reuse distance of PC " +
+            str::hex(known.pc) + " in the mcf workload under LRU?",
+        "Does the memory access with PC " + str::hex(known.pc) +
+            " and address " + str::hex(known.address) +
+            " result in a cache hit or cache miss for the mcf "
+            "workload under LRU?",
+        "Which policy has the lowest miss rate in the mcf workload?",
+        "List all unique PCs in the mcf workload under LRU.",
+    };
+    for (const auto &q : questions) {
+        const auto a = indexed.retrieve(q);
+        const auto b = scanner.retrieve(q);
+        EXPECT_EQ(a.render(), b.render()) << q;
+        EXPECT_EQ(a.generated_code, b.generated_code) << q;
+        EXPECT_EQ(a.result_text, b.result_text) << q;
+        ASSERT_EQ(a.computed.has_value(), b.computed.has_value()) << q;
+        if (a.computed) {
+            EXPECT_EQ(*a.computed, *b.computed) << q; // bit-exact
+        }
+    }
+    EXPECT_NE(indexed.cacheFingerprint(), scanner.cacheFingerprint());
+}
