@@ -349,6 +349,93 @@ BENCHMARK(BM_AskBatchRepeatedSlots)
     ->Arg(1)  // cache on
     ->Unit(benchmark::kMillisecond);
 
+namespace {
+
+/**
+ * The interactive cold sweep: reasoning-heavy per-PC "why" questions,
+ * one per shard with a distinct PC, every question unique so the
+ * bundle cache never hits. Each full answer pays real analytic
+ * retrieval — premise scan, evidence slice, per-PC statistics across
+ * every policy shard, ranked top-PC stats — plus generation, while
+ * the streamed overview chunk goes on the wire before any of it.
+ */
+std::vector<std::string>
+explainQuestions()
+{
+    const auto &database = fullDb();
+    std::vector<std::string> questions;
+    const auto policies = database.policies();
+    std::size_t k = 0;
+    for (const auto &key : database.keys()) {
+        const auto *entry = database.find(key);
+        const std::string pc =
+            str::hex(entry->table.pcAt((k * 257) % entry->table.size()));
+        const std::string &other =
+            policies[(k + 1) % policies.size()];
+        questions.push_back("Why does " + entry->policy +
+                            " outperform " + other + " on PC " + pc +
+                            " in the " + entry->workload +
+                            " workload?");
+        ++k;
+    }
+    return questions;
+}
+
+} // namespace
+
+static void
+BM_AskStreamFirstEvent(benchmark::State &state)
+{
+    // Time-to-first-evidence vs full-answer latency on the cold
+    // sweep: arg 0 measures a blocking ask() end to end; arg 1
+    // measures askStream() from call to the first EvidenceChunk
+    // reaching the consumer (the streamed overview goes on the wire
+    // before the ranked-stats analysis and generation run). Same
+    // engine config, same questions, warmed indexes for both.
+    const bool streamed = state.range(0) != 0;
+    const auto questions = explainQuestions();
+    auto engine = core::CacheMind::Builder(fullDb())
+                      .withRetrievalCacheCapacity(0)
+                      .build()
+                      .expect("stream bench engine");
+    engine.warmup();
+    std::size_t qi = 0;
+    for (auto _ : state) {
+        const auto &question = questions[qi++ % questions.size()];
+        if (streamed) {
+            auto stream =
+                engine.askStream(question).expect("askStream");
+            while (auto event = stream.next()) {
+                if (event->kind ==
+                    core::StreamEvent::Kind::EvidenceChunk) {
+                    break;
+                }
+            }
+            // Drain the rest off the clock: only the latency until
+            // first evidence is the measured quantity.
+            state.PauseTiming();
+            while (stream.next()) {
+            }
+            state.ResumeTiming();
+        } else {
+            benchmark::DoNotOptimize(engine.ask(question));
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+    const auto stats = engine.stats();
+    if (streamed) {
+        state.counters["first_event_p50_ms"] =
+            stats.stream.first_event_p50_ms;
+        state.counters["events"] =
+            static_cast<double>(stats.stream.events);
+    }
+}
+BENCHMARK(BM_AskStreamFirstEvent)
+    ->Arg(0)  // full blocking answer
+    ->Arg(1)  // time to first streamed evidence
+    ->Unit(benchmark::kMicrosecond);
+
 int
 main(int argc, char **argv)
 {

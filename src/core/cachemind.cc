@@ -42,6 +42,10 @@ CacheMind::create(const db::TraceDatabase &db, EngineOptions opts)
         return EngineError{EngineErrorCode::InvalidOptions,
                            "batch_workers must be >= 1"};
     }
+    if (opts.stream_buffer == 0) {
+        return EngineError{EngineErrorCode::InvalidOptions,
+                           "stream_buffer must be >= 1"};
+    }
 
     // One shard view, derived once, shared by the primary retriever
     // and every batch worker built later.
@@ -154,11 +158,48 @@ CacheMind::retrieveStage(retrieval::Retriever &retriever,
     return evidence;
 }
 
+std::shared_ptr<const retrieval::ContextBundle>
+CacheMind::retrieveStageStreamed(retrieval::Retriever &retriever,
+                                 const query::ParsedQuery &parsed,
+                                 const std::string &cache_key,
+                                 retrieval::EvidenceSink &sink) const
+{
+    // Streams deliberately stay outside the cache's single-flight
+    // protocol: a stream computing under the in-flight claim would
+    // push chunks into a consumer-paced channel, letting one paused
+    // consumer block every blocking ask() coalescing on the key
+    // (including through a cross-engine shared cache). Instead: peek
+    // (never waits), retrieve independently on a miss — chunks stream
+    // unthrottled by cache state — and publish the finished bundle.
+    // Two streams racing the same key may retrieve twice; the bundles
+    // are byte-identical, so the duplicated work is bounded waste,
+    // not a correctness risk.
+    if (cache_key.empty()) {
+        return std::make_shared<const retrieval::ContextBundle>(
+            retriever.retrieveParsed(parsed, sink));
+    }
+    retrieval::RetrievalCache::Outcome outcome;
+    if (auto cached = cache_->peek(cache_key, &outcome)) {
+        stats_->recordCacheLookup(retriever.name(), true, 0);
+        // The retriever never ran, so the evidence streams as one
+        // pre-assembled chunk.
+        if (sink.active())
+            sink.emit("cached", cached->render());
+        return cached;
+    }
+    auto evidence = std::make_shared<const retrieval::ContextBundle>(
+        retriever.retrieveParsed(parsed, sink));
+    cache_->publish(cache_key, evidence, &outcome);
+    stats_->recordCacheLookup(retriever.name(), false,
+                              outcome.evictions);
+    return evidence;
+}
+
 Response
 CacheMind::generateStage(
     const query::ParsedQuery &parsed,
     const std::shared_ptr<const retrieval::ContextBundle> &evidence,
-    double retrieval_ms) const
+    double retrieval_ms, const llm::DeltaFn *on_delta) const
 {
     Response r;
     r.bundle = *evidence;
@@ -172,7 +213,10 @@ CacheMind::generateStage(
     r.bundle.retrieval_ms = retrieval_ms;
     llm::GenerationOptions gen_opts;
     gen_opts.shot_mode = opts_.shot_mode;
-    r.answer = generator_->answer(r.bundle, gen_opts);
+    r.answer = on_delta
+                   ? generator_->answerStreaming(r.bundle, gen_opts,
+                                                 *on_delta)
+                   : generator_->answer(r.bundle, gen_opts);
     r.text = r.answer.text;
     return r;
 }
@@ -186,6 +230,116 @@ CacheMind::answerParsed(retrieval::Retriever &retriever,
     const auto evidence = retrieveStage(retriever, parsed, cache_key);
     return generateStage(parsed, evidence,
                          retrieve_timer.milliseconds());
+}
+
+namespace {
+
+/** EvidenceSink adapter over a callable (the streaming pipeline). */
+class FnEvidenceSink final : public retrieval::EvidenceSink
+{
+  public:
+    using Fn = std::function<void(const std::string &,
+                                  const std::string &)>;
+    explicit FnEvidenceSink(Fn fn) : fn_(std::move(fn)) {}
+
+    void
+    emit(const std::string &label, const std::string &text) override
+    {
+        fn_(label, text);
+    }
+
+  private:
+    Fn fn_;
+};
+
+} // namespace
+
+Response
+CacheMind::answerParsedStreamed(retrieval::Retriever &retriever,
+                                const query::ParsedQuery &parsed,
+                                std::size_t question_index,
+                                StreamChannel &channel,
+                                double *blocked_ms) const
+{
+    // Per-stream instrumentation: when the first event left the
+    // pipeline (the latency a streaming consumer actually waits
+    // before anything appears) and how many events of each kind were
+    // emitted. Emission is counted even if the consumer has cancelled
+    // the channel — the pipeline's shape does not depend on whether
+    // anyone is still listening.
+    Stopwatch stream_timer;
+    double first_event_ms = -1.0;
+    double pushing_ms = 0.0;
+    std::uint64_t events = 0;
+    std::uint64_t evidence_chunks = 0;
+    std::uint64_t answer_deltas = 0;
+    const auto push = [&](StreamEvent event) {
+        event.question = question_index;
+        if (first_event_ms < 0.0)
+            first_event_ms = stream_timer.milliseconds();
+        ++events;
+        // Time spent in push is dominated by backpressure waits on a
+        // full buffer (consumer pacing); the callers subtract it from
+        // the recorded question latency.
+        Stopwatch push_timer;
+        channel.push(std::move(event));
+        pushing_ms += push_timer.milliseconds();
+    };
+
+    // Stage 1 (parsing) ran at the engine entry point; surface it.
+    StreamEvent parsed_event;
+    parsed_event.kind = StreamEvent::Kind::Parsed;
+    parsed_event.parsed = parsed;
+    push(std::move(parsed_event));
+
+    const std::string cache_key = planStage(retriever, parsed);
+    StreamEvent planned_event;
+    planned_event.kind = StreamEvent::Kind::Planned;
+    planned_event.cache_key = cache_key;
+    push(std::move(planned_event));
+
+    FnEvidenceSink sink([&](const std::string &label,
+                            const std::string &text) {
+        StreamEvent event;
+        event.kind = StreamEvent::Kind::EvidenceChunk;
+        event.label = label;
+        event.text = text;
+        ++evidence_chunks;
+        push(std::move(event));
+    });
+    Stopwatch retrieve_timer;
+    const auto evidence =
+        retrieveStageStreamed(retriever, parsed, cache_key, sink);
+    const double retrieval_ms = retrieve_timer.milliseconds();
+
+    const llm::DeltaFn on_delta = [&](const std::string &delta) {
+        StreamEvent event;
+        event.kind = StreamEvent::Kind::AnswerDelta;
+        event.text = delta;
+        ++answer_deltas;
+        push(std::move(event));
+    };
+    Response r =
+        generateStage(parsed, evidence, retrieval_ms, &on_delta);
+
+    StreamEvent done_event;
+    done_event.kind = StreamEvent::Kind::Done;
+    done_event.response = std::make_shared<const Response>(r);
+    push(std::move(done_event));
+
+    stats_->recordStream(first_event_ms < 0.0 ? 0.0 : first_event_ms,
+                         events, evidence_chunks, answer_deltas);
+    if (blocked_ms)
+        *blocked_ms = pushing_ms;
+    return r;
+}
+
+void
+CacheMind::warmup()
+{
+    std::call_once(*warm_once_, [this] {
+        shards_.warmIndexes(opts_.build_threads);
+    });
 }
 
 Result<Response, EngineError>
@@ -214,6 +368,37 @@ CacheMind::askParsed(const query::ParsedQuery &parsed)
     stats_->record(timer.milliseconds(),
                    retrieval::assessQuality(r.bundle));
     return r;
+}
+
+void
+CacheMind::ensureBatchPool(std::size_t workers)
+{
+    auto &extras = batch_pool_->retrievers;
+    std::lock_guard<std::mutex> pool_lock(batch_pool_->mu);
+    if (extras.size() >= workers - 1)
+        return;
+    // Construct the missing workers concurrently on the build_threads
+    // pool: per-worker construction can be heavy (LlamaIndex
+    // re-embeds its whole index), and each factory call is
+    // independent over the shared read-only shard view.
+    const std::size_t need = workers - 1 - extras.size();
+    const std::size_t ctor_threads =
+        opts_.build_threads
+            ? opts_.build_threads
+            : std::max<std::size_t>(
+                  std::thread::hardware_concurrency(), 1);
+    const retrieval::RetrieverOptions retriever_opts{
+        opts_.retriever_params};
+    std::vector<std::unique_ptr<retrieval::Retriever>> fresh(need);
+    parallelFor(need, ctor_threads, [&](std::size_t i) {
+        fresh[i] = retrieval::RetrieverRegistry::instance().create(
+            opts_.retriever, shards_, retriever_opts);
+    });
+    for (auto &r : fresh) {
+        CM_ASSERT(r != nullptr, "retriever vanished from registry: ",
+                  opts_.retriever);
+        extras.push_back(std::move(r));
+    }
 }
 
 Result<std::vector<Response>, EngineError>
@@ -255,60 +440,182 @@ CacheMind::askBatch(const std::vector<std::string> &questions)
         // the first in-flight retrieval. Worker 0 reuses the engine's
         // primary retriever; the extra workers draw on the lazily
         // built, batch-to-batch reusable pool.
+        ensureBatchPool(workers);
         auto &extras = batch_pool_->retrievers;
-        {
-            std::lock_guard<std::mutex> pool_lock(batch_pool_->mu);
-            if (extras.size() < workers - 1) {
-                // Construct the missing workers concurrently on the
-                // build_threads pool: per-worker construction can be
-                // heavy (LlamaIndex re-embeds its whole index), and
-                // each factory call is independent over the shared
-                // read-only shard view.
-                const std::size_t need = workers - 1 - extras.size();
-                const std::size_t ctor_threads =
-                    opts_.build_threads
-                        ? opts_.build_threads
-                        : std::max<std::size_t>(
-                              std::thread::hardware_concurrency(), 1);
-                const retrieval::RetrieverOptions retriever_opts{
-                    opts_.retriever_params};
-                std::vector<std::unique_ptr<retrieval::Retriever>>
-                    fresh(need);
-                parallelFor(need, ctor_threads, [&](std::size_t i) {
-                    fresh[i] =
-                        retrieval::RetrieverRegistry::instance().create(
-                            opts_.retriever, shards_, retriever_opts);
-                });
-                for (auto &r : fresh) {
-                    CM_ASSERT(r != nullptr,
-                              "retriever vanished from registry: ",
-                              opts_.retriever);
-                    extras.push_back(std::move(r));
-                }
-            }
-        }
 
         std::atomic<std::size_t> next{0};
+        // Exception barrier: a throwing pipeline (custom retriever,
+        // bad_alloc) must propagate to the caller like a sequential
+        // ask() loop, not escape a thread body into std::terminate.
+        std::exception_ptr error;
+        std::mutex error_mu;
+        std::atomic<bool> failed{false};
         std::vector<std::thread> pool;
         pool.reserve(workers);
         for (std::size_t w = 0; w < workers; ++w) {
             pool.emplace_back([&, w] {
                 retrieval::Retriever &worker_retriever =
                     w == 0 ? *retriever_ : *extras[w - 1];
-                while (true) {
-                    const std::size_t i = next.fetch_add(1);
-                    if (i >= questions.size())
-                        break;
-                    Stopwatch timer;
-                    responses[i] = answerParsed(
-                        worker_retriever, parseStage(questions[i]));
-                    latencies[i] = timer.milliseconds();
+                try {
+                    while (!failed.load(std::memory_order_relaxed)) {
+                        const std::size_t i = next.fetch_add(1);
+                        if (i >= questions.size())
+                            break;
+                        Stopwatch timer;
+                        responses[i] = answerParsed(
+                            worker_retriever,
+                            parseStage(questions[i]));
+                        latencies[i] = timer.milliseconds();
+                    }
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mu);
+                    if (!error)
+                        error = std::current_exception();
+                    failed.store(true, std::memory_order_relaxed);
                 }
             });
         }
         for (auto &t : pool)
             t.join();
+        if (error)
+            std::rethrow_exception(error);
     }
+
+    for (std::size_t i = 0; i < questions.size(); ++i) {
+        stats_->record(latencies[i],
+                       retrieval::assessQuality(responses[i].bundle));
+    }
+    stats_->recordBatch();
+    return responses;
+}
+
+Result<AnswerStream, EngineError>
+CacheMind::askStream(const std::string &question)
+{
+    if (str::trim(question).empty()) {
+        return EngineError{EngineErrorCode::EmptyQuestion,
+                           "question is empty"};
+    }
+    auto channel =
+        std::make_shared<StreamChannel>(opts_.stream_buffer);
+    channel->setProducers(1);
+    std::thread worker([this, channel, question] {
+        // Warm every shard's postings index in parallel before the
+        // pipeline touches its shard, so the first evidence chunk
+        // never waits behind a serial lazy index build (no-op once
+        // warm). Then run the staged pipeline, pushing an event per
+        // stage boundary. The exception barrier hands any pipeline
+        // failure (throwing custom retriever, bad_alloc) to the
+        // consumer through the channel — escaping a thread body
+        // would std::terminate the process, where blocking ask()
+        // propagates.
+        try {
+            warmup();
+            Stopwatch timer;
+            double blocked_ms = 0.0;
+            Response r = answerParsedStreamed(
+                *retriever_, parseStage(question), 0, *channel,
+                &blocked_ms);
+            // Serving latency only: consumer pacing (blocked pushes)
+            // is not the engine's answering cost.
+            stats_->record(std::max(timer.milliseconds() - blocked_ms,
+                                    0.0),
+                           retrieval::assessQuality(r.bundle));
+        } catch (...) {
+            channel->fail(std::current_exception());
+        }
+        channel->producerDone();
+    });
+    return AnswerStream(std::move(channel), std::move(worker));
+}
+
+Result<std::vector<Response>, EngineError>
+CacheMind::askBatchStream(const std::vector<std::string> &questions,
+                          const StreamSink &sink)
+{
+    // Same pre-flight validation as askBatch: the concurrent section
+    // stays infallible, so error selection cannot depend on
+    // scheduling order.
+    for (std::size_t i = 0; i < questions.size(); ++i) {
+        if (str::trim(questions[i]).empty()) {
+            return EngineError{EngineErrorCode::EmptyQuestion,
+                               "batch question #" + std::to_string(i) +
+                                   " is empty"};
+        }
+    }
+    warmup();
+
+    std::vector<Response> responses(questions.size());
+    std::vector<double> latencies(questions.size(), 0.0);
+    const std::size_t workers =
+        std::min(std::max<std::size_t>(opts_.batch_workers, 1),
+                 std::max<std::size_t>(questions.size(), 1));
+    if (workers > 1)
+        ensureBatchPool(workers);
+    auto &extras = batch_pool_->retrievers;
+
+    // The channel is the MPSC fan-in: every worker produces events,
+    // the calling thread is the single consumer, invoking the sink
+    // serially between launching the pool and joining it. Events of
+    // one question arrive in pipeline order because exactly one
+    // worker answers it and push preserves per-producer order.
+    StreamChannel channel(opts_.stream_buffer);
+    channel.setProducers(workers);
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w] {
+            retrieval::Retriever &worker_retriever =
+                w == 0 ? *retriever_ : *extras[w - 1];
+            // Claim loop with a cancellation check: once the consumer
+            // cancels (throwing sink) or a sibling worker fails,
+            // workers finish only their in-flight question instead of
+            // answering the rest of the batch nobody will read. The
+            // exception barrier mirrors askStream's: a throwing
+            // pipeline fails the channel (rethrown by the caller
+            // after the join) rather than std::terminate-ing.
+            try {
+                while (!channel.cancelled() && !channel.error()) {
+                    const std::size_t i = next.fetch_add(1);
+                    if (i >= questions.size())
+                        break;
+                    Stopwatch timer;
+                    double blocked_ms = 0.0;
+                    responses[i] = answerParsedStreamed(
+                        worker_retriever, parseStage(questions[i]), i,
+                        channel, &blocked_ms);
+                    // Serving latency only (see askStream).
+                    latencies[i] = std::max(
+                        timer.milliseconds() - blocked_ms, 0.0);
+                }
+            } catch (...) {
+                channel.fail(std::current_exception());
+            }
+            channel.producerDone();
+        });
+    }
+
+    // Drain until the last producer closes the channel. A throwing
+    // sink cancels the stream (workers finish their in-flight
+    // question — pushes now drop, claims stop) and rethrows after
+    // the pool is joined.
+    try {
+        while (auto event = channel.pop())
+            sink(*event);
+    } catch (...) {
+        channel.cancel();
+        for (auto &t : pool)
+            t.join();
+        throw;
+    }
+    for (auto &t : pool)
+        t.join();
+    // A worker's pipeline failure surfaces here, after the pool is
+    // quiesced — the caller sees the same exception a blocking
+    // askBatch of these questions would have thrown.
+    if (auto error = channel.error())
+        std::rethrow_exception(error);
 
     for (std::size_t i = 0; i < questions.size(); ++i) {
         stats_->record(latencies[i],

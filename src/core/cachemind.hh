@@ -27,13 +27,16 @@
 #ifndef CACHEMIND_CORE_CACHEMIND_HH
 #define CACHEMIND_CORE_CACHEMIND_HH
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "base/result.hh"
 #include "core/engine_stats.hh"
+#include "core/stream.hh"
 #include "db/database.hh"
 #include "llm/generator.hh"
 #include "llm/memory.hh"
@@ -88,6 +91,13 @@ struct EngineOptions
      * never alias each other's cached bundles.
      */
     std::map<std::string, std::string> retriever_params;
+    /**
+     * Buffered events per streaming channel (>= 1): the backpressure
+     * bound between the askStream/askBatchStream pipeline workers and
+     * the consumer. Small values bound memory under a slow consumer;
+     * large values decouple bursty producers from it.
+     */
+    std::size_t stream_buffer = 64;
 };
 
 /** What went wrong, as a branchable code plus a rendered message. */
@@ -172,6 +182,52 @@ class CacheMind
     Result<std::vector<Response>, EngineError>
     askBatch(const std::vector<std::string> &questions);
 
+    /**
+     * Streaming ask: run the staged pipeline on a background thread
+     * and return a pull-style AnswerStream that yields an event as
+     * each stage completes — Parsed, Planned, one EvidenceChunk per
+     * section the retriever assembles, AnswerDelta fragments during
+     * generation, and a terminal Done whose Response is byte-identical
+     * to a blocking ask() of the same question. Streamed retrieval
+     * still goes through the shared RetrievalCache (a hit streams the
+     * cached bundle as one chunk). The first streaming call warms
+     * every shard's postings index in parallel (see warmup()), so the
+     * first event never waits behind a serial index build.
+     *
+     * The stream counts as the engine's one in-flight call: consume
+     * (or drop) it before the next ask()/askBatch()/askStream(), and
+     * neither move nor destroy the engine while a stream is live.
+     */
+    Result<AnswerStream, EngineError>
+    askStream(const std::string &question);
+
+    /** Consumer callback for askBatchStream (called serially). */
+    using StreamSink = std::function<void(const StreamEvent &)>;
+
+    /**
+     * Streaming batch: answer independent questions concurrently on
+     * the worker pool while delivering every pipeline event to `sink`
+     * as it happens. Events carry their question index; events of one
+     * question arrive in pipeline order, events of different
+     * questions interleave. The sink runs on the calling thread only
+     * — no synchronization needed inside it. Returns the full
+     * response vector, byte-identical to askBatch (and therefore to a
+     * sequential ask() loop). If the sink throws, the stream is
+     * cancelled, workers are joined, and the exception is rethrown.
+     */
+    Result<std::vector<Response>, EngineError>
+    askBatchStream(const std::vector<std::string> &questions,
+                   const StreamSink &sink);
+
+    /**
+     * Pre-build every shard's postings index on the build_threads
+     * pool (idempotent, thread-safe): a cold sweep's first questions
+     * otherwise pay the lazy per-shard builds serially. The streaming
+     * entry points call this once on first use; latency-sensitive
+     * blocking callers can invoke it explicitly after construction.
+     */
+    void warmup();
+
     /** Aggregate serving statistics (thread-safe snapshot). */
     EngineStats
     stats() const
@@ -228,23 +284,66 @@ class CacheMind
                   const std::string &cache_key) const;
 
     /**
+     * Stage 3, streaming form: evidence sections stream into `sink`
+     * as the retriever assembles them. Uses the cache's non-blocking
+     * peek/publish protocol instead of single-flight getOrCompute —
+     * a stream must never hold the in-flight claim while pushing
+     * into a consumer-paced channel (see retrieveStageStreamed's
+     * definition for the hostage scenario). Cache hits stream the
+     * cached bundle as one "cached" chunk.
+     */
+    std::shared_ptr<const retrieval::ContextBundle>
+    retrieveStageStreamed(retrieval::Retriever &retriever,
+                          const query::ParsedQuery &parsed,
+                          const std::string &cache_key,
+                          retrieval::EvidenceSink &sink) const;
+
+    /**
      * Stage 4: generate the answer from the evidence. The response
      * bundle is a per-question copy patched with *this* question's
      * parsed identity (so bundle sharing never leaks another
      * phrasing's raw text into generation) and *this* question's
-     * retrieve-stage latency (near zero on a cache hit).
+     * retrieve-stage latency (near zero on a cache hit). When
+     * `on_delta` is non-null the answer text additionally streams
+     * through it fragment by fragment; the generated bytes are
+     * identical either way.
      */
     Response
     generateStage(const query::ParsedQuery &parsed,
                   const std::shared_ptr<const retrieval::ContextBundle>
                       &evidence,
-                  double retrieval_ms) const;
+                  double retrieval_ms,
+                  const llm::DeltaFn *on_delta = nullptr) const;
 
     /** Stages 2-4 for one parsed question (no latency recording). */
     Response answerParsed(retrieval::Retriever &retriever,
                           const query::ParsedQuery &parsed) const;
 
+    /**
+     * Stages 2-4 for one parsed question with every stage boundary
+     * (and every mid-stage evidence chunk / answer delta) pushed into
+     * `channel` as StreamEvents tagged with `question_index`. Records
+     * per-stream statistics (time-to-first-event, event counts);
+     * overall question latency is recorded by the entry points.
+     * `blocked_ms` (when non-null) receives the wall time spent
+     * inside channel pushes — backpressure from a slow consumer —
+     * which the entry points subtract so EngineStats latency
+     * percentiles keep measuring serving work, not consumer pacing.
+     */
+    Response answerParsedStreamed(retrieval::Retriever &retriever,
+                                  const query::ParsedQuery &parsed,
+                                  std::size_t question_index,
+                                  StreamChannel &channel,
+                                  double *blocked_ms = nullptr) const;
+
     struct BatchPool;
+
+    /**
+     * Grow the lazily built batch retriever pool to serve `workers`
+     * workers (worker 0 is the engine's primary retriever). Reused by
+     * askBatch and askBatchStream.
+     */
+    void ensureBatchPool(std::size_t workers);
 
     const db::TraceDatabase &db_;
     /** Immutable shard view handed to every registry-built retriever. */
@@ -259,6 +358,9 @@ class CacheMind
     std::unique_ptr<EngineStatsRecorder> stats_;
     /** Lazily-built per-worker retrievers, reused across batches. */
     std::unique_ptr<BatchPool> batch_pool_;
+    /** One-shot guard for the parallel index warm-up (warmup()). */
+    std::unique_ptr<std::once_flag> warm_once_ =
+        std::make_unique<std::once_flag>();
 };
 
 /**
@@ -328,6 +430,14 @@ class CacheMind::Builder
         std::shared_ptr<retrieval::RetrievalCache> cache)
     {
         opts_.shared_retrieval_cache = std::move(cache);
+        return *this;
+    }
+
+    /** Streaming-channel buffer capacity (events; >= 1). */
+    Builder &
+    withStreamBuffer(std::size_t events)
+    {
+        opts_.stream_buffer = events;
         return *this;
     }
 

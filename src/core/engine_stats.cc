@@ -52,6 +52,28 @@ EngineStatsRecorder::recordCacheLookup(const std::string &retriever,
     s.evictions += evictions;
 }
 
+void
+EngineStatsRecorder::recordStream(double first_event_ms,
+                                  std::uint64_t events,
+                                  std::uint64_t evidence_chunks,
+                                  std::uint64_t answer_deltas)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++streams_;
+    stream_events_ += events;
+    stream_evidence_chunks_ += evidence_chunks;
+    stream_answer_deltas_ += answer_deltas;
+    first_event_sum_ms_ += first_event_ms;
+    if (first_event_reservoir_ms_.size() < kReservoirCap) {
+        first_event_reservoir_ms_.push_back(first_event_ms);
+    } else {
+        const std::uint64_t slot = splitMix64(streams_) % streams_;
+        if (slot < kReservoirCap)
+            first_event_reservoir_ms_[static_cast<std::size_t>(slot)] =
+                first_event_ms;
+    }
+}
+
 EngineStats
 EngineStatsRecorder::snapshot() const
 {
@@ -78,6 +100,21 @@ EngineStatsRecorder::snapshot() const
         s.latency_p99_ms = stats::percentileSorted(sort_scratch_, 99.0);
         s.latency_mean_ms =
             latency_sum_ms_ / static_cast<double>(questions_);
+    }
+    s.stream.streams = streams_;
+    s.stream.events = stream_events_;
+    s.stream.evidence_chunks = stream_evidence_chunks_;
+    s.stream.answer_deltas = stream_answer_deltas_;
+    if (!first_event_reservoir_ms_.empty()) {
+        sort_scratch_.assign(first_event_reservoir_ms_.begin(),
+                             first_event_reservoir_ms_.end());
+        std::sort(sort_scratch_.begin(), sort_scratch_.end());
+        s.stream.first_event_p50_ms =
+            stats::percentileSorted(sort_scratch_, 50.0);
+        s.stream.first_event_p90_ms =
+            stats::percentileSorted(sort_scratch_, 90.0);
+        s.stream.first_event_mean_ms =
+            first_event_sum_ms_ / static_cast<double>(streams_);
     }
     return s;
 }

@@ -37,6 +37,30 @@ struct RetrievalCacheStats
     }
 };
 
+/** Streaming-pipeline counters (askStream / askBatchStream). */
+struct StreamStats
+{
+    /** Questions answered through a streaming entry point. */
+    std::uint64_t streams = 0;
+    /** Events emitted across all streams (all kinds). */
+    std::uint64_t events = 0;
+    /** EvidenceChunk events emitted. */
+    std::uint64_t evidence_chunks = 0;
+    /** AnswerDelta events emitted. */
+    std::uint64_t answer_deltas = 0;
+
+    /**
+     * Time-to-first-event percentiles (milliseconds): the gap between
+     * a stream's pipeline starting and its first event being emitted
+     * — the latency a streaming consumer actually waits before
+     * anything appears, as opposed to the full-answer latency in
+     * latency_p50_ms.
+     */
+    double first_event_p50_ms = 0.0;
+    double first_event_p90_ms = 0.0;
+    double first_event_mean_ms = 0.0;
+};
+
 /** Point-in-time aggregate over everything the engine has served. */
 struct EngineStats
 {
@@ -55,6 +79,9 @@ struct EngineStats
     double latency_p90_ms = 0.0;
     double latency_p99_ms = 0.0;
     double latency_mean_ms = 0.0;
+
+    /** Streaming-pipeline counters. */
+    StreamStats stream;
 
     /** Retrieval-cache totals across all retrievers. */
     RetrievalCacheStats cache;
@@ -97,6 +124,14 @@ class EngineStatsRecorder
     void recordCacheLookup(const std::string &retriever, bool hit,
                            std::uint64_t evictions);
 
+    /**
+     * Record one completed streaming question: its time-to-first-event
+     * and the events it emitted, split by kind.
+     */
+    void recordStream(double first_event_ms, std::uint64_t events,
+                      std::uint64_t evidence_chunks,
+                      std::uint64_t answer_deltas);
+
     /** Aggregate snapshot (percentiles via base/stats_util). */
     EngineStats snapshot() const;
 
@@ -116,8 +151,15 @@ class EngineStatsRecorder
     std::uint64_t quality_medium_ = 0;
     std::uint64_t quality_high_ = 0;
     double latency_sum_ms_ = 0.0;
+    std::uint64_t streams_ = 0;
+    std::uint64_t stream_events_ = 0;
+    std::uint64_t stream_evidence_chunks_ = 0;
+    std::uint64_t stream_answer_deltas_ = 0;
+    double first_event_sum_ms_ = 0.0;
     std::map<std::string, RetrievalCacheStats> cache_by_retriever_;
     std::vector<double> latency_reservoir_ms_;
+    /** Same bounded-reservoir scheme for time-to-first-event. */
+    std::vector<double> first_event_reservoir_ms_;
     /**
      * Scratch for percentile extraction: the reservoir is copied and
      * sorted exactly once per snapshot, into a buffer reused across

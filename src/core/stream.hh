@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The async streaming answer subsystem: StreamEvent (one unit of
+ * pipeline progress), StreamChannel (a bounded multi-producer /
+ * single-consumer event queue), and AnswerStream (the pull-style
+ * consumer handle returned by CacheMind::askStream).
+ *
+ * The staged ask() pipeline — parse, plan, retrieve, generate — emits
+ * an event as each stage completes: the parsed slots, the derived
+ * cache key, every evidence section the retriever assembles (see
+ * retrieval::EvidenceSink), the answer text in deltas, and a terminal
+ * Done carrying the complete Response. Streaming changes *when*
+ * results become visible, never *what* is answered: the Done response
+ * is byte-identical to a blocking ask() for the same question.
+ *
+ * The channel is the serving-side latency lever: the first evidence
+ * section reaches the consumer while the retriever is still
+ * assembling the rest of the bundle and before generation starts, so
+ * interactive "why did this line get evicted?" sessions see evidence
+ * on screen at a fraction of the full-answer latency.
+ */
+
+#ifndef CACHEMIND_CORE_STREAM_HH
+#define CACHEMIND_CORE_STREAM_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "query/parsed_query.hh"
+
+namespace cachemind::core {
+
+struct Response;
+
+/** One unit of streaming pipeline progress. */
+struct StreamEvent
+{
+    enum class Kind {
+        /** Stage 1 done: the question's parsed slots are available. */
+        Parsed,
+        /** Stage 2 done: the retrieval-cache key was derived. */
+        Planned,
+        /** One evidence section, streamed mid-retrieval. */
+        EvidenceChunk,
+        /** One fragment of the answer text, streamed mid-generation. */
+        AnswerDelta,
+        /** Terminal: the complete response (byte-identical to ask()). */
+        Done,
+    };
+
+    Kind kind = Kind::Parsed;
+    /** Index of the question within its batch (0 for askStream). */
+    std::size_t question = 0;
+    /** Parsed: the slots as the engine-level parser understood them. */
+    query::ParsedQuery parsed;
+    /** Planned: the cross-question cache key ("" = not cacheable). */
+    std::string cache_key;
+    /** EvidenceChunk: section name ("overview", "slice", ...). */
+    std::string label;
+    /** EvidenceChunk / AnswerDelta: the streamed text. */
+    std::string text;
+    /** Done: the complete response behind a shared handle. */
+    std::shared_ptr<const Response> response;
+};
+
+const char *streamEventKindName(StreamEvent::Kind kind);
+
+/**
+ * Bounded MPSC event channel: any number of pipeline workers push,
+ * one consumer pops. push() applies backpressure (blocks while the
+ * buffer is full) so a slow consumer bounds producer memory; pop()
+ * blocks until an event, the channel closing, or cancellation.
+ *
+ * Producers are counted: setProducers(n) arms the channel, each
+ * producer calls producerDone() exactly once, and the last one closes
+ * the channel so the consumer's pop() drains to nullopt without any
+ * out-of-band signal. cancel() is the consumer-side escape hatch (an
+ * abandoned AnswerStream): buffered events are dropped and subsequent
+ * pushes return false immediately, so producers never block on a
+ * consumer that went away.
+ */
+class StreamChannel
+{
+  public:
+    explicit StreamChannel(std::size_t capacity = 64);
+
+    StreamChannel(const StreamChannel &) = delete;
+    StreamChannel &operator=(const StreamChannel &) = delete;
+
+    /**
+     * Producer: enqueue one event, blocking while the buffer is full.
+     * Returns false (dropping the event) once the channel is
+     * cancelled or closed.
+     */
+    bool push(StreamEvent event);
+
+    /** Consumer: blocking pop; nullopt once closed and drained. */
+    std::optional<StreamEvent> pop();
+
+    /** Consumer: non-blocking pop; nullopt when nothing is buffered. */
+    std::optional<StreamEvent> tryPop();
+
+    /** Arm the producer count before any producer starts. */
+    void setProducers(std::size_t n);
+
+    /** One producer finished; the last close()s the channel. */
+    void producerDone();
+
+    /** Producer side: no further events (pending pops drain). */
+    void close();
+
+    /**
+     * Producer side: record a pipeline failure (first error wins).
+     * Buffered events still drain; once the channel is exhausted the
+     * consumer observes the error through error() — AnswerStream and
+     * askBatchStream rethrow it, matching blocking ask(), instead of
+     * letting it escape a worker thread into std::terminate.
+     */
+    void fail(std::exception_ptr error);
+
+    /** The recorded pipeline failure, if any. */
+    std::exception_ptr error() const;
+
+    /** Consumer side: drop buffered events, refuse new pushes. */
+    void cancel();
+
+    bool closed() const;
+    bool cancelled() const;
+    std::size_t capacity() const { return capacity_; }
+
+    /** Events accepted by push() over the channel's lifetime. */
+    std::uint64_t pushed() const;
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable can_push_;
+    std::condition_variable can_pop_;
+    std::deque<StreamEvent> buffer_;
+    std::size_t producers_ = 0;
+    std::uint64_t pushed_ = 0;
+    std::exception_ptr error_;
+    bool closed_ = false;
+    bool cancelled_ = false;
+};
+
+/**
+ * Consumer handle for one streaming question (CacheMind::askStream).
+ * The pipeline runs on a background thread owned by this handle;
+ * next() pulls events in pipeline order (Parsed, Planned, evidence
+ * chunks, answer deltas, Done). Destroying the handle mid-stream is
+ * safe: the channel is cancelled so the worker never blocks on the
+ * departed consumer, and the worker is joined.
+ */
+class AnswerStream
+{
+  public:
+    AnswerStream(std::shared_ptr<StreamChannel> channel,
+                 std::thread worker);
+    AnswerStream(AnswerStream &&) noexcept;
+    AnswerStream &operator=(AnswerStream &&) noexcept;
+    ~AnswerStream();
+
+    /**
+     * Next event in pipeline order; nullopt once the stream is
+     * exhausted (the Done event has been delivered). If the pipeline
+     * failed (a throwing custom retriever, bad_alloc), the buffered
+     * events drain first and the failure is rethrown here — the same
+     * exception a blocking ask() of the question would have thrown.
+     */
+    std::optional<StreamEvent> next();
+
+    /**
+     * Drain to completion and return the final response —
+     * byte-identical to a blocking ask() of the same question
+     * (rethrowing its failure if the pipeline threw). Events already
+     * consumed through next() are not replayed; calling wait() after
+     * Done was delivered returns the stored response.
+     */
+    Response wait();
+
+    /** True once the Done event has been seen (by next() or wait()). */
+    bool done() const { return done_ != nullptr; }
+
+  private:
+    void finish();
+
+    std::shared_ptr<StreamChannel> channel_;
+    std::thread worker_;
+    std::shared_ptr<const Response> done_;
+};
+
+} // namespace cachemind::core
+
+#endif // CACHEMIND_CORE_STREAM_HH

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <set>
+#include <thread>
 
+#include "base/parallel.hh"
 #include "db/database.hh"
 
 namespace cachemind::db {
@@ -103,6 +105,29 @@ ShardSet::indexFor(const std::string &key) const
 {
     const TraceShard *s = lookup(key);
     return s ? s->index() : nullptr;
+}
+
+std::size_t
+ShardSet::warmIndexes(std::size_t build_threads) const
+{
+    // Only the shards that have not paid their one-time build yet:
+    // a second warm pass (or one racing a sweep that already built
+    // some shards) scans the once-flags and returns without spawning
+    // any thread.
+    std::vector<const TraceShard *> pending;
+    for (const auto *s : shards_) {
+        if (!s->table().indexIfBuilt())
+            pending.push_back(s);
+    }
+    if (pending.empty())
+        return 0;
+    const std::size_t threads =
+        build_threads ? build_threads
+                      : std::max<std::size_t>(
+                            std::thread::hardware_concurrency(), 1);
+    parallelFor(pending.size(), threads,
+                [&](std::size_t i) { pending[i]->index(); });
+    return pending.size();
 }
 
 IndexTotals

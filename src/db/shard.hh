@@ -176,6 +176,17 @@ class ShardSet
     const TraceIndex *indexFor(const std::string &key) const;
 
     /**
+     * Pre-build every shard's postings index on a parallelFor pool
+     * (build_threads = 0 means one thread per hardware core), instead
+     * of letting a sweep's first queries pay the builds serially.
+     * Idempotent and safe to race with concurrent queries: each build
+     * still runs under its shard's once_flag, so warm-while-querying
+     * never double-builds. Returns the number of shards that were
+     * still unbuilt when the warm pass started.
+     */
+    std::size_t warmIndexes(std::size_t build_threads = 0) const;
+
+    /**
      * Aggregate index instrumentation over every shard in the view:
      * which shards have paid the one-time build, the total build
      * cost, and the scan work the postings have avoided. Never forces

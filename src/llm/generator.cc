@@ -1,6 +1,7 @@
 #include "llm/generator.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <sstream>
 
@@ -844,6 +845,57 @@ GeneratorLlm::answerExplain(const ContextBundle &bundle,
     }
 
     a.text = os.str();
+    return a;
+}
+
+std::vector<std::string>
+splitAnswerDeltas(const std::string &text)
+{
+    // Target fragment size for simulated token streaming. Fragments
+    // prefer to break after whitespace so the stream reads naturally,
+    // but never exceed 2x the target when the text has no break
+    // points (a long hex listing still streams).
+    constexpr std::size_t kTarget = 48;
+    std::vector<std::string> deltas;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t end = std::min(pos + kTarget, text.size());
+        if (end < text.size()) {
+            // Extend to the next whitespace (bounded) so words are
+            // never split mid-token.
+            std::size_t scan = end;
+            const std::size_t scan_limit =
+                std::min(pos + 2 * kTarget, text.size());
+            while (scan < scan_limit &&
+                   !std::isspace(static_cast<unsigned char>(
+                       text[scan]))) {
+                ++scan;
+            }
+            // Include the whitespace itself in this fragment; when
+            // the scan hit the 2x cap instead of whitespace, cut
+            // exactly there so the bound holds.
+            end = scan < scan_limit ? scan + 1 : scan;
+        }
+        deltas.push_back(text.substr(pos, end - pos));
+        pos = end;
+    }
+    return deltas;
+}
+
+Answer
+GeneratorLlm::answerStreaming(const ContextBundle &bundle,
+                              const GenerationOptions &opts,
+                              const DeltaFn &on_delta) const
+{
+    // The simulated backend composes its full answer in one pass, so
+    // incremental generation replays that text as deterministic
+    // fragments. The answer object itself is the blocking call's —
+    // the byte-identity contract of the streaming pipeline.
+    Answer a = answer(bundle, opts);
+    if (on_delta) {
+        for (const auto &delta : splitAnswerDeltas(a.text))
+            on_delta(delta);
+    }
     return a;
 }
 

@@ -16,6 +16,7 @@
 #ifndef CACHEMIND_LLM_GENERATOR_HH
 #define CACHEMIND_LLM_GENERATOR_HH
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,6 +26,18 @@
 #include "retrieval/context.hh"
 
 namespace cachemind::llm {
+
+/** Consumer of incremental answer-text fragments (streaming). */
+using DeltaFn = std::function<void(const std::string &)>;
+
+/**
+ * Split answer text into the delta fragments a streaming generation
+ * emits: deterministic, boundary-aligned (fragments end at whitespace
+ * or newline where possible), and lossless — concatenating the deltas
+ * reproduces the input byte-for-byte. Exposed so consumers and tests
+ * can pin the streaming/blocking equivalence.
+ */
+std::vector<std::string> splitAnswerDeltas(const std::string &text);
 
 /** Structured answer, consumed by the graders and the chat layer. */
 struct Answer
@@ -85,6 +98,18 @@ class GeneratorLlm
     Answer answer(const retrieval::ContextBundle &bundle,
                   const GenerationOptions &opts = GenerationOptions{})
         const;
+
+    /**
+     * Incremental generation: produce the same Answer as answer()
+     * while emitting its text through `on_delta` fragment by fragment
+     * (see splitAnswerDeltas). The returned answer is byte-identical
+     * to the blocking call — streaming changes when text becomes
+     * visible, never what is generated — so the engine's askStream
+     * Done event can carry it directly.
+     */
+    Answer answerStreaming(const retrieval::ContextBundle &bundle,
+                           const GenerationOptions &opts,
+                           const DeltaFn &on_delta) const;
 
     /** Assemble the full prompt that `answer` conceptually consumes. */
     Prompt buildPrompt(const retrieval::ContextBundle &bundle,

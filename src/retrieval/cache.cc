@@ -100,6 +100,58 @@ RetrievalCache::getOrCompute(const std::string &key,
     return value;
 }
 
+RetrievalCache::BundlePtr
+RetrievalCache::peek(const std::string &key, Outcome *outcome)
+{
+    if (outcome)
+        *outcome = Outcome{};
+    if (!enabled())
+        return nullptr;
+    LockShard &s = shardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.entries.find(key);
+    if (it == s.entries.end() || !it->second.ready) {
+        // Absent, or another flight is still assembling it: the
+        // streaming caller retrieves on its own rather than waiting.
+        ++s.counters.misses;
+        return nullptr;
+    }
+    s.lru.splice(s.lru.begin(), s.lru, it->second.lru_pos);
+    ++s.counters.hits;
+    if (outcome)
+        outcome->hit = true;
+    return it->second.value;
+}
+
+void
+RetrievalCache::publish(const std::string &key, BundlePtr value,
+                        Outcome *outcome)
+{
+    if (outcome)
+        *outcome = Outcome{};
+    if (!enabled())
+        return;
+    LockShard &s = shardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.entries.count(key))
+        return; // resident or in flight: first copy wins
+    Entry entry;
+    entry.value = std::move(value);
+    entry.ready = true;
+    s.lru.push_front(key);
+    entry.lru_pos = s.lru.begin();
+    s.entries.emplace(key, std::move(entry));
+    std::uint64_t evicted = 0;
+    while (s.lru.size() > per_shard_capacity_) {
+        s.entries.erase(s.lru.back());
+        s.lru.pop_back();
+        ++evicted;
+    }
+    s.counters.evictions += evicted;
+    if (outcome)
+        outcome->evictions = evicted;
+}
+
 std::size_t
 RetrievalCache::size() const
 {

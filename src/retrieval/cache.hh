@@ -85,6 +85,28 @@ class RetrievalCache
                            const ComputeFn &compute,
                            Outcome *outcome = nullptr);
 
+    /**
+     * Non-blocking lookup for the streaming pipeline: return the
+     * bundle when it is resident and ready, nullptr otherwise — a
+     * pending in-flight entry counts as a miss rather than being
+     * waited on. Streams must never join a single-flight computation
+     * (in either direction): a stream holding the in-flight claim
+     * while pushing chunks into a consumer-paced channel would let a
+     * paused consumer block every blocking ask() coalescing on the
+     * key, so streams peek, retrieve on their own, and publish().
+     */
+    BundlePtr peek(const std::string &key, Outcome *outcome = nullptr);
+
+    /**
+     * Publish an already-computed bundle under `key` (the streaming
+     * miss path). A no-op when the key is already resident or in
+     * flight — equal keys hold byte-identical bundles, so whichever
+     * copy landed first is as good. Evictions are reported through
+     * `outcome`; the miss itself was counted by the preceding peek().
+     */
+    void publish(const std::string &key, BundlePtr value,
+                 Outcome *outcome = nullptr);
+
     bool enabled() const { return capacity_ > 0; }
     std::size_t capacity() const { return capacity_; }
 

@@ -113,6 +113,48 @@ ContextQuality assessQuality(const ContextBundle &bundle);
 std::string renderRowLine(const db::AccessRow &row);
 
 /**
+ * Streaming consumer of evidence sections. A retriever that supports
+ * chunked retrieval calls emit() as each section of the bundle is
+ * assembled — resolved-trace overview, row slice, per-PC statistics,
+ * per-program results — so the engine's askStream can forward
+ * evidence to the user while the rest of the bundle is still being
+ * built. emit() is called from the retrieving thread; implementations
+ * synchronize internally if they fan the chunks out.
+ */
+class EvidenceSink
+{
+  public:
+    virtual ~EvidenceSink() = default;
+
+    /**
+     * One assembled evidence section. `label` names the section
+     * ("overview", "slice", ...); `text` is its rendered evidence.
+     */
+    virtual void emit(const std::string &label,
+                      const std::string &text) = 0;
+
+    /**
+     * False when emitted chunks are discarded (NullEvidenceSink):
+     * retrievers skip chunk-text formatting entirely for inactive
+     * sinks, so the blocking ask() hot path pays nothing for the
+     * streaming machinery it runs through.
+     */
+    virtual bool active() const { return true; }
+};
+
+/** Sink that discards every chunk (the non-streaming default). */
+class NullEvidenceSink : public EvidenceSink
+{
+  public:
+    void
+    emit(const std::string &, const std::string &) override
+    {
+    }
+
+    bool active() const override { return false; }
+};
+
+/**
  * Abstract retriever interface.
  *
  * The staged ask() pipeline parses each question exactly once at the
@@ -142,6 +184,25 @@ class Retriever
     retrieveParsed(const query::ParsedQuery &parsed)
     {
         return retrieve(parsed.raw);
+    }
+
+    /**
+     * Streaming overload: assemble the *same* bundle while emitting
+     * evidence sections into `sink` as they are produced. The
+     * returned bundle must be byte-identical to retrieveParsed(parsed)
+     * — streaming changes when evidence becomes visible, never what
+     * is retrieved. The default shim retrieves the full bundle, then
+     * emits it as a single chunk, so custom retrievers stream (one
+     * coarse chunk) with no extra work; the built-ins override this
+     * with genuinely incremental section-by-section emission.
+     */
+    virtual ContextBundle
+    retrieveParsed(const query::ParsedQuery &parsed, EvidenceSink &sink)
+    {
+        ContextBundle bundle = retrieveParsed(parsed);
+        if (sink.active())
+            sink.emit("bundle", bundle.render());
+        return bundle;
     }
 
     /**

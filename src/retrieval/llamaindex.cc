@@ -76,6 +76,14 @@ LlamaIndexRetriever::cacheKey(const query::ParsedQuery &parsed) const
 ContextBundle
 LlamaIndexRetriever::retrieveParsed(const query::ParsedQuery &parsed)
 {
+    NullEvidenceSink sink;
+    return retrieveParsed(parsed, sink);
+}
+
+ContextBundle
+LlamaIndexRetriever::retrieveParsed(const query::ParsedQuery &parsed,
+                                    EvidenceSink &sink)
+{
     Stopwatch timer;
     ContextBundle bundle;
     bundle.retriever = name();
@@ -84,8 +92,13 @@ LlamaIndexRetriever::retrieveParsed(const query::ParsedQuery &parsed)
     const auto hits = index_->topK(parsed.raw, cfg_.top_k);
     std::ostringstream text;
     for (const auto &hit : hits) {
-        text << str::fixed(hit.score, 6) << "\n"
-             << index_->payload(hit.doc) << "\n---\n";
+        std::ostringstream chunk;
+        chunk << str::fixed(hit.score, 6) << "\n"
+              << index_->payload(hit.doc) << "\n---\n";
+        const std::string chunk_text = chunk.str();
+        text << chunk_text;
+        if (sink.active())
+            sink.emit("hit", chunk_text);
         // Expose the best hit's trace for bookkeeping.
         if (bundle.trace_key.empty()) {
             const auto &tag = index_->tag(hit.doc);

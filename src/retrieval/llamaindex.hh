@@ -44,8 +44,16 @@ class LlamaIndexRetriever : public Retriever
     const char *name() const override { return "llamaindex"; }
     /** Parsing shim: parse the question, then retrieveParsed. */
     ContextBundle retrieve(const std::string &query) override;
+    /** Blocking entry: the streaming path with a discarding sink. */
     ContextBundle
     retrieveParsed(const query::ParsedQuery &parsed) override;
+    /**
+     * Primary implementation: one chunk per retrieved top-k hit, in
+     * similarity order. Byte-identical bundle to the blocking
+     * overload.
+     */
+    ContextBundle retrieveParsed(const query::ParsedQuery &parsed,
+                                 EvidenceSink &sink) override;
 
     /** "llamaindex" + the index-shaping config. */
     std::string cacheFingerprint() const override;

@@ -214,6 +214,14 @@ RangerRetriever::cacheKey(const ParsedQuery &parsed) const
 ContextBundle
 RangerRetriever::retrieveParsed(const ParsedQuery &parsed)
 {
+    NullEvidenceSink sink;
+    return retrieveParsed(parsed, sink);
+}
+
+ContextBundle
+RangerRetriever::retrieveParsed(const ParsedQuery &parsed,
+                                EvidenceSink &sink)
+{
     Stopwatch timer;
     ContextBundle bundle;
     bundle.retriever = name();
@@ -224,12 +232,22 @@ RangerRetriever::retrieveParsed(const ParsedQuery &parsed)
     if (bundle.trace_key.empty()) {
         bundle.result_text =
             "No matching workload/policy table found for this query.";
+        if (sink.active())
+            sink.emit("overview", bundle.result_text);
         bundle.retrieval_ms = timer.milliseconds();
         return bundle;
     }
     const db::TraceEntry &entry = *shards_.find(bundle.trace_key);
 
     auto progs = planPrograms(q, bundle.trace_key);
+    // Chunk text is only formatted for an active sink; the blocking
+    // path (NullEvidenceSink) runs this code with zero streaming cost.
+    if (sink.active()) {
+        sink.emit("overview",
+                  "Trace " + bundle.trace_key + ": planned " +
+                      std::to_string(progs.size()) +
+                      (progs.size() == 1 ? " program." : " programs."));
+    }
     // Mis-generation draws stay keyed by the raw question text (the
     // paper's per-question codegen roll), independent of scheduling.
     const std::uint64_t qkey = hashCombine(fnv1a(q.raw), cfg_.seed);
@@ -240,10 +258,18 @@ RangerRetriever::retrieveParsed(const ParsedQuery &parsed)
     for (std::size_t pi = 0; pi < progs.size(); ++pi) {
         DslProgram &prog = progs[pi];
         corrupt(prog, hashCombine(qkey, pi));
-        code << renderProgramAsPython(prog);
+        const std::string python = renderProgramAsPython(prog);
+        code << python;
+        // Per-program result segment: accumulated into the bundle's
+        // result text and emitted as one streamed chunk, so a
+        // multi-program plan surfaces each result as it executes.
+        std::ostringstream seg;
         const auto res = interp_.run(prog);
         if (!res.ok) {
-            text << "[" << prog.trace_key << "] " << res.error << "\n";
+            seg << "[" << prog.trace_key << "] " << res.error << "\n";
+            text << seg.str();
+            if (sink.active())
+                sink.emit("program", python + seg.str());
             continue;
         }
         if (res.number) {
@@ -252,13 +278,13 @@ RangerRetriever::retrieveParsed(const ParsedQuery &parsed)
                     shards_.find(prog.trace_key)->policy, *res.number,
                     res.matched});
                 bundle.policy_numbers_label = "miss rates";
-                text << "[" << prog.trace_key << "] miss rate = "
-                     << str::percent(*res.number) << " over "
-                     << res.matched << " accesses\n";
+                seg << "[" << prog.trace_key << "] miss rate = "
+                    << str::percent(*res.number) << " over "
+                    << res.matched << " accesses\n";
             } else {
-                text << "[" << prog.trace_key << "] "
-                     << dslOpName(prog.op) << " = "
-                     << str::fixed(*res.number, 4) << "\n";
+                seg << "[" << prog.trace_key << "] "
+                    << dslOpName(prog.op) << " = "
+                    << str::fixed(*res.number, 4) << "\n";
             }
             bundle.computed = res.number;
             if (prog.op == DslOp::CountRows ||
@@ -272,7 +298,7 @@ RangerRetriever::retrieveParsed(const ParsedQuery &parsed)
             any_rows = true;
             for (const auto &row : res.rows) {
                 bundle.rows.push_back(row);
-                text << renderRowLine(row) << "\n";
+                seg << renderRowLine(row) << "\n";
             }
             bundle.total_matches = res.matched;
             bundle.total_is_exact = true;
@@ -283,7 +309,7 @@ RangerRetriever::retrieveParsed(const ParsedQuery &parsed)
         if (!res.values.empty()) {
             bundle.values = res.values;
             bundle.values_complete = true;
-            text << "unique values: " << res.values.size() << "\n";
+            seg << "unique values: " << res.values.size() << "\n";
         }
         if (!res.pc_stats.empty()) {
             if (res.pc_stats.size() == 1 && q.pc) {
@@ -309,8 +335,11 @@ RangerRetriever::retrieveParsed(const ParsedQuery &parsed)
             bundle.set_stats = res.set_stats;
         if (!res.text.empty()) {
             bundle.metadata = res.text;
-            text << res.text << "\n";
+            seg << res.text << "\n";
         }
+        text << seg.str();
+        if (sink.active())
+            sink.emit("program", python + seg.str());
     }
 
     // Premise detection: an empty exact-match result is evidence.
@@ -327,6 +356,8 @@ RangerRetriever::retrieveParsed(const ParsedQuery &parsed)
                 break;
             }
         }
+        if (sink.active())
+            sink.emit("premise", bundle.premise_note);
     }
 
     // Narrow source context for per-access lookups only.

@@ -56,8 +56,17 @@ class RangerRetriever : public Retriever
     const char *name() const override { return "ranger"; }
     /** Parsing shim: parse the question, then retrieveParsed. */
     ContextBundle retrieve(const std::string &query) override;
+    /** Blocking entry: the streaming path with a discarding sink. */
     ContextBundle
     retrieveParsed(const query::ParsedQuery &parsed) override;
+    /**
+     * Primary implementation: one chunk per executed program (the
+     * rendered Python plus its result), so multi-program plans
+     * (policy comparisons) stream each policy's number as it is
+     * computed. Byte-identical bundle to the blocking overload.
+     */
+    ContextBundle retrieveParsed(const query::ParsedQuery &parsed,
+                                 EvidenceSink &sink) override;
 
     /** "ranger" + every RangerConfig knob that shapes programs. */
     std::string cacheFingerprint() const override;

@@ -133,6 +133,14 @@ SieveRetriever::cacheKey(const ParsedQuery &parsed) const
 ContextBundle
 SieveRetriever::retrieveParsed(const ParsedQuery &parsed)
 {
+    NullEvidenceSink sink;
+    return retrieveParsed(parsed, sink);
+}
+
+ContextBundle
+SieveRetriever::retrieveParsed(const ParsedQuery &parsed,
+                               EvidenceSink &sink)
+{
     Stopwatch timer;
     ContextBundle bundle;
     bundle.retriever = name();
@@ -150,19 +158,39 @@ SieveRetriever::retrieveParsed(const ParsedQuery &parsed)
                 break;
             }
         }
+        if (sink.active()) {
+            sink.emit("overview",
+                      bundle.workload_description.empty()
+                          ? "No matching workload/policy trace "
+                            "resolved."
+                          : bundle.workload_description);
+        }
         bundle.retrieval_ms = timer.milliseconds();
         return bundle;
     }
 
     const db::TraceEntry &entry = *shards_.find(bundle.trace_key);
-    const db::StatsExpert *expert = shards_.statsFor(bundle.trace_key);
     bundle.workload_description = entry.description;
     bundle.policy_description =
         "Policy '" + entry.policy + "' on workload '" + entry.workload +
         "'.";
+    // First evidence on the wire before any heavyweight per-shard
+    // work: the overview goes out ahead of the premise scan and the
+    // once-per-shard StatsExpert build below, so a streaming consumer
+    // sees the resolved trace at a fraction of full retrieval time.
+    // Chunk text is only ever formatted for an active sink — the
+    // blocking path (NullEvidenceSink) skips it entirely.
+    if (sink.active()) {
+        sink.emit("overview", "Trace " + bundle.trace_key + ". " +
+                                  bundle.workload_description + " " +
+                                  bundle.policy_description);
+    }
 
-    if (!cfg_.degrade_filters)
+    if (!cfg_.degrade_filters) {
         checkPremise(q, entry, bundle);
+        if (bundle.premise_violation && sink.active())
+            sink.emit("premise", bundle.premise_note);
+    }
 
     // Symbolic PC/address slice (bounded evidence window). Sieve stops
     // scanning at the window: it does not know the full match count.
@@ -177,12 +205,32 @@ SieveRetriever::retrieveParsed(const ParsedQuery &parsed)
             bundle.rows.push_back(entry.table.row(i));
         bundle.total_matches = bundle.rows.size();
         bundle.total_is_exact = false;
+        if (sink.active()) {
+            std::string slice;
+            for (const auto &row : bundle.rows)
+                slice += renderRowLine(row) + "\n";
+            slice += "window matches: " +
+                     std::to_string(bundle.total_matches);
+            sink.emit("slice", slice);
+        }
     }
 
+    const db::StatsExpert *expert = shards_.statsFor(bundle.trace_key);
     if (q.pc) {
         if (auto ps = expert->pcStats(*q.pc))
             bundle.pc_stats = *ps;
         fillSourceContext(*q.pc, entry, bundle);
+        if (bundle.pc_stats && sink.active()) {
+            sink.emit("pc",
+                      "PC " + str::hex(bundle.pc_stats->pc) + ": " +
+                          std::to_string(bundle.pc_stats->accesses) +
+                          " accesses, " +
+                          std::to_string(bundle.pc_stats->misses) +
+                          " misses" +
+                          (bundle.function_name.empty()
+                               ? std::string()
+                               : " in " + bundle.function_name));
+        }
     }
 
     switch (q.intent) {
@@ -301,6 +349,41 @@ SieveRetriever::retrieveParsed(const ParsedQuery &parsed)
             bundle.metadata = entry.metadata;
         break;
     }
+
+    // Intent-specific analysis evidence, emitted once it is all
+    // assembled (one chunk: the sections above already streamed).
+    if (!sink.active()) {
+        bundle.retrieval_ms = timer.milliseconds();
+        return bundle;
+    }
+    std::string analysis;
+    if (!bundle.policy_numbers.empty()) {
+        analysis += bundle.policy_numbers_label + ":";
+        for (const auto &pn : bundle.policy_numbers) {
+            analysis += " " + pn.policy + "=" +
+                        str::percent(pn.value);
+        }
+        analysis += "\n";
+    }
+    if (!bundle.values.empty()) {
+        analysis += "listed " + std::to_string(bundle.values.size()) +
+                    (bundle.values_complete ? " values (complete)\n"
+                                            : " values (truncated)\n");
+    }
+    if (!bundle.set_stats.empty()) {
+        analysis += "per-set stats for " +
+                    std::to_string(bundle.set_stats.size()) +
+                    " sets\n";
+    }
+    if (!bundle.pc_stats_list.empty()) {
+        analysis += "ranked stats for " +
+                    std::to_string(bundle.pc_stats_list.size()) +
+                    " PCs\n";
+    }
+    if (!bundle.metadata.empty())
+        analysis += bundle.metadata;
+    if (!analysis.empty())
+        sink.emit("analysis", analysis);
 
     bundle.retrieval_ms = timer.milliseconds();
     return bundle;

@@ -50,8 +50,18 @@ class SieveRetriever : public Retriever
     const char *name() const override { return "sieve"; }
     /** Parsing shim: parse the question, then retrieveParsed. */
     ContextBundle retrieve(const std::string &query) override;
+    /** Blocking entry: the streaming path with a discarding sink. */
     ContextBundle
     retrieveParsed(const query::ParsedQuery &parsed) override;
+    /**
+     * Primary implementation: emits the overview before the (costly,
+     * once-per-shard) statistics expert is built, then the premise
+     * check, the row slice, per-PC statistics, and the intent-specific
+     * analysis as each is assembled. The bundle is byte-identical to
+     * the blocking overload — both run this code path.
+     */
+    ContextBundle retrieveParsed(const query::ParsedQuery &parsed,
+                                 EvidenceSink &sink) override;
 
     /** "sieve" + every SieveConfig knob that shapes evidence. */
     std::string cacheFingerprint() const override;

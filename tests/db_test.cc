@@ -634,3 +634,83 @@ TEST(BuilderTest, ParallelBuildIsByteIdenticalAcrossThreadCounts)
         }
     }
 }
+
+TEST(ShardTest, WarmIndexesMatchesLazyBuildAndIsIdempotent)
+{
+    BuildOptions opts;
+    opts.workloads = {trace::WorkloadKind::Microbench};
+    opts.policies = {policy::PolicyKind::Lru,
+                     policy::PolicyKind::Belady};
+    opts.accesses_override = 20000;
+
+    // Two byte-identical databases: one warmed up front, one indexed
+    // lazily by queries. Warm-up must change when indexes are built,
+    // never what they contain.
+    const auto warm_db = buildDatabase(opts);
+    const auto lazy_db = buildDatabase(opts);
+    const ShardSet warm = warm_db.shards();
+    const ShardSet lazy = lazy_db.shards();
+    const auto keys = warm.keys();
+
+    EXPECT_EQ(warm.indexTotals().shards_indexed, 0u);
+    EXPECT_EQ(warm.warmIndexes(4), keys.size());
+    EXPECT_EQ(warm.indexTotals().shards_indexed, keys.size());
+    // Idempotent: a second pass finds nothing to build.
+    EXPECT_EQ(warm.warmIndexes(4), 0u);
+
+    for (const auto &key : keys) {
+        const auto *wt = &warm.find(key)->table;
+        const auto *lt = &lazy.find(key)->table;
+        for (std::size_t k = 0; k < 5; ++k) {
+            const std::uint64_t pc = wt->pcAt(k * 97 % wt->size());
+            // The lazy side builds its index on first filter; both
+            // sides must return identical row sets.
+            EXPECT_EQ(wt->filter(&pc, nullptr, 16),
+                      lt->filter(&pc, nullptr, 16))
+                << key;
+        }
+        EXPECT_EQ(wt->uniquePcs(), lt->uniquePcs()) << key;
+        EXPECT_EQ(wt->uniqueSets(), lt->uniqueSets()) << key;
+    }
+    EXPECT_EQ(lazy.indexTotals().shards_indexed, keys.size());
+}
+
+TEST(ShardTest, WarmIndexesWhileQueryingIsThreadSafe)
+{
+    // TSan-covered hammer: a parallel warm-up pass racing readers
+    // that themselves trigger lazy builds. Every build still runs
+    // under its shard's once_flag, so all observers agree on one
+    // index per shard.
+    BuildOptions opts;
+    opts.workloads = {trace::WorkloadKind::Microbench};
+    opts.policies = {policy::PolicyKind::Lru,
+                     policy::PolicyKind::Belady};
+    opts.accesses_override = 20000;
+    const auto db = buildDatabase(opts);
+    const ShardSet shards = db.shards();
+    const auto keys = shards.keys();
+
+    constexpr std::size_t kReaders = 4;
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < kReaders; ++t) {
+        pool.emplace_back([&, t] {
+            for (std::size_t iter = 0; iter < 50; ++iter) {
+                for (const auto &key : keys) {
+                    const auto &table = shards.find(key)->table;
+                    const std::uint64_t pc =
+                        table.pcAt((t * 31 + iter) % table.size());
+                    const auto rows = table.filter(&pc, nullptr, 4);
+                    EXPECT_FALSE(rows.empty());
+                }
+            }
+        });
+    }
+    // Warm from the main thread while the readers hammer.
+    shards.warmIndexes(4);
+    for (auto &t : pool)
+        t.join();
+
+    EXPECT_EQ(shards.indexTotals().shards_indexed, keys.size());
+    for (const auto &key : keys)
+        EXPECT_NE(shards.indexFor(key), nullptr) << key;
+}
