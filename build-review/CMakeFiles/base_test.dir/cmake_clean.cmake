@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_test.dir/tests/base_test.cc.o"
+  "CMakeFiles/base_test.dir/tests/base_test.cc.o.d"
+  "base_test"
+  "base_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_belady_vs_parrot.dir/bench/bench_belady_vs_parrot.cc.o"
+  "CMakeFiles/bench_belady_vs_parrot.dir/bench/bench_belady_vs_parrot.cc.o.d"
+  "bench_belady_vs_parrot"
+  "bench_belady_vs_parrot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_belady_vs_parrot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_belady_vs_parrot.
+# This may be replaced when dependencies are built.

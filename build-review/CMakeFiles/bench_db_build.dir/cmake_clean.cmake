@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_db_build.dir/bench/bench_db_build.cc.o"
+  "CMakeFiles/bench_db_build.dir/bench/bench_db_build.cc.o.d"
+  "bench_db_build"
+  "bench_db_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_db_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_db_build.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_retrieval_quality.dir/bench/bench_fig5_retrieval_quality.cc.o"
+  "CMakeFiles/bench_fig5_retrieval_quality.dir/bench/bench_fig5_retrieval_quality.cc.o.d"
+  "bench_fig5_retrieval_quality"
+  "bench_fig5_retrieval_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_retrieval_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_score_distribution.dir/bench/bench_fig7_score_distribution.cc.o"
+  "CMakeFiles/bench_fig7_score_distribution.dir/bench/bench_fig7_score_distribution.cc.o.d"
+  "bench_fig7_score_distribution"
+  "bench_fig7_score_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_score_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_sieve_vs_ranger.dir/bench/bench_fig8_sieve_vs_ranger.cc.o"
+  "CMakeFiles/bench_fig8_sieve_vs_ranger.dir/bench/bench_fig8_sieve_vs_ranger.cc.o.d"
+  "bench_fig8_sieve_vs_ranger"
+  "bench_fig8_sieve_vs_ranger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_sieve_vs_ranger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_retriever_comparison.dir/bench/bench_fig9_retriever_comparison.cc.o"
+  "CMakeFiles/bench_fig9_retriever_comparison.dir/bench/bench_fig9_retriever_comparison.cc.o.d"
+  "bench_fig9_retriever_comparison"
+  "bench_fig9_retriever_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_retriever_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_retriever_comparison.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_perf.dir/bench/bench_micro_perf.cc.o"
+  "CMakeFiles/bench_micro_perf.dir/bench/bench_micro_perf.cc.o.d"
+  "bench_micro_perf"
+  "bench_micro_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

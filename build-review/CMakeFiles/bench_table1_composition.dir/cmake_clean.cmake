@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_composition.dir/bench/bench_table1_composition.cc.o"
+  "CMakeFiles/bench_table1_composition.dir/bench/bench_table1_composition.cc.o.d"
+  "bench_table1_composition"
+  "bench_table1_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

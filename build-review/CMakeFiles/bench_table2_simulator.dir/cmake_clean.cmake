@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_simulator.dir/bench/bench_table2_simulator.cc.o"
+  "CMakeFiles/bench_table2_simulator.dir/bench/bench_table2_simulator.cc.o.d"
+  "bench_table2_simulator"
+  "bench_table2_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

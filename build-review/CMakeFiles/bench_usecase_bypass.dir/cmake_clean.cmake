@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_usecase_bypass.dir/bench/bench_usecase_bypass.cc.o"
+  "CMakeFiles/bench_usecase_bypass.dir/bench/bench_usecase_bypass.cc.o.d"
+  "bench_usecase_bypass"
+  "bench_usecase_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_usecase_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_usecase_mockingjay.dir/bench/bench_usecase_mockingjay.cc.o"
+  "CMakeFiles/bench_usecase_mockingjay.dir/bench/bench_usecase_mockingjay.cc.o.d"
+  "bench_usecase_mockingjay"
+  "bench_usecase_mockingjay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_usecase_mockingjay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_usecase_prefetch.dir/bench/bench_usecase_prefetch.cc.o"
+  "CMakeFiles/bench_usecase_prefetch.dir/bench/bench_usecase_prefetch.cc.o.d"
+  "bench_usecase_prefetch"
+  "bench_usecase_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_usecase_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_usecase_sethotness.dir/bench/bench_usecase_sethotness.cc.o"
+  "CMakeFiles/bench_usecase_sethotness.dir/bench/bench_usecase_sethotness.cc.o.d"
+  "bench_usecase_sethotness"
+  "bench_usecase_sethotness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_usecase_sethotness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchsuite_test.dir/tests/benchsuite_test.cc.o"
+  "CMakeFiles/benchsuite_test.dir/tests/benchsuite_test.cc.o.d"
+  "benchsuite_test"
+  "benchsuite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchsuite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

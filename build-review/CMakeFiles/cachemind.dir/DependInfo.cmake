@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/logging.cc" "CMakeFiles/cachemind.dir/src/base/logging.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/base/logging.cc.o.d"
+  "/root/repo/src/base/random.cc" "CMakeFiles/cachemind.dir/src/base/random.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/base/random.cc.o.d"
+  "/root/repo/src/base/stats_util.cc" "CMakeFiles/cachemind.dir/src/base/stats_util.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/base/stats_util.cc.o.d"
+  "/root/repo/src/base/str.cc" "CMakeFiles/cachemind.dir/src/base/str.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/base/str.cc.o.d"
+  "/root/repo/src/benchsuite/generator.cc" "CMakeFiles/cachemind.dir/src/benchsuite/generator.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/benchsuite/generator.cc.o.d"
+  "/root/repo/src/benchsuite/grader.cc" "CMakeFiles/cachemind.dir/src/benchsuite/grader.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/benchsuite/grader.cc.o.d"
+  "/root/repo/src/benchsuite/harness.cc" "CMakeFiles/cachemind.dir/src/benchsuite/harness.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/benchsuite/harness.cc.o.d"
+  "/root/repo/src/benchsuite/question.cc" "CMakeFiles/cachemind.dir/src/benchsuite/question.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/benchsuite/question.cc.o.d"
+  "/root/repo/src/core/cachemind.cc" "CMakeFiles/cachemind.dir/src/core/cachemind.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/core/cachemind.cc.o.d"
+  "/root/repo/src/core/engine_stats.cc" "CMakeFiles/cachemind.dir/src/core/engine_stats.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/core/engine_stats.cc.o.d"
+  "/root/repo/src/core/stream.cc" "CMakeFiles/cachemind.dir/src/core/stream.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/core/stream.cc.o.d"
+  "/root/repo/src/db/builder.cc" "CMakeFiles/cachemind.dir/src/db/builder.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/db/builder.cc.o.d"
+  "/root/repo/src/db/database.cc" "CMakeFiles/cachemind.dir/src/db/database.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/db/database.cc.o.d"
+  "/root/repo/src/db/export.cc" "CMakeFiles/cachemind.dir/src/db/export.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/db/export.cc.o.d"
+  "/root/repo/src/db/index.cc" "CMakeFiles/cachemind.dir/src/db/index.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/db/index.cc.o.d"
+  "/root/repo/src/db/shard.cc" "CMakeFiles/cachemind.dir/src/db/shard.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/db/shard.cc.o.d"
+  "/root/repo/src/db/stats_expert.cc" "CMakeFiles/cachemind.dir/src/db/stats_expert.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/db/stats_expert.cc.o.d"
+  "/root/repo/src/db/table.cc" "CMakeFiles/cachemind.dir/src/db/table.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/db/table.cc.o.d"
+  "/root/repo/src/insights/insights.cc" "CMakeFiles/cachemind.dir/src/insights/insights.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/insights/insights.cc.o.d"
+  "/root/repo/src/llm/backend.cc" "CMakeFiles/cachemind.dir/src/llm/backend.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/llm/backend.cc.o.d"
+  "/root/repo/src/llm/generator.cc" "CMakeFiles/cachemind.dir/src/llm/generator.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/llm/generator.cc.o.d"
+  "/root/repo/src/llm/knowledge.cc" "CMakeFiles/cachemind.dir/src/llm/knowledge.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/llm/knowledge.cc.o.d"
+  "/root/repo/src/llm/memory.cc" "CMakeFiles/cachemind.dir/src/llm/memory.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/llm/memory.cc.o.d"
+  "/root/repo/src/llm/prompt.cc" "CMakeFiles/cachemind.dir/src/llm/prompt.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/llm/prompt.cc.o.d"
+  "/root/repo/src/llm/registry.cc" "CMakeFiles/cachemind.dir/src/llm/registry.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/llm/registry.cc.o.d"
+  "/root/repo/src/policy/basic_policies.cc" "CMakeFiles/cachemind.dir/src/policy/basic_policies.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/policy/basic_policies.cc.o.d"
+  "/root/repo/src/policy/mlp.cc" "CMakeFiles/cachemind.dir/src/policy/mlp.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/policy/mlp.cc.o.d"
+  "/root/repo/src/policy/mockingjay.cc" "CMakeFiles/cachemind.dir/src/policy/mockingjay.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/policy/mockingjay.cc.o.d"
+  "/root/repo/src/policy/parrot.cc" "CMakeFiles/cachemind.dir/src/policy/parrot.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/policy/parrot.cc.o.d"
+  "/root/repo/src/policy/policy_factory.cc" "CMakeFiles/cachemind.dir/src/policy/policy_factory.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/policy/policy_factory.cc.o.d"
+  "/root/repo/src/policy/rrip_policies.cc" "CMakeFiles/cachemind.dir/src/policy/rrip_policies.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/policy/rrip_policies.cc.o.d"
+  "/root/repo/src/query/dsl.cc" "CMakeFiles/cachemind.dir/src/query/dsl.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/query/dsl.cc.o.d"
+  "/root/repo/src/query/parsed_query.cc" "CMakeFiles/cachemind.dir/src/query/parsed_query.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/query/parsed_query.cc.o.d"
+  "/root/repo/src/query/parser.cc" "CMakeFiles/cachemind.dir/src/query/parser.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/query/parser.cc.o.d"
+  "/root/repo/src/retrieval/cache.cc" "CMakeFiles/cachemind.dir/src/retrieval/cache.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/retrieval/cache.cc.o.d"
+  "/root/repo/src/retrieval/context.cc" "CMakeFiles/cachemind.dir/src/retrieval/context.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/retrieval/context.cc.o.d"
+  "/root/repo/src/retrieval/llamaindex.cc" "CMakeFiles/cachemind.dir/src/retrieval/llamaindex.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/retrieval/llamaindex.cc.o.d"
+  "/root/repo/src/retrieval/ranger.cc" "CMakeFiles/cachemind.dir/src/retrieval/ranger.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/retrieval/ranger.cc.o.d"
+  "/root/repo/src/retrieval/registry.cc" "CMakeFiles/cachemind.dir/src/retrieval/registry.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/retrieval/registry.cc.o.d"
+  "/root/repo/src/retrieval/sieve.cc" "CMakeFiles/cachemind.dir/src/retrieval/sieve.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/retrieval/sieve.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "CMakeFiles/cachemind.dir/src/sim/cache.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/sim/cache.cc.o.d"
+  "/root/repo/src/sim/core_model.cc" "CMakeFiles/cachemind.dir/src/sim/core_model.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/sim/core_model.cc.o.d"
+  "/root/repo/src/sim/hierarchy.cc" "CMakeFiles/cachemind.dir/src/sim/hierarchy.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/sim/hierarchy.cc.o.d"
+  "/root/repo/src/sim/llc_replay.cc" "CMakeFiles/cachemind.dir/src/sim/llc_replay.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/sim/llc_replay.cc.o.d"
+  "/root/repo/src/text/embedding.cc" "CMakeFiles/cachemind.dir/src/text/embedding.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/text/embedding.cc.o.d"
+  "/root/repo/src/trace/record.cc" "CMakeFiles/cachemind.dir/src/trace/record.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/trace/record.cc.o.d"
+  "/root/repo/src/trace/symbols.cc" "CMakeFiles/cachemind.dir/src/trace/symbols.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/trace/symbols.cc.o.d"
+  "/root/repo/src/trace/workload.cc" "CMakeFiles/cachemind.dir/src/trace/workload.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/trace/workload.cc.o.d"
+  "/root/repo/src/trace/workloads/astar.cc" "CMakeFiles/cachemind.dir/src/trace/workloads/astar.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/trace/workloads/astar.cc.o.d"
+  "/root/repo/src/trace/workloads/lbm.cc" "CMakeFiles/cachemind.dir/src/trace/workloads/lbm.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/trace/workloads/lbm.cc.o.d"
+  "/root/repo/src/trace/workloads/mcf.cc" "CMakeFiles/cachemind.dir/src/trace/workloads/mcf.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/trace/workloads/mcf.cc.o.d"
+  "/root/repo/src/trace/workloads/microbench.cc" "CMakeFiles/cachemind.dir/src/trace/workloads/microbench.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/trace/workloads/microbench.cc.o.d"
+  "/root/repo/src/trace/workloads/milc.cc" "CMakeFiles/cachemind.dir/src/trace/workloads/milc.cc.o" "gcc" "CMakeFiles/cachemind.dir/src/trace/workloads/milc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

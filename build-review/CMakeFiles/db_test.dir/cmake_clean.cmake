@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_test.dir/tests/db_test.cc.o"
+  "CMakeFiles/db_test.dir/tests/db_test.cc.o.d"
+  "db_test"
+  "db_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

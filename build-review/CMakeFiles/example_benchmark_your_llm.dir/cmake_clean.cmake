@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_benchmark_your_llm.dir/examples/benchmark_your_llm.cpp.o"
+  "CMakeFiles/example_benchmark_your_llm.dir/examples/benchmark_your_llm.cpp.o.d"
+  "example_benchmark_your_llm"
+  "example_benchmark_your_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_benchmark_your_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

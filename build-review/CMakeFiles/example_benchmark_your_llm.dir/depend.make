@@ -1,0 +1,2 @@
+# Empty dependencies file for example_benchmark_your_llm.
+# This may be replaced when dependencies are built.

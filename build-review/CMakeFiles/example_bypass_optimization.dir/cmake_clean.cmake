@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bypass_optimization.dir/examples/bypass_optimization.cpp.o"
+  "CMakeFiles/example_bypass_optimization.dir/examples/bypass_optimization.cpp.o.d"
+  "example_bypass_optimization"
+  "example_bypass_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bypass_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_chat_session.dir/examples/chat_session.cpp.o"
+  "CMakeFiles/example_chat_session.dir/examples/chat_session.cpp.o.d"
+  "example_chat_session"
+  "example_chat_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_chat_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

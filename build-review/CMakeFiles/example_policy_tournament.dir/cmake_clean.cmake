@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_policy_tournament.dir/examples/policy_tournament.cpp.o"
+  "CMakeFiles/example_policy_tournament.dir/examples/policy_tournament.cpp.o.d"
+  "example_policy_tournament"
+  "example_policy_tournament.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_policy_tournament.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

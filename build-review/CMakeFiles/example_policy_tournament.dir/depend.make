@@ -1,0 +1,2 @@
+# Empty dependencies file for example_policy_tournament.
+# This may be replaced when dependencies are built.

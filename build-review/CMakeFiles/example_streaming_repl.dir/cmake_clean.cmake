@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_streaming_repl.dir/examples/streaming_repl.cpp.o"
+  "CMakeFiles/example_streaming_repl.dir/examples/streaming_repl.cpp.o.d"
+  "example_streaming_repl"
+  "example_streaming_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_streaming_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_streaming_repl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trace_explorer.dir/examples/trace_explorer.cpp.o"
+  "CMakeFiles/example_trace_explorer.dir/examples/trace_explorer.cpp.o.d"
+  "example_trace_explorer"
+  "example_trace_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

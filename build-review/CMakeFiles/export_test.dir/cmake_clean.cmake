@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_test.dir/tests/export_test.cc.o"
+  "CMakeFiles/export_test.dir/tests/export_test.cc.o.d"
+  "export_test"
+  "export_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

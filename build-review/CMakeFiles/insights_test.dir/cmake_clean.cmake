@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insights_test.dir/tests/insights_test.cc.o"
+  "CMakeFiles/insights_test.dir/tests/insights_test.cc.o.d"
+  "insights_test"
+  "insights_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insights_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_test.dir/tests/llm_test.cc.o"
+  "CMakeFiles/llm_test.dir/tests/llm_test.cc.o.d"
+  "llm_test"
+  "llm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

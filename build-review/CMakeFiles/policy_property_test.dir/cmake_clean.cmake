@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_property_test.dir/tests/policy_property_test.cc.o"
+  "CMakeFiles/policy_property_test.dir/tests/policy_property_test.cc.o.d"
+  "policy_property_test"
+  "policy_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_test.dir/tests/policy_test.cc.o"
+  "CMakeFiles/policy_test.dir/tests/policy_test.cc.o.d"
+  "policy_test"
+  "policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_test.dir/tests/query_test.cc.o"
+  "CMakeFiles/query_test.dir/tests/query_test.cc.o.d"
+  "query_test"
+  "query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

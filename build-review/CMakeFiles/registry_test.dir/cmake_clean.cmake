@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/registry_test.dir/tests/registry_test.cc.o"
+  "CMakeFiles/registry_test.dir/tests/registry_test.cc.o.d"
+  "registry_test"
+  "registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retrieval_test.dir/tests/retrieval_test.cc.o"
+  "CMakeFiles/retrieval_test.dir/tests/retrieval_test.cc.o.d"
+  "retrieval_test"
+  "retrieval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retrieval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_test.dir/tests/stream_test.cc.o"
+  "CMakeFiles/stream_test.dir/tests/stream_test.cc.o.d"
+  "stream_test"
+  "stream_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

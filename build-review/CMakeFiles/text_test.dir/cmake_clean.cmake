@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_test.dir/tests/text_test.cc.o"
+  "CMakeFiles/text_test.dir/tests/text_test.cc.o.d"
+  "text_test"
+  "text_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_test.dir/tests/workload_test.cc.o"
+  "CMakeFiles/workload_test.dir/tests/workload_test.cc.o.d"
+  "workload_test"
+  "workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
