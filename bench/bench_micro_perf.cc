@@ -17,6 +17,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -30,6 +31,9 @@
 #include "query/dsl.hh"
 #include "retrieval/ranger.hh"
 #include "retrieval/sieve.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
 #include "sim/core_model.hh"
 #include "sim/llc_replay.hh"
 #include "text/embedding.hh"
@@ -435,6 +439,69 @@ BENCHMARK(BM_AskStreamFirstEvent)
     ->Arg(0)  // full blocking answer
     ->Arg(1)  // time to first streamed evidence
     ->Unit(benchmark::kMicrosecond);
+
+static void
+BM_ServeRoundTrip(benchmark::State &state)
+{
+    // One line-protocol ask round trip through the real serving
+    // path: TCP write -> session relay -> streamed frames -> done,
+    // against a warm pooled engine with the shared retrieval cache
+    // on. The gap between this and BM_AskStreamFirstEvent's blocking
+    // arm is the serving overhead itself (framing, socket hops,
+    // session bookkeeping), which is what this entry tracks.
+    static serve::Server *server = [] {
+        serve::ServeOptions opts;
+        opts.max_sessions = 4;
+        auto *s = new serve::Server(fullDb(), opts);
+        std::string error;
+        if (!s->start(&error))
+            std::fprintf(stderr, "serve bench: %s\n", error.c_str());
+        return s;
+    }();
+    serve::LineClient client;
+    if (!client.connect("127.0.0.1", server->port()) ||
+        !client.recvLine().has_value()) { // hello banner
+        state.SkipWithError("serve bench: connect failed");
+        return;
+    }
+    const auto questions = explainQuestions();
+    std::size_t qi = 0;
+    const auto roundTrip = [&](const std::string &question) {
+        serve::Request req;
+        req.op = serve::Request::Op::Ask;
+        req.id = std::to_string(qi);
+        req.question = question;
+        req.retriever = "sieve";
+        if (!client.sendLine(serve::renderRequest(req)))
+            return false;
+        while (auto line = client.recvLine()) {
+            if (line->find("\"frame\":\"done\"") != std::string::npos)
+                return true;
+            if (line->find("\"frame\":\"error\"") != std::string::npos)
+                return false;
+        }
+        return false;
+    };
+    // Pay engine construction + index warm-up off the clock.
+    if (!roundTrip(questions[0])) {
+        state.SkipWithError("serve bench: warm-up ask failed");
+        return;
+    }
+    for (auto _ : state) {
+        if (!roundTrip(questions[qi++ % questions.size()])) {
+            state.SkipWithError("serve bench: ask failed");
+            return;
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+    const auto stats = server->stats();
+    state.counters["completed"] =
+        static_cast<double>(stats.completed);
+    state.counters["cache_hits"] =
+        static_cast<double>(stats.engine.cache.hits);
+}
+BENCHMARK(BM_ServeRoundTrip)->Unit(benchmark::kMicrosecond);
 
 int
 main(int argc, char **argv)

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The serving front-end, end to end: spin up a line-protocol Server
+ * over a small trace database, then talk to it over TCP exactly as a
+ * remote client would — ping, a streamed ask per retriever, and a
+ * STATS snapshot.
+ *
+ * Two modes:
+ *
+ *   $ ./example_serve_client
+ *       Self-contained demo: in-process server + client round trips.
+ *       Used by CI as a smoke test (no arguments, exits non-zero on
+ *       any protocol violation).
+ *
+ *   $ ./example_serve_client --serve [port]
+ *       Server-only: build the database, listen (port 0 = ephemeral),
+ *       print "LISTENING <port>" on stdout, and serve until stdin
+ *       closes. scripts/load_smoke.py drives this mode with 32
+ *       concurrent external clients.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "db/builder.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+
+using namespace cachemind;
+using namespace cachemind::serve;
+
+namespace {
+
+db::TraceDatabase
+buildDb()
+{
+    db::BuildOptions options;
+    options.workloads = {trace::WorkloadKind::Astar};
+    options.policies = {policy::PolicyKind::Lru,
+                        policy::PolicyKind::Belady};
+    options.accesses_override = 30000;
+    return db::buildDatabase(options);
+}
+
+/** Run one ask and print its frames; false on any protocol breach. */
+bool
+askAndPrint(LineClient &client, const std::string &id,
+            const std::string &question, const std::string &retriever)
+{
+    Request req;
+    req.op = Request::Op::Ask;
+    req.id = id;
+    req.question = question;
+    req.retriever = retriever;
+    if (!client.sendLine(renderRequest(req)))
+        return false;
+    std::string deltas;
+    while (auto line = client.recvLine()) {
+        const auto frame = parseJsonObject(*line);
+        if (!frame.has_value()) {
+            std::fprintf(stderr, "malformed frame: %s\n",
+                         line->c_str());
+            return false;
+        }
+        const auto &kind = frame->at("frame");
+        if (kind == "evidence") {
+            std::printf("  [%s] %zu bytes of evidence\n",
+                        frame->at("label").c_str(),
+                        frame->at("text").size());
+        } else if (kind == "delta") {
+            deltas += frame->at("text");
+        } else if (kind == "done") {
+            const auto &answer = frame->at("answer");
+            if (deltas != answer) {
+                std::fprintf(stderr,
+                             "delta bytes diverge from the answer\n");
+                return false;
+            }
+            std::printf("  answer (%s): %.72s...\n", retriever.c_str(),
+                        answer.c_str());
+            return true;
+        } else if (kind == "error" || kind == "overloaded") {
+            std::fprintf(stderr, "server refused: %s\n",
+                         line->c_str());
+            return false;
+        }
+    }
+    std::fprintf(stderr, "connection dropped mid-stream\n");
+    return false;
+}
+
+int
+runServeMode(std::uint16_t port)
+{
+    const auto database = buildDb();
+    ServeOptions opts;
+    opts.port = port;
+    opts.max_sessions = 64;
+    Server server(database, opts);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "start failed: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("LISTENING %u\n", server.port());
+    std::fflush(stdout);
+    // Serve until the driver closes our stdin.
+    char sink[256];
+    while (std::fgets(sink, sizeof(sink), stdin) != nullptr) {
+    }
+    server.stop();
+    const auto stats = server.stats();
+    std::fprintf(stderr,
+                 "served: accepted=%llu completed=%llu "
+                 "rejected=%llu cancelled=%llu malformed=%llu\n",
+                 static_cast<unsigned long long>(stats.accepted),
+                 static_cast<unsigned long long>(stats.completed),
+                 static_cast<unsigned long long>(stats.rejected),
+                 static_cast<unsigned long long>(stats.cancelled),
+                 static_cast<unsigned long long>(stats.malformed));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2 && std::strcmp(argv[1], "--serve") == 0) {
+        const int port = argc >= 3 ? std::atoi(argv[2]) : 0;
+        return runServeMode(static_cast<std::uint16_t>(port));
+    }
+
+    std::printf("Building trace database...\n");
+    const auto database = buildDb();
+
+    ServeOptions opts;
+    Server server(database, opts);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "start failed: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("Serving on 127.0.0.1:%u\n\n", server.port());
+
+    LineClient client;
+    if (!client.connect("127.0.0.1", server.port())) {
+        std::fprintf(stderr, "connect failed\n");
+        return 1;
+    }
+    // The server greets every admitted session with a hello banner.
+    if (auto hello = client.recvLine())
+        std::printf("<- %s\n", hello->c_str());
+
+    client.sendLine("{\"op\":\"ping\",\"id\":\"0\"}");
+    if (auto pong = client.recvLine())
+        std::printf("<- %s\n\n", pong->c_str());
+
+    const std::string question =
+        "Which policy has the lowest miss rate in the astar workload?";
+    int id = 1;
+    for (const char *retriever : {"sieve", "ranger", "llamaindex"}) {
+        std::printf("ask via %s:\n", retriever);
+        if (!askAndPrint(client, std::to_string(id++), question,
+                         retriever))
+            return 1;
+    }
+
+    client.sendLine("{\"op\":\"stats\",\"id\":\"99\"}");
+    if (auto stats = client.recvLine())
+        std::printf("\n<- %s\n", stats->c_str());
+
+    client.close();
+    server.stop();
+    std::printf("\nDone.\n");
+    return 0;
+}

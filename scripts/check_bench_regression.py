@@ -34,6 +34,7 @@ TRACKED = [
     "BM_ColdQuestionRetrieval/1",  # cold sweep on the postings index
     "BM_AskBatchRepeatedSlots/1",  # repeated slots, bundle cache on
     "BM_AskStreamFirstEvent/1",    # time to first streamed evidence
+    "BM_ServeRoundTrip",           # line-protocol ask round trip
 ]
 
 TIME_UNIT_NS = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}

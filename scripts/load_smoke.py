@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Concurrency smoke test for the serving front-end.
+
+Spawns ``example_serve_client --serve 0`` (server-only mode, ephemeral
+port), waits for its ``LISTENING <port>`` banner, then drives it with
+N concurrent raw-socket clients speaking the newline-delimited JSON
+line protocol — no shared code with the C++ client, so a framing bug
+that the in-process tests can't see (partial writes, interleaved
+frames across sessions, a missing newline) fails here.
+
+Each client runs several asks, rotating retriever per request, and
+asserts for every response stream:
+
+  * every line parses as a flat JSON object with a ``frame`` key,
+  * frames carry the request id they answer,
+  * the concatenated ``delta`` text equals the ``done`` answer,
+  * the stream terminates with exactly one ``done`` frame.
+
+Exit status: 0 when every client saw well-formed, byte-consistent
+streams; 1 otherwise.
+
+Usage:
+    load_smoke.py /path/to/example_serve_client [--clients N]
+                  [--asks M]
+"""
+
+import argparse
+import json
+import socket
+import subprocess
+import sys
+import threading
+
+RETRIEVERS = ["sieve", "ranger", "llamaindex"]
+QUESTION = "Which policy has the lowest miss rate in the astar workload?"
+QUESTIONS = [
+    QUESTION,
+    "Why does Belady outperform LRU in the astar workload?",
+]
+
+
+def recv_lines(sock):
+    """Yield newline-terminated lines from a blocking socket."""
+    buf = b""
+    while True:
+        while b"\n" in buf:
+            line, buf = buf.split(b"\n", 1)
+            yield line.decode("utf-8")
+        chunk = sock.recv(4096)
+        if not chunk:
+            return
+        buf += chunk
+
+
+def run_client(port, client_id, asks, errors):
+    try:
+        sock = socket.create_connection(("127.0.0.1", port), timeout=120)
+        sock.settimeout(120)
+        lines = recv_lines(sock)
+        hello = json.loads(next(lines))
+        if hello.get("frame") != "hello":
+            raise AssertionError(f"expected hello, got {hello}")
+        for ask in range(asks):
+            rid = f"{client_id}-{ask}"
+            request = {
+                "op": "ask",
+                "id": rid,
+                "question": QUESTIONS[(client_id + ask) % len(QUESTIONS)],
+                "retriever": RETRIEVERS[(client_id + ask) % len(RETRIEVERS)],
+            }
+            sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
+            deltas, done = "", None
+            for raw in lines:
+                frame = json.loads(raw)  # malformed frame raises here
+                kind = frame["frame"]
+                if frame.get("id") != rid:
+                    raise AssertionError(
+                        f"frame for {frame.get('id')!r} inside {rid}")
+                if kind == "delta":
+                    deltas += frame["text"]
+                elif kind == "done":
+                    done = frame["answer"]
+                    break
+                elif kind in ("error", "overloaded"):
+                    raise AssertionError(f"server refused {rid}: {raw}")
+            if done is None:
+                raise AssertionError(f"stream {rid} ended without done")
+            if deltas != done:
+                raise AssertionError(f"delta bytes diverge on {rid}")
+        sock.close()
+    except Exception as exc:  # noqa: BLE001 - collected and reported
+        errors.append(f"client {client_id}: {exc!r}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("server_binary")
+    parser.add_argument("--clients", type=int, default=32)
+    parser.add_argument("--asks", type=int, default=3)
+    args = parser.parse_args()
+
+    server = subprocess.Popen(
+        [args.server_binary, "--serve", "0"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        banner = server.stdout.readline().strip()
+        if not banner.startswith("LISTENING "):
+            print(f"FAIL: unexpected banner {banner!r}", file=sys.stderr)
+            return 1
+        port = int(banner.split()[1])
+        print(f"server up on port {port}; "
+              f"{args.clients} clients x {args.asks} asks")
+
+        errors = []
+        threads = [
+            threading.Thread(target=run_client,
+                             args=(port, i, args.asks, errors))
+            for i in range(args.clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        if errors:
+            for err in errors:
+                print(f"FAIL: {err}", file=sys.stderr)
+            return 1
+        print(f"OK: {args.clients * args.asks} streams, "
+              "zero malformed frames")
+        return 0
+    finally:
+        try:
+            server.stdin.close()  # server-only mode exits on stdin EOF
+            server.wait(timeout=30)
+        except Exception:
+            server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@
 #include "base/parallel.hh"
 #include "base/stopwatch.hh"
 #include "base/str.hh"
+#include "core/worker_pool.hh"
 #include "llm/registry.hh"
 #include "retrieval/registry.hh"
 
@@ -213,6 +214,7 @@ CacheMind::generateStage(
     r.bundle.retrieval_ms = retrieval_ms;
     llm::GenerationOptions gen_opts;
     gen_opts.shot_mode = opts_.shot_mode;
+    gen_opts.tokens_per_second = opts_.tokens_per_second;
     r.answer = on_delta
                    ? generator_->answerStreaming(r.bundle, gen_opts,
                                                  *on_delta)
@@ -240,7 +242,10 @@ class FnEvidenceSink final : public retrieval::EvidenceSink
   public:
     using Fn = std::function<void(const std::string &,
                                   const std::string &)>;
-    explicit FnEvidenceSink(Fn fn) : fn_(std::move(fn)) {}
+    FnEvidenceSink(Fn fn, const StreamChannel &channel)
+        : fn_(std::move(fn)), channel_(channel)
+    {
+    }
 
     void
     emit(const std::string &label, const std::string &text) override
@@ -248,8 +253,15 @@ class FnEvidenceSink final : public retrieval::EvidenceSink
         fn_(label, text);
     }
 
+    // The channel's consumer-side cancel is the pipeline's cooperative
+    // cancellation token: retrievers polling the sink between evidence
+    // sections observe a dropped AnswerStream / disconnected serving
+    // session and abandon the rest of the retrieval.
+    bool cancelled() const override { return channel_.cancelled(); }
+
   private:
     Fn fn_;
+    const StreamChannel &channel_;
 };
 
 } // namespace
@@ -282,8 +294,14 @@ CacheMind::answerParsedStreamed(retrieval::Retriever &retriever,
         // full buffer (consumer pacing); the callers subtract it from
         // the recorded question latency.
         Stopwatch push_timer;
-        channel.push(std::move(event));
+        const bool accepted = channel.push(std::move(event));
         pushing_ms += push_timer.milliseconds();
+        // A refused push on a cancelled channel trips the cooperative
+        // cancellation token here as well as at the retriever's
+        // section boundaries, so generation (answer deltas) also stops
+        // streaming into a dead channel.
+        if (!accepted && channel.cancelled())
+            throw retrieval::StreamCancelled{};
     };
 
     // Stage 1 (parsing) ran at the engine entry point; surface it.
@@ -298,15 +316,16 @@ CacheMind::answerParsedStreamed(retrieval::Retriever &retriever,
     planned_event.cache_key = cache_key;
     push(std::move(planned_event));
 
-    FnEvidenceSink sink([&](const std::string &label,
-                            const std::string &text) {
-        StreamEvent event;
-        event.kind = StreamEvent::Kind::EvidenceChunk;
-        event.label = label;
-        event.text = text;
-        ++evidence_chunks;
-        push(std::move(event));
-    });
+    FnEvidenceSink sink(
+        [&](const std::string &label, const std::string &text) {
+            StreamEvent event;
+            event.kind = StreamEvent::Kind::EvidenceChunk;
+            event.label = label;
+            event.text = text;
+            ++evidence_chunks;
+            push(std::move(event));
+        },
+        channel);
     Stopwatch retrieve_timer;
     const auto evidence =
         retrieveStageStreamed(retriever, parsed, cache_key, sink);
@@ -338,7 +357,14 @@ void
 CacheMind::warmup()
 {
     std::call_once(*warm_once_, [this] {
+        // The one-time cold-index build is recorded as warm-up, not as
+        // part of any stream's time-to-first-event: the first stream
+        // against a cold engine must not skew serving-side TTFE
+        // percentiles (a server warms its engines at pool-build time,
+        // off every session's clock).
+        Stopwatch timer;
         shards_.warmIndexes(opts_.build_threads);
+        stats_->recordWarmup(timer.milliseconds());
     });
 }
 
@@ -496,19 +522,26 @@ CacheMind::askStream(const std::string &question)
         return EngineError{EngineErrorCode::EmptyQuestion,
                            "question is empty"};
     }
+    // The pipeline runs as a job on the engine's persistent worker
+    // pool — a warm thread parked on a condvar picks it up in the
+    // microsecond range, where the former per-call std::thread spawn
+    // paid thread-creation cost on every request. Lazy creation keeps
+    // blocking-only engines threadless.
+    if (!stream_pool_)
+        stream_pool_ = std::make_unique<WorkerPool>(opts_.build_threads);
     auto channel =
         std::make_shared<StreamChannel>(opts_.stream_buffer);
     channel->setProducers(1);
-    std::thread worker([this, channel, question] {
+    auto ticket = std::make_shared<StreamTicket>();
+    stream_pool_->submit([this, channel, ticket, question] {
         // Warm every shard's postings index in parallel before the
         // pipeline touches its shard, so the first evidence chunk
         // never waits behind a serial lazy index build (no-op once
         // warm). Then run the staged pipeline, pushing an event per
         // stage boundary. The exception barrier hands any pipeline
         // failure (throwing custom retriever, bad_alloc) to the
-        // consumer through the channel — escaping a thread body
-        // would std::terminate the process, where blocking ask()
-        // propagates.
+        // consumer through the channel — escaping the job would take
+        // down the pool worker, where blocking ask() propagates.
         try {
             warmup();
             Stopwatch timer;
@@ -521,12 +554,19 @@ CacheMind::askStream(const std::string &question)
             stats_->record(std::max(timer.milliseconds() - blocked_ms,
                                     0.0),
                            retrieval::assessQuality(r.bundle));
+        } catch (const retrieval::StreamCancelled &) {
+            // The consumer went away (AnswerStream::cancel, a dropped
+            // serving connection): control flow, not failure. No
+            // latency sample — the pipeline was cut short.
+            stats_->recordStreamCancelled();
         } catch (...) {
             channel->fail(std::current_exception());
         }
         channel->producerDone();
+        // Last action: release anyone waiting on the stream handle.
+        ticket->arrive();
     });
-    return AnswerStream(std::move(channel), std::move(worker));
+    return AnswerStream(std::move(channel), std::move(ticket));
 }
 
 Result<std::vector<Response>, EngineError>
@@ -589,6 +629,12 @@ CacheMind::askBatchStream(const std::vector<std::string> &questions,
                     latencies[i] = std::max(
                         timer.milliseconds() - blocked_ms, 0.0);
                 }
+            } catch (const retrieval::StreamCancelled &) {
+                // Consumer-side cancel (throwing sink) tripped the
+                // cooperative token mid-question: quiet retirement,
+                // not a pipeline failure — failing the channel here
+                // would masquerade as an engine error after the join.
+                stats_->recordStreamCancelled();
             } catch (...) {
                 channel.fail(std::current_exception());
             }

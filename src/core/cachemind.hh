@@ -46,6 +46,8 @@
 
 namespace cachemind::core {
 
+class WorkerPool;
+
 /** Engine configuration: components by registry name. */
 struct EngineOptions
 {
@@ -98,6 +100,14 @@ struct EngineOptions
      * large values decouple bursty producers from it.
      */
     std::size_t stream_buffer = 64;
+    /**
+     * Streaming generation pace in tokens per second (0 = unpaced),
+     * forwarded to llm::GenerationOptions. With a pace set, answer
+     * deltas are emitted at a real backend's decode rate, so
+     * end-to-end streaming latency includes a generation term instead
+     * of being retrieval-only. Answer bytes are unaffected.
+     */
+    double tokens_per_second = 0.0;
 };
 
 /** What went wrong, as a branchable code plus a rendered message. */
@@ -358,6 +368,15 @@ class CacheMind
     std::unique_ptr<EngineStatsRecorder> stats_;
     /** Lazily-built per-worker retrievers, reused across batches. */
     std::unique_ptr<BatchPool> batch_pool_;
+    /**
+     * Persistent askStream pipeline workers (lazily created on first
+     * askStream, sized by build_threads). Parking a warm thread on a
+     * condvar replaces the former per-call std::thread spawn, which
+     * cost tens of microseconds of time-to-first-event per request —
+     * the difference between a serving front-end that spawns a thread
+     * per question and one that never does.
+     */
+    std::unique_ptr<WorkerPool> stream_pool_;
     /** One-shot guard for the parallel index warm-up (warmup()). */
     std::unique_ptr<std::once_flag> warm_once_ =
         std::make_unique<std::once_flag>();
@@ -438,6 +457,14 @@ class CacheMind::Builder
     withStreamBuffer(std::size_t events)
     {
         opts_.stream_buffer = events;
+        return *this;
+    }
+
+    /** Streaming generation pace (tokens/second; 0 = unpaced). */
+    Builder &
+    withTokensPerSecond(double pace)
+    {
+        opts_.tokens_per_second = pace;
         return *this;
     }
 

@@ -74,6 +74,21 @@ EngineStatsRecorder::recordStream(double first_event_ms,
     }
 }
 
+void
+EngineStatsRecorder::recordStreamCancelled()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stream_cancelled_;
+}
+
+void
+EngineStatsRecorder::recordWarmup(double warmup_ms)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++warmups_;
+    warmup_ms_total_ += warmup_ms;
+}
+
 EngineStats
 EngineStatsRecorder::snapshot() const
 {
@@ -105,6 +120,9 @@ EngineStatsRecorder::snapshot() const
     s.stream.events = stream_events_;
     s.stream.evidence_chunks = stream_evidence_chunks_;
     s.stream.answer_deltas = stream_answer_deltas_;
+    s.stream.cancelled = stream_cancelled_;
+    s.stream.warmups = warmups_;
+    s.stream.warmup_ms_total = warmup_ms_total_;
     if (!first_event_reservoir_ms_.empty()) {
         sort_scratch_.assign(first_event_reservoir_ms_.begin(),
                              first_event_reservoir_ms_.end());

@@ -48,6 +48,21 @@ struct StreamStats
     std::uint64_t evidence_chunks = 0;
     /** AnswerDelta events emitted. */
     std::uint64_t answer_deltas = 0;
+    /**
+     * Streams abandoned by their consumer before Done (a cancelled
+     * AnswerStream / dropped serving connection). Cancelled streams
+     * contribute no latency or time-to-first-event samples.
+     */
+    std::uint64_t cancelled = 0;
+
+    /**
+     * Cold index warm-ups observed (at most one per engine) and their
+     * total cost. Warm-up is recorded here, *outside* the
+     * time-to-first-event reservoir, so the first stream against a
+     * cold engine does not skew server-side TTFE percentiles.
+     */
+    std::uint64_t warmups = 0;
+    double warmup_ms_total = 0.0;
 
     /**
      * Time-to-first-event percentiles (milliseconds): the gap between
@@ -132,6 +147,12 @@ class EngineStatsRecorder
                       std::uint64_t evidence_chunks,
                       std::uint64_t answer_deltas);
 
+    /** Record one consumer-cancelled stream (no latency samples). */
+    void recordStreamCancelled();
+
+    /** Record the engine's one-time cold index warm-up cost. */
+    void recordWarmup(double warmup_ms);
+
     /** Aggregate snapshot (percentiles via base/stats_util). */
     EngineStats snapshot() const;
 
@@ -155,6 +176,9 @@ class EngineStatsRecorder
     std::uint64_t stream_events_ = 0;
     std::uint64_t stream_evidence_chunks_ = 0;
     std::uint64_t stream_answer_deltas_ = 0;
+    std::uint64_t stream_cancelled_ = 0;
+    std::uint64_t warmups_ = 0;
+    double warmup_ms_total_ = 0.0;
     double first_event_sum_ms_ = 0.0;
     std::map<std::string, RetrievalCacheStats> cache_by_retriever_;
     std::vector<double> latency_reservoir_ms_;

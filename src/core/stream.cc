@@ -139,9 +139,26 @@ StreamChannel::pushed() const
     return pushed_;
 }
 
+void
+StreamTicket::arrive()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        done_ = true;
+    }
+    done_cv_.notify_all();
+}
+
+void
+StreamTicket::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return done_; });
+}
+
 AnswerStream::AnswerStream(std::shared_ptr<StreamChannel> channel,
-                           std::thread worker)
-    : channel_(std::move(channel)), worker_(std::move(worker))
+                           std::shared_ptr<StreamTicket> ticket)
+    : channel_(std::move(channel)), ticket_(std::move(ticket))
 {
 }
 
@@ -153,7 +170,7 @@ AnswerStream::operator=(AnswerStream &&other) noexcept
     if (this != &other) {
         finish();
         channel_ = std::move(other.channel_);
-        worker_ = std::move(other.worker_);
+        ticket_ = std::move(other.ticket_);
         done_ = std::move(other.done_);
     }
     return *this;
@@ -162,12 +179,20 @@ AnswerStream::operator=(AnswerStream &&other) noexcept
 AnswerStream::~AnswerStream() { finish(); }
 
 void
+AnswerStream::cancel()
+{
+    finish();
+}
+
+void
 AnswerStream::finish()
 {
     if (channel_)
         channel_->cancel();
-    if (worker_.joinable())
-        worker_.join();
+    if (ticket_) {
+        ticket_->wait();
+        ticket_.reset();
+    }
 }
 
 std::optional<StreamEvent>
@@ -195,9 +220,8 @@ AnswerStream::wait()
     while (!done_) {
         if (!next()) {
             // next() rethrows pipeline failures; draining without
-            // either Done or an error is only possible after external
-            // cancellation, which this handle never issues while
-            // alive.
+            // either Done or an error is only possible after cancel(),
+            // and a cancelled stream must not be wait()ed on.
             CM_ASSERT(done_ != nullptr,
                       "stream drained without a Done event");
         }

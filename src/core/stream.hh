@@ -31,7 +31,6 @@
 #include <mutex>
 #include <optional>
 #include <string>
-#include <thread>
 
 #include "query/parsed_query.hh"
 
@@ -152,18 +151,41 @@ class StreamChannel
 };
 
 /**
+ * Completion latch between a pooled stream job and the AnswerStream
+ * handle that observes it. The job arms nothing up front; it calls
+ * arrive() as its very last action, and the handle's destructor
+ * wait()s so the pipeline never outlives the channel it pushes into.
+ * This replaces joining a per-call std::thread: the worker thread is
+ * persistent (core::WorkerPool) and is never joined per stream.
+ */
+class StreamTicket
+{
+  public:
+    /** Job side: signal completion (exactly once, as the last step). */
+    void arrive();
+
+    /** Consumer side: block until arrive() was called. */
+    void wait();
+
+  private:
+    std::mutex mu_;
+    std::condition_variable done_cv_;
+    bool done_ = false;
+};
+
+/**
  * Consumer handle for one streaming question (CacheMind::askStream).
- * The pipeline runs on a background thread owned by this handle;
+ * The pipeline runs as a job on the engine's persistent worker pool;
  * next() pulls events in pipeline order (Parsed, Planned, evidence
  * chunks, answer deltas, Done). Destroying the handle mid-stream is
- * safe: the channel is cancelled so the worker never blocks on the
- * departed consumer, and the worker is joined.
+ * safe: the channel is cancelled so the job never blocks on the
+ * departed consumer, and the job's completion ticket is awaited.
  */
 class AnswerStream
 {
   public:
     AnswerStream(std::shared_ptr<StreamChannel> channel,
-                 std::thread worker);
+                 std::shared_ptr<StreamTicket> ticket);
     AnswerStream(AnswerStream &&) noexcept;
     AnswerStream &operator=(AnswerStream &&) noexcept;
     ~AnswerStream();
@@ -189,11 +211,21 @@ class AnswerStream
     /** True once the Done event has been seen (by next() or wait()). */
     bool done() const { return done_ != nullptr; }
 
+    /**
+     * Abandon the stream: cancel the channel (the pipeline's
+     * cooperative cancellation token trips at its next emission
+     * point, reclaiming in-flight retrieval work) and wait for the
+     * pipeline job to retire. Subsequent next() calls return nullopt.
+     * This is the serving-side disconnect path; destruction calls it
+     * implicitly.
+     */
+    void cancel();
+
   private:
     void finish();
 
     std::shared_ptr<StreamChannel> channel_;
-    std::thread worker_;
+    std::shared_ptr<StreamTicket> ticket_;
     std::shared_ptr<const Response> done_;
 };
 

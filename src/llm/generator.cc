@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <sstream>
+#include <thread>
 
 #include "base/random.hh"
 #include "base/str.hh"
@@ -893,8 +895,22 @@ GeneratorLlm::answerStreaming(const ContextBundle &bundle,
     // the byte-identity contract of the streaming pipeline.
     Answer a = answer(bundle, opts);
     if (on_delta) {
-        for (const auto &delta : splitAnswerDeltas(a.text))
+        const bool paced = opts.tokens_per_second > 0.0;
+        bool first = true;
+        for (const auto &delta : splitAnswerDeltas(a.text)) {
+            // Decode-rate pacing: each delta after the first waits for
+            // the tokens of the *previous* delta to have "decoded", so
+            // the first byte is never delayed by its own pace.
+            if (paced && !first) {
+                const double tokens = std::max<double>(
+                    1.0, static_cast<double>(delta.size()) / 4.0);
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(
+                        tokens / opts.tokens_per_second));
+            }
+            first = false;
             on_delta(delta);
+        }
     }
     return a;
 }

@@ -66,6 +66,17 @@ struct Answer
 struct GenerationOptions
 {
     ShotMode shot_mode = ShotMode::ZeroShot;
+    /**
+     * Streaming pace in tokens per second (0 = unpaced). A real LLM
+     * backend emits deltas at its decode rate; the simulated backends
+     * replay theirs instantly, which makes every end-to-end latency
+     * comparison retrieval-only. With a pace set, answerStreaming
+     * sleeps between deltas (~4 bytes/token) so time-to-last-byte
+     * includes a generation term. Pacing changes delta *timing* only:
+     * the answer and the delta byte split are untouched, and blocking
+     * answer() ignores it entirely.
+     */
+    double tokens_per_second = 0.0;
 };
 
 /** One simulated backend answering from retrieval bundles. */

@@ -140,7 +140,36 @@ class EvidenceSink
      * streaming machinery it runs through.
      */
     virtual bool active() const { return true; }
+
+    /**
+     * Cooperative cancellation token. True once the consumer of this
+     * stream went away (an abandoned AnswerStream, a dropped serving
+     * connection); retrievers poll it between evidence sections / DSL
+     * programs via throwIfCancelled() and abandon the remaining
+     * retrieval work instead of assembling evidence nobody will read.
+     * The blocking path (NullEvidenceSink) is never cancelled.
+     */
+    virtual bool cancelled() const { return false; }
 };
+
+/**
+ * Thrown by throwIfCancelled() to unwind a retrieval whose consumer
+ * went away. The engine catches it at the pipeline boundary and
+ * retires the stream quietly — it is control flow, not a failure, and
+ * must never be recorded as a channel error or published to the
+ * retrieval cache (the aborted bundle is incomplete).
+ */
+struct StreamCancelled
+{
+};
+
+/** Poll `sink`'s cancellation token; unwind if it tripped. */
+inline void
+throwIfCancelled(const EvidenceSink &sink)
+{
+    if (sink.cancelled())
+        throw StreamCancelled{};
+}
 
 /** Sink that discards every chunk (the non-streaming default). */
 class NullEvidenceSink : public EvidenceSink

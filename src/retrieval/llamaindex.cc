@@ -92,6 +92,9 @@ LlamaIndexRetriever::retrieveParsed(const query::ParsedQuery &parsed,
     const auto hits = index_->topK(parsed.raw, cfg_.top_k);
     std::ostringstream text;
     for (const auto &hit : hits) {
+        // Cooperative cancellation between hits: stop formatting
+        // payloads once the stream's consumer went away.
+        throwIfCancelled(sink);
         std::ostringstream chunk;
         chunk << str::fixed(hit.score, 6) << "\n"
               << index_->payload(hit.doc) << "\n---\n";

@@ -256,6 +256,10 @@ RangerRetriever::retrieveParsed(const ParsedQuery &parsed,
     bool any_rows = false;
 
     for (std::size_t pi = 0; pi < progs.size(); ++pi) {
+        // Cooperative cancellation between DSL programs: a dropped
+        // consumer aborts the rest of a multi-program plan before the
+        // next interpreter run.
+        throwIfCancelled(sink);
         DslProgram &prog = progs[pi];
         corrupt(prog, hashCombine(qkey, pi));
         const std::string python = renderProgramAsPython(prog);

@@ -186,6 +186,11 @@ SieveRetriever::retrieveParsed(const ParsedQuery &parsed,
                                   bundle.policy_description);
     }
 
+    // Cooperative cancellation between evidence sections: a dropped
+    // consumer (disconnected serving session) aborts the remaining
+    // scan/stats work instead of assembling evidence nobody reads.
+    throwIfCancelled(sink);
+
     if (!cfg_.degrade_filters) {
         checkPremise(q, entry, bundle);
         if (bundle.premise_violation && sink.active())
@@ -214,6 +219,8 @@ SieveRetriever::retrieveParsed(const ParsedQuery &parsed,
             sink.emit("slice", slice);
         }
     }
+
+    throwIfCancelled(sink);
 
     const db::StatsExpert *expert = shards_.statsFor(bundle.trace_key);
     if (q.pc) {
@@ -349,6 +356,8 @@ SieveRetriever::retrieveParsed(const ParsedQuery &parsed,
             bundle.metadata = entry.metadata;
         break;
     }
+
+    throwIfCancelled(sink);
 
     // Intent-specific analysis evidence, emitted once it is all
     // assembled (one chunk: the sections above already streamed).

@@ -1,0 +1,103 @@
+#include "serve/client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace cachemind::serve {
+
+LineClient::~LineClient() { close(); }
+
+LineClient::LineClient(LineClient &&other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_))
+{
+    other.fd_ = -1;
+}
+
+LineClient &
+LineClient::operator=(LineClient &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        buffer_ = std::move(other.buffer_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+bool
+LineClient::connect(const std::string &host, std::uint16_t port)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        close();
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+LineClient::sendLine(const std::string &line)
+{
+    if (fd_ < 0)
+        return false;
+    std::string wire = line;
+    wire += '\n';
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+        const auto n = ::send(fd_, wire.data() + sent,
+                              wire.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::optional<std::string>
+LineClient::recvLine()
+{
+    if (fd_ < 0)
+        return std::nullopt;
+    for (;;) {
+        const auto nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            return line;
+        }
+        char chunk[4096];
+        const auto n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            return std::nullopt; // peer closed (or error)
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+void
+LineClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buffer_.clear();
+}
+
+} // namespace cachemind::serve

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal blocking line-protocol TCP client: connect, send one line,
+ * read one line. Shared by the serve tests, the example client, and
+ * the round-trip benchmark so none of them re-implement socket
+ * plumbing; a real deployment would speak the protocol from any
+ * language that can write newline-delimited JSON to a socket.
+ */
+
+#ifndef CACHEMIND_SERVE_CLIENT_HH
+#define CACHEMIND_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace cachemind::serve {
+
+class LineClient
+{
+  public:
+    LineClient() = default;
+    ~LineClient();
+
+    LineClient(const LineClient &) = delete;
+    LineClient &operator=(const LineClient &) = delete;
+    LineClient(LineClient &&other) noexcept;
+    LineClient &operator=(LineClient &&other) noexcept;
+
+    /** Connect to host:port; false on failure. */
+    bool connect(const std::string &host, std::uint16_t port);
+
+    /** Send `line` plus the protocol newline; false on failure. */
+    bool sendLine(const std::string &line);
+
+    /**
+     * Read the next newline-terminated line (newline stripped);
+     * nullopt once the peer closed the connection.
+     */
+    std::optional<std::string> recvLine();
+
+    /** Close the socket (idempotent; destructor calls it). */
+    void close();
+
+    bool connected() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+} // namespace cachemind::serve
+
+#endif // CACHEMIND_SERVE_CLIENT_HH

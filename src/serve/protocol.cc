@@ -1,0 +1,351 @@
+#include "serve/protocol.hh"
+
+#include <cctype>
+
+#include "base/str.hh"
+#include "core/cachemind.hh"
+
+namespace cachemind::serve {
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xf];
+                out += hex[c & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Cursor over one protocol line (no JSON library dependency). */
+struct Scanner
+{
+    const std::string &s;
+    std::size_t pos = 0;
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    peekIs(char c)
+    {
+        skipWs();
+        return pos < s.size() && s[pos] == c;
+    }
+
+    /** Decode a JSON string literal (cursor on the opening quote). */
+    bool
+    string(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos < s.size()) {
+            const char c = s[pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= s.size())
+                return false;
+            const char esc = s[pos++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos + 4 > s.size())
+                    return false;
+                const auto code =
+                    str::parseHex(s.substr(pos, 4));
+                if (!code)
+                    return false;
+                pos += 4;
+                // The protocol only escapes control bytes; decode
+                // the Latin-1 range and reject the rest rather than
+                // implementing full UTF-16 surrogate handling.
+                if (*code > 0xff)
+                    return false;
+                out += static_cast<char>(*code);
+                break;
+              }
+              default: return false;
+            }
+        }
+        return false; // unterminated
+    }
+
+    /** Scalar value rendered back to its decoded/literal text. */
+    bool
+    scalar(std::string &out)
+    {
+        skipWs();
+        if (peekIs('"'))
+            return string(out);
+        const std::size_t start = pos;
+        while (pos < s.size() && s[pos] != ',' && s[pos] != '}' &&
+               s[pos] != ']' &&
+               !std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+        out = s.substr(start, pos - start);
+        if (out.empty())
+            return false;
+        if (out == "true" || out == "false" || out == "null")
+            return true;
+        // Number: validated loosely — the consumer re-parses typed.
+        for (const char c : out) {
+            if (!std::isdigit(static_cast<unsigned char>(c)) &&
+                c != '-' && c != '+' && c != '.' && c != 'e' &&
+                c != 'E')
+                return false;
+        }
+        return true;
+    }
+};
+
+/**
+ * Parse the members of an object the cursor just entered into `out`,
+ * prefixing keys with `prefix`. `depth` limits nesting to the one
+ * level the protocol uses ("params").
+ */
+bool
+parseMembers(Scanner &sc, const std::string &prefix, int depth,
+             std::map<std::string, std::string> &out)
+{
+    if (sc.consume('}'))
+        return true; // empty object
+    for (;;) {
+        std::string key;
+        if (!sc.string(key))
+            return false;
+        if (!sc.consume(':'))
+            return false;
+        if (sc.peekIs('{')) {
+            if (depth >= 1)
+                return false;
+            sc.consume('{');
+            if (!parseMembers(sc, prefix + key + ".", depth + 1, out))
+                return false;
+        } else {
+            std::string value;
+            if (!sc.scalar(value))
+                return false;
+            out[prefix + key] = std::move(value);
+        }
+        if (sc.consume(','))
+            continue;
+        return sc.consume('}');
+    }
+}
+
+} // namespace
+
+std::optional<std::map<std::string, std::string>>
+parseJsonObject(const std::string &line)
+{
+    Scanner sc{line};
+    if (!sc.consume('{'))
+        return std::nullopt;
+    std::map<std::string, std::string> out;
+    if (!parseMembers(sc, "", 0, out))
+        return std::nullopt;
+    sc.skipWs();
+    if (sc.pos != line.size())
+        return std::nullopt; // trailing garbage
+    return out;
+}
+
+std::optional<Request>
+parseRequest(const std::string &line, std::string *error)
+{
+    const auto fields = parseJsonObject(line);
+    if (!fields) {
+        if (error)
+            *error = "malformed JSON request line";
+        return std::nullopt;
+    }
+    Request req;
+    const auto get = [&](const char *key) -> std::string {
+        const auto it = fields->find(key);
+        return it == fields->end() ? std::string() : it->second;
+    };
+    const std::string op = str::toLower(get("op"));
+    if (op == "ask") {
+        req.op = Request::Op::Ask;
+    } else if (op == "stats") {
+        req.op = Request::Op::Stats;
+    } else if (op == "ping") {
+        req.op = Request::Op::Ping;
+    } else {
+        if (error)
+            *error = op.empty() ? "missing \"op\""
+                                : "unknown op '" + op + "'";
+        return std::nullopt;
+    }
+    req.id = get("id");
+    req.question = get("question");
+    req.retriever = get("retriever");
+    req.backend = get("backend");
+    for (const auto &[key, value] : *fields) {
+        if (key.rfind("params.", 0) == 0)
+            req.params[key.substr(7)] = value;
+    }
+    if (req.op == Request::Op::Ask && str::trim(req.question).empty()) {
+        if (error)
+            *error = "ask request without a question";
+        return std::nullopt;
+    }
+    return req;
+}
+
+std::string
+renderRequest(const Request &request)
+{
+    std::string line = "{\"op\":\"";
+    switch (request.op) {
+      case Request::Op::Ask: line += "ask"; break;
+      case Request::Op::Stats: line += "stats"; break;
+      case Request::Op::Ping: line += "ping"; break;
+    }
+    line += "\"";
+    if (!request.id.empty())
+        line += ",\"id\":\"" + jsonEscape(request.id) + "\"";
+    if (!request.question.empty()) {
+        line +=
+            ",\"question\":\"" + jsonEscape(request.question) + "\"";
+    }
+    if (!request.retriever.empty()) {
+        line +=
+            ",\"retriever\":\"" + jsonEscape(request.retriever) + "\"";
+    }
+    if (!request.backend.empty())
+        line += ",\"backend\":\"" + jsonEscape(request.backend) + "\"";
+    if (!request.params.empty()) {
+        line += ",\"params\":{";
+        bool first = true;
+        for (const auto &[key, value] : request.params) {
+            if (!first)
+                line += ",";
+            first = false;
+            line += "\"" + jsonEscape(key) + "\":\"" +
+                    jsonEscape(value) + "\"";
+        }
+        line += "}";
+    }
+    line += "}";
+    return line;
+}
+
+namespace {
+
+std::string
+idField(const std::string &id)
+{
+    return ",\"id\":\"" + jsonEscape(id) + "\"";
+}
+
+} // namespace
+
+std::string
+helloFrame()
+{
+    return "{\"frame\":\"hello\",\"proto\":\"1\"}";
+}
+
+std::string
+pongFrame(const std::string &id)
+{
+    return "{\"frame\":\"pong\"" + idField(id) + "}";
+}
+
+std::string
+errorFrame(const std::string &id, const std::string &code,
+           const std::string &message)
+{
+    return "{\"frame\":\"error\"" + idField(id) + ",\"code\":\"" +
+           jsonEscape(code) + "\",\"message\":\"" +
+           jsonEscape(message) + "\"}";
+}
+
+std::string
+overloadedFrame(const std::string &id, std::size_t limit)
+{
+    return "{\"frame\":\"overloaded\"" + idField(id) +
+           ",\"limit\":" + std::to_string(limit) + "}";
+}
+
+std::string
+eventFrame(const std::string &id, const core::StreamEvent &event)
+{
+    using Kind = core::StreamEvent::Kind;
+    std::string frame = "{\"frame\":\"";
+    frame += core::streamEventKindName(event.kind);
+    frame += "\"" + idField(id);
+    switch (event.kind) {
+      case Kind::Parsed:
+        frame += ",\"text\":\"" + jsonEscape(event.parsed.raw) + "\"";
+        break;
+      case Kind::Planned:
+        frame +=
+            ",\"cache_key\":\"" + jsonEscape(event.cache_key) + "\"";
+        break;
+      case Kind::EvidenceChunk:
+        frame += ",\"label\":\"" + jsonEscape(event.label) +
+                 "\",\"text\":\"" + jsonEscape(event.text) + "\"";
+        break;
+      case Kind::AnswerDelta:
+        frame += ",\"text\":\"" + jsonEscape(event.text) + "\"";
+        break;
+      case Kind::Done:
+        frame += ",\"answer\":\"" +
+                 jsonEscape(event.response ? event.response->text
+                                           : std::string()) +
+                 "\"";
+        break;
+    }
+    frame += "}";
+    return frame;
+}
+
+} // namespace cachemind::serve

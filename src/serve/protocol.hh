@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The CacheMind line protocol: newline-delimited JSON over TCP.
+ *
+ * Each client request is one JSON object on one line; the server
+ * answers with a sequence of JSON frames, one per line, mirroring the
+ * engine's StreamEvents. The protocol is deliberately flat — every
+ * value is a string or number, nesting is limited to the request's
+ * one-level "params" object — so both ends parse it with the small
+ * hand-rolled reader below instead of a JSON library dependency.
+ *
+ * Requests:
+ *   {"op":"ask","id":"7","question":"...","retriever":"sieve",
+ *    "backend":"gpt-4o","params":{"evidence_window":"4"}}
+ *   {"op":"stats","id":"8"}
+ *   {"op":"ping","id":"9"}
+ *
+ * Frames (server -> client), all carrying the request's "id":
+ *   {"frame":"hello","proto":"1"}                     on connect
+ *   {"frame":"parsed","id":..,"text":<raw question>}
+ *   {"frame":"planned","id":..,"cache_key":".."}
+ *   {"frame":"evidence","id":..,"label":"..","text":".."}
+ *   {"frame":"delta","id":..,"text":".."}
+ *   {"frame":"done","id":..,"answer":<full answer>}   terminal
+ *   {"frame":"pong","id":..}
+ *   {"frame":"stats","id":..,<ServeStats fields>}
+ *   {"frame":"error","id":..,"code":"..","message":".."}
+ *   {"frame":"overloaded","id":..,"limit":N}          then close
+ */
+
+#ifndef CACHEMIND_SERVE_PROTOCOL_HH
+#define CACHEMIND_SERVE_PROTOCOL_HH
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/stream.hh"
+
+namespace cachemind::serve {
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &text);
+
+/**
+ * Parse one flat JSON object line into key -> decoded value. Values
+ * may be strings, numbers, booleans, or null; one level of object
+ * nesting is flattened as "outer.inner" keys (the request "params"
+ * object). Returns nullopt on malformed input — the server answers
+ * those with an error frame instead of guessing.
+ */
+std::optional<std::map<std::string, std::string>>
+parseJsonObject(const std::string &line);
+
+/** One parsed client request. */
+struct Request
+{
+    enum class Op { Ask, Stats, Ping };
+
+    Op op = Op::Ask;
+    /** Client-chosen correlation id, echoed on every frame. */
+    std::string id;
+    /** Ask: the natural-language question. */
+    std::string question;
+    /** Ask: engine selectors ("" = server default). */
+    std::string retriever;
+    std::string backend;
+    /** Ask: retriever scenario knobs (flattened "params" object). */
+    std::map<std::string, std::string> params;
+};
+
+/**
+ * Parse a request line. On failure returns nullopt and fills `error`
+ * (when non-null) with a human-readable reason for the error frame.
+ */
+std::optional<Request> parseRequest(const std::string &line,
+                                    std::string *error = nullptr);
+
+/** Render a request as its protocol line (client side; no newline). */
+std::string renderRequest(const Request &request);
+
+// ------------------------------------------------- frame rendering
+//
+// All renderers return the complete JSON object without the trailing
+// newline; the transport appends it.
+
+std::string helloFrame();
+std::string pongFrame(const std::string &id);
+std::string errorFrame(const std::string &id, const std::string &code,
+                       const std::string &message);
+std::string overloadedFrame(const std::string &id, std::size_t limit);
+
+/** Render one engine StreamEvent as its protocol frame. */
+std::string eventFrame(const std::string &id,
+                       const core::StreamEvent &event);
+
+} // namespace cachemind::serve
+
+#endif // CACHEMIND_SERVE_PROTOCOL_HH

@@ -1,0 +1,705 @@
+#include "serve/server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <list>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/stats_util.hh"
+#include "base/stopwatch.hh"
+#include "base/str.hh"
+#include "core/cachemind.hh"
+#include "retrieval/cache.hh"
+#include "serve/protocol.hh"
+
+namespace cachemind::serve {
+
+namespace {
+
+/** Write the frame plus the protocol newline; false = dead client. */
+bool
+sendFrame(int fd, const std::string &frame)
+{
+    std::string wire = frame;
+    wire += '\n';
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+        const auto n = ::send(fd, wire.data() + sent,
+                              wire.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Buffered line read; nullopt once the peer closed. */
+std::optional<std::string>
+recvLine(int fd, std::string &buffer)
+{
+    for (;;) {
+        const auto nl = buffer.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buffer.substr(0, nl);
+            buffer.erase(0, nl + 1);
+            return line;
+        }
+        char chunk[4096];
+        const auto n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            return std::nullopt;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+/** Bounded percentile reservoir (same scheme as EngineStatsRecorder). */
+constexpr std::size_t kServeReservoirCap = 1024;
+
+struct LatencyReservoir
+{
+    std::uint64_t count = 0;
+    std::vector<double> samples;
+
+    void
+    push(double ms)
+    {
+        ++count;
+        if (samples.size() < kServeReservoirCap) {
+            samples.push_back(ms);
+        } else {
+            const std::uint64_t slot = splitMix64(count) % count;
+            if (slot < kServeReservoirCap)
+                samples[static_cast<std::size_t>(slot)] = ms;
+        }
+    }
+
+    double
+    percentile(double p) const
+    {
+        if (samples.empty())
+            return 0.0;
+        std::vector<double> sorted = samples;
+        std::sort(sorted.begin(), sorted.end());
+        return stats::percentileSorted(sorted, p);
+    }
+};
+
+} // namespace
+
+struct Server::Impl
+{
+    const db::TraceDatabase &db;
+    const ServeOptions opts;
+
+    // ------------------------------------------------------ lifecycle
+    // Atomic: stop() closes and clears the fd while the accept loop
+    // re-reads it every iteration.
+    std::atomic<int> listen_fd{-1};
+    std::uint16_t bound_port = 0;
+    std::thread accept_thread;
+    std::atomic<bool> stopping{false};
+    bool started = false;
+
+    // ------------------------------------------------------- sessions
+    struct SessionSlot
+    {
+        std::thread thread;
+        std::atomic<int> fd{-1};
+        std::atomic<bool> finished{false};
+    };
+    std::mutex sessions_mu;
+    std::list<std::unique_ptr<SessionSlot>> sessions;
+    std::atomic<std::size_t> active_sessions{0};
+
+    // ---------------------------------------------------- engine pool
+    //
+    // Engines keyed by (retriever, backend, params); idle engines are
+    // parked per key and leased per request. `all` keeps ownership so
+    // stats() can fold every engine, leased or parked. The ONE
+    // retrieval cache is shared across every engine (keys embed the
+    // retriever fingerprint, so no aliasing across configurations).
+    std::shared_ptr<retrieval::RetrievalCache> shared_cache;
+    mutable std::mutex pool_mu;
+    std::condition_variable lease_ready;
+    struct PoolEntry
+    {
+        /** Engines parked between leases. */
+        std::vector<core::CacheMind *> idle;
+        /** Engines ever built for this key (bounds construction). */
+        std::size_t total = 0;
+    };
+    std::map<std::string, PoolEntry> engine_pool;
+    std::vector<std::unique_ptr<core::CacheMind>> all_engines;
+
+    // ---------------------------------------------------------- stats
+    mutable std::mutex stats_mu;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t malformed = 0;
+    struct RetrieverLatency
+    {
+        LatencyReservoir ttfe;
+        LatencyReservoir ttlb;
+    };
+    std::map<std::string, RetrieverLatency> latency_by_retriever;
+
+    Impl(const db::TraceDatabase &database, ServeOptions options)
+        : db(database), opts(std::move(options)),
+          shared_cache(
+              opts.retrieval_cache_capacity
+                  ? std::make_shared<retrieval::RetrievalCache>(
+                        opts.retrieval_cache_capacity)
+                  : nullptr)
+    {
+    }
+
+    bool start(std::string *error);
+    void stop();
+    void acceptLoop();
+    void runSession(SessionSlot *slot);
+    void handleAsk(int fd, const Request &req);
+
+    core::CacheMind *acquireEngine(const Request &req,
+                                   std::string &key_out,
+                                   std::string &error_out);
+    void releaseEngine(const std::string &key, core::CacheMind *engine);
+
+    void
+    recordAsk(const std::string &retriever, double ttfe_ms,
+              double ttlb_ms)
+    {
+        std::lock_guard<std::mutex> lock(stats_mu);
+        ++completed;
+        auto &lat = latency_by_retriever[retriever];
+        lat.ttfe.push(ttfe_ms);
+        lat.ttlb.push(ttlb_ms);
+    }
+
+    ServeStats snapshot() const;
+};
+
+bool
+Server::Impl::start(std::string *error)
+{
+    const auto fail = [&](const std::string &why) {
+        if (error)
+            *error = why;
+        if (listen_fd >= 0) {
+            ::close(listen_fd);
+            listen_fd = -1;
+        }
+        return false;
+    };
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0)
+        return fail("socket() failed");
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(opts.port);
+    if (::inet_pton(AF_INET, opts.host.c_str(), &addr.sin_addr) != 1)
+        return fail("bad listen address '" + opts.host + "'");
+    if (::bind(listen_fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return fail("bind() failed on " + opts.host + ":" +
+                    std::to_string(opts.port));
+    if (::listen(listen_fd, 64) != 0)
+        return fail("listen() failed");
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr *>(&bound),
+                      &len) != 0)
+        return fail("getsockname() failed");
+    bound_port = ntohs(bound.sin_port);
+    accept_thread = std::thread([this] { acceptLoop(); });
+    started = true;
+    return true;
+}
+
+void
+Server::Impl::acceptLoop()
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping.load())
+                return;
+            continue; // transient accept failure
+        }
+        if (stopping.load()) {
+            ::close(fd);
+            return;
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        if (opts.session_send_buffer > 0) {
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF,
+                         &opts.session_send_buffer,
+                         sizeof(opts.session_send_buffer));
+        }
+
+        // Admission control at the door: load shedding is an explicit
+        // protocol frame, not a hung connection. The counter is
+        // incremented before the session thread exists so a burst of
+        // accepts cannot overshoot the limit.
+        std::size_t current = active_sessions.load();
+        bool admitted = false;
+        while (current < opts.max_sessions) {
+            if (active_sessions.compare_exchange_weak(current,
+                                                      current + 1)) {
+                admitted = true;
+                break;
+            }
+        }
+        if (!admitted) {
+            sendFrame(fd, helloFrame());
+            sendFrame(fd, overloadedFrame("", opts.max_sessions));
+            ::close(fd);
+            std::lock_guard<std::mutex> lock(stats_mu);
+            ++rejected;
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> lock(stats_mu);
+            ++accepted;
+        }
+
+        auto slot = std::make_unique<SessionSlot>();
+        slot->fd.store(fd);
+        SessionSlot *raw = slot.get();
+        {
+            std::lock_guard<std::mutex> lock(sessions_mu);
+            // Reap sessions that already finished so a long-lived
+            // server's slot list tracks live connections, not history.
+            for (auto it = sessions.begin(); it != sessions.end();) {
+                if ((*it)->finished.load()) {
+                    (*it)->thread.join();
+                    it = sessions.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            sessions.push_back(std::move(slot));
+        }
+        raw->thread = std::thread([this, raw] { runSession(raw); });
+    }
+}
+
+void
+Server::Impl::runSession(SessionSlot *slot)
+{
+    const int fd = slot->fd.load();
+    std::string buffer;
+    if (sendFrame(fd, helloFrame())) {
+        while (!stopping.load()) {
+            const auto line = recvLine(fd, buffer);
+            if (!line)
+                break; // client closed
+            if (str::trim(*line).empty())
+                continue;
+            std::string why;
+            const auto req = parseRequest(*line, &why);
+            if (!req) {
+                {
+                    std::lock_guard<std::mutex> lock(stats_mu);
+                    ++malformed;
+                }
+                if (!sendFrame(fd, errorFrame("", "bad-request", why)))
+                    break;
+                continue;
+            }
+            if (req->op == Request::Op::Ping) {
+                if (!sendFrame(fd, pongFrame(req->id)))
+                    break;
+                continue;
+            }
+            if (req->op == Request::Op::Stats) {
+                if (!sendFrame(fd, statsFrame(req->id, snapshot())))
+                    break;
+                continue;
+            }
+            handleAsk(fd, *req);
+        }
+    }
+    ::close(fd);
+    slot->fd.store(-1);
+    active_sessions.fetch_sub(1);
+    slot->finished.store(true);
+}
+
+core::CacheMind *
+Server::Impl::acquireEngine(const Request &req, std::string &key_out,
+                            std::string &error_out)
+{
+    core::EngineOptions eopts;
+    eopts.retriever = req.retriever.empty() ? opts.default_retriever
+                                            : req.retriever;
+    eopts.backend =
+        req.backend.empty() ? opts.default_backend : req.backend;
+    eopts.retriever_params = req.params;
+    eopts.build_threads = opts.engine_build_threads;
+    eopts.stream_buffer = opts.stream_buffer;
+    eopts.tokens_per_second = opts.tokens_per_second;
+    eopts.shared_retrieval_cache = shared_cache;
+    if (!shared_cache)
+        eopts.retrieval_cache_capacity = 0;
+
+    key_out = eopts.retriever + '|' + eopts.backend;
+    for (const auto &[k, v] : req.params)
+        key_out += '|' + k + '=' + v;
+
+    const std::size_t cap =
+        std::max<std::size_t>(opts.max_engines_per_key, 1);
+    {
+        std::unique_lock<std::mutex> lock(pool_mu);
+        PoolEntry &entry = engine_pool[key_out];
+        while (entry.idle.empty() && entry.total >= cap &&
+               !stopping.load()) {
+            // Every engine for this key is leased out and the key is
+            // at its construction cap: queue for the next release
+            // instead of building engine number cap+1.
+            lease_ready.wait(lock);
+        }
+        if (!entry.idle.empty()) {
+            core::CacheMind *engine = entry.idle.back();
+            entry.idle.pop_back();
+            return engine;
+        }
+        if (stopping.load()) {
+            error_out = "server shutting down";
+            return nullptr;
+        }
+        ++entry.total; // claim a build slot before unlocking
+    }
+    // Build (and warm) outside the pool lock: engine construction can
+    // be heavy (LlamaIndex embeds its index) and must not serialize
+    // unrelated sessions. Warming here keeps the one-time cold index
+    // build off every session's time-to-first-event.
+    auto built = core::CacheMind::create(db, std::move(eopts));
+    if (!built.ok()) {
+        error_out = core::errorMessage(built.error());
+        std::lock_guard<std::mutex> lock(pool_mu);
+        --engine_pool[key_out].total; // release the claimed slot
+        lease_ready.notify_one();
+        return nullptr;
+    }
+    auto owned = std::make_unique<core::CacheMind>(
+        std::move(built).value());
+    owned->warmup();
+    core::CacheMind *engine = owned.get();
+    {
+        std::lock_guard<std::mutex> lock(pool_mu);
+        all_engines.push_back(std::move(owned));
+    }
+    return engine;
+}
+
+void
+Server::Impl::releaseEngine(const std::string &key,
+                            core::CacheMind *engine)
+{
+    {
+        std::lock_guard<std::mutex> lock(pool_mu);
+        engine_pool[key].idle.push_back(engine);
+    }
+    lease_ready.notify_one();
+}
+
+void
+Server::Impl::handleAsk(int fd, const Request &req)
+{
+    Stopwatch timer;
+    std::string key, why;
+    core::CacheMind *engine = acquireEngine(req, key, why);
+    if (!engine) {
+        sendFrame(fd, errorFrame(req.id, "bad-engine", why));
+        return;
+    }
+    const std::string retriever_name = engine->retriever().name();
+
+    auto result = engine->askStream(req.question);
+    if (!result.ok()) {
+        releaseEngine(key, engine);
+        sendFrame(fd,
+                  errorFrame(req.id,
+                             core::engineErrorCodeName(
+                                 result.error().code),
+                             result.error().message));
+        return;
+    }
+    auto stream = std::move(result).value();
+
+    // Frame-by-frame relay: write each frame before popping the next
+    // event, so a slow client's backpressure lands in this session's
+    // bounded StreamChannel (stalling only its own pipeline worker).
+    double ttfe_ms = -1.0;
+    bool client_alive = true;
+    bool saw_done = false;
+    try {
+        while (auto event = stream.next()) {
+            if (!sendFrame(fd, eventFrame(req.id, *event))) {
+                client_alive = false;
+                break;
+            }
+            if (ttfe_ms < 0.0)
+                ttfe_ms = timer.milliseconds();
+            if (event->kind == core::StreamEvent::Kind::Done)
+                saw_done = true;
+        }
+    } catch (const std::exception &e) {
+        // Pipeline failure (what blocking ask() would have thrown):
+        // reported as an error frame, never a torn connection.
+        stream.cancel();
+        releaseEngine(key, engine);
+        sendFrame(fd, errorFrame(req.id, "pipeline", e.what()));
+        return;
+    } catch (...) {
+        stream.cancel();
+        releaseEngine(key, engine);
+        sendFrame(fd, errorFrame(req.id, "pipeline",
+                                 "unknown pipeline failure"));
+        return;
+    }
+
+    if (!client_alive || !saw_done) {
+        // Dead client mid-stream: cancel so the engine's cooperative
+        // cancellation token reclaims the in-flight retrieval work.
+        stream.cancel();
+        releaseEngine(key, engine);
+        std::lock_guard<std::mutex> lock(stats_mu);
+        ++cancelled;
+        return;
+    }
+    releaseEngine(key, engine);
+    recordAsk(retriever_name, std::max(ttfe_ms, 0.0),
+              timer.milliseconds());
+}
+
+ServeStats
+Server::Impl::snapshot() const
+{
+    ServeStats s;
+    {
+        std::lock_guard<std::mutex> lock(stats_mu);
+        s.accepted = accepted;
+        s.rejected = rejected;
+        s.completed = completed;
+        s.cancelled = cancelled;
+        s.malformed = malformed;
+        for (const auto &[name, lat] : latency_by_retriever) {
+            RetrieverServeStats r;
+            r.asks = lat.ttfe.count;
+            r.ttfe_p50_ms = lat.ttfe.percentile(50.0);
+            r.ttfe_p90_ms = lat.ttfe.percentile(90.0);
+            r.ttlb_p50_ms = lat.ttlb.percentile(50.0);
+            r.ttlb_p90_ms = lat.ttlb.percentile(90.0);
+            s.by_retriever[name] = r;
+        }
+    }
+    // Fold engine stats across the pool: counters sum exactly;
+    // percentile fields take the worst engine (merging reservoirs
+    // across engines would misrepresent per-engine distributions).
+    std::vector<core::CacheMind *> engines;
+    {
+        std::lock_guard<std::mutex> lock(pool_mu);
+        engines.reserve(all_engines.size());
+        for (const auto &e : all_engines)
+            engines.push_back(e.get());
+    }
+    for (core::CacheMind *engine : engines) {
+        const core::EngineStats es = engine->stats();
+        s.engine.questions += es.questions;
+        s.engine.batches += es.batches;
+        s.engine.quality_low += es.quality_low;
+        s.engine.quality_medium += es.quality_medium;
+        s.engine.quality_high += es.quality_high;
+        s.engine.latency_p50_ms =
+            std::max(s.engine.latency_p50_ms, es.latency_p50_ms);
+        s.engine.latency_p90_ms =
+            std::max(s.engine.latency_p90_ms, es.latency_p90_ms);
+        s.engine.latency_p99_ms =
+            std::max(s.engine.latency_p99_ms, es.latency_p99_ms);
+        s.engine.latency_mean_ms =
+            std::max(s.engine.latency_mean_ms, es.latency_mean_ms);
+        s.engine.stream.streams += es.stream.streams;
+        s.engine.stream.events += es.stream.events;
+        s.engine.stream.evidence_chunks += es.stream.evidence_chunks;
+        s.engine.stream.answer_deltas += es.stream.answer_deltas;
+        s.engine.stream.cancelled += es.stream.cancelled;
+        s.engine.stream.warmups += es.stream.warmups;
+        s.engine.stream.warmup_ms_total += es.stream.warmup_ms_total;
+        s.engine.stream.first_event_p50_ms =
+            std::max(s.engine.stream.first_event_p50_ms,
+                     es.stream.first_event_p50_ms);
+        s.engine.stream.first_event_p90_ms =
+            std::max(s.engine.stream.first_event_p90_ms,
+                     es.stream.first_event_p90_ms);
+        s.engine.stream.first_event_mean_ms =
+            std::max(s.engine.stream.first_event_mean_ms,
+                     es.stream.first_event_mean_ms);
+        s.engine.cache.hits += es.cache.hits;
+        s.engine.cache.misses += es.cache.misses;
+        s.engine.cache.evictions += es.cache.evictions;
+        for (const auto &[name, c] : es.cache_by_retriever) {
+            auto &agg = s.engine.cache_by_retriever[name];
+            agg.hits += c.hits;
+            agg.misses += c.misses;
+            agg.evictions += c.evictions;
+        }
+    }
+    return s;
+}
+
+void
+Server::Impl::stop()
+{
+    if (!started)
+        return;
+    stopping.store(true);
+    // Wake sessions queued for an engine lease (the empty critical
+    // section orders the stopping store before their re-check).
+    {
+        std::lock_guard<std::mutex> lock(pool_mu);
+    }
+    lease_ready.notify_all();
+    // Closing the listen socket unblocks accept(); shutting down the
+    // session sockets unblocks their recv()/send() calls.
+    const int lfd = listen_fd.exchange(-1);
+    if (lfd >= 0) {
+        ::shutdown(lfd, SHUT_RDWR);
+        ::close(lfd);
+    }
+    {
+        std::lock_guard<std::mutex> lock(sessions_mu);
+        for (auto &slot : sessions) {
+            const int fd = slot->fd.load();
+            if (fd >= 0)
+                ::shutdown(fd, SHUT_RDWR);
+        }
+    }
+    if (accept_thread.joinable())
+        accept_thread.join();
+    for (;;) {
+        std::unique_ptr<SessionSlot> slot;
+        {
+            std::lock_guard<std::mutex> lock(sessions_mu);
+            if (sessions.empty())
+                break;
+            slot = std::move(sessions.front());
+            sessions.pop_front();
+        }
+        const int fd = slot->fd.load();
+        if (fd >= 0)
+            ::shutdown(fd, SHUT_RDWR);
+        slot->thread.join();
+    }
+    started = false;
+}
+
+Server::Server(const db::TraceDatabase &db, ServeOptions opts)
+    : impl_(std::make_unique<Impl>(db, std::move(opts)))
+{
+}
+
+Server::~Server() { stop(); }
+
+bool
+Server::start(std::string *error)
+{
+    return impl_->start(error);
+}
+
+void
+Server::stop()
+{
+    if (impl_)
+        impl_->stop();
+}
+
+std::uint16_t
+Server::port() const
+{
+    return impl_->bound_port;
+}
+
+ServeStats
+Server::stats() const
+{
+    return impl_->snapshot();
+}
+
+const ServeOptions &
+Server::options() const
+{
+    return impl_->opts;
+}
+
+namespace {
+
+std::string
+numberField(const char *key, double value)
+{
+    return std::string(",\"") + key + "\":" + str::fixed(value, 3);
+}
+
+std::string
+countField(const char *key, std::uint64_t value)
+{
+    return std::string(",\"") + key + "\":" + std::to_string(value);
+}
+
+} // namespace
+
+std::string
+statsFrame(const std::string &id, const ServeStats &stats)
+{
+    std::string frame = "{\"frame\":\"stats\",\"id\":\"" +
+                        jsonEscape(id) + "\"";
+    frame += countField("accepted", stats.accepted);
+    frame += countField("rejected", stats.rejected);
+    frame += countField("completed", stats.completed);
+    frame += countField("cancelled", stats.cancelled);
+    frame += countField("malformed", stats.malformed);
+    frame += countField("questions", stats.engine.questions);
+    frame += countField("streams", stats.engine.stream.streams);
+    frame += countField("stream_cancelled",
+                        stats.engine.stream.cancelled);
+    frame += countField("warmups", stats.engine.stream.warmups);
+    frame += numberField("warmup_ms_total",
+                         stats.engine.stream.warmup_ms_total);
+    frame += countField("cache_hits", stats.engine.cache.hits);
+    frame += countField("cache_misses", stats.engine.cache.misses);
+    frame += numberField("first_event_p50_ms",
+                         stats.engine.stream.first_event_p50_ms);
+    frame += numberField("first_event_p90_ms",
+                         stats.engine.stream.first_event_p90_ms);
+    for (const auto &[name, r] : stats.by_retriever) {
+        frame += ",\"" + jsonEscape(name) + "\":{\"asks\":" +
+                 std::to_string(r.asks);
+        frame += numberField("ttfe_p50_ms", r.ttfe_p50_ms);
+        frame += numberField("ttfe_p90_ms", r.ttfe_p90_ms);
+        frame += numberField("ttlb_p50_ms", r.ttlb_p50_ms);
+        frame += numberField("ttlb_p90_ms", r.ttlb_p90_ms);
+        frame += "}";
+    }
+    frame += "}";
+    return frame;
+}
+
+} // namespace cachemind::serve

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The CacheMind serving front-end: a TCP line-protocol server over
+ * the streaming engine.
+ *
+ * One accept-loop thread admits connections; each admitted connection
+ * becomes a Session on its own thread, reading newline-delimited JSON
+ * requests and writing one frame per engine StreamEvent (see
+ * serve/protocol.hh). Admission control is connection-scoped: past
+ * `max_sessions` in-flight sessions the server answers with a typed
+ * "overloaded" frame and closes, so load shedding is explicit and
+ * machine-readable instead of an accept backlog timeout.
+ *
+ * Engines are pooled and leased per request, keyed by (retriever,
+ * backend, scenario params): an engine is built (and warmed) at most
+ * once per distinct key and concurrency level, then parked and
+ * reused. Every pooled engine shares ONE retrieval cache — cache keys
+ * embed the retriever fingerprint, so differently configured engines
+ * can never alias each other's bundles, while concurrent sessions
+ * asking about the same trace slice assemble its evidence once.
+ *
+ * Backpressure: a session writes a frame to the socket before
+ * popping the next event, so a slow client fills its own bounded
+ * StreamChannel and stalls only its own pipeline worker. Nothing in
+ * that path holds a lock or a cache in-flight claim (streams use the
+ * cache's non-blocking peek/publish protocol), so one paused client
+ * cannot stall other sessions or blocking ask() callers coalescing
+ * on a hot cache key. A dead client (failed write) cancels the
+ * stream; the engine's cooperative cancellation token then reclaims
+ * the in-flight retrieval.
+ */
+
+#ifndef CACHEMIND_SERVE_SERVER_HH
+#define CACHEMIND_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/engine_stats.hh"
+#include "db/database.hh"
+
+namespace cachemind::serve {
+
+/** Server configuration. */
+struct ServeOptions
+{
+    /** Listen address (IPv4 dotted quad). */
+    std::string host = "127.0.0.1";
+    /** Listen port; 0 = ephemeral (read back via Server::port()). */
+    std::uint16_t port = 0;
+    /** Admission limit: in-flight sessions beyond this are rejected. */
+    std::size_t max_sessions = 32;
+    /** Engine defaults for requests that name no component. */
+    std::string default_retriever = "sieve";
+    std::string default_backend = "gpt-4o";
+    /** Per-stream channel capacity (events; backpressure bound). */
+    std::size_t stream_buffer = 64;
+    /**
+     * Engine-pool bound per (retriever, backend, params) key: at most
+     * this many engines are ever built for one configuration; further
+     * concurrent requests for the key wait for a lease instead of
+     * paying another engine construction (LlamaIndex embeds its whole
+     * index per engine). Waiting is queueing, not deadlock — leases
+     * are request-scoped.
+     */
+    std::size_t max_engines_per_key = 4;
+    /** build_threads for pooled engines (0 = hardware concurrency). */
+    std::size_t engine_build_threads = 0;
+    /** Streaming generation pace for pooled engines (0 = unpaced). */
+    double tokens_per_second = 0.0;
+    /** Capacity of the ONE retrieval cache shared by all engines. */
+    std::size_t retrieval_cache_capacity = 1024;
+    /**
+     * SO_SNDBUF for accepted sockets (0 = kernel default). Tests
+     * shrink it so a deliberately slow client exercises channel
+     * backpressure instead of hiding behind kernel buffering.
+     */
+    int session_send_buffer = 0;
+};
+
+/** Per-retriever session latency percentiles. */
+struct RetrieverServeStats
+{
+    /** Completed ask sessions answered by this retriever. */
+    std::uint64_t asks = 0;
+    /** Time-to-first-event: request read -> first frame written. */
+    double ttfe_p50_ms = 0.0;
+    double ttfe_p90_ms = 0.0;
+    /** Time-to-last-byte: request read -> done frame written. */
+    double ttlb_p50_ms = 0.0;
+    double ttlb_p90_ms = 0.0;
+};
+
+/** Point-in-time serving statistics (STATS protocol verb). */
+struct ServeStats
+{
+    /** Connections admitted / rejected by admission control. */
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    /** Ask requests answered to the terminal done frame. */
+    std::uint64_t completed = 0;
+    /** Ask requests cut short by a dead/disconnected client. */
+    std::uint64_t cancelled = 0;
+    /** Malformed request lines answered with an error frame. */
+    std::uint64_t malformed = 0;
+    /** Per-retriever TTFE/TTLB percentiles. */
+    std::map<std::string, RetrieverServeStats> by_retriever;
+    /**
+     * Engine-side stats folded across every pooled engine: counters
+     * are exact sums; latency percentile fields report the worst
+     * pooled engine (a max, not a merged distribution).
+     */
+    core::EngineStats engine;
+};
+
+/**
+ * The server. start() binds and spawns the accept loop; stop() (and
+ * the destructor) shuts down every session and joins all threads.
+ * The database must outlive the server.
+ */
+class Server
+{
+  public:
+    Server(const db::TraceDatabase &db, ServeOptions opts);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind, listen, and spawn the accept loop. False on failure with
+     * `error` (when non-null) describing the reason.
+     */
+    bool start(std::string *error = nullptr);
+
+    /** Stop accepting, shut down sessions, join threads (idempotent). */
+    void stop();
+
+    /** The bound port (resolves an ephemeral port request). */
+    std::uint16_t port() const;
+
+    /** Serving statistics snapshot (thread-safe; the STATS verb). */
+    ServeStats stats() const;
+
+    const ServeOptions &options() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/** Render a ServeStats snapshot as the protocol's stats frame. */
+std::string statsFrame(const std::string &id, const ServeStats &stats);
+
+} // namespace cachemind::serve
+
+#endif // CACHEMIND_SERVE_SERVER_HH
