@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <list>
@@ -45,16 +47,27 @@ sendFrame(int fd, const std::string &frame)
     return true;
 }
 
-/** Buffered line read; nullopt once the peer closed. */
+/**
+ * Buffered line read; nullopt once the peer closed. A buffer growing
+ * past `max_bytes` with no newline in sight sets *overflow and gives
+ * up: without the cap a client that streams bytes but never a newline
+ * would grow the session buffer without bound.
+ */
 std::optional<std::string>
-recvLine(int fd, std::string &buffer)
+recvLine(int fd, std::string &buffer, std::size_t max_bytes,
+         bool *overflow)
 {
+    *overflow = false;
     for (;;) {
         const auto nl = buffer.find('\n');
         if (nl != std::string::npos) {
             std::string line = buffer.substr(0, nl);
             buffer.erase(0, nl + 1);
             return line;
+        }
+        if (buffer.size() > max_bytes) {
+            *overflow = true;
+            return std::nullopt;
         }
         char chunk[4096];
         const auto n = ::recv(fd, chunk, sizeof(chunk), 0);
@@ -132,13 +145,23 @@ struct Server::Impl
     // retriever fingerprint, so no aliasing across configurations).
     std::shared_ptr<retrieval::RetrievalCache> shared_cache;
     mutable std::mutex pool_mu;
-    std::condition_variable lease_ready;
     struct PoolEntry
     {
         /** Engines parked between leases. */
         std::vector<core::CacheMind *> idle;
         /** Engines ever built for this key (bounds construction). */
         std::size_t total = 0;
+        /**
+         * Per-key lease queue. Each key signals its own condvar so a
+         * release can never be consumed by a waiter on a different
+         * key (a shared condvar with notify_one loses such wakeups:
+         * the woken waiter re-checks its own key's predicate, sleeps
+         * again, and the release that triggered the signal is never
+         * seen by the waiter it was meant for). std::map never moves
+         * its nodes, so the condvar stays valid while pool_mu is
+         * dropped for engine construction.
+         */
+        std::condition_variable lease_ready;
     };
     std::map<std::string, PoolEntry> engine_pool;
     std::vector<std::unique_ptr<core::CacheMind>> all_engines;
@@ -240,7 +263,14 @@ Server::Impl::acceptLoop()
         if (fd < 0) {
             if (stopping.load())
                 return;
-            continue; // transient accept failure
+            // accept() failures such as EMFILE/ENFILE can persist for
+            // a while; retrying instantly would turn this thread into
+            // a 100%-CPU busy spin exactly when the host is starved.
+            if (errno != EINTR) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+            }
+            continue;
         }
         if (stopping.load()) {
             ::close(fd);
@@ -308,9 +338,26 @@ Server::Impl::runSession(SessionSlot *slot)
     std::string buffer;
     if (sendFrame(fd, helloFrame())) {
         while (!stopping.load()) {
-            const auto line = recvLine(fd, buffer);
-            if (!line)
-                break; // client closed
+            bool overflow = false;
+            const auto line = recvLine(fd, buffer,
+                                       opts.max_request_bytes,
+                                       &overflow);
+            if (!line) {
+                if (overflow) {
+                    {
+                        std::lock_guard<std::mutex> lock(stats_mu);
+                        ++malformed;
+                    }
+                    sendFrame(fd,
+                              errorFrame(
+                                  "", "bad-request",
+                                  "request line exceeds " +
+                                      std::to_string(
+                                          opts.max_request_bytes) +
+                                      " bytes"));
+                }
+                break; // client closed (or oversized line)
+            }
             if (str::trim(*line).empty())
                 continue;
             std::string why;
@@ -337,8 +384,14 @@ Server::Impl::runSession(SessionSlot *slot)
             handleAsk(fd, *req);
         }
     }
-    ::close(fd);
-    slot->fd.store(-1);
+    // Claim the fd before closing: stop() races this with an
+    // exchange of its own, and whichever side wins the exchange owns
+    // the descriptor. Without the claim, stop() could load the fd,
+    // this thread could close it, and the kernel could recycle the
+    // number for an unrelated descriptor before stop()'s shutdown().
+    const int owned = slot->fd.exchange(-1);
+    if (owned >= 0)
+        ::close(owned);
     active_sessions.fetch_sub(1);
     slot->finished.store(true);
 }
@@ -374,7 +427,7 @@ Server::Impl::acquireEngine(const Request &req, std::string &key_out,
             // Every engine for this key is leased out and the key is
             // at its construction cap: queue for the next release
             // instead of building engine number cap+1.
-            lease_ready.wait(lock);
+            entry.lease_ready.wait(lock);
         }
         if (!entry.idle.empty()) {
             core::CacheMind *engine = entry.idle.back();
@@ -395,8 +448,9 @@ Server::Impl::acquireEngine(const Request &req, std::string &key_out,
     if (!built.ok()) {
         error_out = core::errorMessage(built.error());
         std::lock_guard<std::mutex> lock(pool_mu);
-        --engine_pool[key_out].total; // release the claimed slot
-        lease_ready.notify_one();
+        PoolEntry &entry = engine_pool[key_out];
+        --entry.total; // release the claimed slot
+        entry.lease_ready.notify_one();
         return nullptr;
     }
     auto owned = std::make_unique<core::CacheMind>(
@@ -414,11 +468,10 @@ void
 Server::Impl::releaseEngine(const std::string &key,
                             core::CacheMind *engine)
 {
-    {
-        std::lock_guard<std::mutex> lock(pool_mu);
-        engine_pool[key].idle.push_back(engine);
-    }
-    lease_ready.notify_one();
+    std::lock_guard<std::mutex> lock(pool_mu);
+    PoolEntry &entry = engine_pool[key];
+    entry.idle.push_back(engine);
+    entry.lease_ready.notify_one();
 }
 
 void
@@ -572,29 +625,40 @@ Server::Impl::stop()
     if (!started)
         return;
     stopping.store(true);
-    // Wake sessions queued for an engine lease (the empty critical
-    // section orders the stopping store before their re-check).
+    // Wake sessions queued for an engine lease (taking pool_mu orders
+    // the stopping store before their predicate re-check).
     {
         std::lock_guard<std::mutex> lock(pool_mu);
+        for (auto &[key, entry] : engine_pool)
+            entry.lease_ready.notify_all();
     }
-    lease_ready.notify_all();
-    // Closing the listen socket unblocks accept(); shutting down the
-    // session sockets unblocks their recv()/send() calls.
+    // Closing the listen socket unblocks accept(); no session can be
+    // added after the accept thread is joined.
     const int lfd = listen_fd.exchange(-1);
     if (lfd >= 0) {
         ::shutdown(lfd, SHUT_RDWR);
         ::close(lfd);
     }
+    if (accept_thread.joinable())
+        accept_thread.join();
+    // Take ownership of every session fd that its session has not
+    // already closed (the exchange is the ownership handoff — see
+    // runSession), shut them all down so blocked recv()/send() calls
+    // return in parallel, then join and finally close. Closing only
+    // after the join guarantees the descriptor number cannot be
+    // recycled while the session thread could still pass it to a
+    // syscall.
+    std::vector<int> claimed;
     {
         std::lock_guard<std::mutex> lock(sessions_mu);
         for (auto &slot : sessions) {
-            const int fd = slot->fd.load();
-            if (fd >= 0)
+            const int fd = slot->fd.exchange(-1);
+            if (fd >= 0) {
                 ::shutdown(fd, SHUT_RDWR);
+                claimed.push_back(fd);
+            }
         }
     }
-    if (accept_thread.joinable())
-        accept_thread.join();
     for (;;) {
         std::unique_ptr<SessionSlot> slot;
         {
@@ -604,11 +668,10 @@ Server::Impl::stop()
             slot = std::move(sessions.front());
             sessions.pop_front();
         }
-        const int fd = slot->fd.load();
-        if (fd >= 0)
-            ::shutdown(fd, SHUT_RDWR);
         slot->thread.join();
     }
+    for (const int fd : claimed)
+        ::close(fd);
     started = false;
 }
 

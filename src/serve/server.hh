@@ -78,6 +78,13 @@ struct ServeOptions
      * backpressure instead of hiding behind kernel buffering.
      */
     int session_send_buffer = 0;
+    /**
+     * Maximum accepted request-line length in bytes. A client that
+     * exceeds it — including one that streams bytes without ever
+     * sending a newline — gets a bad-request error frame and a closed
+     * connection instead of growing the session buffer without bound.
+     */
+    std::size_t max_request_bytes = 1 << 20;
 };
 
 /** Per-retriever session latency percentiles. */

@@ -471,6 +471,84 @@ TEST(ServerTest, ConcurrentClientsMatchBlockingAskAllRetrievers)
     server.stop();
 }
 
+TEST(ServerTest, LeaseReleasesWakeWaitersOnTheReleasedKey)
+{
+    // Regression: with one condvar shared across pool keys and
+    // notify_one, a release on key A could wake a waiter queued on
+    // key B, which re-checks its own predicate and sleeps again —
+    // the waiter on key A then hangs forever beside a parked idle
+    // engine. Per-key condvars must keep every session completing
+    // with more waiters than engines on each of two distinct keys.
+    ServeOptions opts;
+    opts.max_engines_per_key = 1;
+    Server server(sharedDb(), opts);
+    ASSERT_TRUE(server.start());
+    const auto questions = suiteQuestions();
+
+    constexpr int kClientsPerKey = 4;
+    const char *retrievers[] = {"sieve", "ranger"};
+    std::atomic<int> done_count{0};
+    std::vector<std::thread> clients;
+    for (const char *name : retrievers) {
+        for (int c = 0; c < kClientsPerKey; ++c) {
+            clients.emplace_back([&, name, c] {
+                LineClient client;
+                if (!client.connect("127.0.0.1", server.port()) ||
+                    !expectHello(client))
+                    return;
+                for (int q = 0; q < 2; ++q) {
+                    const auto got = askOver(
+                        client,
+                        std::string(name) + "-" + std::to_string(c) +
+                            "-" + std::to_string(q),
+                        questions[(c + q) % questions.size()], name);
+                    if (!got.done)
+                        return;
+                }
+                ++done_count;
+            });
+        }
+    }
+    for (auto &t : clients)
+        t.join();
+    EXPECT_EQ(done_count.load(), 2 * kClientsPerKey);
+    server.stop();
+}
+
+TEST(ServerTest, OversizedRequestLineGetsErrorFrameAndClose)
+{
+    // A client that streams bytes past the request-line cap (newline
+    // or not) must get a typed bad-request frame and a closed
+    // connection, not an unboundedly growing session buffer.
+    ServeOptions opts;
+    opts.max_request_bytes = 4096;
+    Server server(sharedDb(), opts);
+    ASSERT_TRUE(server.start());
+
+    LineClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+    ASSERT_TRUE(expectHello(client));
+    ASSERT_TRUE(client.sendLine(std::string(64 * 1024, 'a')));
+
+    const auto line = client.recvLine();
+    ASSERT_TRUE(line.has_value());
+    const auto frame = parseJsonObject(*line);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->at("frame"), "error");
+    EXPECT_EQ(frame->at("code"), "bad-request");
+    EXPECT_FALSE(client.recvLine().has_value()); // server closed it
+
+    EXPECT_GE(server.stats().malformed, 1u);
+
+    // The slot freed by the closed session is reusable.
+    LineClient again;
+    ASSERT_TRUE(again.connect("127.0.0.1", server.port()));
+    ASSERT_TRUE(expectHello(again));
+    const auto got = askOver(again, "ok", suiteQuestions()[0], "sieve");
+    EXPECT_TRUE(got.done);
+    server.stop();
+}
+
 TEST(ServerTest, AdmissionControlRejectsWithTypedOverloadedFrame)
 {
     ServeOptions opts;
