@@ -23,12 +23,19 @@
 #include <string>
 #include <vector>
 
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "base/random.hh"
 #include "base/str.hh"
 #include "core/cachemind.hh"
 #include "db/builder.hh"
 #include "db/index.hh"
 #include "policy/basic_policies.hh"
 #include "query/dsl.hh"
+#include "retrieval/cache.hh"
+#include "retrieval/clock_cache.hh"
 #include "retrieval/ranger.hh"
 #include "retrieval/sieve.hh"
 #include "serve/client.hh"
@@ -502,6 +509,192 @@ BM_ServeRoundTrip(benchmark::State &state)
         static_cast<double>(stats.engine.cache.hits);
 }
 BENCHMARK(BM_ServeRoundTrip)->Unit(benchmark::kMicrosecond);
+
+namespace {
+
+/**
+ * The pre-tier hot path, reconstructed for comparison: a sharded-lock
+ * LRU where every hit takes its shard's mutex to splice the recency
+ * list to front. This is what the retrieval cache's fast path looked
+ * like before the clock hot tier; BM_CacheHitConcurrent quantifies
+ * what the lock-free hit protocol bought over it under serving-level
+ * concurrency.
+ */
+class ShardedLruCache
+{
+  public:
+    using BundlePtr = retrieval::RetrievalCache::BundlePtr;
+
+    ShardedLruCache(std::size_t capacity, std::size_t shards)
+    {
+        const std::size_t per = (capacity + shards - 1) / shards;
+        shards_.reserve(shards);
+        for (std::size_t i = 0; i < shards; ++i)
+            shards_.push_back(std::make_unique<Shard>(per));
+    }
+
+    BundlePtr
+    lookup(const std::string &key)
+    {
+        Shard &s = shardOf(key);
+        std::lock_guard<std::mutex> lock(s.mu);
+        auto it = s.map.find(key);
+        if (it == s.map.end())
+            return nullptr;
+        s.order.splice(s.order.begin(), s.order, it->second.order_it);
+        return it->second.value;
+    }
+
+    void
+    insert(const std::string &key, BundlePtr value)
+    {
+        Shard &s = shardOf(key);
+        std::lock_guard<std::mutex> lock(s.mu);
+        if (s.map.count(key) != 0)
+            return;
+        while (s.map.size() >= s.capacity && !s.order.empty()) {
+            s.map.erase(s.order.back());
+            s.order.pop_back();
+        }
+        s.order.push_front(key);
+        s.map.emplace(key, Entry{std::move(value), s.order.begin()});
+    }
+
+  private:
+    struct Entry
+    {
+        BundlePtr value;
+        std::list<std::string>::iterator order_it;
+    };
+    struct Shard
+    {
+        explicit Shard(std::size_t cap) : capacity(cap) {}
+        std::mutex mu;
+        std::size_t capacity;
+        std::list<std::string> order;
+        std::unordered_map<std::string, Entry> map;
+    };
+
+    Shard &
+    shardOf(const std::string &key)
+    {
+        return *shards_[fnv1a(key) % shards_.size()];
+    }
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/** Both hit-path arms pre-populated with the same resident keys. */
+struct HitBenchFixture
+{
+    std::vector<std::string> keys;
+    ShardedLruCache lru{256, 8};
+    retrieval::ClockCacheTier clock{256};
+
+    HitBenchFixture()
+    {
+        for (int i = 0; i < 128; ++i) {
+            keys.push_back("bench-slot-key-" + std::to_string(i));
+            auto bundle =
+                std::make_shared<retrieval::ContextBundle>();
+            bundle->retriever = "bench";
+            bundle->trace_key = "mcf_evictions_lru";
+            bundle->result_text = keys.back();
+            lru.insert(keys.back(), bundle);
+            clock.insert(keys.back(), bundle);
+        }
+    }
+};
+
+} // namespace
+
+static void
+BM_CacheHitConcurrent(benchmark::State &state)
+{
+    // 16 threads hammer the hit path over the 4 hottest keys (the
+    // serving pattern: many sessions asking about the same trace
+    // slice): arg 0 is the pre-tier sharded-lock LRU, where every hit
+    // takes the hot shard's mutex to splice the recency list — the
+    // hottest keys serialize every session on one lock — and arg 1
+    // the clock hot tier, where a hit is an atomic pin on one slot
+    // word and readers never contend. The ratio between the two arms
+    // is the concurrency win the tier refactor is gated on.
+    static constexpr std::size_t kHotKeys = 4;
+    static HitBenchFixture &fixture = *new HitBenchFixture;
+    const bool clock_arm = state.range(0) != 0;
+    std::size_t i =
+        static_cast<std::size_t>(state.thread_index()) * 29u;
+    if (clock_arm) {
+        for (auto _ : state)
+            benchmark::DoNotOptimize(
+                fixture.clock.lookup(fixture.keys[i++ % kHotKeys]));
+    } else {
+        for (auto _ : state)
+            benchmark::DoNotOptimize(
+                fixture.lru.lookup(fixture.keys[i++ % kHotKeys]));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheHitConcurrent)
+    ->Arg(0)  // sharded-lock LRU hit path (pre-tier)
+    ->Arg(1)  // clock hot tier lock-free hit path
+    ->Threads(16)
+    ->UseRealTime();
+
+static void
+BM_CacheDemotionChurn(benchmark::State &state)
+{
+    // A key population 8x the hot tier cycled round-robin: every
+    // admission demotes a bundle into the compressed secondary tier,
+    // and every re-access recovers it by decode + re-promote instead
+    // of a recompute. After the first revolution computes stop — the
+    // steady state this measures is the codec round trip itself. The
+    // counters archive per-tier occupancy and the compression ratio
+    // into BENCH_micro_perf.json for the CI perf-smoke artifact.
+    retrieval::RetrievalCache::Options copts;
+    copts.capacity = 8;
+    copts.secondary_capacity_bytes = 4u << 20;
+    retrieval::RetrievalCache cache(copts);
+    std::uint64_t computes = 0;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const std::string key = "churn-" + std::to_string(i++ % 64);
+        auto bundle = cache.getOrCompute(key, [&] {
+            ++computes;
+            auto bundle =
+                std::make_shared<retrieval::ContextBundle>();
+            bundle->retriever = "bench";
+            bundle->trace_key = key;
+            bundle->metadata = std::string(512, 'm');
+            bundle->result_text = key;
+            return bundle;
+        });
+        benchmark::DoNotOptimize(bundle);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+    const auto tiers = cache.tiered();
+    const auto counters = cache.counters();
+    state.counters["computes"] = static_cast<double>(computes);
+    state.counters["recovered_frac"] =
+        counters.hits ? static_cast<double>(tiers.secondary.hits) /
+                            static_cast<double>(counters.hits)
+                      : 0.0;
+    state.counters["hot_entries"] =
+        static_cast<double>(tiers.hot.entries);
+    state.counters["secondary_entries"] =
+        static_cast<double>(tiers.secondary.entries);
+    state.counters["secondary_hits"] =
+        static_cast<double>(tiers.secondary.hits);
+    state.counters["secondary_bytes"] =
+        static_cast<double>(tiers.secondary.bytes);
+    state.counters["compression_ratio"] =
+        tiers.secondary.compressionRatio();
+    state.counters["promotions"] =
+        static_cast<double>(tiers.promotions);
+}
+BENCHMARK(BM_CacheDemotionChurn)->Unit(benchmark::kMicrosecond);
 
 int
 main(int argc, char **argv)

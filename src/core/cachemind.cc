@@ -105,7 +105,11 @@ CacheMind::CacheMind(const db::TraceDatabase &db, db::ShardSet shards,
                  ? opts_.shared_retrieval_cache
                  : (opts_.retrieval_cache_capacity
                         ? std::make_shared<retrieval::RetrievalCache>(
-                              opts_.retrieval_cache_capacity)
+                              retrieval::RetrievalCache::Options{
+                                  opts_.retrieval_cache_capacity,
+                                  opts_.retrieval_cache_hot_slots,
+                                  opts_
+                                      .retrieval_cache_secondary_bytes})
                         : nullptr)),
       stats_(std::make_unique<EngineStatsRecorder>()),
       batch_pool_(std::make_unique<BatchPool>())

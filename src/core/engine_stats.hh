@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "db/index.hh"
+#include "retrieval/cache.hh"
 #include "retrieval/context.hh"
 
 namespace cachemind::core {
@@ -102,6 +103,15 @@ struct EngineStats
     RetrievalCacheStats cache;
     /** Retrieval-cache counters split by retriever name. */
     std::map<std::string, RetrievalCacheStats> cache_by_retriever;
+
+    /**
+     * Per-tier retrieval-cache stats (hot clock tier, compressed
+     * secondary tier, promotion/demotion traffic). Filled by
+     * CacheMind::stats() straight from the cache, not the recorder —
+     * a shared cache reports the same tier numbers through every
+     * engine using it.
+     */
+    retrieval::RetrievalCache::TieredCounters cache_tiers;
 
     /**
      * Postings-index instrumentation over the engine's shard view:

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Binary codec for ContextBundle — the storage format of the
+ * compressed secondary cache tier.
+ *
+ * The encoding is varint-based (LEB128 for unsigned, zigzag for the
+ * kNoValue-sentinel signed columns, raw 8-byte little-endian for
+ * doubles so the round trip is bit-exact, NaN included) with a
+ * deduplicated string table: every string in the bundle — and a trace
+ * slice repeats its function/assembly/recency strings across rows
+ * constantly — is stored once and referenced by index. That table is
+ * where the compression comes from; no external compression library
+ * is involved.
+ *
+ * The contract is a byte-exact round trip:
+ * decodeBundle(encodeBundle(b)) reproduces every field of `b`,
+ * including render() output — a secondary-tier hit must be
+ * indistinguishable from re-running retrieval.
+ */
+
+#ifndef CACHEMIND_RETRIEVAL_BUNDLE_CODEC_HH
+#define CACHEMIND_RETRIEVAL_BUNDLE_CODEC_HH
+
+#include <optional>
+#include <string>
+
+#include "retrieval/context.hh"
+
+namespace cachemind::retrieval {
+
+/** Encode `bundle` into the versioned binary form. */
+std::string encodeBundle(const ContextBundle &bundle);
+
+/**
+ * Decode a buffer produced by encodeBundle(). nullopt on truncated,
+ * corrupt, or unknown-version input — the caller treats that as a
+ * cache miss and recomputes, never as an error.
+ */
+std::optional<ContextBundle> decodeBundle(const std::string &data);
+
+/**
+ * Approximate decoded in-memory footprint of a bundle (struct +
+ * heap), the denominator of the secondary tier's compression ratio.
+ */
+std::size_t approxBundleBytes(const ContextBundle &bundle);
+
+} // namespace cachemind::retrieval
+
+#endif // CACHEMIND_RETRIEVAL_BUNDLE_CODEC_HH

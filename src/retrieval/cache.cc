@@ -1,29 +1,65 @@
 #include "retrieval/cache.hh"
 
-#include <algorithm>
-
-#include "base/random.hh"
+#include <utility>
+#include <vector>
 
 namespace cachemind::retrieval {
 
-RetrievalCache::RetrievalCache(std::size_t capacity,
-                               std::size_t lock_shards)
-    : capacity_(capacity)
+RetrievalCache::RetrievalCache(const Options &options)
+    : hot_(options.capacity, options.hot_slots),
+      secondary_(options.capacity > 0 &&
+                         options.secondary_capacity_bytes > 0
+                     ? std::make_unique<SecondaryTier>(
+                           options.secondary_capacity_bytes)
+                     : nullptr)
 {
-    const std::size_t n =
-        std::max<std::size_t>(1, std::min(lock_shards,
-                                          std::max<std::size_t>(
-                                              capacity, 1)));
-    per_shard_capacity_ = capacity ? (capacity + n - 1) / n : 0;
-    shards_.reserve(n);
-    for (std::size_t i = 0; i < n; ++i)
-        shards_.push_back(std::make_unique<LockShard>());
 }
 
-RetrievalCache::LockShard &
-RetrievalCache::shardFor(const std::string &key)
+RetrievalCache::RetrievalCache(std::size_t capacity,
+                               std::size_t lock_shards)
+    : RetrievalCache(Options{capacity, 0, 0})
 {
-    return *shards_[fnv1a(key) % shards_.size()];
+    (void)lock_shards;
+}
+
+std::uint64_t
+RetrievalCache::admit(const std::string &key, BundlePtr value)
+{
+    std::uint64_t gone = 0;
+    for (Displaced &d : hot_.insert(key, std::move(value))) {
+        if (!secondary_ || !d.value) {
+            ++gone;
+            continue;
+        }
+        bool rejected = false;
+        for (Displaced &sd :
+             secondary_->insert(d.key, std::move(d.value))) {
+            ++gone;
+            if (sd.key == d.key)
+                rejected = true;
+        }
+        if (!rejected)
+            demotions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return gone;
+}
+
+RetrievalCache::BundlePtr
+RetrievalCache::lookupTiers(const std::string &key,
+                            std::uint64_t *evictions)
+{
+    if (BundlePtr v = hot_.lookup(key))
+        return v;
+    if (!secondary_)
+        return nullptr;
+    BundlePtr v = secondary_->lookup(key);
+    if (!v)
+        return nullptr;
+    // Exclusive tiers: the secondary released its copy; re-promote it
+    // so the next lookup is a lock-free hot hit.
+    promotions_.fetch_add(1, std::memory_order_relaxed);
+    *evictions += admit(key, v);
+    return v;
 }
 
 RetrievalCache::BundlePtr
@@ -35,35 +71,50 @@ RetrievalCache::getOrCompute(const std::string &key,
     if (!enabled())
         return compute();
 
-    LockShard &s = shardFor(key);
-    std::unique_lock<std::mutex> lock(s.mu);
-    const auto it = s.entries.find(key);
-    if (it != s.entries.end()) {
-        if (it->second.ready) {
-            // Hot hit: bump to the front of the LRU order.
-            s.lru.splice(s.lru.begin(), s.lru, it->second.lru_pos);
-            ++s.counters.hits;
-            if (outcome)
-                outcome->hit = true;
-            return it->second.value;
+    // Fast path: lock-free hot probe (plus secondary) before any
+    // single-flight bookkeeping.
+    std::uint64_t evicted = 0;
+    if (BundlePtr v = lookupTiers(key, &evicted)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        evictions_.fetch_add(evicted, std::memory_order_relaxed);
+        if (outcome) {
+            outcome->hit = true;
+            outcome->evictions = evicted;
         }
+        return v;
+    }
+
+    std::unique_lock<std::mutex> lock(flight_mu_);
+    auto it = flights_.find(key);
+    if (it != flights_.end()) {
         // Another worker is assembling this bundle right now; wait on
         // its in-flight computation instead of re-running retrieval.
-        std::shared_future<BundlePtr> pending = it->second.pending;
-        ++s.counters.hits;
+        std::shared_future<BundlePtr> pending = it->second;
+        hits_.fetch_add(1, std::memory_order_relaxed);
         lock.unlock();
         if (outcome)
             outcome->hit = true;
         return pending.get();
     }
+    // Re-probe under the flight lock: a flight that finished between
+    // the probe above and here admitted its bundle before erasing its
+    // table entry, so it is visible in the tiers now.
+    if (BundlePtr v = lookupTiers(key, &evicted)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        evictions_.fetch_add(evicted, std::memory_order_relaxed);
+        lock.unlock();
+        if (outcome) {
+            outcome->hit = true;
+            outcome->evictions = evicted;
+        }
+        return v;
+    }
 
-    // Miss: claim the key, then compute outside the lock so other
-    // keys (and other shards) keep flowing.
+    // Miss: claim the key, then compute outside every lock so other
+    // keys keep flowing.
     std::promise<BundlePtr> promise;
-    Entry claimed;
-    claimed.pending = promise.get_future().share();
-    s.entries.emplace(key, std::move(claimed));
-    ++s.counters.misses;
+    flights_.emplace(key, promise.get_future().share());
+    misses_.fetch_add(1, std::memory_order_relaxed);
     lock.unlock();
 
     BundlePtr value;
@@ -71,27 +122,18 @@ RetrievalCache::getOrCompute(const std::string &key,
         value = compute();
     } catch (...) {
         lock.lock();
-        s.entries.erase(key);
+        flights_.erase(key);
         lock.unlock();
         promise.set_exception(std::current_exception());
         throw;
     }
 
-    std::uint64_t evicted = 0;
+    // Admit before erasing the flight: a lookup that misses the
+    // flight table must find the tiers already populated.
+    evicted = admit(key, value);
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
     lock.lock();
-    Entry &entry = s.entries.find(key)->second;
-    entry.value = value;
-    entry.ready = true;
-    s.lru.push_front(key);
-    entry.lru_pos = s.lru.begin();
-    // In-flight entries never sit in the LRU list, so eviction only
-    // ever drops fully published bundles.
-    while (s.lru.size() > per_shard_capacity_) {
-        s.entries.erase(s.lru.back());
-        s.lru.pop_back();
-        ++evicted;
-    }
-    s.counters.evictions += evicted;
+    flights_.erase(key);
     lock.unlock();
     promise.set_value(value);
 
@@ -107,20 +149,21 @@ RetrievalCache::peek(const std::string &key, Outcome *outcome)
         *outcome = Outcome{};
     if (!enabled())
         return nullptr;
-    LockShard &s = shardFor(key);
-    std::lock_guard<std::mutex> lock(s.mu);
-    const auto it = s.entries.find(key);
-    if (it == s.entries.end() || !it->second.ready) {
+    std::uint64_t evicted = 0;
+    BundlePtr v = lookupTiers(key, &evicted);
+    if (!v) {
         // Absent, or another flight is still assembling it: the
         // streaming caller retrieves on its own rather than waiting.
-        ++s.counters.misses;
+        misses_.fetch_add(1, std::memory_order_relaxed);
         return nullptr;
     }
-    s.lru.splice(s.lru.begin(), s.lru, it->second.lru_pos);
-    ++s.counters.hits;
-    if (outcome)
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    if (outcome) {
         outcome->hit = true;
-    return it->second.value;
+        outcome->evictions = evicted;
+    }
+    return v;
 }
 
 void
@@ -131,23 +174,14 @@ RetrievalCache::publish(const std::string &key, BundlePtr value,
         *outcome = Outcome{};
     if (!enabled())
         return;
-    LockShard &s = shardFor(key);
-    std::lock_guard<std::mutex> lock(s.mu);
-    if (s.entries.count(key))
-        return; // resident or in flight: first copy wins
-    Entry entry;
-    entry.value = std::move(value);
-    entry.ready = true;
-    s.lru.push_front(key);
-    entry.lru_pos = s.lru.begin();
-    s.entries.emplace(key, std::move(entry));
-    std::uint64_t evicted = 0;
-    while (s.lru.size() > per_shard_capacity_) {
-        s.entries.erase(s.lru.back());
-        s.lru.pop_back();
-        ++evicted;
+    {
+        std::lock_guard<std::mutex> lock(flight_mu_);
+        if (flights_.count(key))
+            return; // the flight publishes when it lands
     }
-    s.counters.evictions += evicted;
+    // Resident keys dedupe inside the tiers (first copy wins).
+    const std::uint64_t evicted = admit(key, std::move(value));
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
     if (outcome)
         outcome->evictions = evicted;
 }
@@ -155,25 +189,31 @@ RetrievalCache::publish(const std::string &key, BundlePtr value,
 std::size_t
 RetrievalCache::size() const
 {
-    std::size_t total = 0;
-    for (const auto &s : shards_) {
-        std::lock_guard<std::mutex> lock(s->mu);
-        total += s->lru.size();
-    }
-    return total;
+    return hot_.entries() + (secondary_ ? secondary_->entries() : 0);
 }
 
 RetrievalCache::Counters
 RetrievalCache::counters() const
 {
     Counters total;
-    for (const auto &s : shards_) {
-        std::lock_guard<std::mutex> lock(s->mu);
-        total.hits += s->counters.hits;
-        total.misses += s->counters.misses;
-        total.evictions += s->counters.evictions;
-    }
+    total.hits = hits_.load(std::memory_order_relaxed);
+    total.misses = misses_.load(std::memory_order_relaxed);
+    total.evictions = evictions_.load(std::memory_order_relaxed);
     return total;
+}
+
+RetrievalCache::TieredCounters
+RetrievalCache::tiered() const
+{
+    TieredCounters t;
+    t.hot = hot_.stats();
+    if (secondary_) {
+        t.secondary = secondary_->stats();
+        t.secondary_enabled = true;
+    }
+    t.promotions = promotions_.load(std::memory_order_relaxed);
+    t.demotions = demotions_.load(std::memory_order_relaxed);
+    return t;
 }
 
 } // namespace cachemind::retrieval

@@ -1,72 +1,113 @@
 /**
  * @file
- * The shared cross-question retrieval cache: a thread-safe,
- * sharded-lock LRU mapping (retriever fingerprint, shard key, slot
- * key) strings to immutable evidence bundles.
+ * The shared cross-question retrieval cache, now a tier orchestrator:
+ * a lock-free-read clock hot tier (clock_cache.hh) over an optional
+ * compressed secondary tier (secondary_tier.hh), behind the same
+ * public surface the sharded-lock LRU had — getOrCompute single
+ * flight, non-blocking peek/publish — so retrievers, askStream, and
+ * the serve engine pool need no call-site changes.
  *
  * Many users asking overlapping questions about the same (workload,
  * policy) trace slice assemble byte-identical context bundles; the
  * engine memoizes them here so only the first question per slice pays
- * the retrieval cost. Lookups are *single-flight*: when a hot key
- * misses while another worker is already assembling its bundle, the
- * late arrivals wait on the in-flight computation instead of
- * re-running retrieval — the evidence-reuse idea ReasonCache applies
- * to shared KV prefixes, applied to trace-grounded context bundles.
+ * the retrieval cost. A hot-tier hit is lock-free. A hot-tier miss
+ * consults the secondary tier, which stores bundles the hot tier
+ * demoted in compressed (binary-codec) form: a secondary hit decodes
+ * and re-promotes instead of re-running retrieval. Lookups are
+ * *single-flight*: when a hot key misses while another worker is
+ * already assembling its bundle, the late arrivals wait on the
+ * in-flight computation instead of re-running retrieval — the
+ * evidence-reuse idea ReasonCache applies to shared KV prefixes,
+ * applied to trace-grounded context bundles.
  *
- * Bundles are stored behind shared_ptr<const ContextBundle> and never
- * mutated after insertion; consumers copy-and-patch per-question
- * fields (the parsed query identity) on their own copies.
+ * Tier state only ever changes *when* evidence is assembled, never
+ * *what* is answered: bundles are immutable behind shared_ptr, equal
+ * keys hold byte-identical bundles, and the codec round trip is
+ * byte-exact.
  */
 
 #ifndef CACHEMIND_RETRIEVAL_CACHE_HH
 #define CACHEMIND_RETRIEVAL_CACHE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
-#include <vector>
 
+#include "retrieval/cache_tier.hh"
+#include "retrieval/clock_cache.hh"
 #include "retrieval/context.hh"
+#include "retrieval/secondary_tier.hh"
 
 namespace cachemind::retrieval {
 
-/** Thread-safe sharded-lock LRU over immutable context bundles. */
+/** Tiered single-flight cache over immutable context bundles. */
 class RetrievalCache
 {
   public:
     using BundlePtr = std::shared_ptr<const ContextBundle>;
     using ComputeFn = std::function<BundlePtr()>;
 
+    /** Tier geometry (the Builder knobs). */
+    struct Options
+    {
+        /**
+         * Hot-tier resident-bundle budget — exact: occupancy never
+         * exceeds it (0 disables caching entirely; every lookup
+         * computes).
+         */
+        std::size_t capacity = 1024;
+        /** Hot-tier slot-table size (0 = derive from capacity). */
+        std::size_t hot_slots = 0;
+        /**
+         * Secondary-tier encoded-byte budget (0 disables the tier:
+         * bundles the hot tier demotes are destroyed, the pre-tier
+         * behavior).
+         */
+        std::size_t secondary_capacity_bytes = 0;
+    };
+
     /** What one lookup did (per-retriever stats attribution). */
     struct Outcome
     {
         /** Served from cache (including coalesced in-flight waits). */
         bool hit = false;
-        /** Entries this lookup's insertion evicted. */
+        /** Entries this lookup's insertion evicted (left all tiers). */
         std::uint64_t evictions = 0;
     };
 
-    /** Aggregate counters across all lock shards. */
+    /** Aggregate lookup counters (cache-level, not per-tier). */
     struct Counters
     {
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
+        /** Entries that left the cache entirely (all tiers). */
         std::uint64_t evictions = 0;
     };
 
+    /** Per-tier counters + inter-tier traffic. */
+    struct TieredCounters
+    {
+        TierStats hot;
+        TierStats secondary;
+        bool secondary_enabled = false;
+        /** Secondary hits re-admitted into the hot tier. */
+        std::uint64_t promotions = 0;
+        /** Hot-tier victims admitted into the secondary tier. */
+        std::uint64_t demotions = 0;
+    };
+
+    explicit RetrievalCache(const Options &options);
+
     /**
-     * @param capacity Maximum resident bundles (0 disables caching:
-     *        every lookup computes). Sharded caches round the per-shard
-     *        budget up, so the effective capacity can exceed this by
-     *        up to lock_shards - 1.
-     * @param lock_shards Number of independently locked segments.
-     *        More shards = less contention; 1 gives a single global
-     *        LRU order (deterministic eviction, used by tests).
+     * Legacy constructor. `lock_shards` is accepted for source
+     * compatibility with the sharded-lock LRU this replaced and
+     * ignored: the clock hot tier has no shards (reads are lock-free)
+     * and its capacity is exact, with no per-shard round-up slack.
      */
     explicit RetrievalCache(std::size_t capacity,
                             std::size_t lock_shards = 8);
@@ -76,8 +117,8 @@ class RetrievalCache
 
     /**
      * Return the bundle for `key`, computing it at most once per
-     * residency: a hit returns the shared bundle immediately; a miss
-     * runs `compute` (outside the shard lock) and publishes the
+     * residency: a tier hit returns the shared bundle immediately; a
+     * miss runs `compute` (outside every lock) and publishes the
      * result; concurrent misses on the same key wait for the first
      * computation instead of re-running it (counted as hits).
      */
@@ -87,13 +128,13 @@ class RetrievalCache
 
     /**
      * Non-blocking lookup for the streaming pipeline: return the
-     * bundle when it is resident and ready, nullptr otherwise — a
-     * pending in-flight entry counts as a miss rather than being
-     * waited on. Streams must never join a single-flight computation
-     * (in either direction): a stream holding the in-flight claim
-     * while pushing chunks into a consumer-paced channel would let a
-     * paused consumer block every blocking ask() coalescing on the
-     * key, so streams peek, retrieve on their own, and publish().
+     * bundle when a tier holds it, nullptr otherwise — a pending
+     * in-flight entry counts as a miss rather than being waited on.
+     * Streams must never join a single-flight computation (in either
+     * direction): a stream holding the in-flight claim while pushing
+     * chunks into a consumer-paced channel would let a paused
+     * consumer block every blocking ask() coalescing on the key, so
+     * streams peek, retrieve on their own, and publish().
      */
     BundlePtr peek(const std::string &key, Outcome *outcome = nullptr);
 
@@ -107,41 +148,60 @@ class RetrievalCache
     void publish(const std::string &key, BundlePtr value,
                  Outcome *outcome = nullptr);
 
-    bool enabled() const { return capacity_ > 0; }
-    std::size_t capacity() const { return capacity_; }
+    bool enabled() const { return hot_.capacity() > 0; }
+    /** Hot-tier entry budget (the legacy `capacity` knob). */
+    std::size_t capacity() const { return hot_.capacity(); }
+    std::size_t secondaryCapacityBytes() const
+    {
+        return secondary_ ? secondary_->capacityBytes() : 0;
+    }
 
-    /** Resident (ready) bundles across all shards. */
+    /** Resident bundles across all tiers. */
     std::size_t size() const;
 
-    /** Lifetime hit/miss/eviction totals. */
+    /** Lifetime hit/miss/eviction totals (cache-level). */
     Counters counters() const;
 
+    /** Per-tier stats + promotion/demotion traffic. */
+    TieredCounters tiered() const;
+
   private:
-    struct Entry
-    {
-        /** The published bundle (set exactly once, under the lock). */
-        BundlePtr value;
-        /** Waited on by coalesced lookups while the bundle computes. */
-        std::shared_future<BundlePtr> pending;
-        /** Position in the shard's LRU list (ready entries only). */
-        std::list<std::string>::iterator lru_pos;
-        bool ready = false;
-    };
+    using Displaced = CacheTier::Displaced;
 
-    struct LockShard
-    {
-        mutable std::mutex mu;
-        std::unordered_map<std::string, Entry> entries;
-        /** Ready keys, most recently used first. */
-        std::list<std::string> lru;
-        Counters counters;
-    };
+    /**
+     * Probe hot then secondary; a secondary hit re-promotes into the
+     * hot tier. Entries evicted out of the cache by the promotion are
+     * added to *evictions.
+     */
+    BundlePtr lookupTiers(const std::string &key,
+                          std::uint64_t *evictions);
 
-    LockShard &shardFor(const std::string &key);
+    /**
+     * Admit `value` into the hot tier and demote its victims into the
+     * secondary tier. Returns how many entries left the cache
+     * entirely (secondary evictions/rejections, or hot victims with
+     * no secondary to land in).
+     */
+    std::uint64_t admit(const std::string &key, BundlePtr value);
 
-    std::size_t capacity_ = 0;
-    std::size_t per_shard_capacity_ = 0;
-    std::vector<std::unique_ptr<LockShard>> shards_;
+    ClockCacheTier hot_;
+    std::unique_ptr<SecondaryTier> secondary_;
+
+    /**
+     * Single-flight table: keys whose first computation is still
+     * running. Entries are admitted to the hot tier *before* the
+     * flight is erased, so a lookup that misses the table finds the
+     * tiers already populated.
+     */
+    std::mutex flight_mu_;
+    std::unordered_map<std::string, std::shared_future<BundlePtr>>
+        flights_;
+
+    mutable std::atomic<std::uint64_t> hits_{0};
+    mutable std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> promotions_{0};
+    std::atomic<std::uint64_t> demotions_{0};
 };
 
 } // namespace cachemind::retrieval

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The tier seam of the retrieval cache: one small interface every
+ * storage tier implements, so the RetrievalCache orchestrator can
+ * compose a lock-free-read hot tier (clock_cache.hh) over a
+ * compressed secondary tier (secondary_tier.hh) — and future tiers
+ * (disk, remote) can slot in underneath without touching the
+ * orchestrator's single-flight / peek / publish protocol.
+ *
+ * A tier is a bounded key -> bundle store with its own admission and
+ * eviction policy. Tiers do not know about each other: demotion is
+ * the orchestrator's job, driven by the entries a higher tier
+ * displaces on insert.
+ */
+
+#ifndef CACHEMIND_RETRIEVAL_CACHE_TIER_HH
+#define CACHEMIND_RETRIEVAL_CACHE_TIER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "retrieval/context.hh"
+
+namespace cachemind::retrieval {
+
+/** Lifetime counters and occupancy for one cache tier. */
+struct TierStats
+{
+    /** Lookups served / not served by this tier. */
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    /** Entries admitted into the tier. */
+    std::uint64_t insertions = 0;
+    /** Entries displaced out of the tier by capacity pressure. */
+    std::uint64_t evictions = 0;
+    /** Offered entries the tier refused to admit (e.g. oversized). */
+    std::uint64_t rejected = 0;
+
+    /** Resident entries right now. */
+    std::size_t entries = 0;
+    /** Entry budget (0 when the tier budgets bytes, not entries). */
+    std::size_t capacity = 0;
+
+    /** Resident payload bytes (encoded form; byte-budgeted tiers). */
+    std::size_t bytes = 0;
+    /** Byte budget (0 when the tier budgets entries, not bytes). */
+    std::size_t capacity_bytes = 0;
+
+    /**
+     * Cumulative encoded / decoded payload bytes over every admitted
+     * entry; their ratio is the tier's compression ratio (< 1 means
+     * the encoded form is smaller). Zero for uncompressed tiers.
+     */
+    std::uint64_t encoded_bytes_total = 0;
+    std::uint64_t decoded_bytes_total = 0;
+
+    double
+    compressionRatio() const
+    {
+        return decoded_bytes_total == 0
+                   ? 0.0
+                   : static_cast<double>(encoded_bytes_total) /
+                         static_cast<double>(decoded_bytes_total);
+    }
+};
+
+/**
+ * One storage tier of the retrieval cache.
+ *
+ * Thread-safety contract: lookup() may be called concurrently with
+ * anything; insert() may be called concurrently with lookup() and
+ * with other insert() calls. Implementations choose their own
+ * synchronization (the clock tier's lookup is lock-free; the
+ * secondary tier takes a short mutex — it is never on the hit path
+ * of a hot-tier hit).
+ */
+class CacheTier
+{
+  public:
+    using BundlePtr = std::shared_ptr<const ContextBundle>;
+
+    /**
+     * An entry displaced out of a tier by insert(). A non-null value
+     * may be re-admitted into a lower tier (demotion); a null value
+     * records an entry that is gone for good (the tier only held an
+     * encoded form and dropped it, or refused the offered entry).
+     */
+    struct Displaced
+    {
+        std::string key;
+        BundlePtr value;
+    };
+
+    virtual ~CacheTier() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Return the bundle for `key`, nullptr on miss. Tiers that store
+     * an exclusive copy (the compressed secondary tier) remove the
+     * entry on hit — the caller re-admits it above, so one tier holds
+     * each resident key at a time.
+     */
+    virtual BundlePtr lookup(const std::string &key) = 0;
+
+    /**
+     * Admit `value` under `key`, first copy wins: when the key is
+     * already resident the offered value is dropped and nothing is
+     * displaced. Returns every entry that is *not* resident in this
+     * tier after the call — victims displaced to make room, or the
+     * offered entry itself when the tier refused it — so the caller
+     * can demote them (or count them gone).
+     */
+    virtual std::vector<Displaced> insert(const std::string &key,
+                                          BundlePtr value) = 0;
+
+    /** Resident entries (approximate under concurrency). */
+    virtual std::size_t entries() const = 0;
+
+    /** Lifetime counters + occupancy snapshot. */
+    virtual TierStats stats() const = 0;
+};
+
+} // namespace cachemind::retrieval
+
+#endif // CACHEMIND_RETRIEVAL_CACHE_TIER_HH

@@ -1,0 +1,273 @@
+#include "retrieval/clock_cache.hh"
+
+#include <algorithm>
+
+#include "base/random.hh"
+
+namespace cachemind::retrieval {
+
+ClockCacheTier::ClockCacheTier(std::size_t capacity, std::size_t slots)
+    : capacity_(capacity)
+{
+    if (capacity_ == 0)
+        return; // disabled: every lookup misses, every insert refuses
+    // Power-of-two table, at least 2x capacity, so probe windows stay
+    // sparse enough that a window-local eviction is rare.
+    std::size_t want = std::max(slots, capacity_ * 2);
+    want = std::max(want, kProbeWindow);
+    std::size_t n = 1;
+    while (n < want)
+        n <<= 1;
+    slots_ = std::vector<Slot>(n);
+    mask_ = n - 1;
+}
+
+void
+ClockCacheTier::probeSeq(const std::string &key, std::size_t *start,
+                         std::size_t *step, std::uint64_t *tag) const
+{
+    const std::uint64_t h = fnv1a(key);
+    *start = static_cast<std::size_t>(h) & mask_;
+    // Odd stride on a power-of-two table: the probe sequence visits
+    // kProbeWindow distinct slots.
+    *step = ((static_cast<std::size_t>(h >> 17) << 1) | 1) & mask_;
+    *tag = ((h >> 48) & 0xFFFFull) << kTagShift;
+}
+
+ClockCacheTier::BundlePtr
+ClockCacheTier::lookup(const std::string &key)
+{
+    if (slots_.empty()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    std::size_t start = 0, step = 0;
+    std::uint64_t tag = 0;
+    probeSeq(key, &start, &step, &tag);
+    for (std::size_t i = 0; i < kProbeWindow; ++i) {
+        Slot &slot = slots_[(start + i * step) & mask_];
+        const std::uint64_t m =
+            slot.meta.load(std::memory_order_acquire);
+        if (stateOf(m) != kStateVisible || tagOf(m) != tag)
+            continue;
+        // Pin: a slot with a nonzero refcount cannot be taken to the
+        // locked state, so key/value are stable until we release. The
+        // acq_rel RMW synchronizes with the writer's release
+        // transition to visible (ABA-safe even if the slot was reused
+        // between the load above and this pin — the key compare below
+        // decides, not the tag).
+        const std::uint64_t prev =
+            slot.meta.fetch_add(1, std::memory_order_acq_rel);
+        if (stateOf(prev) != kStateVisible) {
+            slot.meta.fetch_sub(1, std::memory_order_release);
+            continue;
+        }
+        if (slot.key == key) {
+            BundlePtr value = slot.value;
+            // Steady-state hot hits find the bit already set and skip
+            // the extra RMW; `prev` is at most one sweep stale, and a
+            // lost race with the sweep's clear just costs one early
+            // demotion, never correctness.
+            if (!(prev & kClockBit))
+                slot.meta.fetch_or(kClockBit,
+                                   std::memory_order_relaxed);
+            slot.meta.fetch_sub(1, std::memory_order_release);
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return value;
+        }
+        slot.meta.fetch_sub(1, std::memory_order_release);
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+}
+
+void
+ClockCacheTier::setState(Slot &slot, std::uint64_t state_and_tag)
+{
+    // CAS loop preserving the refcount bits: transient reader pins
+    // (fetch_add then backed-off fetch_sub on a non-visible slot) may
+    // race this, and clobbering them would make the matching release
+    // underflow the count.
+    std::uint64_t cur = slot.meta.load(std::memory_order_relaxed);
+    for (;;) {
+        const std::uint64_t desired = (cur & kRefMask) | state_and_tag;
+        if (slot.meta.compare_exchange_weak(cur, desired,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed))
+            return;
+    }
+}
+
+bool
+ClockCacheTier::tryLockForEvict(Slot &slot)
+{
+    std::uint64_t m = slot.meta.load(std::memory_order_relaxed);
+    if (stateOf(m) != kStateVisible || (m & kRefMask) != 0)
+        return false;
+    // Expected has refcount 0: a reader pinning between the load and
+    // the CAS fails the exchange, and one pinning after it observes
+    // the locked state and backs off without touching key/value. The
+    // acquire half orders the pinned readers' release decrements
+    // before our mutation of the slot.
+    return slot.meta.compare_exchange_strong(
+        m, kStateLocked, std::memory_order_acq_rel,
+        std::memory_order_relaxed);
+}
+
+void
+ClockCacheTier::evictLocked(Slot &slot, std::vector<Displaced> *out)
+{
+    out->push_back(Displaced{std::move(slot.key),
+                             std::move(slot.value)});
+    slot.key.clear();
+    slot.value.reset();
+    setState(slot, kStateEmpty);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+    ++evictions_;
+}
+
+bool
+ClockCacheTier::sweepEvictOne(std::vector<Displaced> *out)
+{
+    // Two full revolutions: the first clears every set clock bit it
+    // passes, so by the second every unpinned visible slot is
+    // evictable. Only pinned slots can escape both, and pins are
+    // transient — if everything is pinned, report failure and let the
+    // caller refuse the insert rather than spin.
+    const std::size_t bound = 2 * slots_.size();
+    for (std::size_t i = 0; i < bound; ++i) {
+        Slot &slot = slots_[hand_];
+        hand_ = (hand_ + 1) & mask_;
+        std::uint64_t m = slot.meta.load(std::memory_order_relaxed);
+        if (stateOf(m) != kStateVisible || (m & kRefMask) != 0)
+            continue;
+        if (m & kClockBit) {
+            // Second chance: clear the bit, preserve everything else.
+            while (stateOf(m) == kStateVisible && (m & kClockBit)) {
+                if (slot.meta.compare_exchange_weak(
+                        m, m & ~kClockBit, std::memory_order_relaxed,
+                        std::memory_order_relaxed))
+                    break;
+            }
+            continue;
+        }
+        if (tryLockForEvict(slot)) {
+            evictLocked(slot, out);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<ClockCacheTier::Displaced>
+ClockCacheTier::insert(const std::string &key, BundlePtr value)
+{
+    std::vector<Displaced> out;
+    if (slots_.empty()) {
+        out.push_back(Displaced{key, std::move(value)});
+        return out;
+    }
+    std::size_t start = 0, step = 0;
+    std::uint64_t tag = 0;
+    probeSeq(key, &start, &step, &tag);
+    std::lock_guard<std::mutex> lock(writer_mu_);
+
+    // First copy wins: equal keys hold byte-identical bundles, so a
+    // concurrent publish of a key another thread just inserted drops
+    // the later copy (and displaces nothing).
+    for (std::size_t i = 0; i < kProbeWindow; ++i) {
+        Slot &slot = slots_[(start + i * step) & mask_];
+        const std::uint64_t m =
+            slot.meta.load(std::memory_order_relaxed);
+        if (stateOf(m) == kStateVisible && tagOf(m) == tag &&
+            slot.key == key)
+            return out;
+    }
+
+    // Exact capacity: evict (for demotion) before admitting, so
+    // entries() never exceeds the configured budget — the budget is
+    // the budget, with no per-shard round-up slack.
+    while (entries_.load(std::memory_order_relaxed) >= capacity_) {
+        if (!sweepEvictOne(&out)) {
+            ++rejected_;
+            out.push_back(Displaced{key, std::move(value)});
+            return out;
+        }
+    }
+
+    // Placement inside the probe window: an empty slot if one exists
+    // — the whole window is scanned before any eviction is even
+    // considered, or a victim could be taken while a free slot sits
+    // later in probe order — else a window-local clock sweep (pass 0
+    // grants second chances, pass 1 takes the first unpinned slot).
+    std::size_t place = slots_.size();
+    for (std::size_t i = 0; i < kProbeWindow; ++i) {
+        const std::size_t idx = (start + i * step) & mask_;
+        if (stateOf(slots_[idx].meta.load(
+                std::memory_order_relaxed)) == kStateEmpty) {
+            place = idx;
+            break;
+        }
+    }
+    for (int pass = 0; pass < 2 && place == slots_.size(); ++pass) {
+        for (std::size_t i = 0; i < kProbeWindow; ++i) {
+            const std::size_t idx = (start + i * step) & mask_;
+            Slot &slot = slots_[idx];
+            std::uint64_t m =
+                slot.meta.load(std::memory_order_relaxed);
+            if (stateOf(m) != kStateVisible || (m & kRefMask) != 0)
+                continue;
+            if (pass == 0 && (m & kClockBit)) {
+                while (stateOf(m) == kStateVisible &&
+                       (m & kClockBit)) {
+                    if (slot.meta.compare_exchange_weak(
+                            m, m & ~kClockBit,
+                            std::memory_order_relaxed,
+                            std::memory_order_relaxed))
+                        break;
+                }
+                continue;
+            }
+            if (tryLockForEvict(slot)) {
+                evictLocked(slot, &out);
+                place = idx;
+                break;
+            }
+        }
+    }
+    if (place == slots_.size()) {
+        ++rejected_;
+        out.push_back(Displaced{key, std::move(value)});
+        return out;
+    }
+
+    Slot &slot = slots_[place];
+    setState(slot, kStateLocked);
+    slot.key = key;
+    slot.value = std::move(value);
+    // Fresh entries start with a clear clock bit — the second chance
+    // is earned by a hit, so a swept key that was re-hit always
+    // outlives one that never was. Published by the release
+    // transition to visible.
+    setState(slot, kStateVisible | tag);
+    entries_.fetch_add(1, std::memory_order_relaxed);
+    ++insertions_;
+    return out;
+}
+
+TierStats
+ClockCacheTier::stats() const
+{
+    TierStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.entries = entries_.load(std::memory_order_relaxed);
+    s.capacity = capacity_;
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    s.insertions = insertions_;
+    s.evictions = evictions_;
+    s.rejected = rejected_;
+    return s;
+}
+
+} // namespace cachemind::retrieval

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The hot tier of the retrieval cache: a fixed-slot clock cache with
+ * lock-free reads, in the HyperClock mold.
+ *
+ * The sharded-lock LRU it replaces took a shard mutex on every hit to
+ * splice the LRU list — under a serving front-end's concurrency the
+ * hottest keys serialized every session on one lock. Here a hit
+ * touches only one atomic word per probed slot: readers acquire a
+ * transient reference with a fetch_add on the slot's packed meta word
+ * (state | clock bit | tag | refcount), copy the shared_ptr while
+ * pinned, set the clock bit, and release. No reader ever blocks
+ * another reader or waits on a writer.
+ *
+ * Writers (insert / evict) serialize on one mutex — insertions are
+ * the miss path, already paying a full retrieval, so a writer lock
+ * costs nothing measurable — and communicate with readers only
+ * through the per-slot meta word: a slot is mutated only after a CAS
+ * takes it from {visible, refcount 0} to the locked state, so a
+ * pinned reader can never observe a slot mid-mutation.
+ *
+ * Replacement is CLOCK (second chance): every hit sets the slot's
+ * clock bit; the sweep clears set bits and evicts the first clear
+ * one. Fresh entries start with the bit clear — a hit earns the
+ * second chance — so a key that was re-hit since the last sweep
+ * always outlives one that never was. Eviction for capacity sweeps a
+ * global hand; eviction to make room inside a full probe window
+ * sweeps that window. Displaced entries are returned to the caller
+ * for demotion to the next tier.
+ */
+
+#ifndef CACHEMIND_RETRIEVAL_CLOCK_CACHE_HH
+#define CACHEMIND_RETRIEVAL_CLOCK_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "retrieval/cache_tier.hh"
+
+namespace cachemind::retrieval {
+
+/** Lock-free-read clock cache over immutable context bundles. */
+class ClockCacheTier final : public CacheTier
+{
+  public:
+    /**
+     * @param capacity Maximum resident bundles — exact: entries()
+     *        never exceeds it (no per-shard rounding; the configured
+     *        budget is the budget).
+     * @param slots Slot-table size; rounded up to a power of two and
+     *        to at least 2x capacity so the probe windows stay
+     *        sparse. 0 = derive from capacity.
+     */
+    explicit ClockCacheTier(std::size_t capacity,
+                            std::size_t slots = 0);
+
+    ClockCacheTier(const ClockCacheTier &) = delete;
+    ClockCacheTier &operator=(const ClockCacheTier &) = delete;
+
+    const char *name() const override { return "hot-clock"; }
+
+    /** Lock-free: probes the key's window, pins, copies, releases. */
+    BundlePtr lookup(const std::string &key) override;
+
+    std::vector<Displaced> insert(const std::string &key,
+                                  BundlePtr value) override;
+
+    std::size_t entries() const override
+    {
+        return entries_.load(std::memory_order_relaxed);
+    }
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t slotCount() const { return slots_.size(); }
+
+    TierStats stats() const override;
+
+  private:
+    /**
+     * Packed per-slot state word. Readers and writers coordinate
+     * exclusively through it:
+     *
+     *   bits  0..31  refcount (transient reader pins)
+     *   bits 32..33  state: 0 empty, 1 locked (writer), 2 visible
+     *   bit  34      clock (second-chance) bit
+     *   bits 40..55  16-bit key-hash tag (probe filter)
+     */
+    static constexpr std::uint64_t kRefMask = 0xFFFFFFFFull;
+    static constexpr int kStateShift = 32;
+    static constexpr std::uint64_t kStateMask = 3ull << kStateShift;
+    static constexpr std::uint64_t kStateEmpty = 0ull << kStateShift;
+    static constexpr std::uint64_t kStateLocked = 1ull << kStateShift;
+    static constexpr std::uint64_t kStateVisible = 2ull << kStateShift;
+    static constexpr std::uint64_t kClockBit = 1ull << 34;
+    static constexpr int kTagShift = 40;
+    static constexpr std::uint64_t kTagMask = 0xFFFFull << kTagShift;
+
+    /** Probe-window length: every key lives in one of these slots. */
+    static constexpr std::size_t kProbeWindow = 16;
+
+    struct Slot
+    {
+        std::atomic<std::uint64_t> meta{0};
+        /** Mutated only by a writer holding the slot locked. */
+        std::string key;
+        BundlePtr value;
+    };
+
+    static std::uint64_t stateOf(std::uint64_t m) { return m & kStateMask; }
+    static std::uint64_t tagOf(std::uint64_t m) { return m & kTagMask; }
+
+    /** The key's probe sequence start and (odd) stride. */
+    void probeSeq(const std::string &key, std::size_t *start,
+                  std::size_t *step, std::uint64_t *tag) const;
+
+    /**
+     * Transition `slot` (which the writer mutex protects from other
+     * writers) between states with a CAS loop that preserves the
+     * refcount bits — transient reader pins must never be clobbered,
+     * or their matching release would underflow.
+     */
+    void setState(Slot &slot, std::uint64_t state_and_tag);
+
+    /**
+     * Take a visible, unpinned slot to the locked state. False when
+     * the slot is pinned (a reader holds a reference) or not visible.
+     */
+    bool tryLockForEvict(Slot &slot);
+
+    /** Evict `slot` (locked by tryLockForEvict) into `out`. */
+    void evictLocked(Slot &slot, std::vector<Displaced> *out);
+
+    /**
+     * Clock sweep from the global hand: clear set clock bits, evict
+     * the first clear unpinned slot. False when a bounded sweep finds
+     * no victim (everything pinned). Caller holds writer_mu_.
+     */
+    bool sweepEvictOne(std::vector<Displaced> *out);
+
+    std::size_t capacity_ = 0;
+    std::size_t mask_ = 0;
+    std::vector<Slot> slots_;
+    std::atomic<std::size_t> entries_{0};
+
+    /** Serializes insert/evict; never touched by lookup(). */
+    mutable std::mutex writer_mu_;
+    /** Global clock hand (writer-only, under writer_mu_). */
+    std::size_t hand_ = 0;
+
+    mutable std::atomic<std::uint64_t> hits_{0};
+    mutable std::atomic<std::uint64_t> misses_{0};
+    std::uint64_t insertions_ = 0; // writer-only, under writer_mu_
+    std::uint64_t evictions_ = 0;
+    std::uint64_t rejected_ = 0;
+};
+
+} // namespace cachemind::retrieval
+
+#endif // CACHEMIND_RETRIEVAL_CLOCK_CACHE_HH

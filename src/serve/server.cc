@@ -185,7 +185,10 @@ struct Server::Impl
           shared_cache(
               opts.retrieval_cache_capacity
                   ? std::make_shared<retrieval::RetrievalCache>(
-                        opts.retrieval_cache_capacity)
+                        retrieval::RetrievalCache::Options{
+                            opts.retrieval_cache_capacity,
+                            opts.retrieval_cache_hot_slots,
+                            opts.retrieval_cache_secondary_bytes})
                   : nullptr)
     {
     }
@@ -616,6 +619,11 @@ Server::Impl::snapshot() const
             agg.evictions += c.evictions;
         }
     }
+    // Tier stats come straight from the ONE shared cache — every
+    // engine reports the same numbers, so summing per engine would
+    // multiply them by the pool size.
+    if (shared_cache)
+        s.engine.cache_tiers = shared_cache->tiered();
     return s;
 }
 
@@ -748,6 +756,19 @@ statsFrame(const std::string &id, const ServeStats &stats)
                          stats.engine.stream.warmup_ms_total);
     frame += countField("cache_hits", stats.engine.cache.hits);
     frame += countField("cache_misses", stats.engine.cache.misses);
+    const auto &tiers = stats.engine.cache_tiers;
+    frame += countField("hot_hits", tiers.hot.hits);
+    frame += countField("hot_misses", tiers.hot.misses);
+    frame += countField("hot_entries", tiers.hot.entries);
+    frame += countField("hot_capacity", tiers.hot.capacity);
+    frame += countField("secondary_hits", tiers.secondary.hits);
+    frame += countField("secondary_misses", tiers.secondary.misses);
+    frame += countField("secondary_entries", tiers.secondary.entries);
+    frame += countField("secondary_bytes", tiers.secondary.bytes);
+    frame += countField("promotions", tiers.promotions);
+    frame += countField("demotions", tiers.demotions);
+    frame += numberField("compression_ratio",
+                         tiers.secondary.compressionRatio());
     frame += numberField("first_event_p50_ms",
                          stats.engine.stream.first_event_p50_ms);
     frame += numberField("first_event_p90_ms",

@@ -73,6 +73,16 @@ struct ServeOptions
     /** Capacity of the ONE retrieval cache shared by all engines. */
     std::size_t retrieval_cache_capacity = 1024;
     /**
+     * Encoded-byte budget of the shared cache's compressed secondary
+     * tier (0 = tier off). On by default: a serving question
+     * distribution has a long tail, and keeping demoted bundles in
+     * codec form turns most would-be recomputes into decode +
+     * re-promote.
+     */
+    std::size_t retrieval_cache_secondary_bytes = 16u << 20;
+    /** Hot-tier slot-table size (0 = derive from capacity). */
+    std::size_t retrieval_cache_hot_slots = 0;
+    /**
      * SO_SNDBUF for accepted sockets (0 = kernel default). Tests
      * shrink it so a deliberately slow client exercises channel
      * backpressure instead of hiding behind kernel buffering.

@@ -3,25 +3,33 @@
  * Tests for the retrievers: Sieve's symbolic filtering, premise
  * checks, and evidence windows; Ranger's planning, execution, and
  * exact counting; the LlamaIndex baseline's characteristic failure;
- * cross-retriever properties (parameterized); and the shared
- * cross-question RetrievalCache (LRU order, single-flight under a
- * multi-thread hammer, cache-key discipline).
+ * cross-retriever properties (parameterized); and the tiered
+ * cross-question RetrievalCache (clock second-chance semantics, exact
+ * capacity, secondary-tier demotion/promotion, codec round trips,
+ * single-flight under a multi-thread hammer, cache-key discipline).
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
 #include <map>
 #include <memory>
 #include <thread>
 
+#include "base/random.hh"
 #include "base/str.hh"
 #include "db/builder.hh"
 #include "query/parser.hh"
+#include "retrieval/bundle_codec.hh"
 #include "retrieval/cache.hh"
+#include "retrieval/clock_cache.hh"
 #include "retrieval/llamaindex.hh"
 #include "retrieval/ranger.hh"
+#include "retrieval/secondary_tier.hh"
 #include "retrieval/sieve.hh"
 
 using namespace cachemind;
@@ -442,37 +450,112 @@ TEST(RetrievalCacheTest, HitReturnsTheSharedBundle)
     EXPECT_EQ(counters.evictions, 0u);
 }
 
-TEST(RetrievalCacheTest, LruEvictionOrder)
+TEST(RetrievalCacheTest, ClockSecondChanceKeepsReHitKeyResident)
 {
-    // One lock shard = one global LRU order, so eviction order is
-    // exactly observable.
-    RetrievalCache cache(/*capacity=*/3, /*lock_shards=*/1);
+    // CLOCK semantics at the tier level: a hit sets the clock bit,
+    // fresh inserts start with it clear, so the sweep always evicts a
+    // key that was never re-hit before one that was — whatever the
+    // hash-determined slot order.
+    ClockCacheTier tier(/*capacity=*/2);
+    EXPECT_EQ(tier.insert("a", taggedBundle("a")).size(), 0u);
+    for (int i = 0; i < 16; ++i) {
+        // Re-hit "a" before every insert: its clock bit is set when
+        // the capacity sweep runs, the newcomer's is not.
+        const auto hit = tier.lookup("a");
+        ASSERT_TRUE(hit);
+        EXPECT_EQ(hit->result_text, "a");
+        const auto displaced =
+            tier.insert("k" + std::to_string(i),
+                        taggedBundle("k" + std::to_string(i)));
+        for (const auto &d : displaced)
+            EXPECT_NE(d.key, "a");
+        EXPECT_LE(tier.entries(), 2u);
+    }
+    EXPECT_TRUE(tier.lookup("a"));
+    const auto stats = tier.stats();
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.insertions, 17u);
+    EXPECT_EQ(stats.evictions, 15u);
+}
+
+TEST(RetrievalCacheTest, ExactCapacityIsNeverExceeded)
+{
+    // The sharded LRU this replaced rounded per-shard budgets up, so
+    // effective capacity could exceed the configured value by up to
+    // lock_shards - 1. The clock tier's budget is exact: occupancy
+    // never passes `capacity`, shards or no shards.
+    constexpr std::size_t kCapacity = 5;
+    RetrievalCache cache(kCapacity, /*lock_shards=*/8);
+    for (int i = 0; i < 50; ++i) {
+        const std::string key = "key-" + std::to_string(i);
+        cache.getOrCompute(key, [&] { return taggedBundle(key); });
+        EXPECT_LE(cache.size(), kCapacity) << "after insert " << i;
+    }
+    EXPECT_EQ(cache.size(), kCapacity);
+    EXPECT_EQ(cache.counters().evictions, 50u - kCapacity);
+    EXPECT_EQ(cache.tiered().hot.entries, kCapacity);
+}
+
+TEST(RetrievalCacheTest, SecondaryTierRecoversHotEvictions)
+{
+    // Hot tier of 2 over a roomy secondary: bundles demoted out of
+    // the hot tier land in the secondary in codec form, so re-getting
+    // every key decodes + re-promotes instead of recomputing — zero
+    // recomputes across the whole second pass.
+    RetrievalCache::Options options;
+    options.capacity = 2;
+    options.secondary_capacity_bytes = 1u << 20;
+    RetrievalCache cache(options);
     std::map<std::string, int> computes;
-    const auto insert = [&](const std::string &key) {
+    const auto get = [&](const std::string &key) {
         return cache.getOrCompute(key, [&] {
             ++computes[key];
             return taggedBundle(key);
         });
     };
-    insert("a");
-    insert("b");
-    insert("c");
-    EXPECT_EQ(cache.size(), 3u);
+    constexpr int kKeys = 10;
+    for (int i = 0; i < kKeys; ++i)
+        get("key-" + std::to_string(i));
+    for (int round = 0; round < 2; ++round) {
+        for (int i = 0; i < kKeys; ++i) {
+            const std::string key = "key-" + std::to_string(i);
+            const auto bundle = get(key);
+            ASSERT_TRUE(bundle);
+            EXPECT_EQ(bundle->result_text, key);
+            EXPECT_EQ(computes[key], 1) << key;
+        }
+    }
+    const auto tiers = cache.tiered();
+    EXPECT_TRUE(tiers.secondary_enabled);
+    EXPECT_LE(tiers.hot.entries, 2u);
+    EXPECT_GE(tiers.secondary.hits, static_cast<std::uint64_t>(kKeys));
+    EXPECT_EQ(tiers.promotions, tiers.secondary.hits);
+    EXPECT_GE(tiers.demotions, tiers.secondary.hits);
+    // Nothing ever left the cache: the secondary absorbed every
+    // demotion, so cache-level evictions stayed at zero.
+    EXPECT_EQ(cache.counters().evictions, 0u);
+    EXPECT_EQ(cache.size(), static_cast<std::size_t>(kKeys));
+}
 
-    insert("a"); // touch: a becomes most recent, b is now the LRU
-    insert("d"); // evicts b
-    EXPECT_EQ(cache.size(), 3u);
-    EXPECT_EQ(cache.counters().evictions, 1u);
+TEST(RetrievalCacheTest, SecondaryTierByteBudgetIsExact)
+{
+    // The secondary tier budgets encoded bytes exactly: occupancy
+    // never exceeds the budget, oversized entries are rejected.
+    SecondaryTier tier(/*capacity_bytes=*/4096);
+    auto big = std::make_shared<ContextBundle>();
+    big->result_text.assign(8192, 'x');
+    const auto rejected = tier.insert("big", big);
+    ASSERT_EQ(rejected.size(), 1u);
+    EXPECT_EQ(rejected[0].key, "big");
+    EXPECT_EQ(tier.stats().rejected, 1u);
 
-    insert("a"); // still resident
-    insert("c"); // still resident
-    insert("d"); // still resident
-    EXPECT_EQ(computes["a"], 1);
-    EXPECT_EQ(computes["c"], 1);
-    EXPECT_EQ(computes["d"], 1);
-
-    insert("b"); // was evicted: recomputes
-    EXPECT_EQ(computes["b"], 2);
+    for (int i = 0; i < 64; ++i) {
+        auto bundle = std::make_shared<ContextBundle>();
+        bundle->result_text.assign(200, static_cast<char>('a' + i % 26));
+        tier.insert("k" + std::to_string(i), bundle);
+        EXPECT_LE(tier.bytes(), 4096u);
+    }
+    EXPECT_GT(tier.stats().evictions, 0u);
 }
 
 TEST(RetrievalCacheTest, CapacityZeroDisablesCaching)
@@ -565,6 +648,326 @@ TEST(RetrievalCacheTest, DistinctKeysUnderConcurrency)
     EXPECT_EQ(computes.load(), kKeys);
     EXPECT_EQ(mismatches.load(), 0);
     EXPECT_EQ(cache.size(), static_cast<std::size_t>(kKeys));
+}
+
+TEST(RetrievalCacheTest, TieredChurnHammerStaysByteIdentical)
+{
+    // 8 threads over 32 keys against a 4-entry hot tier and a
+    // secondary small enough to lose entries: constant demotion /
+    // promotion / eviction churn. The byte-identity contract must
+    // hold through all of it — every lookup returns the key's own
+    // bundle, bit for bit, no matter which tier served it. Runs under
+    // TSan and ASan in CI.
+    RetrievalCache::Options options;
+    options.capacity = 4;
+    options.secondary_capacity_bytes = 8u << 10;
+    RetrievalCache cache(options);
+    constexpr int kThreads = 8;
+    constexpr int kOps = 400;
+    constexpr int kKeys = 32;
+    const auto bundleFor = [](const std::string &key) {
+        auto bundle = std::make_shared<ContextBundle>();
+        bundle->result_text = key;
+        // Bulk so a handful of bundles overflows the secondary.
+        bundle->function_code.assign(1024, 'x');
+        return std::shared_ptr<const ContextBundle>(std::move(bundle));
+    };
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> pool;
+    pool.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            Rng rng(0xC0FFEEull + static_cast<std::uint64_t>(t));
+            for (int i = 0; i < kOps; ++i) {
+                const std::string key =
+                    "key-" + std::to_string(rng.nextBelow(kKeys));
+                std::shared_ptr<const ContextBundle> bundle;
+                if (rng.nextBool(0.7)) {
+                    bundle = cache.getOrCompute(
+                        key, [&] { return bundleFor(key); });
+                } else {
+                    // The streaming protocol: peek, retrieve on our
+                    // own on a miss, publish.
+                    bundle = cache.peek(key);
+                    if (!bundle) {
+                        bundle = bundleFor(key);
+                        cache.publish(key, bundle);
+                    }
+                }
+                if (!bundle || bundle->result_text != key ||
+                    bundle->function_code !=
+                        std::string(1024, 'x'))
+                    mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    const auto tiers = cache.tiered();
+    EXPECT_LE(tiers.hot.entries, 4u);
+    EXPECT_LE(tiers.secondary.bytes, 8u << 10);
+    // The workload must actually have churned through the seam.
+    EXPECT_GT(tiers.demotions, 0u);
+    EXPECT_GT(tiers.promotions, 0u);
+    EXPECT_GT(cache.counters().evictions, 0u);
+}
+
+// ------------------------------------------------- bundle codec
+
+namespace {
+
+std::string
+randomCodecString(Rng &rng, std::size_t max_len)
+{
+    std::string s;
+    const std::size_t len = rng.nextBelow(max_len + 1);
+    s.reserve(len);
+    for (std::size_t i = 0; i < len; ++i)
+        s.push_back(static_cast<char>(rng.nextBelow(256)));
+    return s;
+}
+
+double
+randomCodecDouble(Rng &rng)
+{
+    switch (rng.nextBelow(6)) {
+    case 0:
+        return std::nan("");
+    case 1:
+        return std::numeric_limits<double>::infinity();
+    case 2:
+        return -std::numeric_limits<double>::infinity();
+    case 3:
+        return -0.0;
+    case 4:
+        return 0.0;
+    default:
+        return (rng.nextDouble() - 0.5) * 1e12;
+    }
+}
+
+db::PcStats
+randomPcStats(Rng &rng)
+{
+    db::PcStats s;
+    s.pc = rng.next();
+    s.accesses = rng.next();
+    s.hits = rng.next();
+    s.misses = rng.next();
+    s.evictions_caused = rng.next();
+    s.wrong_evictions = rng.next();
+    s.never_reused = rng.next();
+    s.mean_reuse_distance = randomCodecDouble(rng);
+    s.reuse_distance_stdev = randomCodecDouble(rng);
+    s.mean_evicted_reuse_distance = randomCodecDouble(rng);
+    s.mean_recency = randomCodecDouble(rng);
+    return s;
+}
+
+db::AccessRow
+randomRow(Rng &rng, const std::vector<std::string> &shared_strings)
+{
+    db::AccessRow r;
+    r.index = rng.next();
+    r.program_counter = rng.next();
+    r.memory_address = rng.next();
+    r.cache_set_id = static_cast<std::uint32_t>(rng.next());
+    r.is_miss = rng.nextBool(0.5);
+    r.bypassed = rng.nextBool(0.2);
+    r.miss_type = static_cast<sim::MissType>(rng.nextBelow(4));
+    r.has_victim = rng.nextBool(0.5);
+    r.evicted_address = rng.next();
+    r.accessed_reuse_distance = rng.nextRange(-1, 1 << 20);
+    r.accessed_recency = rng.nextRange(-1, 1 << 20);
+    r.evicted_reuse_distance = rng.nextRange(-1, 1 << 20);
+    r.wrong_eviction = rng.nextBool(0.3);
+    // Rows of a slice repeat source strings constantly — draw from a
+    // shared pool so the string table's dedupe is exercised.
+    const auto pick = [&]() -> const std::string & {
+        return shared_strings[rng.nextBelow(shared_strings.size())];
+    };
+    r.recency_text = pick();
+    r.function_name = pick();
+    r.function_code = pick();
+    r.assembly_code = pick();
+    const std::size_t lines = rng.nextBelow(5);
+    for (std::size_t i = 0; i < lines; ++i)
+        r.current_cache_lines.push_back(
+            db::PcAddr{rng.next(), rng.next()});
+    const std::size_t scores = rng.nextBelow(5);
+    for (std::size_t i = 0; i < scores; ++i)
+        r.cache_line_eviction_scores.push_back(rng.next());
+    const std::size_t hist = rng.nextBelow(5);
+    for (std::size_t i = 0; i < hist; ++i)
+        r.recent_access_history.push_back(
+            db::PcAddr{rng.next(), rng.next()});
+    return r;
+}
+
+ContextBundle
+randomBundle(Rng &rng)
+{
+    std::vector<std::string> shared_strings;
+    for (int i = 0; i < 6; ++i)
+        shared_strings.push_back(randomCodecString(rng, 64));
+
+    ContextBundle b;
+    b.retriever = randomCodecString(rng, 16);
+    b.parsed.intent =
+        static_cast<query::QueryIntent>(rng.nextBelow(14));
+    if (rng.nextBool(0.5))
+        b.parsed.pc = rng.next();
+    if (rng.nextBool(0.5))
+        b.parsed.address = rng.next();
+    if (rng.nextBool(0.5))
+        b.parsed.set_id = static_cast<std::uint32_t>(rng.next());
+    for (std::size_t i = rng.nextBelow(3); i > 0; --i)
+        b.parsed.workloads.push_back(randomCodecString(rng, 12));
+    for (std::size_t i = rng.nextBelow(3); i > 0; --i)
+        b.parsed.policies.push_back(randomCodecString(rng, 12));
+    b.parsed.agg = static_cast<query::AggKind>(rng.nextBelow(6));
+    b.parsed.field = static_cast<query::FieldKind>(rng.nextBelow(6));
+    b.parsed.top_n = static_cast<std::size_t>(rng.nextBelow(100));
+    b.parsed.raw = randomCodecString(rng, 120);
+    b.trace_key = randomCodecString(rng, 32);
+    for (std::size_t i = rng.nextBelow(8); i > 0; --i)
+        b.rows.push_back(randomRow(rng, shared_strings));
+    b.total_matches = static_cast<std::size_t>(rng.next());
+    b.total_is_exact = rng.nextBool(0.5);
+    if (rng.nextBool(0.5))
+        b.pc_stats = randomPcStats(rng);
+    for (std::size_t i = rng.nextBelow(4); i > 0; --i)
+        b.pc_stats_list.push_back(randomPcStats(rng));
+    for (std::size_t i = rng.nextBelow(4); i > 0; --i) {
+        db::SetStats s;
+        s.set = static_cast<std::uint32_t>(rng.next());
+        s.accesses = rng.next();
+        s.hits = rng.next();
+        b.set_stats.push_back(s);
+    }
+    for (std::size_t i = rng.nextBelow(4); i > 0; --i) {
+        PolicyNumber p;
+        p.policy = randomCodecString(rng, 12);
+        p.value = randomCodecDouble(rng);
+        p.samples = rng.next();
+        b.policy_numbers.push_back(p);
+    }
+    b.policy_numbers_label = randomCodecString(rng, 24);
+    b.metadata = randomCodecString(rng, 200);
+    b.workload_description = randomCodecString(rng, 200);
+    b.policy_description = randomCodecString(rng, 200);
+    b.function_name = randomCodecString(rng, 32);
+    b.function_code = randomCodecString(rng, 200);
+    b.assembly = randomCodecString(rng, 200);
+    for (std::size_t i = rng.nextBelow(10); i > 0; --i)
+        b.values.push_back(rng.next());
+    b.values_complete = rng.nextBool(0.5);
+    if (rng.nextBool(0.5))
+        b.computed = randomCodecDouble(rng);
+    b.generated_code = randomCodecString(rng, 200);
+    b.result_text = randomCodecString(rng, 200);
+    b.premise_violation = rng.nextBool(0.2);
+    b.premise_note = randomCodecString(rng, 64);
+    b.retrieval_ms = randomCodecDouble(rng);
+    return b;
+}
+
+/** Bit-exact double compare (NaN-safe). */
+bool
+sameBits(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+} // namespace
+
+TEST(BundleCodecTest, RoundTripIsByteExactOverRandomBundles)
+{
+    // Property test: decode(encode(b)) reproduces every field of b,
+    // including NaN/infinity payload bits and render() output, and
+    // re-encoding the decoded bundle reproduces the exact bytes —
+    // which pins every field jointly, in order.
+    Rng rng(0xB17E5ull);
+    for (int iter = 0; iter < 40; ++iter) {
+        const ContextBundle original = randomBundle(rng);
+        const std::string encoded = encodeBundle(original);
+        const auto decoded = decodeBundle(encoded);
+        ASSERT_TRUE(decoded.has_value()) << "iter " << iter;
+        EXPECT_EQ(encodeBundle(*decoded), encoded) << "iter " << iter;
+
+        // Spot checks on top of the re-encode identity.
+        EXPECT_EQ(decoded->retriever, original.retriever);
+        EXPECT_EQ(decoded->parsed.raw, original.parsed.raw);
+        EXPECT_EQ(decoded->parsed.slotKey(),
+                  original.parsed.slotKey());
+        EXPECT_EQ(decoded->trace_key, original.trace_key);
+        ASSERT_EQ(decoded->rows.size(), original.rows.size());
+        for (std::size_t i = 0; i < original.rows.size(); ++i) {
+            EXPECT_EQ(decoded->rows[i].assembly_code,
+                      original.rows[i].assembly_code);
+            EXPECT_EQ(decoded->rows[i].recent_access_history,
+                      original.rows[i].recent_access_history);
+        }
+        EXPECT_EQ(decoded->pc_stats.has_value(),
+                  original.pc_stats.has_value());
+        if (original.pc_stats)
+            EXPECT_TRUE(
+                sameBits(decoded->pc_stats->mean_reuse_distance,
+                         original.pc_stats->mean_reuse_distance));
+        EXPECT_EQ(decoded->values, original.values);
+        EXPECT_EQ(decoded->computed.has_value(),
+                  original.computed.has_value());
+        if (original.computed)
+            EXPECT_TRUE(sameBits(*decoded->computed,
+                                 *original.computed));
+        EXPECT_TRUE(
+            sameBits(decoded->retrieval_ms, original.retrieval_ms));
+        EXPECT_EQ(decoded->render(), original.render());
+    }
+}
+
+TEST(BundleCodecTest, CompressesRepeatedStrings)
+{
+    // The string table is the compression: a slice whose rows repeat
+    // their source strings must encode far smaller than the decoded
+    // footprint.
+    ContextBundle b;
+    b.retriever = "sieve";
+    db::AccessRow row;
+    row.function_name = "spec_qbmv_mult";
+    row.function_code = std::string(512, 'c');
+    row.assembly_code = std::string(512, 'a');
+    row.recency_text = "first access to this address";
+    for (int i = 0; i < 64; ++i) {
+        row.index = static_cast<std::uint64_t>(i);
+        b.rows.push_back(row);
+    }
+    const std::string encoded = encodeBundle(b);
+    EXPECT_LT(encoded.size() * 10, approxBundleBytes(b));
+    const auto decoded = decodeBundle(encoded);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->render(), b.render());
+}
+
+TEST(BundleCodecTest, MalformedInputDecodesToNullopt)
+{
+    Rng rng(0xDEADull);
+    const ContextBundle original = randomBundle(rng);
+    const std::string encoded = encodeBundle(original);
+    // Every strict prefix is truncated mid-field somewhere: reads are
+    // sequential and consume the whole buffer, so all must fail
+    // cleanly (treated as a cache miss), never crash.
+    for (std::size_t len = 0; len < encoded.size(); ++len)
+        EXPECT_FALSE(decodeBundle(encoded.substr(0, len)).has_value())
+            << "prefix " << len;
+    // Wrong magic / version.
+    std::string bad = encoded;
+    bad[0] = 'X';
+    EXPECT_FALSE(decodeBundle(bad).has_value());
+    bad = encoded;
+    bad[2] = static_cast<char>(0x7F);
+    EXPECT_FALSE(decodeBundle(bad).has_value());
 }
 
 // ------------------------------------ indexed vs scan execution

@@ -291,7 +291,9 @@ TEST(StreamCacheTest, PeekAndPublishPopulateWithoutBlocking)
                   &outcome);
     EXPECT_EQ(cache.peek("k", &outcome), bundle);
 
-    // Publishing past capacity evicts in LRU order.
+    // Publishing past capacity evicts via the hot tier's clock sweep
+    // (with no secondary tier configured, displaced bundles are
+    // dropped); the entry budget holds exactly.
     for (int i = 0; i < 8; ++i) {
         cache.publish("fill" + std::to_string(i),
                       std::make_shared<
