@@ -17,9 +17,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -32,6 +35,7 @@
 #include "core/cachemind.hh"
 #include "db/builder.hh"
 #include "db/index.hh"
+#include "db/postings_ops.hh"
 #include "policy/basic_policies.hh"
 #include "query/dsl.hh"
 #include "retrieval/cache.hh"
@@ -203,6 +207,155 @@ BENCHMARK(BM_TraceIndexBuild)->Unit(benchmark::kMillisecond);
 namespace {
 
 /**
+ * The postings-intersection grid: row-id lists drawn at the given
+ * densities (per-mille of a 4-chunk universe), so the arms cover the
+ * adaptive selector's whole decision surface — skewed pairs (gallop),
+ * balanced sparse pairs (linear SIMD merge), and dense pairs (bitmap
+ * containers, word-wise AND).
+ */
+struct IntersectFixture
+{
+    std::vector<std::uint32_t> a, b;
+    db::PostingsStore sa, sb;
+
+    IntersectFixture(int density_a_pm, int density_b_pm)
+    {
+        std::mt19937 rng(0x9E3779B9u ^
+                         static_cast<std::uint32_t>(
+                             density_a_pm * 1000 + density_b_pm));
+        const std::uint32_t universe = 4u * db::kPostingsChunkSize;
+        const auto draw = [&](int pm) {
+            std::bernoulli_distribution keep(pm / 1000.0);
+            std::vector<std::uint32_t> rows;
+            for (std::uint32_t r = 0; r < universe; ++r)
+                if (keep(rng))
+                    rows.push_back(r);
+            return rows;
+        };
+        a = draw(density_a_pm);
+        b = draw(density_b_pm);
+        sa.appendKey(a.data(), a.size());
+        sa.shrink();
+        sb.appendKey(b.data(), b.size());
+        sb.shrink();
+    }
+};
+
+const IntersectFixture &
+intersectFixture(int density_a_pm, int density_b_pm)
+{
+    // One fixture per grid point, built lazily and kept for the run.
+    static std::vector<std::unique_ptr<IntersectFixture>> cache;
+    static std::vector<std::pair<int, int>> keys;
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        if (keys[i] == std::make_pair(density_a_pm, density_b_pm))
+            return *cache[i];
+    keys.emplace_back(density_a_pm, density_b_pm);
+    cache.push_back(std::make_unique<IntersectFixture>(density_a_pm,
+                                                       density_b_pm));
+    return *cache.back();
+}
+
+/**
+ * The pre-PR kernel, kept verbatim for the speedup denominator: flat
+ * uint32 postings with exponential-probe galloping from the old
+ * TraceIndex::intersect. BM_PostingsIntersect's perf gate is measured
+ * against this arm on the same lists.
+ */
+std::size_t
+flatGallopLowerBound(const std::vector<std::uint32_t> &rows,
+                     std::size_t lo, std::uint32_t target)
+{
+    std::size_t step = 1;
+    std::size_t hi = lo;
+    while (hi < rows.size() && rows[hi] < target) {
+        lo = hi;
+        hi += step;
+        step <<= 1;
+    }
+    const auto begin = rows.begin() +
+                       static_cast<std::ptrdiff_t>(lo);
+    const auto end = rows.begin() + static_cast<std::ptrdiff_t>(
+                                        std::min(hi, rows.size()));
+    return static_cast<std::size_t>(
+        std::lower_bound(begin, end, target) - rows.begin());
+}
+
+void
+flatGallopIntersect(const std::vector<std::uint32_t> &small,
+                    const std::vector<std::uint32_t> &large,
+                    std::vector<std::uint32_t> &out)
+{
+    out.clear();
+    std::size_t pos = 0;
+    for (const std::uint32_t row : small) {
+        pos = flatGallopLowerBound(large, pos, row);
+        if (pos == large.size())
+            break;
+        if (large[pos] == row)
+            out.push_back(row);
+    }
+}
+
+} // namespace
+
+static void
+BM_PostingsIntersect(benchmark::State &state)
+{
+    // Chunked containers + adaptive kernel selector (the PR under
+    // test). Grid: {skewed sparse/dense, balanced sparse, balanced
+    // mid, dense/dense} as (density_a, density_b) per-mille pairs.
+    const auto &fx = intersectFixture(static_cast<int>(state.range(0)),
+                                      static_cast<int>(state.range(1)));
+    const db::PostingsList la = fx.sa.list(0);
+    const db::PostingsList lb = fx.sb.list(0);
+    std::vector<std::uint32_t> out;
+    for (auto _ : state) {
+        db::intersectLists(la, lb, 0, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(fx.a.size() + fx.b.size()));
+    state.counters["matches"] = static_cast<double>(out.size());
+    state.counters["simd"] = db::simdCompiled() ? 1.0 : 0.0;
+}
+BENCHMARK(BM_PostingsIntersect)
+    ->Args({1, 100})   // skewed: gallop territory
+    ->Args({10, 10})   // balanced sparse: linear (SIMD) merge
+    ->Args({50, 50})   // balanced mid: merge near the array cap
+    ->Args({200, 200}) // dense: bitmap word-AND
+    ->Unit(benchmark::kMicrosecond);
+
+static void
+BM_PostingsIntersectRef(benchmark::State &state)
+{
+    // The pre-PR galloping baseline on the identical lists; the perf
+    // gate tracks BM_PostingsIntersect's speedup over this arm.
+    const auto &fx = intersectFixture(static_cast<int>(state.range(0)),
+                                      static_cast<int>(state.range(1)));
+    const auto &small = fx.a.size() <= fx.b.size() ? fx.a : fx.b;
+    const auto &large = fx.a.size() <= fx.b.size() ? fx.b : fx.a;
+    std::vector<std::uint32_t> out;
+    for (auto _ : state) {
+        flatGallopIntersect(small, large, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(fx.a.size() + fx.b.size()));
+    state.counters["matches"] = static_cast<double>(out.size());
+}
+BENCHMARK(BM_PostingsIntersectRef)
+    ->Args({1, 100})
+    ->Args({10, 10})
+    ->Args({50, 50})
+    ->Args({200, 200})
+    ->Unit(benchmark::kMicrosecond);
+
+namespace {
+
+/**
  * The cold-sweep scenario (the CacheMindBench common case): every
  * question is unique, so the cross-question bundle cache never hits
  * and each question pays full filter/DSL execution on its shard.
@@ -296,6 +449,35 @@ BM_ColdQuestionRetrieval(benchmark::State &state)
 BENCHMARK(BM_ColdQuestionRetrieval)
     ->Arg(0)  // reference scan path
     ->Arg(1)  // postings index
+    ->Unit(benchmark::kMillisecond);
+
+static void
+BM_MultiProgramPlan(benchmark::State &state)
+{
+    // Ranger's policy-comparison plan: one DSL program per policy
+    // shard, the fan-out that shard-parallel execution targets. Arg
+    // is the exec_threads knob (1 = sequential, 4 = parallel); the
+    // bundle is byte-identical in both arms, only wall clock moves.
+    const auto &database = fullDb();
+    retrieval::RangerConfig cfg;
+    cfg.exec_threads = static_cast<std::size_t>(state.range(0));
+    retrieval::RangerRetriever ranger(database, cfg);
+    const std::vector<std::string> questions = {
+        "Which policy has the lowest miss rate in the mcf workload?",
+        "Which policy has the highest miss rate in the astar "
+        "workload?",
+        "Which policy has the lowest miss rate in the lbm workload?",
+    };
+    std::size_t qi = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            ranger.retrieve(questions[qi++ % questions.size()]));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MultiProgramPlan)
+    ->Arg(1)  // sequential program execution
+    ->Arg(4)  // shard-parallel workers
     ->Unit(benchmark::kMillisecond);
 
 namespace {

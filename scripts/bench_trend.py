@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Cross-commit drift detection over archived bench trajectories.
+
+The perf-smoke job archives one ``BENCH_micro_perf.json`` per commit
+(the bench trajectory). ``check_bench_regression.py`` gates each run
+against a fixed baseline with a generous threshold, which by design
+lets slow creep through: a 1.3x slowdown passes every individual gate
+and compounds across PRs. This script closes that gap: point it at a
+directory of archived runs (filenames sorting in commit order — date-
+or sequence-prefixed) and it fits a least-squares drift line per
+tracked benchmark, in units of *fraction of the series mean per run*,
+and warns when the slope exceeds a configurable budget.
+
+Usage:
+    bench_trend.py RUNS_DIR [--slope-warn FRACTION] [--min-runs N]
+                   [--strict]
+
+``--strict`` turns slope warnings into exit status 1 (advisory by
+default: two adjacent archived runs on different CI runner generations
+can legitimately drift, so the gate that blocks merges stays the
+per-run regression check).
+
+Exit status: 0 when no tracked benchmark drifts above the budget (or
+the series is shorter than --min-runs, reported as a note); 1 under
+--strict when any does.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+from check_bench_regression import TRACKED, first_match, load_times
+
+
+def fit_slope(samples):
+    """Least-squares slope of samples over run index, per-run.
+
+    Returned in relative units (fraction of the series mean per run)
+    so one budget applies to microsecond and millisecond benchmarks
+    alike. A flat series fits 0.0; a series growing 5% of its mean
+    every run fits 0.05.
+    """
+    n = len(samples)
+    mean_x = (n - 1) / 2.0
+    mean_y = sum(samples) / n
+    if mean_y == 0:
+        return 0.0
+    num = sum((i - mean_x) * (y - mean_y)
+              for i, y in enumerate(samples))
+    den = sum((i - mean_x) ** 2 for i in range(n))
+    return (num / den) / mean_y if den else 0.0
+
+
+def load_series(runs_dir):
+    """[(run_name, {bench -> ns})] in filename (= commit) order."""
+    paths = sorted(Path(runs_dir).glob("*.json"))
+    series = []
+    for path in paths:
+        try:
+            times = load_times(path)
+        except (OSError, ValueError) as err:
+            print(f"note: skipping {path.name}: {err}")
+            continue
+        if times:
+            series.append((path.name, times))
+        else:
+            print(f"note: skipping {path.name}: no benchmark entries")
+    return series
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Warn on per-benchmark wall-time drift across a "
+                    "directory of archived bench runs.")
+    parser.add_argument("runs_dir",
+                        help="directory of BENCH_micro_perf.json "
+                             "archives, filenames sorting in commit "
+                             "order")
+    parser.add_argument("--slope-warn", type=float, default=0.05,
+                        help="drift budget: fraction of the series "
+                             "mean per run (default: %(default)s)")
+    parser.add_argument("--min-runs", type=int, default=3,
+                        help="minimum series length to fit a trend "
+                             "(default: %(default)s)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on drift instead of warning")
+    args = parser.parse_args()
+
+    series = load_series(args.runs_dir)
+    if len(series) < args.min_runs:
+        print(f"note: {len(series)} usable run(s) in {args.runs_dir}; "
+              f"need {args.min_runs} to fit a trend. Nothing to do.")
+        return 0
+
+    print(f"trend over {len(series)} runs "
+          f"({series[0][0]} .. {series[-1][0]}), "
+          f"budget {args.slope_warn:+.1%}/run:\n")
+    print(f"{'benchmark':<34} {'first':>12} {'last':>12} "
+          f"{'slope/run':>10}  verdict")
+    drifting = []
+    for prefix in TRACKED:
+        samples = []
+        for _, times in series:
+            _, ns = first_match(times, prefix)
+            if ns is not None:
+                samples.append(ns)
+        if len(samples) < args.min_runs:
+            print(f"{prefix:<34} {'-':>12} {'-':>12} {'-':>10}  "
+                  f"sparse ({len(samples)} runs)")
+            continue
+        slope = fit_slope(samples)
+        drifted = slope > args.slope_warn
+        verdict = "DRIFTING" if drifted else "ok"
+        print(f"{prefix:<34} {samples[0] / 1e6:>10.3f}ms "
+              f"{samples[-1] / 1e6:>10.3f}ms {slope:>+9.1%}  "
+              f"{verdict}")
+        if drifted:
+            drifting.append(
+                f"{prefix}: {slope:+.1%}/run over {len(samples)} runs "
+                f"({samples[0] / 1e6:.3f} ms -> "
+                f"{samples[-1] / 1e6:.3f} ms)")
+
+    if drifting:
+        print("\nbench drift above budget:", file=sys.stderr)
+        for line in drifting:
+            print(f"  {line}", file=sys.stderr)
+        print("\nEach step passed the per-run regression gate; the "
+              "series is creeping. Find the compounding commits in "
+              "the archived trajectory before refreshing the "
+              "baseline again.", file=sys.stderr)
+        return 1 if args.strict else 0
+    print("\nno tracked benchmark drifts above "
+          f"{args.slope_warn:+.1%}/run.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,7 +31,10 @@ import sys
 # keep matching if runner flags change.
 TRACKED = [
     "BM_TraceIndexBuild",          # one-time per-shard index build
+    "BM_PostingsIntersect/10/10",  # balanced-sparse SIMD merge kernel
+    "BM_PostingsIntersect/200/200",  # dense bitmap word-AND kernel
     "BM_ColdQuestionRetrieval/1",  # cold sweep on the postings index
+    "BM_MultiProgramPlan/4",       # shard-parallel policy comparison
     "BM_AskBatchRepeatedSlots/1",  # repeated slots, bundle cache on
     "BM_AskStreamFirstEvent/1",    # time to first streamed evidence
     "BM_ServeRoundTrip",           # line-protocol ask round trip

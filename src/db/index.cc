@@ -9,17 +9,37 @@ namespace cachemind::db {
 
 namespace {
 
+/** Transient flat CSR used during the build pass. */
+struct FlatCsr
+{
+    std::vector<std::uint32_t> off;
+    std::vector<std::uint32_t> rows;
+};
+
 /** CSR fill: prefix-sum offsets, then place rows in order. */
 void
-buildCsr(std::vector<std::uint32_t> &off, std::vector<std::uint32_t> &rows,
-         const std::vector<IndexKeyCounts> &counts, std::size_t n)
+buildCsr(FlatCsr &csr, const std::vector<IndexKeyCounts> &counts,
+         std::size_t n)
 {
-    off.assign(counts.size() + 1, 0);
+    csr.off.assign(counts.size() + 1, 0);
     for (std::size_t k = 0; k < counts.size(); ++k) {
-        off[k + 1] =
-            off[k] + static_cast<std::uint32_t>(counts[k].accesses);
+        csr.off[k + 1] =
+            csr.off[k] + static_cast<std::uint32_t>(counts[k].accesses);
     }
-    rows.resize(n);
+    csr.rows.resize(n);
+}
+
+/** Convert the flat CSR into chunked containers, key by key. */
+void
+chunkify(const FlatCsr &csr, PostingsStore &store)
+{
+    const std::size_t keys = csr.off.size() - 1;
+    store.reserve(csr.rows.size(), keys);
+    for (std::size_t k = 0; k < keys; ++k) {
+        store.appendKey(csr.rows.data() + csr.off[k],
+                        csr.off[k + 1] - csr.off[k]);
+    }
+    store.shrink();
 }
 
 } // namespace
@@ -57,24 +77,33 @@ TraceIndex::TraceIndex(const TraceTable &t)
         totals_.evictions += evict;
     }
 
-    // Pass 2: row-ordered postings (CSR) per key space. Filling in
-    // row order keeps every postings list ascending, which is what
-    // makes indexed results byte-identical to the reference scan.
-    buildCsr(pc_post_.off, pc_post_.rows, pc_counts_, n);
-    buildCsr(addr_post_.off, addr_post_.rows, addr_counts_, n);
-    buildCsr(set_post_.off, set_post_.rows, set_counts_, n);
+    // Pass 2: row-ordered postings per key space — first a transient
+    // flat CSR (prefix-sum + scatter, exactly the old layout), then
+    // converted key-by-key into chunked array/bitmap containers.
+    // Filling in row order keeps every postings list ascending, which
+    // is what makes indexed results byte-identical to the reference
+    // scan.
+    FlatCsr pc_csr;
+    FlatCsr addr_csr;
+    FlatCsr set_csr;
+    buildCsr(pc_csr, pc_counts_, n);
+    buildCsr(addr_csr, addr_counts_, n);
+    buildCsr(set_csr, set_counts_, n);
     std::vector<std::uint32_t> pc_fill(
-        pc_post_.off.begin(), pc_post_.off.begin() + num_pcs);
+        pc_csr.off.begin(), pc_csr.off.begin() + num_pcs);
     std::vector<std::uint32_t> addr_fill(
-        addr_post_.off.begin(), addr_post_.off.begin() + num_addrs);
+        addr_csr.off.begin(), addr_csr.off.begin() + num_addrs);
     std::vector<std::uint32_t> set_fill(
-        set_post_.off.begin(), set_post_.off.begin() + num_sets);
+        set_csr.off.begin(), set_csr.off.begin() + num_sets);
     for (std::size_t i = 0; i < n; ++i) {
         const auto row = static_cast<std::uint32_t>(i);
-        pc_post_.rows[pc_fill[t.pc_id_[i]]++] = row;
-        addr_post_.rows[addr_fill[t.addr_id_[i]]++] = row;
-        set_post_.rows[set_fill[t.set_[i]]++] = row;
+        pc_csr.rows[pc_fill[t.pc_id_[i]]++] = row;
+        addr_csr.rows[addr_fill[t.addr_id_[i]]++] = row;
+        set_csr.rows[set_fill[t.set_[i]]++] = row;
     }
+    chunkify(pc_csr, pc_store_);
+    chunkify(addr_csr, addr_store_);
+    chunkify(set_csr, set_store_);
 
     // Build-time unique listings (previously re-sorted per call).
     unique_pcs_.assign(t.pcs_.begin(), t.pcs_.end());
@@ -88,22 +117,22 @@ TraceIndex::TraceIndex(const TraceTable &t)
     build_ms_ = timer.milliseconds();
 }
 
-PostingsSpan
+PostingsList
 TraceIndex::pcPostings(std::uint32_t pc_id) const
 {
-    return pc_post_.span(pc_id);
+    return pc_store_.list(pc_id);
 }
 
-PostingsSpan
+PostingsList
 TraceIndex::addrPostings(std::uint32_t addr_id) const
 {
-    return addr_post_.span(addr_id);
+    return addr_store_.list(addr_id);
 }
 
-PostingsSpan
+PostingsList
 TraceIndex::setPostings(std::uint32_t set) const
 {
-    return set_post_.span(set);
+    return set_store_.list(set);
 }
 
 const IndexKeyCounts *
@@ -125,52 +154,6 @@ TraceIndex::setCounts(std::uint32_t set) const
     if (set >= set_counts_.size() || set_counts_[set].accesses == 0)
         return nullptr;
     return &set_counts_[set];
-}
-
-namespace {
-
-/**
- * Exponential probe + binary search: first element >= v in [first,
- * last). O(log d) in the distance d advanced, which is what makes the
- * intersection "galloping" — skew between list lengths is cheap.
- */
-const std::uint32_t *
-gallopLowerBound(const std::uint32_t *first, const std::uint32_t *last,
-                 std::uint32_t v)
-{
-    std::size_t step = 1;
-    const std::uint32_t *lo = first;
-    const std::uint32_t *hi = first;
-    while (hi < last && *hi < v) {
-        lo = hi + 1;
-        hi = static_cast<std::size_t>(last - lo) > step ? lo + step
-                                                        : last;
-        step <<= 1;
-    }
-    return std::lower_bound(lo, hi, v);
-}
-
-} // namespace
-
-std::vector<std::size_t>
-TraceIndex::intersect(PostingsSpan a, PostingsSpan b, std::size_t limit)
-{
-    std::vector<std::size_t> out;
-    if (a.size() > b.size())
-        std::swap(a, b);
-    const std::uint32_t *bp = b.begin();
-    for (const std::uint32_t *ap = a.begin(); ap != a.end(); ++ap) {
-        bp = gallopLowerBound(bp, b.end(), *ap);
-        if (bp == b.end())
-            break;
-        if (*bp == *ap) {
-            out.push_back(*ap);
-            ++bp;
-            if (limit && out.size() >= limit)
-                break;
-        }
-    }
-    return out;
 }
 
 } // namespace cachemind::db

@@ -8,17 +8,21 @@
  * sweep nearly every question is *cold* (unique slots), so the
  * cross-question bundle cache never amortises the scan. The index
  * amortises it at the shard level instead: one O(n) build per shard
- * yields row-ordered postings lists keyed by pc/address dictionary id
- * and by cache set, precomputed per-key hit/miss/eviction counters,
- * and the sorted unique-PC/set listings — after which every filter is
- * a postings lookup (or a galloping intersection) and every counting
+ * yields row-ordered postings keyed by pc/address dictionary id and by
+ * cache set, precomputed per-key hit/miss/eviction counters, and the
+ * sorted unique-PC/set listings — after which every filter is a
+ * postings lookup (or a kernel intersection) and every counting
  * aggregate is an O(1) counter read.
  *
- * Postings preserve row order, so every consumer remains byte-
- * identical to the reference scan (enforced by randomized
- * index-vs-scan equivalence tests). The index is immutable after
- * construction except for two relaxed instrumentation counters
- * (lookups / rows skipped) surfaced through EngineStats.
+ * Postings are stored as roaring-style chunked containers
+ * (db/postings_ops.hh): per 64K-row chunk either a sorted uint16 array
+ * or a bitmap, intersected through the adaptive kernel selector
+ * (galloping / SIMD merge / bitmap AND). Containers preserve row
+ * order, so every consumer remains byte-identical to the reference
+ * scan (enforced by randomized index-vs-scan equivalence tests). The
+ * index is immutable after construction except for relaxed
+ * instrumentation counters (lookups / rows skipped / per-kernel
+ * dispatch counts) surfaced through EngineStats.
  */
 
 #ifndef CACHEMIND_DB_INDEX_HH
@@ -27,6 +31,8 @@
 #include <atomic>
 #include <cstdint>
 #include <vector>
+
+#include "db/postings_ops.hh"
 
 namespace cachemind::db {
 
@@ -45,8 +51,9 @@ struct IndexKeyCounts
 
 /**
  * Aggregate index instrumentation across a shard set (EngineStats):
- * how many shards have paid the one-time build, what it cost, and how
- * much scan work the postings have avoided since.
+ * how many shards have paid the one-time build, what it cost, how much
+ * scan work the postings have avoided since, which intersection
+ * kernels the adaptive selector picked, and the container mix.
  */
 struct IndexTotals
 {
@@ -58,21 +65,23 @@ struct IndexTotals
     std::uint64_t lookups = 0;
     /** Scan-equivalent rows the postings avoided walking. */
     std::uint64_t rows_skipped = 0;
-};
 
-/** A borrowed, ascending run of row indices inside the index. */
-struct PostingsSpan
-{
-    const std::uint32_t *first = nullptr;
-    const std::uint32_t *last = nullptr;
+    // ---- adaptive-selector dispatch counts (chunk pairs) ----
+    std::uint64_t kernel_galloping = 0;
+    std::uint64_t kernel_merge_simd = 0;
+    std::uint64_t kernel_merge_scalar = 0;
+    std::uint64_t kernel_bitmap = 0;
+    std::uint64_t kernel_bitmap_probe = 0;
+    /** Vector blocks processed by SIMD kernels. */
+    std::uint64_t simd_ops = 0;
+    /** Elements processed by scalar kernels. */
+    std::uint64_t scalar_ops = 0;
 
-    std::size_t size() const
-    {
-        return static_cast<std::size_t>(last - first);
-    }
-    bool empty() const { return first == last; }
-    const std::uint32_t *begin() const { return first; }
-    const std::uint32_t *end() const { return last; }
+    // ---- container mix across built shards ----
+    std::uint64_t array_chunks = 0;
+    std::uint64_t bitmap_chunks = 0;
+    /** Postings container payload bytes across built shards. */
+    std::uint64_t postings_bytes = 0;
 };
 
 /** The per-shard postings index. Build once, read from any thread. */
@@ -90,10 +99,10 @@ class TraceIndex
     const IndexKeyCounts &totals() const { return totals_; }
 
     // ---- postings by dictionary id / set value (row-ordered) ----
-    PostingsSpan pcPostings(std::uint32_t pc_id) const;
-    PostingsSpan addrPostings(std::uint32_t addr_id) const;
+    PostingsList pcPostings(std::uint32_t pc_id) const;
+    PostingsList addrPostings(std::uint32_t addr_id) const;
     /** Postings for a set *value*; empty when the set is untouched. */
-    PostingsSpan setPostings(std::uint32_t set) const;
+    PostingsList setPostings(std::uint32_t set) const;
 
     // ---- per-key counters (nullptr when the key is absent) ----
     const IndexKeyCounts *pcCounts(std::uint32_t pc_id) const;
@@ -112,13 +121,17 @@ class TraceIndex
     }
 
     /**
-     * Galloping intersection of two ascending postings runs; stops
-     * early once `limit` matches are found (0 = unbounded). Output is
-     * ascending, so intersected filters stay byte-identical to the
-     * reference scan.
+     * Adaptive kernel intersection of two chunked lists into `out`
+     * (ascending row ids; stops once `limit` matches are found, 0 =
+     * unbounded), feeding this index's kernel counters. Byte-identical
+     * to the reference scan by the postings_ops invariant.
      */
-    static std::vector<std::size_t>
-    intersect(PostingsSpan a, PostingsSpan b, std::size_t limit = 0);
+    void intersect(const PostingsList &a, const PostingsList &b,
+                   std::size_t limit,
+                   std::vector<std::uint32_t> &out) const
+    {
+        intersectLists(a, b, limit, out, &kernel_counters_);
+    }
 
     /**
      * Record one indexed operation that touched `rows_visited` rows
@@ -146,31 +159,40 @@ class TraceIndex
         return rows_skipped_.load(std::memory_order_relaxed);
     }
 
-  private:
-    /** CSR postings: rows of key k live in [off[k], off[k+1]). */
-    struct Csr
+    /** Kernel dispatch counters (shared by all three keyspaces). */
+    const PostingsOpsCounters &kernelCounters() const
     {
-        std::vector<std::uint32_t> off;
-        std::vector<std::uint32_t> rows;
+        return kernel_counters_;
+    }
 
-        PostingsSpan
-        span(std::size_t key) const
-        {
-            if (key + 1 >= off.size())
-                return PostingsSpan{};
-            return PostingsSpan{rows.data() + off[key],
-                                rows.data() + off[key + 1]};
-        }
-    };
+    std::uint64_t
+    arrayChunks() const
+    {
+        return pc_store_.arrayChunks() + addr_store_.arrayChunks() +
+               set_store_.arrayChunks();
+    }
+    std::uint64_t
+    bitmapChunks() const
+    {
+        return pc_store_.bitmapChunks() + addr_store_.bitmapChunks() +
+               set_store_.bitmapChunks();
+    }
+    std::size_t
+    postingsBytes() const
+    {
+        return pc_store_.payloadBytes() + addr_store_.payloadBytes() +
+               set_store_.payloadBytes();
+    }
 
+  private:
     std::size_t rows_ = 0;
     double build_ms_ = 0.0;
     IndexKeyCounts totals_;
 
-    Csr pc_post_;
-    Csr addr_post_;
+    PostingsStore pc_store_;
+    PostingsStore addr_store_;
     /** Set postings are keyed by set value (dense, small range). */
-    Csr set_post_;
+    PostingsStore set_store_;
 
     std::vector<IndexKeyCounts> pc_counts_;
     std::vector<IndexKeyCounts> addr_counts_;
@@ -181,6 +203,7 @@ class TraceIndex
 
     mutable std::atomic<std::uint64_t> lookups_{0};
     mutable std::atomic<std::uint64_t> rows_skipped_{0};
+    mutable PostingsOpsCounters kernel_counters_;
 };
 
 } // namespace cachemind::db

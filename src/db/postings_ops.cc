@@ -1,0 +1,487 @@
+#include "db/postings_ops.hh"
+
+#include <algorithm>
+
+// SIMD gating. This translation unit is compiled with -msse4.2/-mavx2
+// (see CMakeLists); nothing SIMD leaks into headers, so the rest of
+// the codebase keeps the default codegen. CACHEMIND_DISABLE_SIMD
+// forces the scalar fallback everywhere, which the dedicated CI
+// column builds and tests.
+#if !defined(CACHEMIND_DISABLE_SIMD) && defined(__x86_64__) &&                 \
+    defined(__SSE4_2__)
+#define CACHEMIND_POSTINGS_SSE42 1
+#endif
+#if !defined(CACHEMIND_DISABLE_SIMD) && defined(__x86_64__) &&                 \
+    defined(__AVX2__)
+#define CACHEMIND_POSTINGS_AVX2 1
+#endif
+#if defined(CACHEMIND_POSTINGS_SSE42) || defined(CACHEMIND_POSTINGS_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace cachemind::db {
+
+namespace {
+
+void bump(std::atomic<std::uint64_t> &c, std::uint64_t n = 1)
+{
+    c.fetch_add(n, std::memory_order_relaxed);
+}
+
+// Compiled-in SIMD still needs the running CPU to agree: the binary
+// may be built on a newer machine than it runs on.
+bool cpuHasSse42()
+{
+#if defined(CACHEMIND_POSTINGS_SSE42)
+    static const bool ok = __builtin_cpu_supports("sse4.2");
+    return ok;
+#else
+    return false;
+#endif
+}
+
+bool cpuHasAvx2()
+{
+#if defined(CACHEMIND_POSTINGS_AVX2)
+    static const bool ok = __builtin_cpu_supports("avx2");
+    return ok;
+#else
+    return false;
+#endif
+}
+
+void decodeWord(std::uint64_t word, std::uint32_t bit_base,
+                std::vector<std::uint32_t> &out)
+{
+    while (word != 0) {
+        out.push_back(bit_base +
+                      static_cast<std::uint32_t>(__builtin_ctzll(word)));
+        word &= word - 1;
+    }
+}
+
+/**
+ * Exponential probe + binary search for the first element >= v,
+ * starting at `from` — the same shape as the previous flat-CSR
+ * galloping, on uint16 chunk values.
+ */
+std::size_t gallopLowerBound(const std::uint16_t *d, std::size_t n,
+                             std::size_t from, std::uint16_t v)
+{
+    if (from >= n || d[from] >= v)
+        return from;
+    std::size_t lo = from;
+    std::size_t hi = from + 1;
+    std::size_t step = 1;
+    while (hi < n && d[hi] < v) {
+        lo = hi;
+        hi += step;
+        step <<= 1;
+    }
+    if (hi > n)
+        hi = n;
+    return static_cast<std::size_t>(std::lower_bound(d + lo, d + hi, v) - d);
+}
+
+/** Skewed array pair: iterate the smaller side, gallop in the larger. */
+std::size_t gallopIntersect(const std::uint16_t *a, std::size_t na,
+                            const std::uint16_t *b, std::size_t nb,
+                            std::uint16_t *outb,
+                            PostingsOpsCounters *counters)
+{
+    if (na > nb)
+        return gallopIntersect(b, nb, a, na, outb, counters);
+    std::size_t m = 0;
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < na; ++i) {
+        const std::uint16_t v = a[i];
+        pos = gallopLowerBound(b, nb, pos, v);
+        if (pos == nb)
+            break;
+        if (b[pos] == v)
+            outb[m++] = v;
+    }
+    if (counters != nullptr)
+        bump(counters->scalar_ops, na);
+    return m;
+}
+
+/** Mandatory fallback: textbook two-pointer merge intersection. */
+std::size_t scalarMerge(const std::uint16_t *a, std::size_t na,
+                        const std::uint16_t *b, std::size_t nb,
+                        std::uint16_t *outb)
+{
+    std::size_t i = 0;
+    std::size_t j = 0;
+    std::size_t m = 0;
+    while (i < na && j < nb) {
+        if (a[i] < b[j]) {
+            ++i;
+        } else if (b[j] < a[i]) {
+            ++j;
+        } else {
+            outb[m++] = a[i];
+            ++i;
+            ++j;
+        }
+    }
+    return m;
+}
+
+#if defined(CACHEMIND_POSTINGS_SSE42)
+
+/**
+ * For every 8-bit match mask, the pshufb control that compacts the
+ * matched uint16 lanes to the front of the vector.
+ */
+struct ShuffleTable
+{
+    std::uint8_t m[256][16];
+
+    ShuffleTable()
+    {
+        for (int mask = 0; mask < 256; ++mask) {
+            int pos = 0;
+            for (int bit = 0; bit < 8; ++bit) {
+                if ((mask & (1 << bit)) != 0) {
+                    m[mask][2 * pos] = static_cast<std::uint8_t>(2 * bit);
+                    m[mask][2 * pos + 1] =
+                        static_cast<std::uint8_t>(2 * bit + 1);
+                    ++pos;
+                }
+            }
+            for (; pos < 8; ++pos) {
+                m[mask][2 * pos] = 0x80;
+                m[mask][2 * pos + 1] = 0x80;
+            }
+        }
+    }
+};
+
+const ShuffleTable kShuffle;
+
+/**
+ * Blockwise 8x8 uint16 intersection: each round compares one 8-lane
+ * block of `a` against one of `b` with PCMPESTRM (EQUAL_ANY — explicit
+ * lengths, so a legitimate 0 value is not treated as a terminator),
+ * compacts the matched lanes with one shuffle, and advances whichever
+ * block has the smaller maximum. `outb` needs 8 lanes of slack past
+ * the true match count for the unconditional store.
+ */
+std::size_t simdMerge(const std::uint16_t *a, std::size_t na,
+                      const std::uint16_t *b, std::size_t nb,
+                      std::uint16_t *outb, PostingsOpsCounters *counters)
+{
+    std::size_t i = 0;
+    std::size_t j = 0;
+    std::size_t m = 0;
+    std::uint64_t blocks = 0;
+    while (i + 8 <= na && j + 8 <= nb) {
+        const __m128i va =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(a + i));
+        const __m128i vb =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(b + j));
+        const __m128i hits = _mm_cmpestrm(
+            vb, 8, va, 8,
+            _SIDD_UWORD_OPS | _SIDD_CMP_EQUAL_ANY | _SIDD_BIT_MASK);
+        const int mask = _mm_extract_epi32(hits, 0);
+        const __m128i ctrl = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(kShuffle.m[mask]));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(outb + m),
+                         _mm_shuffle_epi8(va, ctrl));
+        m += static_cast<std::size_t>(__builtin_popcount(
+            static_cast<unsigned>(mask)));
+        ++blocks;
+        const std::uint16_t amax = a[i + 7];
+        const std::uint16_t bmax = b[j + 7];
+        if (amax <= bmax)
+            i += 8;
+        if (bmax <= amax)
+            j += 8;
+    }
+    if (counters != nullptr)
+        bump(counters->simd_ops, blocks);
+    // Scalar tail once either side has fewer than 8 lanes left.
+    while (i < na && j < nb) {
+        if (a[i] < b[j]) {
+            ++i;
+        } else if (b[j] < a[i]) {
+            ++j;
+        } else {
+            outb[m++] = a[i];
+            ++i;
+            ++j;
+        }
+    }
+    return m;
+}
+
+#endif // CACHEMIND_POSTINGS_SSE42
+
+void bitmapAnd(const std::uint64_t *aw, const std::uint64_t *bw,
+               std::uint32_t base, std::vector<std::uint32_t> &out,
+               PostingsOpsCounters *counters)
+{
+#if defined(CACHEMIND_POSTINGS_AVX2)
+    if (cpuHasAvx2()) {
+        std::uint64_t blocks = 0;
+        for (std::uint32_t w = 0; w < kPostingsBitmapWords; w += 4) {
+            const __m256i va = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(aw + w));
+            const __m256i vb = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(bw + w));
+            const __m256i x = _mm256_and_si256(va, vb);
+            ++blocks;
+            if (_mm256_testz_si256(x, x) != 0)
+                continue;
+            alignas(32) std::uint64_t tmp[4];
+            _mm256_store_si256(reinterpret_cast<__m256i *>(tmp), x);
+            for (std::uint32_t t = 0; t < 4; ++t)
+                decodeWord(tmp[t], base + (w + t) * 64, out);
+        }
+        if (counters != nullptr)
+            bump(counters->simd_ops, blocks);
+        return;
+    }
+#endif
+    for (std::uint32_t w = 0; w < kPostingsBitmapWords; ++w)
+        decodeWord(aw[w] & bw[w], base + w * 64, out);
+    if (counters != nullptr)
+        bump(counters->scalar_ops, kPostingsBitmapWords);
+}
+
+void bitmapProbe(const std::uint64_t *words, const std::uint16_t *vals,
+                 std::uint32_t n, std::uint32_t base,
+                 std::vector<std::uint32_t> &out,
+                 PostingsOpsCounters *counters)
+{
+    for (std::uint32_t k = 0; k < n; ++k) {
+        const std::uint16_t v = vals[k];
+        if (((words[v >> 6] >> (v & 63)) & 1) != 0)
+            out.push_back(base | v);
+    }
+    if (counters != nullptr)
+        bump(counters->scalar_ops, n);
+}
+
+void intersectChunkPair(const PostingsChunk &ca, const PostingsList &a,
+                        const PostingsChunk &cb, const PostingsList &b,
+                        std::vector<std::uint32_t> &out,
+                        PostingsOpsCounters *counters,
+                        IntersectKernel force)
+{
+    const std::uint32_t base = ca.base;
+    const bool a_bitmap = ca.kind == PostingsChunk::Bitmap;
+    const bool b_bitmap = cb.kind == PostingsChunk::Bitmap;
+    if (a_bitmap && b_bitmap) {
+        if (counters != nullptr)
+            bump(counters->bitmap_words);
+        bitmapAnd(a.bitmap_pool + ca.data_off, b.bitmap_pool + cb.data_off,
+                  base, out, counters);
+        return;
+    }
+    if (a_bitmap || b_bitmap) {
+        if (counters != nullptr)
+            bump(counters->bitmap_probe);
+        const std::uint64_t *words = a_bitmap
+                                         ? a.bitmap_pool + ca.data_off
+                                         : b.bitmap_pool + cb.data_off;
+        const std::uint16_t *vals = a_bitmap
+                                        ? b.array_pool + cb.data_off
+                                        : a.array_pool + ca.data_off;
+        const std::uint32_t n = a_bitmap ? cb.count : ca.count;
+        bitmapProbe(words, vals, n, base, out, counters);
+        return;
+    }
+
+    const std::uint16_t *pa = a.array_pool + ca.data_off;
+    const std::uint16_t *pb = b.array_pool + cb.data_off;
+    const std::size_t na = ca.count;
+    const std::size_t nb = cb.count;
+    // 8 lanes of slack for the SIMD kernel's unconditional store.
+    std::uint16_t buf[kPostingsArrayMax + 8];
+
+    bool gallop = false;
+    switch (force) {
+    case IntersectKernel::Galloping:
+        gallop = true;
+        break;
+    case IntersectKernel::Merge:
+        gallop = false;
+        break;
+    case IntersectKernel::Auto:
+        gallop = std::min(na, nb) * kGallopSkewRatio <= std::max(na, nb);
+        break;
+    }
+
+    std::size_t m = 0;
+    if (gallop) {
+        if (counters != nullptr)
+            bump(counters->galloping);
+        m = gallopIntersect(pa, na, pb, nb, buf, counters);
+    } else {
+#if defined(CACHEMIND_POSTINGS_SSE42)
+        if (cpuHasSse42()) {
+            if (counters != nullptr)
+                bump(counters->merge_simd);
+            m = simdMerge(pa, na, pb, nb, buf, counters);
+        } else
+#endif
+        {
+            if (counters != nullptr) {
+                bump(counters->merge_scalar);
+                bump(counters->scalar_ops, na + nb);
+            }
+            m = scalarMerge(pa, na, pb, nb, buf);
+        }
+    }
+    for (std::size_t k = 0; k < m; ++k)
+        out.push_back(base | buf[k]);
+}
+
+} // namespace
+
+void PostingsStore::reserve(std::size_t total_rows,
+                            std::size_t total_keys)
+{
+    key_off_.reserve(total_keys + 1);
+    key_total_.reserve(total_keys);
+    chunks_.reserve(total_keys);
+    array_pool_.reserve(total_rows);
+}
+
+void PostingsStore::appendKey(const std::uint32_t *rows, std::size_t n)
+{
+    std::uint64_t total = 0;
+    std::size_t i = 0;
+    while (i < n) {
+        const std::uint32_t chunk = rows[i] >> kPostingsChunkBits;
+        std::size_t j = i;
+        while (j < n && (rows[j] >> kPostingsChunkBits) == chunk)
+            ++j;
+        PostingsChunk c;
+        c.base = chunk << kPostingsChunkBits;
+        c.count = static_cast<std::uint32_t>(j - i);
+        if (c.count > kPostingsArrayMax) {
+            c.kind = PostingsChunk::Bitmap;
+            c.data_off = static_cast<std::uint32_t>(bitmap_pool_.size());
+            bitmap_pool_.resize(bitmap_pool_.size() + kPostingsBitmapWords,
+                                0);
+            std::uint64_t *words = bitmap_pool_.data() + c.data_off;
+            for (std::size_t k = i; k < j; ++k) {
+                const std::uint32_t low =
+                    rows[k] & (kPostingsChunkSize - 1);
+                words[low >> 6] |= std::uint64_t{1} << (low & 63);
+            }
+            ++bitmap_chunks_;
+        } else {
+            c.kind = PostingsChunk::Array;
+            c.data_off = static_cast<std::uint32_t>(array_pool_.size());
+            array_pool_.resize(array_pool_.size() + c.count);
+            std::uint16_t *dst = array_pool_.data() + c.data_off;
+            for (std::size_t k = i; k < j; ++k)
+                dst[k - i] = static_cast<std::uint16_t>(
+                    rows[k] & (kPostingsChunkSize - 1));
+            ++array_chunks_;
+        }
+        chunks_.push_back(c);
+        total += c.count;
+        i = j;
+    }
+    key_off_.push_back(static_cast<std::uint32_t>(chunks_.size()));
+    key_total_.push_back(total);
+}
+
+void PostingsStore::shrink()
+{
+    key_off_.shrink_to_fit();
+    key_total_.shrink_to_fit();
+    chunks_.shrink_to_fit();
+    array_pool_.shrink_to_fit();
+    bitmap_pool_.shrink_to_fit();
+}
+
+PostingsList PostingsStore::list(std::size_t key) const
+{
+    PostingsList l;
+    if (key + 1 >= key_off_.size())
+        return l;
+    const std::uint32_t b = key_off_[key];
+    const std::uint32_t e = key_off_[key + 1];
+    l.chunks = chunks_.data() + b;
+    l.num_chunks = e - b;
+    l.total = key_total_[key];
+    l.array_pool = array_pool_.data();
+    l.bitmap_pool = bitmap_pool_.data();
+    return l;
+}
+
+std::size_t PostingsStore::payloadBytes() const
+{
+    return array_pool_.size() * sizeof(std::uint16_t) +
+           bitmap_pool_.size() * sizeof(std::uint64_t) +
+           chunks_.size() * sizeof(PostingsChunk);
+}
+
+void intersectLists(const PostingsList &a, const PostingsList &b,
+                    std::size_t limit, std::vector<std::uint32_t> &out,
+                    PostingsOpsCounters *counters, IntersectKernel force)
+{
+    out.clear();
+    if (a.empty() || b.empty())
+        return;
+    std::uint32_t ia = 0;
+    std::uint32_t ib = 0;
+    while (ia < a.num_chunks && ib < b.num_chunks) {
+        const PostingsChunk &ca = a.chunks[ia];
+        const PostingsChunk &cb = b.chunks[ib];
+        if (ca.base < cb.base) {
+            ++ia;
+            continue;
+        }
+        if (cb.base < ca.base) {
+            ++ib;
+            continue;
+        }
+        intersectChunkPair(ca, a, cb, b, out, counters, force);
+        ++ia;
+        ++ib;
+        // Early exit is chunk-granular: a chunk's matches are cheap to
+        // overshoot (<= 64K) and truncating afterwards keeps every
+        // kernel limit-oblivious, hence trivially byte-identical.
+        if (limit != 0 && out.size() >= limit) {
+            out.resize(limit);
+            return;
+        }
+    }
+}
+
+void decodeList(const PostingsList &list, std::vector<std::uint32_t> &out,
+                std::size_t limit)
+{
+    out.clear();
+    const std::uint64_t want =
+        limit == 0 ? list.total
+                   : std::min<std::uint64_t>(list.total, limit);
+    out.reserve(static_cast<std::size_t>(want));
+    for (std::uint32_t ci = 0; ci < list.num_chunks; ++ci) {
+        const PostingsChunk &c = list.chunks[ci];
+        if (c.kind == PostingsChunk::Array) {
+            const std::uint16_t *p = list.array_pool + c.data_off;
+            for (std::uint32_t k = 0; k < c.count; ++k)
+                out.push_back(c.base | p[k]);
+        } else {
+            const std::uint64_t *w = list.bitmap_pool + c.data_off;
+            for (std::uint32_t wi = 0; wi < kPostingsBitmapWords; ++wi)
+                decodeWord(w[wi], c.base + wi * 64, out);
+        }
+        if (limit != 0 && out.size() >= limit) {
+            out.resize(limit);
+            return;
+        }
+    }
+}
+
+bool simdCompiled() { return cpuHasSse42() || cpuHasAvx2(); }
+
+} // namespace cachemind::db

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Vectorized postings-execution kernels and the chunked (roaring-style)
+ * postings container behind TraceIndex.
+ *
+ * PR 4's flat CSR postings made every filter a lookup or a galloping
+ * intersection; this layer is the next order of magnitude, data-layout
+ * work on the same hot path. Postings are stored per 64K-row chunk as
+ * either a sorted uint16 array (sparse chunks) or a 1024-word bitmap
+ * (dense chunks, > kPostingsArrayMax rows), so big-trace shards shrink
+ * (2 bytes/row worst case, 8 KiB cap for dense chunks) and dense keys
+ * intersect word-at-a-time.
+ *
+ * Intersection runs through an adaptive kernel selector:
+ *   - bitmap x bitmap  -> word-wise AND (AVX2 4-words-at-a-time with a
+ *     testz fast path when compiled in);
+ *   - bitmap x array   -> bit probes along the array;
+ *   - array x array    -> galloping when the lengths are skewed by
+ *     kGallopSkewRatio or more, otherwise a linear merge (SSE4.2
+ *     _mm_cmpestrm 8x8 uint16 block compare when compiled in).
+ *
+ * SIMD paths are compile-time gated (-msse4.2/-mavx2 on this one
+ * translation unit, plus a one-time runtime CPU check) and can be
+ * forced off with -DCACHEMIND_DISABLE_SIMD=ON; the scalar fallback is
+ * mandatory and kept byte-identical by randomized property tests in
+ * tests/postings_ops_test.cc. Every kernel emits ascending row ids and
+ * honors the early-exit `limit`, so every consumer stays byte-identical
+ * to the reference scan.
+ */
+
+#ifndef CACHEMIND_DB_POSTINGS_OPS_HH
+#define CACHEMIND_DB_POSTINGS_OPS_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cachemind::db {
+
+/** Rows per chunk: row ids sharing their upper 16 bits. */
+inline constexpr std::uint32_t kPostingsChunkBits = 16;
+inline constexpr std::uint32_t kPostingsChunkSize =
+    1u << kPostingsChunkBits;
+/** 64-bit words in one bitmap container. */
+inline constexpr std::uint32_t kPostingsBitmapWords =
+    kPostingsChunkSize / 64;
+/**
+ * Container crossover: a chunk holding more than this many rows is
+ * stored as a bitmap (8 KiB) instead of a sorted uint16 array — the
+ * exact point where the array would outgrow the bitmap.
+ */
+inline constexpr std::uint32_t kPostingsArrayMax = 4096;
+/**
+ * Adaptive-selector skew threshold: array pairs whose lengths differ
+ * by at least this ratio gallop; comparable lengths take the linear
+ * (SIMD) merge. Tuned by BM_PostingsIntersect.
+ */
+inline constexpr std::size_t kGallopSkewRatio = 16;
+
+/** One container: rows of [base, base + kPostingsChunkSize). */
+struct PostingsChunk
+{
+    enum Kind : std::uint8_t { Array = 0, Bitmap = 1 };
+
+    /** First row id covered (chunk index << kPostingsChunkBits). */
+    std::uint32_t base = 0;
+    /** Rows present in this chunk (1..kPostingsChunkSize). */
+    std::uint32_t count = 0;
+    /** Offset into the owning store's array or bitmap pool. */
+    std::uint32_t data_off = 0;
+    std::uint8_t kind = Array;
+};
+
+/**
+ * Borrowed view of one key's chunked postings list. Chunks are
+ * ascending by base; within a chunk the container enumerates ascending
+ * row ids, so the whole list is ascending — the invariant every
+ * byte-identity proof rests on.
+ */
+struct PostingsList
+{
+    const PostingsChunk *chunks = nullptr;
+    std::uint32_t num_chunks = 0;
+    /** Total rows across all chunks. */
+    std::uint64_t total = 0;
+    const std::uint16_t *array_pool = nullptr;
+    const std::uint64_t *bitmap_pool = nullptr;
+
+    std::size_t size() const { return total; }
+    bool empty() const { return total == 0; }
+};
+
+/**
+ * Relaxed instrumentation counters: which kernel the adaptive selector
+ * picked and whether the SIMD or scalar path ran. Never part of any
+ * answer; surfaced through EngineStats.index and the STATS verb.
+ */
+struct PostingsOpsCounters
+{
+    /** Array-pair intersections routed to galloping (skewed). */
+    std::atomic<std::uint64_t> galloping{0};
+    /** Array-pair linear merges on the SIMD kernel. */
+    std::atomic<std::uint64_t> merge_simd{0};
+    /** Array-pair linear merges on the scalar fallback. */
+    std::atomic<std::uint64_t> merge_scalar{0};
+    /** Bitmap x bitmap word-AND chunk intersections. */
+    std::atomic<std::uint64_t> bitmap_words{0};
+    /** Array-probed-into-bitmap chunk intersections. */
+    std::atomic<std::uint64_t> bitmap_probe{0};
+    /** Vector blocks processed by SIMD kernels. */
+    std::atomic<std::uint64_t> simd_ops{0};
+    /** Elements processed by scalar kernels. */
+    std::atomic<std::uint64_t> scalar_ops{0};
+};
+
+/** Test hook: pin the array-pair kernel instead of adapting. */
+enum class IntersectKernel {
+    Auto,
+    Galloping,
+    Merge,
+};
+
+/**
+ * Owning chunked store for every key of one keyspace — the successor
+ * of the flat CSR rows array. Built once (appendKey per key, in key
+ * order, rows ascending), immutable afterwards; list() views borrow
+ * the pools.
+ */
+class PostingsStore
+{
+  public:
+    /**
+     * Pre-size the pools for a build of `total_rows` rows over
+     * `total_keys` keys (array pool worst case: every chunk sparse).
+     * Purely an allocation hint; shrink() trims the slack.
+     */
+    void reserve(std::size_t total_rows, std::size_t total_keys);
+
+    /** Append key `k`'s postings; must be called for k = 0, 1, ... */
+    void appendKey(const std::uint32_t *rows, std::size_t n);
+
+    /** Trim pool slack after the last appendKey. */
+    void shrink();
+
+    /** View of one key's list (empty for out-of-range keys). */
+    PostingsList list(std::size_t key) const;
+
+    std::size_t keys() const { return key_off_.size() - 1; }
+    std::uint64_t arrayChunks() const { return array_chunks_; }
+    std::uint64_t bitmapChunks() const { return bitmap_chunks_; }
+    /** Container payload bytes (array + bitmap pools). */
+    std::size_t payloadBytes() const;
+
+  private:
+    /** key -> [key_off_[k], key_off_[k+1]) into chunks_. */
+    std::vector<std::uint32_t> key_off_{0};
+    std::vector<std::uint64_t> key_total_;
+    std::vector<PostingsChunk> chunks_;
+    std::vector<std::uint16_t> array_pool_;
+    std::vector<std::uint64_t> bitmap_pool_;
+    std::uint64_t array_chunks_ = 0;
+    std::uint64_t bitmap_chunks_ = 0;
+};
+
+/**
+ * Adaptive intersection of two chunked lists into `out` (cleared
+ * first): ascending row ids, stopping once `limit` matches are found
+ * (0 = unbounded). `force` pins the array-pair kernel for tests;
+ * bitmap-involved chunk pairs always take their natural kernel.
+ */
+void intersectLists(const PostingsList &a, const PostingsList &b,
+                    std::size_t limit, std::vector<std::uint32_t> &out,
+                    PostingsOpsCounters *counters = nullptr,
+                    IntersectKernel force = IntersectKernel::Auto);
+
+/**
+ * Decode a chunked list into ascending row ids in `out` (cleared
+ * first), stopping after `limit` entries (0 = all).
+ */
+void decodeList(const PostingsList &list,
+                std::vector<std::uint32_t> &out, std::size_t limit = 0);
+
+/**
+ * Inline full walk: fn(row_id) for every row, ascending — the
+ * zero-materialization alternative to decodeList for single-list
+ * consumers (dims == 1 aggregate walks).
+ */
+template <typename Fn>
+inline void
+forEachRow(const PostingsList &list, Fn &&fn)
+{
+    for (std::uint32_t c = 0; c < list.num_chunks; ++c) {
+        const PostingsChunk &ch = list.chunks[c];
+        if (ch.kind == PostingsChunk::Array) {
+            const std::uint16_t *p = list.array_pool + ch.data_off;
+            for (std::uint32_t k = 0; k < ch.count; ++k)
+                fn(ch.base | p[k]);
+        } else {
+            const std::uint64_t *w = list.bitmap_pool + ch.data_off;
+            for (std::uint32_t wi = 0; wi < kPostingsBitmapWords;
+                 ++wi) {
+                std::uint64_t word = w[wi];
+                while (word != 0) {
+                    const auto bit = static_cast<std::uint32_t>(
+                        __builtin_ctzll(word));
+                    word &= word - 1;
+                    fn(ch.base | (wi << 6) | bit);
+                }
+            }
+        }
+    }
+}
+
+/**
+ * True when the SIMD kernels were compiled in *and* this CPU supports
+ * them; false in CACHEMIND_DISABLE_SIMD builds, on non-x86 targets,
+ * and on CPUs without SSE4.2/AVX2 — everywhere the mandatory scalar
+ * fallback runs instead.
+ */
+bool simdCompiled();
+
+} // namespace cachemind::db
+
+#endif // CACHEMIND_DB_POSTINGS_OPS_HH

@@ -142,6 +142,23 @@ ShardSet::indexTotals() const
         totals.build_ms_total += idx->buildMs();
         totals.lookups += idx->lookups();
         totals.rows_skipped += idx->rowsSkipped();
+        const PostingsOpsCounters &k = idx->kernelCounters();
+        totals.kernel_galloping +=
+            k.galloping.load(std::memory_order_relaxed);
+        totals.kernel_merge_simd +=
+            k.merge_simd.load(std::memory_order_relaxed);
+        totals.kernel_merge_scalar +=
+            k.merge_scalar.load(std::memory_order_relaxed);
+        totals.kernel_bitmap +=
+            k.bitmap_words.load(std::memory_order_relaxed);
+        totals.kernel_bitmap_probe +=
+            k.bitmap_probe.load(std::memory_order_relaxed);
+        totals.simd_ops += k.simd_ops.load(std::memory_order_relaxed);
+        totals.scalar_ops +=
+            k.scalar_ops.load(std::memory_order_relaxed);
+        totals.array_chunks += idx->arrayChunks();
+        totals.bitmap_chunks += idx->bitmapChunks();
+        totals.postings_bytes += idx->postingsBytes();
     }
     return totals;
 }

@@ -245,7 +245,7 @@ TraceTable::addrIdOf(std::uint64_t address) const
     return it->second;
 }
 
-std::vector<std::size_t>
+std::vector<std::uint32_t>
 TraceTable::filter(const std::uint64_t *pc, const std::uint64_t *address,
                    std::size_t limit) const
 {
@@ -261,31 +261,30 @@ TraceTable::filter(const std::uint64_t *pc, const std::uint64_t *address,
 
     const TraceIndex &idx = index();
     if (pc_id && addr_id) {
-        const PostingsSpan a = idx.pcPostings(*pc_id);
-        const PostingsSpan b = idx.addrPostings(*addr_id);
-        auto out = TraceIndex::intersect(a, b, limit);
+        const PostingsList a = idx.pcPostings(*pc_id);
+        const PostingsList b = idx.addrPostings(*addr_id);
+        std::vector<std::uint32_t> out;
+        idx.intersect(a, b, limit, out);
         idx.noteLookup(std::min(a.size(), b.size()));
         return out;
     }
 
-    const PostingsSpan post =
+    const PostingsList post =
         pc_id ? idx.pcPostings(*pc_id) : idx.addrPostings(*addr_id);
     const std::size_t take =
         limit ? std::min(limit, post.size()) : post.size();
-    std::vector<std::size_t> out;
-    out.reserve(take);
-    for (std::size_t k = 0; k < take; ++k)
-        out.push_back(post.begin()[k]);
+    std::vector<std::uint32_t> out;
+    decodeList(post, out, take);
     idx.noteLookup(take);
     return out;
 }
 
-std::vector<std::size_t>
+std::vector<std::uint32_t>
 TraceTable::filterScan(const std::uint64_t *pc,
                        const std::uint64_t *address,
                        std::size_t limit) const
 {
-    std::vector<std::size_t> out;
+    std::vector<std::uint32_t> out;
     std::uint32_t pc_id = 0, addr_id = 0;
     if (pc) {
         const auto it = pc_lookup_.find(*pc);
@@ -304,7 +303,7 @@ TraceTable::filterScan(const std::uint64_t *pc,
             continue;
         if (address && addr_id_[i] != addr_id)
             continue;
-        out.push_back(i);
+        out.push_back(static_cast<std::uint32_t>(i));
         if (limit && out.size() >= limit)
             break;
     }

@@ -184,11 +184,11 @@ class TraceTable
 
     /**
      * Row indices matching optional pc/address filters, ascending.
-     * Served from the postings index (lookup or galloping
+     * Served from the postings index (lookup or adaptive kernel
      * intersection) — byte-identical to filterScan, sublinear in the
-     * table size.
+     * table size. Row ids are uint32 to match the postings width.
      */
-    std::vector<std::size_t>
+    std::vector<std::uint32_t>
     filter(const std::uint64_t *pc, const std::uint64_t *address,
            std::size_t limit = 0) const;
 
@@ -197,7 +197,7 @@ class TraceTable
      * the pre-index scan path, kept for equivalence tests and
      * scan-mode retrievers (never touches the index).
      */
-    std::vector<std::size_t>
+    std::vector<std::uint32_t>
     filterScan(const std::uint64_t *pc, const std::uint64_t *address,
                std::size_t limit = 0) const;
 

@@ -174,6 +174,13 @@ isAggregateOp(DslOp op)
 DslResult
 Interpreter::run(const DslProgram &prog) const
 {
+    ExecScratch scratch;
+    return run(prog, scratch);
+}
+
+DslResult
+Interpreter::run(const DslProgram &prog, ExecScratch &scratch) const
+{
     DslResult res;
     const db::TraceEntry *entry = shards_.find(prog.trace_key);
     if (!entry) {
@@ -228,22 +235,25 @@ Interpreter::run(const DslProgram &prog) const
     }
 
     return mode_ == ExecMode::Indexed
-               ? runFilteredIndexed(*entry, prog)
-               : runFilteredScan(*entry, prog);
+               ? runFilteredIndexed(*entry, prog, scratch)
+               : runFilteredScan(*entry, prog, scratch);
 }
 
 /**
  * Row-filtered operations on the postings index. Counting aggregates
  * (CountRows/HitCount/MissRate) over zero or one filter key are
  * served straight from precomputed counters without touching a single
- * row; everything else walks only matching rows — the smallest
- * applicable postings list, with residual filters checked against the
- * columns (postings are ascending, so the visit order, and hence
- * every output bit, matches the reference scan).
+ * row. One filter dimension decodes the key's chunked postings into
+ * the scratch buffer; two or more intersect the two smallest lists
+ * through the adaptive kernels (galloping / SIMD merge / bitmap AND)
+ * and walk the result with the residual filter checked against the
+ * columns. Postings are ascending, so the visit order — and hence
+ * every output bit — matches the reference scan.
  */
 DslResult
 Interpreter::runFilteredIndexed(const db::TraceEntry &entry,
-                                const DslProgram &prog) const
+                                const DslProgram &prog,
+                                ExecScratch &scratch) const
 {
     DslResult res;
     const db::TraceTable &table = entry.table;
@@ -270,21 +280,27 @@ Interpreter::runFilteredIndexed(const db::TraceEntry &entry,
     // Scan-equivalent instrumentation: rows actually walked.
     std::size_t visited = 0;
 
-    db::PostingsSpan primary; // smallest postings list (dims >= 1)
-    if (!absent && dims > 0) {
-        primary = pc_id ? idx.pcPostings(*pc_id) : db::PostingsSpan{};
-        if (addr_id) {
-            const auto span = idx.addrPostings(*addr_id);
-            if (!prog.pc || span.size() < primary.size())
-                primary = span;
-        }
-        if (prog.set_id) {
-            const auto span = idx.setPostings(*prog.set_id);
-            if ((!prog.pc && !prog.address) ||
-                span.size() < primary.size()) {
-                primary = span;
-            }
-        }
+    // Present postings lists, smallest first: lists[0] is the primary
+    // walk list; with two or more dimensions, lists[0] and lists[1]
+    // feed the kernel intersection. Counting ops at <= 1 dimension
+    // are pure counter reads — skip the gathering on that hot path.
+    const bool counting_op = prog.op == DslOp::CountRows ||
+                             prog.op == DslOp::MissRate ||
+                             prog.op == DslOp::HitCount;
+    db::PostingsList lists[3];
+    int num_lists = 0;
+    if (!absent && dims > 0 && !(counting_op && dims <= 1)) {
+        if (pc_id)
+            lists[num_lists++] = idx.pcPostings(*pc_id);
+        if (addr_id)
+            lists[num_lists++] = idx.addrPostings(*addr_id);
+        if (prog.set_id)
+            lists[num_lists++] = idx.setPostings(*prog.set_id);
+        std::sort(lists, lists + num_lists,
+                  [](const db::PostingsList &a,
+                     const db::PostingsList &b) {
+                      return a.size() < b.size();
+                  });
     }
 
     const auto rowMatches = [&](std::size_t i) {
@@ -317,6 +333,22 @@ Interpreter::runFilteredIndexed(const db::TraceEntry &entry,
         misses = static_cast<std::size_t>(c->misses);
     }
 
+    // Two or more dimensions: intersect the two smallest lists through
+    // the adaptive kernels once, then walk the (ascending) result.
+    std::vector<std::uint32_t> &hits = scratch.rows;
+    hits.clear();
+    const bool kernel_path = !absent && dims >= 2;
+    if (kernel_path) {
+        idx.intersect(lists[0], lists[1], 0, hits);
+        visited += std::min(lists[0].size(), lists[1].size());
+    }
+    // The intersection already enforces its two dimensions; only a
+    // third one needs the residual column check.
+    const bool need_residual = dims >= 3;
+    const auto hitMatches = [&](std::size_t i) {
+        return !need_residual || rowMatches(i);
+    };
+
     switch (prog.op) {
       case DslOp::SelectRows: {
         if (have_counts) {
@@ -326,26 +358,23 @@ Interpreter::runFilteredIndexed(const db::TraceEntry &entry,
                 for (std::size_t i = 0; i < take; ++i)
                     res.rows.push_back(table.row(i));
             } else if (take > 0) {
-                for (const auto i : primary) {
-                    ++visited;
-                    if (!rowMatches(i))
-                        continue;
+                // dims == 1: the primary list is exactly the match
+                // set, so a limit-bounded decode is the whole walk.
+                db::decodeList(lists[0], hits, take);
+                for (const auto i : hits)
                     res.rows.push_back(table.row(i));
-                    if (res.rows.size() >= take)
-                        break;
-                }
+                visited += hits.size();
             }
         } else {
             // One walk: count every match, materialise the first
             // `limit` (0 = all) — same rows, same order as the scan.
-            for (const auto i : primary) {
-                if (!rowMatches(i))
+            for (const auto i : hits) {
+                if (!hitMatches(i))
                     continue;
                 ++matched;
                 if (!prog.limit || res.rows.size() < prog.limit)
                     res.rows.push_back(table.row(i));
             }
-            visited += primary.size();
         }
         res.ok = true;
         break;
@@ -354,13 +383,12 @@ Interpreter::runFilteredIndexed(const db::TraceEntry &entry,
       case DslOp::MissRate:
       case DslOp::HitCount: {
         if (!have_counts) {
-            for (const auto i : primary) {
-                if (rowMatches(i)) {
+            for (const auto i : hits) {
+                if (hitMatches(i)) {
                     ++matched;
                     misses += table.isMissAt(i);
                 }
             }
-            visited += primary.size();
         }
         if (prog.op == DslOp::CountRows) {
             res.number = static_cast<double>(matched);
@@ -384,7 +412,8 @@ Interpreter::runFilteredIndexed(const db::TraceEntry &entry,
       case DslOp::MinField:
       case DslOp::MaxField:
       case DslOp::StdField: {
-        std::vector<double> xs;
+        std::vector<double> &xs = scratch.samples;
+        xs.clear();
         xs.reserve(matched);
         const auto collect = [&](std::size_t i) {
             const std::int64_t v = fieldValue(table, i, prog.field);
@@ -396,19 +425,17 @@ Interpreter::runFilteredIndexed(const db::TraceEntry &entry,
                 collect(i);
             visited += n;
         } else if (!absent && have_counts) {
-            for (const auto i : primary) {
-                if (rowMatches(i))
-                    collect(i);
-            }
-            visited += primary.size();
+            // dims == 1: the primary list is exactly the match set;
+            // walk it in place, no materialized row-id vector.
+            db::forEachRow(lists[0], collect);
+            visited += lists[0].size();
         } else if (!absent) {
-            for (const auto i : primary) {
-                if (rowMatches(i)) {
+            for (const auto i : hits) {
+                if (hitMatches(i)) {
                     ++matched;
                     collect(i);
                 }
             }
-            visited += primary.size();
         }
         aggregateSamples(xs, prog, res);
         break;
@@ -424,12 +451,13 @@ Interpreter::runFilteredIndexed(const db::TraceEntry &entry,
 /** The pre-index O(n) row walk — the executable specification. */
 DslResult
 Interpreter::runFilteredScan(const db::TraceEntry &entry,
-                             const DslProgram &prog) const
+                             const DslProgram &prog,
+                             ExecScratch & /*scratch*/) const
 {
     DslResult res;
     const db::TraceTable &table = entry.table;
 
-    std::vector<std::size_t> rows;
+    std::vector<std::uint32_t> rows;
     if (prog.pc || prog.address) {
         const std::uint64_t *pc = prog.pc ? &*prog.pc : nullptr;
         const std::uint64_t *addr =
@@ -438,10 +466,10 @@ Interpreter::runFilteredScan(const db::TraceEntry &entry,
     } else {
         rows.resize(table.size());
         for (std::size_t i = 0; i < table.size(); ++i)
-            rows[i] = i;
+            rows[i] = static_cast<std::uint32_t>(i);
     }
     if (prog.set_id) {
-        std::vector<std::size_t> keep;
+        std::vector<std::uint32_t> keep;
         for (const auto i : rows) {
             if (table.setAt(i) == *prog.set_id)
                 keep.push_back(i);

@@ -114,6 +114,21 @@ enum class ExecMode {
     ReferenceScan,
 };
 
+/**
+ * Caller-owned scratch buffers reused across programs — multi-program
+ * plans run dozens of programs back to back, and reusing the decoded-
+ * postings / intersection / sample buffers cuts the per-program
+ * allocation churn to zero once the high-water mark is reached. Not
+ * thread-safe: one ExecScratch per executing thread.
+ */
+struct ExecScratch
+{
+    /** Decoded postings / kernel intersection result (row ids). */
+    std::vector<std::uint32_t> rows;
+    /** Finite field samples for aggregate ops. */
+    std::vector<double> samples;
+};
+
 /** Executes DslPrograms against a shard view. */
 class Interpreter
 {
@@ -127,12 +142,16 @@ class Interpreter
     ExecMode mode() const { return mode_; }
 
     DslResult run(const DslProgram &prog) const;
+    /** Same semantics, reusing the caller's scratch buffers. */
+    DslResult run(const DslProgram &prog, ExecScratch &scratch) const;
 
   private:
     DslResult runFilteredIndexed(const db::TraceEntry &entry,
-                                 const DslProgram &prog) const;
+                                 const DslProgram &prog,
+                                 ExecScratch &scratch) const;
     DslResult runFilteredScan(const db::TraceEntry &entry,
-                              const DslProgram &prog) const;
+                              const DslProgram &prog,
+                              ExecScratch &scratch) const;
 
     db::ShardSet shards_;
     ExecMode mode_ = ExecMode::Indexed;

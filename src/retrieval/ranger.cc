@@ -3,8 +3,11 @@
 #include "retrieval/registry.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
+#include <thread>
 
+#include "base/parallel.hh"
 #include "base/random.hh"
 #include "base/stopwatch.hh"
 #include "base/str.hh"
@@ -255,20 +258,62 @@ RangerRetriever::retrieveParsed(const ParsedQuery &parsed,
     std::ostringstream text;
     bool any_rows = false;
 
+    // Corrupt every program up front — each draw is keyed by
+    // (question, program index), never by execution order, so the
+    // parallel schedule below cannot change which programs run.
+    for (std::size_t pi = 0; pi < progs.size(); ++pi)
+        corrupt(progs[pi], hashCombine(qkey, pi));
+
+    // Execute: shard-parallel across the plan's programs (policy
+    // comparisons run one program per policy shard). Results land in
+    // plan order; the merge/stream loop below stays sequential, so
+    // `program` chunks are emitted in plan order and the bundle is
+    // byte-identical to sequential execution.
+    std::vector<query::DslResult> results(progs.size());
+    const std::size_t hw = std::max<std::size_t>(
+        std::thread::hardware_concurrency(), 1);
+    const std::size_t workers = std::min(
+        progs.size(), cfg_.exec_threads ? cfg_.exec_threads : hw);
+    if (workers > 1) {
+        // Workers poll the sink's cancellation flag between programs
+        // (the sequential path's cadence); the throw itself happens on
+        // the caller thread after the join, so it never crosses the
+        // pool boundary.
+        std::atomic<bool> cancelled{false};
+        parallelFor(workers, workers, [&](std::size_t w) {
+            query::ExecScratch scratch;
+            for (std::size_t pi = w; pi < progs.size(); pi += workers) {
+                if (cancelled.load(std::memory_order_relaxed))
+                    return;
+                if (sink.cancelled()) {
+                    cancelled.store(true, std::memory_order_relaxed);
+                    return;
+                }
+                results[pi] = interp_.run(progs[pi], scratch);
+            }
+        });
+        throwIfCancelled(sink);
+    } else {
+        query::ExecScratch scratch;
+        for (std::size_t pi = 0; pi < progs.size(); ++pi) {
+            // Cooperative cancellation between DSL programs: a
+            // dropped consumer aborts the rest of a multi-program
+            // plan before the next interpreter run.
+            throwIfCancelled(sink);
+            results[pi] = interp_.run(progs[pi], scratch);
+        }
+    }
+
     for (std::size_t pi = 0; pi < progs.size(); ++pi) {
-        // Cooperative cancellation between DSL programs: a dropped
-        // consumer aborts the rest of a multi-program plan before the
-        // next interpreter run.
         throwIfCancelled(sink);
         DslProgram &prog = progs[pi];
-        corrupt(prog, hashCombine(qkey, pi));
         const std::string python = renderProgramAsPython(prog);
         code << python;
         // Per-program result segment: accumulated into the bundle's
         // result text and emitted as one streamed chunk, so a
-        // multi-program plan surfaces each result as it executes.
+        // multi-program plan surfaces each result in plan order.
         std::ostringstream seg;
-        const auto res = interp_.run(prog);
+        const query::DslResult &res = results[pi];
         if (!res.ok) {
             seg << "[" << prog.trace_key << "] " << res.error << "\n";
             text << seg.str();
@@ -382,7 +427,9 @@ namespace {
 
 // Factory knobs (ROADMAP "engine-level scenario configs"): codegen
 // fidelity drives the Figure 5/6-style sweeps through the Builder.
-// Every knob consumed here is part of cacheFingerprint().
+// Every knob consumed here is part of cacheFingerprint() except
+// exec_threads, which only schedules work (bundles are byte-identical
+// at any worker count).
 const RetrieverRegistrar ranger_registrar(
     "ranger",
     [](const db::ShardSet &shards, const RetrieverOptions &opts) {
@@ -394,6 +441,8 @@ const RetrieverRegistrar ranger_registrar(
             opts.get("default_policy", cfg.default_policy);
         cfg.seed = opts.getSize("seed", cfg.seed);
         cfg.use_index = opts.getBool("use_index", cfg.use_index);
+        cfg.exec_threads =
+            opts.getSize("exec_threads", cfg.exec_threads);
         return std::make_unique<RangerRetriever>(shards, cfg);
     });
 

@@ -81,7 +81,7 @@ fillListing(const std::vector<T> &values, std::size_t limit,
 
 } // namespace
 
-std::vector<std::size_t>
+std::vector<std::uint32_t>
 SieveRetriever::filterRows(const db::TraceTable &table,
                            const std::uint64_t *pc,
                            const std::uint64_t *address,

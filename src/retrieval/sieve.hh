@@ -81,7 +81,7 @@ class SieveRetriever : public Retriever
                       ContextBundle &bundle) const;
 
     /** Row slice via the postings index or the reference scan. */
-    std::vector<std::size_t>
+    std::vector<std::uint32_t>
     filterRows(const db::TraceTable &table, const std::uint64_t *pc,
                const std::uint64_t *address, std::size_t limit) const;
 

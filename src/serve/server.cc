@@ -618,6 +618,10 @@ Server::Impl::snapshot() const
             agg.misses += c.misses;
             agg.evictions += c.evictions;
         }
+        // Index totals come from the shared shard set: every engine
+        // reports the same postings indexes, so take (don't sum —
+        // summing would multiply them by the pool size).
+        s.engine.index = es.index;
     }
     // Tier stats come straight from the ONE shared cache — every
     // engine reports the same numbers, so summing per engine would
@@ -769,6 +773,25 @@ statsFrame(const std::string &id, const ServeStats &stats)
     frame += countField("demotions", tiers.demotions);
     frame += numberField("compression_ratio",
                          tiers.secondary.compressionRatio());
+    // Postings index: build amortisation, scan work avoided, which
+    // intersection kernels the adaptive selector picked, and the
+    // chunked-container mix (see db/postings_ops.hh).
+    const auto &index = stats.engine.index;
+    frame += countField("index_shards", index.shards_indexed);
+    frame += countField("index_lookups", index.lookups);
+    frame += countField("index_rows_skipped", index.rows_skipped);
+    frame += countField("kernel_galloping", index.kernel_galloping);
+    frame += countField("kernel_merge_simd", index.kernel_merge_simd);
+    frame += countField("kernel_merge_scalar",
+                        index.kernel_merge_scalar);
+    frame += countField("kernel_bitmap", index.kernel_bitmap);
+    frame += countField("kernel_bitmap_probe",
+                        index.kernel_bitmap_probe);
+    frame += countField("index_simd_ops", index.simd_ops);
+    frame += countField("index_scalar_ops", index.scalar_ops);
+    frame += countField("array_chunks", index.array_chunks);
+    frame += countField("bitmap_chunks", index.bitmap_chunks);
+    frame += countField("postings_bytes", index.postings_bytes);
     frame += numberField("first_event_p50_ms",
                          stats.engine.stream.first_event_p50_ms);
     frame += numberField("first_event_p90_ms",

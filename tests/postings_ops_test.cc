@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Randomized property tests for the chunked postings containers and
+ * the adaptive intersection kernels (src/db/postings_ops).
+ *
+ * The contract under test is byte-identity: whatever mix of container
+ * kinds (sorted uint16 array vs bitmap) and kernels (galloping, linear
+ * SIMD/scalar merge, word-AND, bit probe) the selector picks, the
+ * output must equal std::set_intersection over the raw row-id lists,
+ * in ascending order, truncated to `limit`. The same binary runs in
+ * the SIMD build, the -DCACHEMIND_DISABLE_SIMD=ON build, and under
+ * TSan/ASan/UBSan, so the scalar fallback is pinned to the exact same
+ * answers as the vector paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "db/postings_ops.hh"
+
+namespace db = cachemind::db;
+
+namespace {
+
+/**
+ * Draw a sorted, duplicate-free row-id list: each row in [0, universe)
+ * is present independently with probability `density`.
+ */
+std::vector<std::uint32_t>
+randomList(std::mt19937 &rng, std::uint32_t universe, double density)
+{
+    std::bernoulli_distribution keep(density);
+    std::vector<std::uint32_t> rows;
+    for (std::uint32_t r = 0; r < universe; ++r)
+        if (keep(rng))
+            rows.push_back(r);
+    return rows;
+}
+
+/** A store holding the list as key 0. */
+db::PostingsStore
+storeOf(const std::vector<std::uint32_t> &rows)
+{
+    db::PostingsStore s;
+    s.appendKey(rows.data(), rows.size());
+    s.shrink();
+    return s;
+}
+
+std::vector<std::uint32_t>
+referenceIntersect(const std::vector<std::uint32_t> &a,
+                   const std::vector<std::uint32_t> &b)
+{
+    std::vector<std::uint32_t> out;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(out));
+    return out;
+}
+
+std::uint64_t
+countersTotal(const db::PostingsOpsCounters &c)
+{
+    return c.galloping.load() + c.merge_simd.load() +
+           c.merge_scalar.load() + c.bitmap_words.load() +
+           c.bitmap_probe.load();
+}
+
+} // namespace
+
+TEST(PostingsStoreTest, RoundTripAcrossContainerKinds)
+{
+    std::mt19937 rng(0xC0FFEEu);
+    // Universe spans >4 chunks; densities straddle the array/bitmap
+    // crossover (4096 rows per 64K chunk ~ density 0.0625).
+    const std::uint32_t universe = 5u * db::kPostingsChunkSize / 2;
+    for (double density : {0.0005, 0.01, 0.1, 0.3}) {
+        const auto rows = randomList(rng, universe, density);
+        const auto store = storeOf(rows);
+        const db::PostingsList list = store.list(0);
+        EXPECT_EQ(list.size(), rows.size());
+
+        std::vector<std::uint32_t> decoded;
+        db::decodeList(list, decoded);
+        EXPECT_EQ(decoded, rows) << "density " << density;
+
+        // limit truncates to an exact prefix.
+        for (std::size_t limit : {std::size_t{1}, std::size_t{7},
+                                  rows.size() / 2}) {
+            if (limit == 0)
+                continue;
+            db::decodeList(list, decoded, limit);
+            const std::size_t want = std::min(limit, rows.size());
+            ASSERT_EQ(decoded.size(), want);
+            EXPECT_TRUE(std::equal(decoded.begin(), decoded.end(),
+                                   rows.begin()));
+        }
+
+        if (density >= 0.1) {
+            EXPECT_GT(store.bitmapChunks(), 0u) << "density " << density;
+        }
+        if (density <= 0.01) {
+            EXPECT_GT(store.arrayChunks(), 0u) << "density " << density;
+        }
+    }
+}
+
+TEST(PostingsStoreTest, EmptyAndOutOfRangeKeys)
+{
+    db::PostingsStore store;
+    store.appendKey(nullptr, 0);
+    const std::uint32_t one = 42;
+    store.appendKey(&one, 1);
+    store.shrink();
+
+    EXPECT_EQ(store.keys(), 2u);
+    EXPECT_TRUE(store.list(0).empty());
+    EXPECT_EQ(store.list(1).size(), 1u);
+    EXPECT_TRUE(store.list(2).empty());
+    EXPECT_TRUE(store.list(999).empty());
+
+    std::vector<std::uint32_t> out;
+    db::decodeList(store.list(1), out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 42u);
+}
+
+TEST(PostingsOpsTest, IntersectionMatchesReferenceAcrossDensities)
+{
+    std::mt19937 rng(0xFACADEu);
+    const std::uint32_t universe = 3u * db::kPostingsChunkSize;
+    const double densities[] = {0.0005, 0.01, 0.1, 0.3};
+    for (double da : densities) {
+        for (double db_ : densities) {
+            const auto a = randomList(rng, universe, da);
+            const auto b = randomList(rng, universe, db_);
+            const auto want = referenceIntersect(a, b);
+            const auto sa = storeOf(a);
+            const auto sb = storeOf(b);
+
+            std::vector<std::uint32_t> got;
+            db::intersectLists(sa.list(0), sb.list(0), 0, got);
+            EXPECT_EQ(got, want) << "densities " << da << "x" << db_;
+
+            // Symmetry: intersection is order-independent.
+            std::vector<std::uint32_t> swapped;
+            db::intersectLists(sb.list(0), sa.list(0), 0, swapped);
+            EXPECT_EQ(swapped, want);
+
+            // limit yields an exact prefix of the full answer.
+            for (std::size_t limit :
+                 {std::size_t{1}, std::size_t{3}, want.size()}) {
+                if (limit == 0)
+                    continue;
+                db::intersectLists(sa.list(0), sb.list(0), limit, got);
+                const std::size_t take = std::min(limit, want.size());
+                ASSERT_EQ(got.size(), take);
+                EXPECT_TRUE(std::equal(got.begin(), got.end(),
+                                       want.begin()));
+            }
+        }
+    }
+}
+
+TEST(PostingsOpsTest, ForcedKernelsAreByteIdentical)
+{
+    std::mt19937 rng(0xBEEFu);
+    const std::uint32_t universe = 2u * db::kPostingsChunkSize;
+    // Sparse lists only: forced kernels apply to array x array pairs.
+    struct Case {
+        double da, db;
+    } cases[] = {{0.001, 0.001}, {0.03, 0.03}, {0.0002, 0.05}};
+    for (const auto &c : cases) {
+        const auto a = randomList(rng, universe, c.da);
+        const auto b = randomList(rng, universe, c.db);
+        const auto want = referenceIntersect(a, b);
+        const auto sa = storeOf(a);
+        const auto sb = storeOf(b);
+
+        for (auto force : {db::IntersectKernel::Auto,
+                           db::IntersectKernel::Galloping,
+                           db::IntersectKernel::Merge}) {
+            std::vector<std::uint32_t> got;
+            db::intersectLists(sa.list(0), sb.list(0), 0, got, nullptr,
+                               force);
+            EXPECT_EQ(got, want)
+                << "force " << static_cast<int>(force) << " densities "
+                << c.da << "x" << c.db;
+        }
+    }
+}
+
+TEST(PostingsOpsTest, MergeKernelHandlesZeroValuedLanes)
+{
+    // Regression guard for the SSE4.2 merge: _mm_cmpistrm would treat
+    // 0x0000 lanes as string terminators; the kernel must use explicit
+    // lengths (_mm_cmpestrm) so row id 0 and in-chunk offset 0 match
+    // like any other value. Comparable lengths >= 16 per side force
+    // the linear merge even under Auto.
+    std::vector<std::uint32_t> a, b;
+    for (std::uint32_t i = 0; i < 40; ++i) {
+        a.push_back(i * 2);       // includes 0
+        b.push_back(i * 3);       // includes 0
+    }
+    const auto want = referenceIntersect(a, b);
+    ASSERT_FALSE(want.empty());
+    ASSERT_EQ(want.front(), 0u);
+
+    const auto sa = storeOf(a);
+    const auto sb = storeOf(b);
+    std::vector<std::uint32_t> got;
+    db::intersectLists(sa.list(0), sb.list(0), 0, got, nullptr,
+                       db::IntersectKernel::Merge);
+    EXPECT_EQ(got, want);
+}
+
+TEST(PostingsOpsTest, DisjointAndEmptyLists)
+{
+    std::vector<std::uint32_t> a{1, 5, 9}, b{2, 6, 10}, empty;
+    const auto sa = storeOf(a);
+    const auto sb = storeOf(b);
+    const auto se = storeOf(empty);
+
+    std::vector<std::uint32_t> out{7};  // pre-filled: must be cleared
+    db::intersectLists(sa.list(0), sb.list(0), 0, out);
+    EXPECT_TRUE(out.empty());
+    db::intersectLists(sa.list(0), se.list(0), 0, out);
+    EXPECT_TRUE(out.empty());
+    db::intersectLists(se.list(0), se.list(0), 0, out);
+    EXPECT_TRUE(out.empty());
+
+    // Non-overlapping chunk ranges short-circuit to empty too.
+    std::vector<std::uint32_t> far{db::kPostingsChunkSize * 3 + 1};
+    const auto sf = storeOf(far);
+    db::intersectLists(sa.list(0), sf.list(0), 0, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(PostingsOpsTest, CountersRecordKernelSelection)
+{
+    std::mt19937 rng(0x5EEDu);
+    const std::uint32_t universe = db::kPostingsChunkSize;
+
+    // Skewed array pair -> galloping.
+    {
+        const auto a = randomList(rng, universe, 0.0003);
+        const auto b = randomList(rng, universe, 0.05);
+        ASSERT_GE(b.size(), a.size() * db::kGallopSkewRatio);
+        const auto sa = storeOf(a);
+        const auto sb = storeOf(b);
+        db::PostingsOpsCounters c;
+        std::vector<std::uint32_t> out;
+        db::intersectLists(sa.list(0), sb.list(0), 0, out, &c);
+        EXPECT_GT(c.galloping.load(), 0u);
+        EXPECT_GT(c.scalar_ops.load(), 0u);
+    }
+
+    // Comparable array pair -> linear merge (SIMD when available).
+    {
+        const auto a = randomList(rng, universe, 0.02);
+        const auto b = randomList(rng, universe, 0.02);
+        const auto sa = storeOf(a);
+        const auto sb = storeOf(b);
+        db::PostingsOpsCounters c;
+        std::vector<std::uint32_t> out;
+        db::intersectLists(sa.list(0), sb.list(0), 0, out, &c);
+        if (db::simdCompiled()) {
+            EXPECT_GT(c.merge_simd.load(), 0u);
+            EXPECT_GT(c.simd_ops.load(), 0u);
+        } else {
+            EXPECT_GT(c.merge_scalar.load(), 0u);
+            EXPECT_GT(c.scalar_ops.load(), 0u);
+        }
+    }
+
+    // Dense pair -> bitmap word-AND; dense x sparse -> bit probes.
+    {
+        const auto a = randomList(rng, universe, 0.2);
+        const auto b = randomList(rng, universe, 0.2);
+        const auto s = randomList(rng, universe, 0.001);
+        const auto sa = storeOf(a);
+        const auto sb = storeOf(b);
+        const auto ss = storeOf(s);
+        db::PostingsOpsCounters c;
+        std::vector<std::uint32_t> out;
+        db::intersectLists(sa.list(0), sb.list(0), 0, out, &c);
+        EXPECT_GT(c.bitmap_words.load(), 0u);
+        db::intersectLists(sa.list(0), ss.list(0), 0, out, &c);
+        EXPECT_GT(c.bitmap_probe.load(), 0u);
+        EXPECT_GT(countersTotal(c), 0u);
+    }
+}
