@@ -12,11 +12,13 @@
  *       Used by CI as a smoke test (no arguments, exits non-zero on
  *       any protocol violation).
  *
- *   $ ./example_serve_client --serve [port]
+ *   $ ./example_serve_client --serve [port] [--chaos]
  *       Server-only: build the database, listen (port 0 = ephemeral),
  *       print "LISTENING <port>" on stdout, and serve until stdin
  *       closes. scripts/load_smoke.py drives this mode with 32
- *       concurrent external clients.
+ *       concurrent external clients; --chaos additionally honours the
+ *       "failpoints" protocol verb so scripts/chaos_smoke.py can arm
+ *       fault schedules over the wire (never enable it in production).
  */
 
 #include <cstdio>
@@ -92,12 +94,13 @@ askAndPrint(LineClient &client, const std::string &id,
 }
 
 int
-runServeMode(std::uint16_t port)
+runServeMode(std::uint16_t port, bool chaos)
 {
     const auto database = buildDb();
     ServeOptions opts;
     opts.port = port;
     opts.max_sessions = 64;
+    opts.debug_failpoints = chaos;
     Server server(database, opts);
     std::string error;
     if (!server.start(&error)) {
@@ -129,8 +132,15 @@ int
 main(int argc, char **argv)
 {
     if (argc >= 2 && std::strcmp(argv[1], "--serve") == 0) {
-        const int port = argc >= 3 ? std::atoi(argv[2]) : 0;
-        return runServeMode(static_cast<std::uint16_t>(port));
+        int port = 0;
+        bool chaos = false;
+        for (int i = 2; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--chaos") == 0)
+                chaos = true;
+            else
+                port = std::atoi(argv[i]);
+        }
+        return runServeMode(static_cast<std::uint16_t>(port), chaos);
     }
 
     std::printf("Building trace database...\n");

@@ -16,12 +16,18 @@ asserts for every response stream:
   * the concatenated ``delta`` text equals the ``done`` answer,
   * the stream terminates with exactly one ``done`` frame.
 
+Every third ask additionally carries a ``deadline_ms`` budget
+(``--deadline-ms``, generous by default). Deadline-capped asks must
+still end in a typed terminal frame — ``done`` (degraded or not) or
+``deadline_exceeded`` — within deadline + slack + a scheduling
+allowance, exercising the deadline path under real concurrency.
+
 Exit status: 0 when every client saw well-formed, byte-consistent
 streams; 1 otherwise.
 
 Usage:
     load_smoke.py /path/to/example_serve_client [--clients N]
-                  [--asks M]
+                  [--asks M] [--deadline-ms D]
 """
 
 import argparse
@@ -30,6 +36,12 @@ import socket
 import subprocess
 import sys
 import threading
+import time
+
+# Server-side hard-cut slack past the deadline (ServeOptions default)
+# plus scheduling allowance for a loaded CI machine.
+SLACK_MS = 250
+ALLOWANCE_MS = 5000
 
 RETRIEVERS = ["sieve", "ranger", "llamaindex"]
 QUESTION = "Which policy has the lowest miss rate in the astar workload?"
@@ -52,7 +64,7 @@ def recv_lines(sock):
         buf += chunk
 
 
-def run_client(port, client_id, asks, errors):
+def run_client(port, client_id, asks, deadline_ms, errors):
     try:
         sock = socket.create_connection(("127.0.0.1", port), timeout=120)
         sock.settimeout(120)
@@ -62,14 +74,21 @@ def run_client(port, client_id, asks, errors):
             raise AssertionError(f"expected hello, got {hello}")
         for ask in range(asks):
             rid = f"{client_id}-{ask}"
+            # Every third ask carries a deadline budget; it may finish
+            # done (degraded or not) or deadline_exceeded, but always
+            # with a typed terminal frame inside the latency bound.
+            capped = deadline_ms > 0 and (client_id + ask) % 3 == 0
             request = {
                 "op": "ask",
                 "id": rid,
                 "question": QUESTIONS[(client_id + ask) % len(QUESTIONS)],
                 "retriever": RETRIEVERS[(client_id + ask) % len(RETRIEVERS)],
             }
+            if capped:
+                request["deadline_ms"] = deadline_ms
+            started = time.monotonic()
             sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
-            deltas, done = "", None
+            deltas, terminal, done = "", None, None
             for raw in lines:
                 frame = json.loads(raw)  # malformed frame raises here
                 kind = frame["frame"]
@@ -79,14 +98,29 @@ def run_client(port, client_id, asks, errors):
                 if kind == "delta":
                     deltas += frame["text"]
                 elif kind == "done":
-                    done = frame["answer"]
+                    terminal, done = kind, frame["answer"]
                     break
-                elif kind in ("error", "overloaded"):
+                elif kind == "deadline_exceeded" and capped:
+                    terminal = kind
+                    break
+                elif kind in ("error", "overloaded",
+                              "deadline_exceeded"):
                     raise AssertionError(f"server refused {rid}: {raw}")
-            if done is None:
-                raise AssertionError(f"stream {rid} ended without done")
-            if deltas != done:
+            if terminal is None:
+                raise AssertionError(f"stream {rid} ended without a "
+                                     "terminal frame")
+            if terminal == "done" and deltas != done:
                 raise AssertionError(f"delta bytes diverge on {rid}")
+            if capped:
+                elapsed_ms = (time.monotonic() - started) * 1000.0
+                bound = deadline_ms + SLACK_MS + ALLOWANCE_MS
+                if elapsed_ms > bound:
+                    raise AssertionError(
+                        f"deadline ask {rid} took {elapsed_ms:.0f}ms "
+                        f"(> {bound}ms)")
+                # A hard cut ends the connection's usefulness for this
+                # simple client only if the server closed it; ours
+                # keeps the session, so continue asking.
         sock.close()
     except Exception as exc:  # noqa: BLE001 - collected and reported
         errors.append(f"client {client_id}: {exc!r}")
@@ -97,6 +131,9 @@ def main():
     parser.add_argument("server_binary")
     parser.add_argument("--clients", type=int, default=32)
     parser.add_argument("--asks", type=int, default=3)
+    parser.add_argument("--deadline-ms", type=int, default=10000,
+                        help="deadline for every third ask "
+                             "(0 disables the mixed-deadline phase)")
     args = parser.parse_args()
 
     server = subprocess.Popen(
@@ -117,7 +154,8 @@ def main():
         errors = []
         threads = [
             threading.Thread(target=run_client,
-                             args=(port, i, args.asks, errors))
+                             args=(port, i, args.asks,
+                                   args.deadline_ms, errors))
             for i in range(args.clients)
         ]
         for t in threads:

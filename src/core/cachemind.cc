@@ -141,24 +141,53 @@ CacheMind::planStage(const retrieval::Retriever &retriever,
     return retriever.cacheFingerprint() + '\x1f' + slot_key;
 }
 
+Deadline
+CacheMind::resolveDeadline(double request_ms) const
+{
+    return Deadline::afterMs(request_ms > 0.0
+                                 ? request_ms
+                                 : opts_.default_deadline_ms);
+}
+
 std::shared_ptr<const retrieval::ContextBundle>
 CacheMind::retrieveStage(retrieval::Retriever &retriever,
                          const query::ParsedQuery &parsed,
-                         const std::string &cache_key) const
+                         const std::string &cache_key,
+                         const Deadline &deadline) const
 {
-    if (cache_key.empty()) {
+    // The deadline rides the sink (the retrievers' existing
+    // cancellation-poll sites double as degrade checks), so the
+    // blocking path runs the sink overload with an inactive sink —
+    // byte-identical output, zero chunk formatting.
+    const auto compute = [&] {
+        retrieval::NullEvidenceSink sink;
+        sink.setDeadline(deadline);
         return std::make_shared<const retrieval::ContextBundle>(
-            retriever.retrieveParsed(parsed));
+            retriever.retrieveParsed(parsed, sink));
+    };
+    if (cache_key.empty())
+        return compute();
+    if (!deadline.finite()) {
+        retrieval::RetrievalCache::Outcome outcome;
+        auto evidence =
+            cache_->getOrCompute(cache_key, compute, &outcome);
+        stats_->recordCacheLookup(retriever.name(), outcome.hit,
+                                  outcome.evictions);
+        return evidence;
     }
+    // Finite deadline: stay outside the single-flight protocol. A
+    // deadline-capped retrieval may come back degraded, and a degraded
+    // bundle must neither be admitted nor handed to coalesced waiters
+    // (their budgets differ). peek never waits; publish drops degraded
+    // bundles on the floor.
     retrieval::RetrievalCache::Outcome outcome;
-    auto evidence = cache_->getOrCompute(
-        cache_key,
-        [&] {
-            return std::make_shared<const retrieval::ContextBundle>(
-                retriever.retrieveParsed(parsed));
-        },
-        &outcome);
-    stats_->recordCacheLookup(retriever.name(), outcome.hit,
+    if (auto cached = cache_->peek(cache_key, &outcome)) {
+        stats_->recordCacheLookup(retriever.name(), true, 0);
+        return cached;
+    }
+    auto evidence = compute();
+    cache_->publish(cache_key, evidence, &outcome);
+    stats_->recordCacheLookup(retriever.name(), false,
                               outcome.evictions);
     return evidence;
 }
@@ -224,16 +253,24 @@ CacheMind::generateStage(
                                                  *on_delta)
                    : generator_->answer(r.bundle, gen_opts);
     r.text = r.answer.text;
+    // Degraded evidence still gets answered (partial evidence beats
+    // none), but the degradation is counted — it is the engine-side
+    // "deadline miss" signal. Degraded bundles are never cached, so
+    // this counts each degraded retrieval exactly once.
+    if (r.bundle.degraded)
+        stats_->recordDegraded();
     return r;
 }
 
 Response
 CacheMind::answerParsed(retrieval::Retriever &retriever,
-                        const query::ParsedQuery &parsed) const
+                        const query::ParsedQuery &parsed,
+                        const Deadline &deadline) const
 {
     const std::string cache_key = planStage(retriever, parsed);
     Stopwatch retrieve_timer;
-    const auto evidence = retrieveStage(retriever, parsed, cache_key);
+    const auto evidence =
+        retrieveStage(retriever, parsed, cache_key, deadline);
     return generateStage(parsed, evidence,
                          retrieve_timer.milliseconds());
 }
@@ -275,7 +312,8 @@ CacheMind::answerParsedStreamed(retrieval::Retriever &retriever,
                                 const query::ParsedQuery &parsed,
                                 std::size_t question_index,
                                 StreamChannel &channel,
-                                double *blocked_ms) const
+                                double *blocked_ms,
+                                const Deadline &deadline) const
 {
     // Per-stream instrumentation: when the first event left the
     // pipeline (the latency a streaming consumer actually waits
@@ -330,6 +368,7 @@ CacheMind::answerParsedStreamed(retrieval::Retriever &retriever,
             push(std::move(event));
         },
         channel);
+    sink.setDeadline(deadline);
     Stopwatch retrieve_timer;
     const auto evidence =
         retrieveStageStreamed(retriever, parsed, cache_key, sink);
@@ -375,12 +414,19 @@ CacheMind::warmup()
 Result<Response, EngineError>
 CacheMind::ask(const std::string &question)
 {
+    return ask(question, AskOptions{});
+}
+
+Result<Response, EngineError>
+CacheMind::ask(const std::string &question, const AskOptions &ask_opts)
+{
     if (str::trim(question).empty()) {
         return EngineError{EngineErrorCode::EmptyQuestion,
                            "question is empty"};
     }
     Stopwatch timer;
-    Response r = answerParsed(*retriever_, parseStage(question));
+    Response r = answerParsed(*retriever_, parseStage(question),
+                              resolveDeadline(ask_opts.deadline_ms));
     stats_->record(timer.milliseconds(),
                    retrieval::assessQuality(r.bundle));
     return r;
@@ -394,7 +440,8 @@ CacheMind::askParsed(const query::ParsedQuery &parsed)
                            "question is empty"};
     }
     Stopwatch timer;
-    Response r = answerParsed(*retriever_, parsed);
+    Response r =
+        answerParsed(*retriever_, parsed, resolveDeadline(0.0));
     stats_->record(timer.milliseconds(),
                    retrieval::assessQuality(r.bundle));
     return r;
@@ -454,7 +501,8 @@ CacheMind::askBatch(const std::vector<std::string> &questions)
         for (std::size_t i = 0; i < questions.size(); ++i) {
             Stopwatch timer;
             responses[i] =
-                answerParsed(*retriever_, parseStage(questions[i]));
+                answerParsed(*retriever_, parseStage(questions[i]),
+                             resolveDeadline(0.0));
             latencies[i] = timer.milliseconds();
         }
     } else {
@@ -494,7 +542,8 @@ CacheMind::askBatch(const std::vector<std::string> &questions)
                         Stopwatch timer;
                         responses[i] = answerParsed(
                             worker_retriever,
-                            parseStage(questions[i]));
+                            parseStage(questions[i]),
+                            resolveDeadline(0.0));
                         latencies[i] = timer.milliseconds();
                     }
                 } catch (...) {
@@ -522,6 +571,13 @@ CacheMind::askBatch(const std::vector<std::string> &questions)
 Result<AnswerStream, EngineError>
 CacheMind::askStream(const std::string &question)
 {
+    return askStream(question, AskOptions{});
+}
+
+Result<AnswerStream, EngineError>
+CacheMind::askStream(const std::string &question,
+                     const AskOptions &ask_opts)
+{
     if (str::trim(question).empty()) {
         return EngineError{EngineErrorCode::EmptyQuestion,
                            "question is empty"};
@@ -537,7 +593,11 @@ CacheMind::askStream(const std::string &question)
         std::make_shared<StreamChannel>(opts_.stream_buffer);
     channel->setProducers(1);
     auto ticket = std::make_shared<StreamTicket>();
-    stream_pool_->submit([this, channel, ticket, question] {
+    // The budget clock starts at submission: queueing behind busy pool
+    // workers spends the request's budget, exactly as a serving
+    // front-end would account it.
+    const Deadline deadline = resolveDeadline(ask_opts.deadline_ms);
+    stream_pool_->submit([this, channel, ticket, question, deadline] {
         // Warm every shard's postings index in parallel before the
         // pipeline touches its shard, so the first evidence chunk
         // never waits behind a serial lazy index build (no-op once
@@ -552,7 +612,7 @@ CacheMind::askStream(const std::string &question)
             double blocked_ms = 0.0;
             Response r = answerParsedStreamed(
                 *retriever_, parseStage(question), 0, *channel,
-                &blocked_ms);
+                &blocked_ms, deadline);
             // Serving latency only: consumer pacing (blocked pushes)
             // is not the engine's answering cost.
             stats_->record(std::max(timer.milliseconds() - blocked_ms,
@@ -628,7 +688,7 @@ CacheMind::askBatchStream(const std::vector<std::string> &questions,
                     double blocked_ms = 0.0;
                     responses[i] = answerParsedStreamed(
                         worker_retriever, parseStage(questions[i]), i,
-                        channel, &blocked_ms);
+                        channel, &blocked_ms, resolveDeadline(0.0));
                     // Serving latency only (see askStream).
                     latencies[i] = std::max(
                         timer.milliseconds() - blocked_ms, 0.0);

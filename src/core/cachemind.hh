@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "base/deadline.hh"
 #include "base/result.hh"
 #include "core/engine_stats.hh"
 #include "core/stream.hh"
@@ -123,6 +124,30 @@ struct EngineOptions
      * of being retrieval-only. Answer bytes are unaffected.
      */
     double tokens_per_second = 0.0;
+    /**
+     * Default retrieval deadline per question in milliseconds (0 =
+     * none). When the budget runs out mid-retrieval the retriever
+     * degrades — it returns the evidence gathered so far with
+     * bundle.degraded set and the answer is generated from partial
+     * evidence — instead of failing. Degraded bundles never enter the
+     * retrieval cache. Per-call AskOptions::deadline_ms overrides
+     * this. Questions with a finite deadline bypass the single-flight
+     * miss coalescing (a degraded result must not be handed to
+     * coalesced waiters), so leave this 0 unless requests carry real
+     * latency budgets.
+     */
+    double default_deadline_ms = 0.0;
+};
+
+/** Per-call knobs for ask()/askStream(). */
+struct AskOptions
+{
+    /**
+     * Retrieval deadline for this question in milliseconds; 0 falls
+     * back to EngineOptions::default_deadline_ms (and if that is also
+     * 0, the question has no deadline).
+     */
+    double deadline_ms = 0.0;
 };
 
 /** What went wrong, as a branchable code plus a rendered message. */
@@ -187,6 +212,10 @@ class CacheMind
     /** Answer one natural-language question, trace-grounded. */
     Result<Response, EngineError> ask(const std::string &question);
 
+    /** ask() with per-call knobs (deadline). */
+    Result<Response, EngineError> ask(const std::string &question,
+                                      const AskOptions &ask_opts);
+
     /**
      * Answer an already-parsed question. This is the pipeline entry
      * for callers that parse (or augment) upstream — ChatSession
@@ -225,6 +254,10 @@ class CacheMind
      */
     Result<AnswerStream, EngineError>
     askStream(const std::string &question);
+
+    /** askStream() with per-call knobs (deadline). */
+    Result<AnswerStream, EngineError>
+    askStream(const std::string &question, const AskOptions &ask_opts);
 
     /** Consumer callback for askBatchStream (called serially). */
     using StreamSink = std::function<void(const StreamEvent &)>;
@@ -308,7 +341,8 @@ class CacheMind
     std::shared_ptr<const retrieval::ContextBundle>
     retrieveStage(retrieval::Retriever &retriever,
                   const query::ParsedQuery &parsed,
-                  const std::string &cache_key) const;
+                  const std::string &cache_key,
+                  const Deadline &deadline = Deadline()) const;
 
     /**
      * Stage 3, streaming form: evidence sections stream into `sink`
@@ -324,6 +358,12 @@ class CacheMind
                           const query::ParsedQuery &parsed,
                           const std::string &cache_key,
                           retrieval::EvidenceSink &sink) const;
+
+    /**
+     * Resolve the effective deadline for one call: per-call budget,
+     * else the engine default, else infinite.
+     */
+    Deadline resolveDeadline(double request_ms) const;
 
     /**
      * Stage 4: generate the answer from the evidence. The response
@@ -344,7 +384,8 @@ class CacheMind
 
     /** Stages 2-4 for one parsed question (no latency recording). */
     Response answerParsed(retrieval::Retriever &retriever,
-                          const query::ParsedQuery &parsed) const;
+                          const query::ParsedQuery &parsed,
+                          const Deadline &deadline = Deadline()) const;
 
     /**
      * Stages 2-4 for one parsed question with every stage boundary
@@ -361,7 +402,9 @@ class CacheMind
                                   const query::ParsedQuery &parsed,
                                   std::size_t question_index,
                                   StreamChannel &channel,
-                                  double *blocked_ms = nullptr) const;
+                                  double *blocked_ms = nullptr,
+                                  const Deadline &deadline =
+                                      Deadline()) const;
 
     struct BatchPool;
 
@@ -498,6 +541,14 @@ class CacheMind::Builder
     withTokensPerSecond(double pace)
     {
         opts_.tokens_per_second = pace;
+        return *this;
+    }
+
+    /** Default per-question retrieval deadline in ms (0 = none). */
+    Builder &
+    withDeadlineMs(double ms)
+    {
+        opts_.default_deadline_ms = ms;
         return *this;
     }
 

@@ -82,6 +82,13 @@ EngineStatsRecorder::recordStreamCancelled()
 }
 
 void
+EngineStatsRecorder::recordDegraded()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++degraded_answers_;
+}
+
+void
 EngineStatsRecorder::recordWarmup(double warmup_ms)
 {
     std::lock_guard<std::mutex> lock(mu_);
@@ -97,6 +104,7 @@ EngineStatsRecorder::snapshot() const
     s.questions = questions_;
     s.batches = batches_;
     s.quality_low = quality_low_;
+    s.degraded_answers = degraded_answers_;
     s.quality_medium = quality_medium_;
     s.quality_high = quality_high_;
     s.cache_by_retriever = cache_by_retriever_;

@@ -90,6 +90,13 @@ struct EngineStats
     std::uint64_t quality_medium = 0;
     std::uint64_t quality_high = 0;
 
+    /**
+     * Questions answered from deadline-degraded (partial) evidence —
+     * the engine-side deadline-miss signal. Degraded bundles are never
+     * cached, so each degraded retrieval counts exactly once.
+     */
+    std::uint64_t degraded_answers = 0;
+
     /** End-to-end per-question latency percentiles (milliseconds). */
     double latency_p50_ms = 0.0;
     double latency_p90_ms = 0.0;
@@ -160,6 +167,9 @@ class EngineStatsRecorder
     /** Record one consumer-cancelled stream (no latency samples). */
     void recordStreamCancelled();
 
+    /** Record one answer generated from deadline-degraded evidence. */
+    void recordDegraded();
+
     /** Record the engine's one-time cold index warm-up cost. */
     void recordWarmup(double warmup_ms);
 
@@ -187,6 +197,7 @@ class EngineStatsRecorder
     std::uint64_t stream_evidence_chunks_ = 0;
     std::uint64_t stream_answer_deltas_ = 0;
     std::uint64_t stream_cancelled_ = 0;
+    std::uint64_t degraded_answers_ = 0;
     std::uint64_t warmups_ = 0;
     double warmup_ms_total_ = 0.0;
     double first_event_sum_ms_ = 0.0;

@@ -23,6 +23,7 @@
 #ifndef CACHEMIND_CORE_STREAM_HH
 #define CACHEMIND_CORE_STREAM_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -32,6 +33,7 @@
 #include <optional>
 #include <string>
 
+#include "base/deadline.hh"
 #include "query/parsed_query.hh"
 
 namespace cachemind::core {
@@ -102,6 +104,15 @@ class StreamChannel
 
     /** Consumer: blocking pop; nullopt once closed and drained. */
     std::optional<StreamEvent> pop();
+
+    /**
+     * Consumer: pop with a wall-clock bound. Returns nullopt with
+     * *timed_out = true when `at` passes before an event arrives (the
+     * channel is untouched — the serving layer uses this to cut a
+     * stream that blew its deadline with a typed frame).
+     */
+    std::optional<StreamEvent>
+    popUntil(std::chrono::steady_clock::time_point at, bool *timed_out);
 
     /** Consumer: non-blocking pop; nullopt when nothing is buffered. */
     std::optional<StreamEvent> tryPop();
@@ -198,6 +209,15 @@ class AnswerStream
      * exception a blocking ask() of the question would have thrown.
      */
     std::optional<StreamEvent> next();
+
+    /**
+     * next() bounded by a deadline: when the deadline passes before
+     * the next event arrives, returns nullopt with *expired = true and
+     * leaves the stream intact (the caller decides whether to cancel).
+     * An infinite deadline behaves exactly like next().
+     */
+    std::optional<StreamEvent> nextBefore(const Deadline &deadline,
+                                          bool *expired);
 
     /**
      * Drain to completion and return the final response —

@@ -116,7 +116,8 @@ ShardSet::warmIndexes(std::size_t build_threads) const
     // any thread.
     std::vector<const TraceShard *> pending;
     for (const auto *s : shards_) {
-        if (!s->table().indexIfBuilt())
+        const TraceTable &t = s->table();
+        if (!t.indexIfBuilt() && !t.indexBuildFailed())
             pending.push_back(s);
     }
     if (pending.empty())

@@ -80,9 +80,14 @@ class TraceShard
 
     /**
      * The shard's postings index, built once under the table's
-     * once_flag (same lazy pattern as stats()), thread-safe.
+     * once_flag (same lazy pattern as stats()), thread-safe. Returns
+     * nullptr when the one-time build failed — callers degrade to the
+     * reference scan path for this shard.
      */
-    const TraceIndex *index() const { return &entry_.table.index(); }
+    const TraceIndex *index() const
+    {
+        return entry_.table.indexOrFallback();
+    }
 
   private:
     std::string key_;
@@ -115,7 +120,10 @@ class TraceShardView
         return shard_ ? shard_->stats() : nullptr;
     }
 
-    /** Lazily built postings index; nullptr on invalid views. */
+    /**
+     * Lazily built postings index; nullptr on invalid views and on
+     * shards whose index build failed (scan fallback).
+     */
     const TraceIndex *
     index() const
     {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/failpoint.hh"
 #include "base/logging.hh"
 #include "base/str.hh"
 #include "db/index.hh"
@@ -18,11 +19,35 @@ TraceTable &TraceTable::operator=(TraceTable &&) noexcept = default;
 const TraceIndex &
 TraceTable::index() const
 {
+    const TraceIndex *idx = indexOrFallback();
+    CM_ASSERT(idx != nullptr, "postings index build failed");
+    return *idx;
+}
+
+const TraceIndex *
+TraceTable::indexOrFallback() const
+{
     std::call_once(lazy_->once, [this] {
-        lazy_->index = std::make_unique<TraceIndex>(*this);
-        lazy_->built.store(true, std::memory_order_release);
+        try {
+            fail::maybeThrow("db.index_build");
+            lazy_->index = std::make_unique<TraceIndex>(*this);
+            lazy_->built.store(true, std::memory_order_release);
+        } catch (...) {
+            // The once_flag is flipped (the lambda returned), so the
+            // failure is permanent for this table: concurrent and
+            // future readers all take the scan path.
+            lazy_->failed.store(true, std::memory_order_release);
+        }
     });
-    return *lazy_->index;
+    return lazy_->built.load(std::memory_order_acquire)
+               ? lazy_->index.get()
+               : nullptr;
+}
+
+bool
+TraceTable::indexBuildFailed() const
+{
+    return lazy_->failed.load(std::memory_order_acquire);
 }
 
 const TraceIndex *
@@ -178,13 +203,28 @@ TraceTable::recencyTextAt(std::size_t i) const
 const std::vector<std::uint64_t> &
 TraceTable::uniquePcs() const
 {
-    return index().uniquePcs();
+    if (const TraceIndex *idx = indexOrFallback())
+        return idx->uniquePcs();
+    ensureFallbackListings();
+    return lazy_->fallback_pcs;
 }
 
 const std::vector<std::uint32_t> &
 TraceTable::uniqueSets() const
 {
-    return index().uniqueSets();
+    if (const TraceIndex *idx = indexOrFallback())
+        return idx->uniqueSets();
+    ensureFallbackListings();
+    return lazy_->fallback_sets;
+}
+
+void
+TraceTable::ensureFallbackListings() const
+{
+    std::call_once(lazy_->fallback_once, [this] {
+        lazy_->fallback_pcs = uniquePcsScan();
+        lazy_->fallback_sets = uniqueSetsScan();
+    });
 }
 
 std::vector<std::uint64_t>
@@ -259,7 +299,10 @@ TraceTable::filter(const std::uint64_t *pc, const std::uint64_t *address,
     if (address && !addr_id)
         return {};
 
-    const TraceIndex &idx = index();
+    const TraceIndex *idx_ptr = indexOrFallback();
+    if (!idx_ptr)
+        return filterScan(pc, address, limit);
+    const TraceIndex &idx = *idx_ptr;
     if (pc_id && addr_id) {
         const PostingsList a = idx.pcPostings(*pc_id);
         const PostingsList b = idx.addrPostings(*addr_id);

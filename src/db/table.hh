@@ -204,9 +204,21 @@ class TraceTable
     /**
      * The table's postings index, built lazily exactly once under a
      * once_flag (same pattern as the shard's StatsExpert) — safe to
-     * hit from any number of concurrent readers.
+     * hit from any number of concurrent readers. Asserts that the
+     * build succeeded; callers that can degrade should use
+     * indexOrFallback() instead.
      */
     const TraceIndex &index() const;
+    /**
+     * The postings index, or nullptr when its one-time build failed
+     * (fault injection, resource exhaustion). Failure is sticky: the
+     * build is never retried, so every reader of this table degrades
+     * to the reference scan path consistently instead of flapping
+     * between indexed and scanned answers.
+     */
+    const TraceIndex *indexOrFallback() const;
+    /** Did the one-time index build fail for good? */
+    bool indexBuildFailed() const;
     /** The index if some reader already built it; nullptr otherwise. */
     const TraceIndex *indexIfBuilt() const;
 
@@ -275,9 +287,23 @@ class TraceTable
     {
         std::once_flag once;
         std::atomic<bool> built{false};
+        /** Build threw; sticky — readers use the scan path forever. */
+        std::atomic<bool> failed{false};
         std::unique_ptr<TraceIndex> index;
+        /**
+         * Scan-computed unique listings, built once on the first
+         * uniquePcs()/uniqueSets() call after a failed index build so
+         * the by-reference listing accessors keep working (and stay
+         * byte-identical to the index's build-time cache).
+         */
+        std::once_flag fallback_once;
+        std::vector<std::uint64_t> fallback_pcs;
+        std::vector<std::uint32_t> fallback_sets;
     };
     mutable std::unique_ptr<LazyIndex> lazy_;
+
+    /** Populate the fallback listings exactly once. */
+    void ensureFallbackListings() const;
 };
 
 } // namespace cachemind::db

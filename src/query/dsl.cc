@@ -255,9 +255,15 @@ Interpreter::runFilteredIndexed(const db::TraceEntry &entry,
                                 const DslProgram &prog,
                                 ExecScratch &scratch) const
 {
-    DslResult res;
     const db::TraceTable &table = entry.table;
-    const db::TraceIndex &idx = table.index();
+    const db::TraceIndex *idx_ptr = table.indexOrFallback();
+    if (!idx_ptr) {
+        // Index build failed for this shard: answer from the
+        // reference scan — identical bytes, just slower.
+        return runFilteredScan(entry, prog, scratch);
+    }
+    DslResult res;
+    const db::TraceIndex &idx = *idx_ptr;
     const std::size_t n = table.size();
 
     // Resolve filter keys; any absent key means zero matches.

@@ -129,8 +129,10 @@ RetrievalCache::getOrCompute(const std::string &key,
     }
 
     // Admit before erasing the flight: a lookup that misses the
-    // flight table must find the tiers already populated.
-    evicted = admit(key, value);
+    // flight table must find the tiers already populated. Degraded
+    // (deadline-truncated) bundles are returned to their caller but
+    // never admitted — they would poison every later request.
+    evicted = (value && value->degraded) ? 0 : admit(key, value);
     evictions_.fetch_add(evicted, std::memory_order_relaxed);
     lock.lock();
     flights_.erase(key);
@@ -174,6 +176,8 @@ RetrievalCache::publish(const std::string &key, BundlePtr value,
         *outcome = Outcome{};
     if (!enabled())
         return;
+    if (value && value->degraded)
+        return; // deadline-truncated evidence must never be shared
     {
         std::lock_guard<std::mutex> lock(flight_mu_);
         if (flights_.count(key))

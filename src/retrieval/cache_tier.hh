@@ -37,6 +37,13 @@ struct TierStats
     std::uint64_t evictions = 0;
     /** Offered entries the tier refused to admit (e.g. oversized). */
     std::uint64_t rejected = 0;
+    /**
+     * Stored entries whose payload failed to decode on lookup. Each
+     * counts as a miss, the entry is dropped (the next request
+     * recomputes and re-admits cleanly), and the broken bytes are
+     * never surfaced. Zero for tiers that store decoded values.
+     */
+    std::uint64_t decode_failures = 0;
 
     /** Resident entries right now. */
     std::size_t entries = 0;

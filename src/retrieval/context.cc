@@ -50,6 +50,8 @@ ContextBundle::render() const
         os << "[Trace] " << trace_key << "\n";
     if (premise_violation)
         os << "[Premise check] " << premise_note << "\n";
+    if (degraded)
+        os << "[Degraded] " << degraded_note << "\n";
     if (!workload_description.empty())
         os << "[Workload] " << workload_description << "\n";
     if (!policy_description.empty())

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/deadline.hh"
 #include "db/stats_expert.hh"
 #include "db/table.hh"
 #include "query/parsed_query.hh"
@@ -94,6 +95,16 @@ struct ContextBundle
     bool premise_violation = false;
     std::string premise_note;
 
+    /**
+     * The retrieval deadline expired mid-assembly and the retriever
+     * returned the evidence gathered so far instead of failing. A
+     * degraded bundle is answerable but incomplete, and must never be
+     * admitted to the RetrievalCache (it would poison every later
+     * request for the same key).
+     */
+    bool degraded = false;
+    std::string degraded_note;
+
     /** Wall-clock retrieval latency in milliseconds (reporting only). */
     double retrieval_ms = 0.0;
 
@@ -150,6 +161,20 @@ class EvidenceSink
      * The blocking path (NullEvidenceSink) is never cancelled.
      */
     virtual bool cancelled() const { return false; }
+
+    /**
+     * Retrieval deadline for this request (infinite by default). The
+     * engine sets it before retrieval starts; retrievers poll
+     * expired() at the same cadence as cancelled() and degrade —
+     * return the evidence gathered so far with bundle.degraded set —
+     * instead of assembling the rest.
+     */
+    void setDeadline(const Deadline &d) { deadline_ = d; }
+    const Deadline &deadline() const { return deadline_; }
+    bool expired() const { return deadline_.expired(); }
+
+  private:
+    Deadline deadline_;
 };
 
 /**
@@ -169,6 +194,28 @@ throwIfCancelled(const EvidenceSink &sink)
 {
     if (sink.cancelled())
         throw StreamCancelled{};
+}
+
+/**
+ * Poll `sink`'s deadline. When it has expired, mark `bundle` degraded
+ * (once) and return true: the retriever should stop gathering and
+ * return the bundle as-is. Checked at the same sites as
+ * throwIfCancelled(), after the cancellation poll — a dead consumer
+ * beats a late one.
+ */
+inline bool
+deadlineDegrade(EvidenceSink &sink, ContextBundle &bundle)
+{
+    if (!sink.expired())
+        return false;
+    if (!bundle.degraded) {
+        bundle.degraded = true;
+        bundle.degraded_note =
+            "retrieval deadline exceeded; evidence is partial";
+        if (sink.active())
+            sink.emit("degraded", bundle.degraded_note);
+    }
+    return true;
 }
 
 /** Sink that discards every chunk (the non-streaming default). */

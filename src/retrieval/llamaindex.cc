@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "base/failpoint.hh"
 #include "base/stopwatch.hh"
 #include "base/str.hh"
 
@@ -92,6 +93,11 @@ LlamaIndexRetriever::retrieveParsed(const query::ParsedQuery &parsed,
     const auto hits = index_->topK(parsed.raw, cfg_.top_k);
     std::ostringstream text;
     for (const auto &hit : hits) {
+        fail::maybeDelay("retrieve.section");
+        // A blown deadline keeps the hits formatted so far (partial
+        // evidence beats none); a dead consumer aborts outright.
+        if (deadlineDegrade(sink, bundle))
+            break;
         // Cooperative cancellation between hits: stop formatting
         // payloads once the stream's consumer went away.
         throwIfCancelled(sink);

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <thread>
 
+#include "base/failpoint.hh"
 #include "base/parallel.hh"
 #include "base/random.hh"
 #include "base/stopwatch.hh"
@@ -270,26 +271,33 @@ RangerRetriever::retrieveParsed(const ParsedQuery &parsed,
     // `program` chunks are emitted in plan order and the bundle is
     // byte-identical to sequential execution.
     std::vector<query::DslResult> results(progs.size());
+    // Which programs actually ran: a blown deadline stops execution
+    // early, and the merge below must only fold completed programs
+    // into the (degraded) bundle. Each slot is written by exactly one
+    // worker and read after the join.
+    std::vector<unsigned char> done(progs.size(), 0);
     const std::size_t hw = std::max<std::size_t>(
         std::thread::hardware_concurrency(), 1);
     const std::size_t workers = std::min(
         progs.size(), cfg_.exec_threads ? cfg_.exec_threads : hw);
     if (workers > 1) {
-        // Workers poll the sink's cancellation flag between programs
-        // (the sequential path's cadence); the throw itself happens on
-        // the caller thread after the join, so it never crosses the
-        // pool boundary.
-        std::atomic<bool> cancelled{false};
+        // Workers poll the sink's cancellation flag and deadline
+        // between programs (the sequential path's cadence); the throw
+        // itself happens on the caller thread after the join, so it
+        // never crosses the pool boundary.
+        std::atomic<bool> stop{false};
         parallelFor(workers, workers, [&](std::size_t w) {
             query::ExecScratch scratch;
             for (std::size_t pi = w; pi < progs.size(); pi += workers) {
-                if (cancelled.load(std::memory_order_relaxed))
+                if (stop.load(std::memory_order_relaxed))
                     return;
-                if (sink.cancelled()) {
-                    cancelled.store(true, std::memory_order_relaxed);
+                fail::maybeDelay("retrieve.section");
+                if (sink.cancelled() || sink.expired()) {
+                    stop.store(true, std::memory_order_relaxed);
                     return;
                 }
                 results[pi] = interp_.run(progs[pi], scratch);
+                done[pi] = 1;
             }
         });
         throwIfCancelled(sink);
@@ -298,14 +306,24 @@ RangerRetriever::retrieveParsed(const ParsedQuery &parsed,
         for (std::size_t pi = 0; pi < progs.size(); ++pi) {
             // Cooperative cancellation between DSL programs: a
             // dropped consumer aborts the rest of a multi-program
-            // plan before the next interpreter run.
+            // plan before the next interpreter run; a blown deadline
+            // keeps the programs finished so far.
+            fail::maybeDelay("retrieve.section");
             throwIfCancelled(sink);
+            if (deadlineDegrade(sink, bundle))
+                break;
             results[pi] = interp_.run(progs[pi], scratch);
+            done[pi] = 1;
         }
     }
 
     for (std::size_t pi = 0; pi < progs.size(); ++pi) {
         throwIfCancelled(sink);
+        if (!done[pi]) {
+            // Skipped by a deadline stop: fold only executed programs.
+            deadlineDegrade(sink, bundle);
+            continue;
+        }
         DslProgram &prog = progs[pi];
         const std::string python = renderProgramAsPython(prog);
         code << python;

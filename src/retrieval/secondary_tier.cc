@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "base/failpoint.hh"
 #include "retrieval/bundle_codec.hh"
 
 namespace cachemind::retrieval {
@@ -31,13 +32,17 @@ SecondaryTier::lookup(const std::string &key)
         ++hits_;
     }
     // Decode outside the lock — it walks the whole payload.
+    fail::maybeCorrupt("cache.secondary.decode", encoded);
     std::optional<ContextBundle> bundle = decodeBundle(encoded);
     if (!bundle) {
         // Self-produced bytes should never be corrupt; degrade to a
-        // miss (recompute) rather than surface a broken bundle.
+        // miss (recompute) rather than surface a broken bundle. The
+        // entry was already extracted above, so the corrupt bytes are
+        // gone and the recomputed bundle re-enters cleanly.
         std::lock_guard<std::mutex> lock(mu_);
         --hits_;
         ++misses_;
+        ++decode_failures_;
         return nullptr;
     }
     return std::make_shared<const ContextBundle>(*std::move(bundle));
@@ -109,6 +114,7 @@ SecondaryTier::stats() const
     s.insertions = insertions_;
     s.evictions = evictions_;
     s.rejected = rejected_;
+    s.decode_failures = decode_failures_;
     s.entries = map_.size();
     s.bytes = bytes_;
     s.capacity_bytes = capacity_bytes_;

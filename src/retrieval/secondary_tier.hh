@@ -75,6 +75,7 @@ class SecondaryTier final : public CacheTier
     std::uint64_t insertions_ = 0;
     std::uint64_t evictions_ = 0;
     std::uint64_t rejected_ = 0;
+    std::uint64_t decode_failures_ = 0;
     std::uint64_t encoded_bytes_total_ = 0;
     std::uint64_t decoded_bytes_total_ = 0;
 };

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "base/failpoint.hh"
 #include "base/stopwatch.hh"
 #include "base/str.hh"
 
@@ -188,8 +189,15 @@ SieveRetriever::retrieveParsed(const ParsedQuery &parsed,
 
     // Cooperative cancellation between evidence sections: a dropped
     // consumer (disconnected serving session) aborts the remaining
-    // scan/stats work instead of assembling evidence nobody reads.
+    // scan/stats work instead of assembling evidence nobody reads. A
+    // blown deadline degrades instead: return what is assembled so
+    // far, marked partial.
+    fail::maybeDelay("retrieve.section");
     throwIfCancelled(sink);
+    if (deadlineDegrade(sink, bundle)) {
+        bundle.retrieval_ms = timer.milliseconds();
+        return bundle;
+    }
 
     if (!cfg_.degrade_filters) {
         checkPremise(q, entry, bundle);
@@ -220,7 +228,12 @@ SieveRetriever::retrieveParsed(const ParsedQuery &parsed,
         }
     }
 
+    fail::maybeDelay("retrieve.section");
     throwIfCancelled(sink);
+    if (deadlineDegrade(sink, bundle)) {
+        bundle.retrieval_ms = timer.milliseconds();
+        return bundle;
+    }
 
     const db::StatsExpert *expert = shards_.statsFor(bundle.trace_key);
     if (q.pc) {
@@ -357,7 +370,11 @@ SieveRetriever::retrieveParsed(const ParsedQuery &parsed,
         break;
     }
 
+    fail::maybeDelay("retrieve.section");
     throwIfCancelled(sink);
+    // No deadline check here: the bundle is fully assembled by now and
+    // only stream-side formatting remains — a complete bundle must not
+    // be marked degraded.
 
     // Intent-specific analysis evidence, emitted once it is all
     // assembled (one chunk: the sections above already streamed).

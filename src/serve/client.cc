@@ -5,15 +5,22 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
+
+#include "base/random.hh"
 
 namespace cachemind::serve {
 
 LineClient::~LineClient() { close(); }
 
 LineClient::LineClient(LineClient &&other) noexcept
-    : fd_(other.fd_), buffer_(std::move(other.buffer_))
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)),
+      host_(std::move(other.host_)), port_(other.port_)
 {
     other.fd_ = -1;
 }
@@ -25,6 +32,8 @@ LineClient::operator=(LineClient &&other) noexcept
         close();
         fd_ = other.fd_;
         buffer_ = std::move(other.buffer_);
+        host_ = std::move(other.host_);
+        port_ = other.port_;
         other.fd_ = -1;
     }
     return *this;
@@ -34,6 +43,8 @@ bool
 LineClient::connect(const std::string &host, std::uint16_t port)
 {
     close();
+    host_ = host;
+    port_ = port;
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0)
         return false;
@@ -44,12 +55,29 @@ LineClient::connect(const std::string &host, std::uint16_t port)
         close();
         return false;
     }
+    // EINTR during connect leaves the handshake in an ambiguous state
+    // on some systems; treat it as a plain failure — connectRetry()
+    // and request() re-run the whole attempt on a fresh socket.
     if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
                   sizeof(addr)) != 0) {
         close();
         return false;
     }
     return true;
+}
+
+bool
+LineClient::connectRetry(const std::string &host, std::uint16_t port,
+                         const RetryPolicy &policy)
+{
+    const std::size_t tries = std::max<std::size_t>(policy.attempts, 1);
+    for (std::size_t attempt = 0; attempt < tries; ++attempt) {
+        if (attempt > 0)
+            backoffSleep(policy, attempt);
+        if (connect(host, port))
+            return true;
+    }
+    return false;
 }
 
 bool
@@ -63,6 +91,8 @@ LineClient::sendLine(const std::string &line)
     while (sent < wire.size()) {
         const auto n = ::send(fd_, wire.data() + sent,
                               wire.size() - sent, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR)
+            continue; // interrupted by a signal: not a failure
         if (n <= 0)
             return false;
         sent += static_cast<std::size_t>(n);
@@ -84,10 +114,45 @@ LineClient::recvLine()
         }
         char chunk[4096];
         const auto n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue; // interrupted by a signal: not a failure
         if (n <= 0)
             return std::nullopt; // peer closed (or error)
+        saw_reply_bytes_ = true;
         buffer_.append(chunk, static_cast<std::size_t>(n));
     }
+}
+
+std::optional<std::string>
+LineClient::request(const std::string &line, const RetryPolicy &policy)
+{
+    const std::size_t tries = std::max<std::size_t>(policy.attempts, 1);
+    for (std::size_t attempt = 0; attempt < tries; ++attempt) {
+        if (attempt > 0) {
+            backoffSleep(policy, attempt);
+            if (host_.empty() || !connect(host_, port_))
+                continue;
+        } else if (fd_ < 0) {
+            if (host_.empty() || !connect(host_, port_))
+                continue;
+        }
+        if (!sendLine(line)) {
+            close();
+            continue;
+        }
+        saw_reply_bytes_ = !buffer_.empty();
+        auto reply = recvLine();
+        if (reply)
+            return reply;
+        if (saw_reply_bytes_) {
+            // The server started replying and then the connection
+            // died: resending could duplicate a side effect, so
+            // surface the failure instead of retrying.
+            return std::nullopt;
+        }
+        close();
+    }
+    return std::nullopt;
 }
 
 void
@@ -98,6 +163,26 @@ LineClient::close()
         fd_ = -1;
     }
     buffer_.clear();
+}
+
+void
+LineClient::backoffSleep(const RetryPolicy &policy, std::size_t attempt)
+{
+    std::uint64_t delay = policy.backoff_ms;
+    for (std::size_t i = 1; i < attempt && delay < policy.max_backoff_ms;
+         ++i)
+        delay *= 2;
+    delay = std::min(delay, policy.max_backoff_ms);
+    if (delay == 0)
+        return;
+    // Deterministic jitter in [0.5, 1.5): keyed on the policy seed
+    // and the attempt number, so distinct clients (distinct seeds)
+    // spread out while a replayed test stays reproducible.
+    const double jitter =
+        0.5 + keyedUniform(hashCombine(policy.jitter_seed, attempt));
+    const auto jittered =
+        static_cast<std::uint64_t>(static_cast<double>(delay) * jitter);
+    std::this_thread::sleep_for(std::chrono::milliseconds(jittered));
 }
 
 } // namespace cachemind::serve

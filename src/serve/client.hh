@@ -16,6 +16,26 @@
 
 namespace cachemind::serve {
 
+/**
+ * Reconnect/retry knobs for LineClient::connectRetry() and
+ * request(). Backoff is exponential (doubling from backoff_ms up to
+ * max_backoff_ms) with a deterministic jitter draw keyed on
+ * jitter_seed and the attempt number, so a fleet of clients hammering
+ * a recovering server spreads out instead of thundering in lockstep —
+ * and a test replaying the same seed sees the same schedule.
+ */
+struct RetryPolicy
+{
+    /** Total tries, first attempt included (minimum 1). */
+    std::size_t attempts = 3;
+    /** Initial backoff before the second attempt (milliseconds). */
+    std::uint64_t backoff_ms = 10;
+    /** Backoff ceiling (milliseconds). */
+    std::uint64_t max_backoff_ms = 250;
+    /** Key for the deterministic jitter draw (vary per client). */
+    std::uint64_t jitter_seed = 0;
+};
+
 class LineClient
 {
   public:
@@ -27,8 +47,19 @@ class LineClient
     LineClient(LineClient &&other) noexcept;
     LineClient &operator=(LineClient &&other) noexcept;
 
-    /** Connect to host:port; false on failure. */
+    /**
+     * Connect to host:port; false on failure. The endpoint is
+     * remembered so request() can transparently reconnect.
+     */
     bool connect(const std::string &host, std::uint16_t port);
+
+    /**
+     * connect() with up to policy.attempts tries, sleeping the
+     * jittered exponential backoff between them. Covers the race
+     * where a client starts before the server finishes binding.
+     */
+    bool connectRetry(const std::string &host, std::uint16_t port,
+                      const RetryPolicy &policy = RetryPolicy{});
 
     /** Send `line` plus the protocol newline; false on failure. */
     bool sendLine(const std::string &line);
@@ -39,14 +70,35 @@ class LineClient
      */
     std::optional<std::string> recvLine();
 
+    /**
+     * Send one request line and read the first reply line, retrying
+     * (reconnect + resend, jittered backoff) on connection failures.
+     * A retry happens only while no byte of the reply has been seen:
+     * once reply bytes arrive, a failure is returned as-is rather
+     * than risking a duplicate side effect on the server. Streaming
+     * callers read the remaining frames with recvLine() as usual.
+     */
+    std::optional<std::string>
+    request(const std::string &line,
+            const RetryPolicy &policy = RetryPolicy{});
+
     /** Close the socket (idempotent; destructor calls it). */
     void close();
 
     bool connected() const { return fd_ >= 0; }
 
   private:
+    /** Sleep the jittered backoff before retry number `attempt`. */
+    static void backoffSleep(const RetryPolicy &policy,
+                             std::size_t attempt);
+
     int fd_ = -1;
     std::string buffer_;
+    /** Remembered endpoint for reconnects ("" until connect()). */
+    std::string host_;
+    std::uint16_t port_ = 0;
+    /** Did the current recvLine() call consume any reply bytes? */
+    bool saw_reply_bytes_ = false;
 };
 
 } // namespace cachemind::serve

@@ -217,6 +217,8 @@ parseRequest(const std::string &line, std::string *error)
         req.op = Request::Op::Stats;
     } else if (op == "ping") {
         req.op = Request::Op::Ping;
+    } else if (op == "failpoints") {
+        req.op = Request::Op::Failpoints;
     } else {
         if (error)
             *error = op.empty() ? "missing \"op\""
@@ -227,6 +229,17 @@ parseRequest(const std::string &line, std::string *error)
     req.question = get("question");
     req.retriever = get("retriever");
     req.backend = get("backend");
+    req.failpoint_spec = get("spec");
+    const std::string deadline = get("deadline_ms");
+    if (!deadline.empty()) {
+        const auto parsed = str::parseDouble(deadline);
+        if (!parsed || *parsed < 0.0) {
+            if (error)
+                *error = "bad \"deadline_ms\" value '" + deadline + "'";
+            return std::nullopt;
+        }
+        req.deadline_ms = *parsed;
+    }
     for (const auto &[key, value] : *fields) {
         if (key.rfind("params.", 0) == 0)
             req.params[key.substr(7)] = value;
@@ -247,6 +260,7 @@ renderRequest(const Request &request)
       case Request::Op::Ask: line += "ask"; break;
       case Request::Op::Stats: line += "stats"; break;
       case Request::Op::Ping: line += "ping"; break;
+      case Request::Op::Failpoints: line += "failpoints"; break;
     }
     line += "\"";
     if (!request.id.empty())
@@ -261,6 +275,19 @@ renderRequest(const Request &request)
     }
     if (!request.backend.empty())
         line += ",\"backend\":\"" + jsonEscape(request.backend) + "\"";
+    if (request.deadline_ms > 0.0) {
+        // Render as an integer millisecond count when whole (the
+        // common case), so the line stays human-readable.
+        const auto whole = static_cast<long long>(request.deadline_ms);
+        line += ",\"deadline_ms\":";
+        line += static_cast<double>(whole) == request.deadline_ms
+                    ? std::to_string(whole)
+                    : std::to_string(request.deadline_ms);
+    }
+    if (!request.failpoint_spec.empty()) {
+        line += ",\"spec\":\"" + jsonEscape(request.failpoint_spec) +
+                "\"";
+    }
     if (!request.params.empty()) {
         line += ",\"params\":{";
         bool first = true;
@@ -316,6 +343,25 @@ overloadedFrame(const std::string &id, std::size_t limit)
 }
 
 std::string
+deadlineExceededFrame(const std::string &id, double deadline_ms)
+{
+    const auto whole = static_cast<long long>(deadline_ms);
+    return "{\"frame\":\"deadline_exceeded\"" + idField(id) +
+           ",\"deadline_ms\":" +
+           (static_cast<double>(whole) == deadline_ms
+                ? std::to_string(whole)
+                : std::to_string(deadline_ms)) +
+           "}";
+}
+
+std::string
+failpointsFrame(const std::string &id, std::size_t armed)
+{
+    return "{\"frame\":\"failpoints\"" + idField(id) +
+           ",\"armed\":" + std::to_string(armed) + "}";
+}
+
+std::string
 eventFrame(const std::string &id, const core::StreamEvent &event)
 {
     using Kind = core::StreamEvent::Kind;
@@ -342,6 +388,12 @@ eventFrame(const std::string &id, const core::StreamEvent &event)
                  jsonEscape(event.response ? event.response->text
                                            : std::string()) +
                  "\"";
+        // Degraded marker: the answer was generated from partial
+        // evidence because the request's deadline expired
+        // mid-retrieval. Absent on clean answers, so fault-free runs
+        // stay byte-identical to older servers.
+        if (event.response && event.response->bundle.degraded)
+            frame += ",\"degraded\":true";
         break;
     }
     frame += "}";

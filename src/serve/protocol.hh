@@ -11,9 +11,11 @@
  *
  * Requests:
  *   {"op":"ask","id":"7","question":"...","retriever":"sieve",
- *    "backend":"gpt-4o","params":{"evidence_window":"4"}}
+ *    "backend":"gpt-4o","deadline_ms":250,
+ *    "params":{"evidence_window":"4"}}
  *   {"op":"stats","id":"8"}
  *   {"op":"ping","id":"9"}
+ *   {"op":"failpoints","id":"10","spec":"serve.lease=delay:50"}
  *
  * Frames (server -> client), all carrying the request's "id":
  *   {"frame":"hello","proto":"1"}                     on connect
@@ -22,10 +24,14 @@
  *   {"frame":"evidence","id":..,"label":"..","text":".."}
  *   {"frame":"delta","id":..,"text":".."}
  *   {"frame":"done","id":..,"answer":<full answer>}   terminal
+ *     (plus "degraded":true when the answer came from partial,
+ *      deadline-degraded evidence)
  *   {"frame":"pong","id":..}
  *   {"frame":"stats","id":..,<ServeStats fields>}
  *   {"frame":"error","id":..,"code":"..","message":".."}
  *   {"frame":"overloaded","id":..,"limit":N}          then close
+ *   {"frame":"deadline_exceeded","id":..,"deadline_ms":N}  terminal
+ *   {"frame":"failpoints","id":..,"armed":N}          debug only
  */
 
 #ifndef CACHEMIND_SERVE_PROTOCOL_HH
@@ -55,7 +61,7 @@ parseJsonObject(const std::string &line);
 /** One parsed client request. */
 struct Request
 {
-    enum class Op { Ask, Stats, Ping };
+    enum class Op { Ask, Stats, Ping, Failpoints };
 
     Op op = Op::Ask;
     /** Client-chosen correlation id, echoed on every frame. */
@@ -65,8 +71,21 @@ struct Request
     /** Ask: engine selectors ("" = server default). */
     std::string retriever;
     std::string backend;
+    /**
+     * Ask: per-request deadline in milliseconds (0 = server default,
+     * which itself defaults to unbounded). When the deadline passes
+     * the request terminates with a degraded answer or a typed
+     * deadline_exceeded frame — never a silent hang.
+     */
+    double deadline_ms = 0.0;
     /** Ask: retriever scenario knobs (flattened "params" object). */
     std::map<std::string, std::string> params;
+    /**
+     * Failpoints: the fail::armSpec spec string ("" or "off"
+     * disarms everything). Only honoured when the server was started
+     * with debug_failpoints — production servers answer "forbidden".
+     */
+    std::string failpoint_spec;
 };
 
 /**
@@ -89,6 +108,11 @@ std::string pongFrame(const std::string &id);
 std::string errorFrame(const std::string &id, const std::string &code,
                        const std::string &message);
 std::string overloadedFrame(const std::string &id, std::size_t limit);
+/** Terminal frame for a request whose deadline passed server-side. */
+std::string deadlineExceededFrame(const std::string &id,
+                                  double deadline_ms);
+/** Ack for a failpoints request; `armed` = sites armed afterwards. */
+std::string failpointsFrame(const std::string &id, std::size_t armed);
 
 /** Render one engine StreamEvent as its protocol frame. */
 std::string eventFrame(const std::string &id,

@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "base/deadline.hh"
+#include "base/failpoint.hh"
 #include "base/random.hh"
 #include "base/stats_util.hh"
 #include "base/stopwatch.hh"
@@ -34,12 +36,18 @@ namespace {
 bool
 sendFrame(int fd, const std::string &frame)
 {
+    // Chaos site: "drop" simulates the client dying mid-write, the
+    // exact path a real torn connection exercises.
+    if (fail::maybeDrop("serve.write"))
+        return false;
     std::string wire = frame;
     wire += '\n';
     std::size_t sent = 0;
     while (sent < wire.size()) {
         const auto n = ::send(fd, wire.data() + sent,
                               wire.size() - sent, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR)
+            continue; // interrupted by a signal: not a dead client
         if (n <= 0)
             return false;
         sent += static_cast<std::size_t>(n);
@@ -69,8 +77,13 @@ recvLine(int fd, std::string &buffer, std::size_t max_bytes,
             *overflow = true;
             return std::nullopt;
         }
+        // Chaos site: "drop" simulates the peer closing mid-request.
+        if (fail::maybeDrop("serve.read"))
+            return std::nullopt;
         char chunk[4096];
         const auto n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue; // interrupted by a signal: not a closed peer
         if (n <= 0)
             return std::nullopt;
         buffer.append(chunk, static_cast<std::size_t>(n));
@@ -173,6 +186,8 @@ struct Server::Impl
     std::uint64_t completed = 0;
     std::uint64_t cancelled = 0;
     std::uint64_t malformed = 0;
+    std::uint64_t deadline_exceeded = 0;
+    std::uint64_t lease_timeouts = 0;
     struct RetrieverLatency
     {
         LatencyReservoir ttfe;
@@ -197,11 +212,12 @@ struct Server::Impl
     void stop();
     void acceptLoop();
     void runSession(SessionSlot *slot);
-    void handleAsk(int fd, const Request &req);
+    bool handleAsk(int fd, const Request &req);
 
     core::CacheMind *acquireEngine(const Request &req,
                                    std::string &key_out,
-                                   std::string &error_out);
+                                   std::string &error_out,
+                                   bool *lease_timed_out);
     void releaseEngine(const std::string &key, core::CacheMind *engine);
 
     void
@@ -384,7 +400,30 @@ Server::Impl::runSession(SessionSlot *slot)
                     break;
                 continue;
             }
-            handleAsk(fd, *req);
+            if (req->op == Request::Op::Failpoints) {
+                if (!opts.debug_failpoints) {
+                    if (!sendFrame(fd,
+                                   errorFrame(req->id, "forbidden",
+                                              "failpoints are disabled "
+                                              "on this server")))
+                        break;
+                    continue;
+                }
+                std::string spec_error;
+                if (!fail::armSpec(req->failpoint_spec, &spec_error)) {
+                    if (!sendFrame(fd, errorFrame(req->id,
+                                                  "bad-request",
+                                                  spec_error)))
+                        break;
+                    continue;
+                }
+                if (!sendFrame(fd, failpointsFrame(req->id,
+                                                   fail::armedCount())))
+                    break;
+                continue;
+            }
+            if (!handleAsk(fd, *req))
+                break;
         }
     }
     // Claim the fd before closing: stop() races this with an
@@ -401,8 +440,10 @@ Server::Impl::runSession(SessionSlot *slot)
 
 core::CacheMind *
 Server::Impl::acquireEngine(const Request &req, std::string &key_out,
-                            std::string &error_out)
+                            std::string &error_out,
+                            bool *lease_timed_out)
 {
+    *lease_timed_out = false;
     core::EngineOptions eopts;
     eopts.retriever = req.retriever.empty() ? opts.default_retriever
                                             : req.retriever;
@@ -422,6 +463,15 @@ Server::Impl::acquireEngine(const Request &req, std::string &key_out,
 
     const std::size_t cap =
         std::max<std::size_t>(opts.max_engines_per_key, 1);
+    // Chaos site: stretch the lease path (outside the pool lock, so
+    // the injected delay stalls only this request's acquisition).
+    fail::maybeDelay("serve.lease");
+    const bool bounded_wait = opts.lease_timeout_ms > 0.0;
+    const auto lease_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                bounded_wait ? opts.lease_timeout_ms : 0.0));
     {
         std::unique_lock<std::mutex> lock(pool_mu);
         PoolEntry &entry = engine_pool[key_out];
@@ -429,8 +479,23 @@ Server::Impl::acquireEngine(const Request &req, std::string &key_out,
                !stopping.load()) {
             // Every engine for this key is leased out and the key is
             // at its construction cap: queue for the next release
-            // instead of building engine number cap+1.
-            entry.lease_ready.wait(lock);
+            // instead of building engine number cap+1 — but only for
+            // lease_timeout_ms; past that the request is shed with a
+            // typed overloaded frame rather than queueing unboundedly.
+            if (!bounded_wait) {
+                entry.lease_ready.wait(lock);
+                continue;
+            }
+            if (entry.lease_ready.wait_until(lock, lease_deadline) ==
+                    std::cv_status::timeout &&
+                entry.idle.empty() && entry.total >= cap &&
+                !stopping.load()) {
+                *lease_timed_out = true;
+                error_out = "no engine lease within " +
+                            std::to_string(opts.lease_timeout_ms) +
+                            " ms";
+                return nullptr;
+            }
         }
         if (!entry.idle.empty()) {
             core::CacheMind *engine = entry.idle.back();
@@ -477,27 +542,55 @@ Server::Impl::releaseEngine(const std::string &key,
     entry.lease_ready.notify_one();
 }
 
-void
+bool
 Server::Impl::handleAsk(int fd, const Request &req)
 {
+    // Returns false when the connection must be closed: a failed
+    // frame write means the client is gone (or a chaos drop is
+    // simulating exactly that), and serving further requests on the
+    // socket would leave a live client waiting on a reply that was
+    // never written.
     Stopwatch timer;
     std::string key, why;
-    core::CacheMind *engine = acquireEngine(req, key, why);
+    bool lease_timed_out = false;
+    core::CacheMind *engine =
+        acquireEngine(req, key, why, &lease_timed_out);
     if (!engine) {
-        sendFrame(fd, errorFrame(req.id, "bad-engine", why));
-        return;
+        if (lease_timed_out) {
+            const bool alive =
+                sendFrame(fd, overloadedFrame(
+                                  req.id,
+                                  std::max<std::size_t>(
+                                      opts.max_engines_per_key, 1)));
+            std::lock_guard<std::mutex> lock(stats_mu);
+            ++lease_timeouts;
+            return alive;
+        }
+        return sendFrame(fd, errorFrame(req.id, "bad-engine", why));
     }
     const std::string retriever_name = engine->retriever().name();
 
-    auto result = engine->askStream(req.question);
+    // Per-request deadline (server default when the request names
+    // none). The engine degrades at the deadline proper; the session
+    // enforces deadline + slack as the hard cut (see deadline_slack_ms).
+    const double deadline_ms = req.deadline_ms > 0.0
+                                   ? req.deadline_ms
+                                   : opts.default_deadline_ms;
+    core::AskOptions ask_opts;
+    ask_opts.deadline_ms = deadline_ms;
+    const Deadline hard_cut =
+        deadline_ms > 0.0
+            ? Deadline::afterMs(deadline_ms + opts.deadline_slack_ms)
+            : Deadline();
+
+    auto result = engine->askStream(req.question, ask_opts);
     if (!result.ok()) {
         releaseEngine(key, engine);
-        sendFrame(fd,
-                  errorFrame(req.id,
-                             core::engineErrorCodeName(
-                                 result.error().code),
-                             result.error().message));
-        return;
+        return sendFrame(fd,
+                         errorFrame(req.id,
+                                    core::engineErrorCodeName(
+                                        result.error().code),
+                                    result.error().message));
     }
     auto stream = std::move(result).value();
 
@@ -507,8 +600,17 @@ Server::Impl::handleAsk(int fd, const Request &req)
     double ttfe_ms = -1.0;
     bool client_alive = true;
     bool saw_done = false;
+    bool deadline_hit = false;
     try {
-        while (auto event = stream.next()) {
+        for (;;) {
+            bool expired = false;
+            auto event = stream.nextBefore(hard_cut, &expired);
+            if (expired) {
+                deadline_hit = true;
+                break;
+            }
+            if (!event)
+                break;
             if (!sendFrame(fd, eventFrame(req.id, *event))) {
                 client_alive = false;
                 break;
@@ -523,28 +625,45 @@ Server::Impl::handleAsk(int fd, const Request &req)
         // reported as an error frame, never a torn connection.
         stream.cancel();
         releaseEngine(key, engine);
-        sendFrame(fd, errorFrame(req.id, "pipeline", e.what()));
-        return;
+        return sendFrame(fd, errorFrame(req.id, "pipeline", e.what()));
     } catch (...) {
         stream.cancel();
         releaseEngine(key, engine);
-        sendFrame(fd, errorFrame(req.id, "pipeline",
-                                 "unknown pipeline failure"));
-        return;
+        return sendFrame(fd, errorFrame(req.id, "pipeline",
+                                        "unknown pipeline failure"));
     }
 
-    if (!client_alive || !saw_done) {
-        // Dead client mid-stream: cancel so the engine's cooperative
-        // cancellation token reclaims the in-flight retrieval work.
+    if (deadline_hit) {
+        // The pipeline blew through deadline + slack without reaching
+        // its terminal event: cancel it (the engine's cooperative
+        // token reclaims the worker) and tell the client with a typed
+        // terminal frame instead of leaving it to time out on its own.
         stream.cancel();
         releaseEngine(key, engine);
+        const bool alive =
+            sendFrame(fd, deadlineExceededFrame(req.id, deadline_ms));
         std::lock_guard<std::mutex> lock(stats_mu);
-        ++cancelled;
-        return;
+        ++deadline_exceeded;
+        return alive;
+    }
+    if (!client_alive || !saw_done) {
+        // Dead client mid-stream (or a stream that ended without its
+        // terminal event): cancel so the engine's cooperative
+        // cancellation token reclaims the in-flight retrieval work,
+        // and close the connection — a still-listening client must
+        // see EOF rather than wait forever for a terminal frame.
+        stream.cancel();
+        releaseEngine(key, engine);
+        {
+            std::lock_guard<std::mutex> lock(stats_mu);
+            ++cancelled;
+        }
+        return false;
     }
     releaseEngine(key, engine);
     recordAsk(retriever_name, std::max(ttfe_ms, 0.0),
               timer.milliseconds());
+    return true;
 }
 
 ServeStats
@@ -558,6 +677,8 @@ Server::Impl::snapshot() const
         s.completed = completed;
         s.cancelled = cancelled;
         s.malformed = malformed;
+        s.deadline_exceeded = deadline_exceeded;
+        s.lease_timeouts = lease_timeouts;
         for (const auto &[name, lat] : latency_by_retriever) {
             RetrieverServeStats r;
             r.asks = lat.ttfe.count;
@@ -585,6 +706,7 @@ Server::Impl::snapshot() const
         s.engine.quality_low += es.quality_low;
         s.engine.quality_medium += es.quality_medium;
         s.engine.quality_high += es.quality_high;
+        s.engine.degraded_answers += es.degraded_answers;
         s.engine.latency_p50_ms =
             std::max(s.engine.latency_p50_ms, es.latency_p50_ms);
         s.engine.latency_p90_ms =
@@ -628,6 +750,9 @@ Server::Impl::snapshot() const
     // multiply them by the pool size.
     if (shared_cache)
         s.engine.cache_tiers = shared_cache->tiered();
+    // Process-wide by design: the failpoint registry is global, so a
+    // multi-server process reports the same number everywhere.
+    s.faults_injected = fail::injectedTotal();
     return s;
 }
 
@@ -751,6 +876,11 @@ statsFrame(const std::string &id, const ServeStats &stats)
     frame += countField("completed", stats.completed);
     frame += countField("cancelled", stats.cancelled);
     frame += countField("malformed", stats.malformed);
+    frame += countField("deadline_exceeded", stats.deadline_exceeded);
+    frame += countField("lease_timeouts", stats.lease_timeouts);
+    frame += countField("faults_injected", stats.faults_injected);
+    frame += countField("degraded_answers",
+                        stats.engine.degraded_answers);
     frame += countField("questions", stats.engine.questions);
     frame += countField("streams", stats.engine.stream.streams);
     frame += countField("stream_cancelled",
@@ -769,6 +899,8 @@ statsFrame(const std::string &id, const ServeStats &stats)
     frame += countField("secondary_misses", tiers.secondary.misses);
     frame += countField("secondary_entries", tiers.secondary.entries);
     frame += countField("secondary_bytes", tiers.secondary.bytes);
+    frame += countField("secondary_decode_failures",
+                        tiers.secondary.decode_failures);
     frame += countField("promotions", tiers.promotions);
     frame += countField("demotions", tiers.demotions);
     frame += numberField("compression_ratio",

@@ -95,6 +95,34 @@ struct ServeOptions
      * connection instead of growing the session buffer without bound.
      */
     std::size_t max_request_bytes = 1 << 20;
+    /**
+     * How long an ask may queue for an engine lease before the server
+     * answers with a typed "overloaded" frame instead (milliseconds;
+     * 0 = wait forever). Bounds the worst case where every engine for
+     * a hot key is leased out: the client gets a machine-readable
+     * shed signal it can retry on, not an unbounded stall.
+     */
+    double lease_timeout_ms = 5000.0;
+    /**
+     * Deadline applied to ask requests that carry no "deadline_ms"
+     * field (milliseconds; 0 = unbounded, the historical behavior).
+     */
+    double default_deadline_ms = 0.0;
+    /**
+     * Grace added on top of a request's deadline before the session
+     * hard-cuts the stream with a "deadline_exceeded" frame. The
+     * engine itself degrades at the deadline proper (partial evidence,
+     * answer marked degraded); the slack gives that in-engine
+     * resolution time to produce a terminal done frame, so the hard
+     * cut only fires when the pipeline is truly wedged.
+     */
+    double deadline_slack_ms = 250.0;
+    /**
+     * Honour the "failpoints" protocol verb (fault injection for
+     * chaos tests). Off by default: production servers answer the
+     * verb with a "forbidden" error frame.
+     */
+    bool debug_failpoints = false;
 };
 
 /** Per-retriever session latency percentiles. */
@@ -122,6 +150,12 @@ struct ServeStats
     std::uint64_t cancelled = 0;
     /** Malformed request lines answered with an error frame. */
     std::uint64_t malformed = 0;
+    /** Asks hard-cut with a deadline_exceeded frame (slack spent). */
+    std::uint64_t deadline_exceeded = 0;
+    /** Asks shed with an overloaded frame after a lease-wait timeout. */
+    std::uint64_t lease_timeouts = 0;
+    /** Faults injected process-wide by armed failpoints (snapshot). */
+    std::uint64_t faults_injected = 0;
     /** Per-retriever TTFE/TTLB percentiles. */
     std::map<std::string, RetrieverServeStats> by_retriever;
     /**

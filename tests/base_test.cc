@@ -1,10 +1,15 @@
 /**
  * @file
- * Unit tests for src/base: strings, deterministic RNG, statistics.
+ * Unit tests for src/base: strings, deterministic RNG, statistics,
+ * deadlines.
  */
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
+#include "base/deadline.hh"
 #include "base/random.hh"
 #include "base/stats_util.hh"
 #include "base/str.hh"
@@ -257,4 +262,40 @@ TEST(StatsTest, SummaryBundle)
     EXPECT_DOUBLE_EQ(s.min, 1.0);
     EXPECT_DOUBLE_EQ(s.max, 3.0);
     EXPECT_DOUBLE_EQ(s.mean, 2.0);
+}
+
+// ------------------------------------------------------------ deadlines
+
+TEST(DeadlineTest, DefaultIsInfinite)
+{
+    const cm::Deadline d;
+    EXPECT_FALSE(d.finite());
+    EXPECT_FALSE(d.expired());
+    EXPECT_EQ(d.remainingMs(),
+              std::numeric_limits<double>::infinity());
+    EXPECT_FALSE(cm::Deadline::never().finite());
+    // A zero or negative budget also means "no budget".
+    EXPECT_FALSE(cm::Deadline::afterMs(0.0).finite());
+    EXPECT_FALSE(cm::Deadline::afterMs(-10.0).finite());
+}
+
+TEST(DeadlineTest, FiniteBudgetRunsOut)
+{
+    const auto d = cm::Deadline::afterMs(20.0);
+    EXPECT_TRUE(d.finite());
+    EXPECT_FALSE(d.expired());
+    EXPECT_GT(d.remainingMs(), 0.0);
+    EXPECT_LE(d.remainingMs(), 20.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_TRUE(d.expired());
+    EXPECT_LE(d.remainingMs(), 0.0);
+}
+
+TEST(DeadlineTest, GenerousBudgetStaysUnexpired)
+{
+    const auto d = cm::Deadline::afterMs(60000.0);
+    EXPECT_TRUE(d.finite());
+    EXPECT_FALSE(d.expired());
+    EXPECT_GT(d.remainingMs(), 1000.0);
+    EXPECT_GT(d.timePoint(), cm::Deadline::Clock::now());
 }

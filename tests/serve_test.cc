@@ -157,6 +157,59 @@ TEST(ProtocolTest, MalformedLinesAreRejectedWithAReason)
     }
 }
 
+TEST(ProtocolTest, DeadlineFieldRoundTripsAndRejectsGarbage)
+{
+    Request req;
+    req.op = Request::Op::Ask;
+    req.id = "9";
+    req.question = "how slow?";
+    req.deadline_ms = 250.0;
+    const auto parsed = parseRequest(renderRequest(req));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_DOUBLE_EQ(parsed->deadline_ms, 250.0);
+
+    // Absent field = 0 (server default applies).
+    const auto bare =
+        parseRequest("{\"op\":\"ask\",\"question\":\"q\"}");
+    ASSERT_TRUE(bare.has_value());
+    EXPECT_DOUBLE_EQ(bare->deadline_ms, 0.0);
+
+    // Non-numeric and negative deadlines are rejected, not ignored.
+    for (const char *bad :
+         {"{\"op\":\"ask\",\"question\":\"q\",\"deadline_ms\":\"soon\"}",
+          "{\"op\":\"ask\",\"question\":\"q\",\"deadline_ms\":-5}"}) {
+        std::string why;
+        EXPECT_FALSE(parseRequest(bad, &why).has_value()) << bad;
+        EXPECT_NE(why.find("deadline_ms"), std::string::npos) << why;
+    }
+}
+
+TEST(ProtocolTest, FailpointsRequestRoundTrips)
+{
+    Request req;
+    req.op = Request::Op::Failpoints;
+    req.id = "fp";
+    req.failpoint_spec = "serve.read=drop@0.05,db.index_build=error#1";
+    const auto parsed = parseRequest(renderRequest(req));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->op, Request::Op::Failpoints);
+    EXPECT_EQ(parsed->failpoint_spec, req.failpoint_spec);
+}
+
+TEST(ProtocolTest, RobustnessFramesParseBack)
+{
+    const auto cut = parseJsonObject(deadlineExceededFrame("3", 150.0));
+    ASSERT_TRUE(cut.has_value());
+    EXPECT_EQ(cut->at("frame"), "deadline_exceeded");
+    EXPECT_EQ(cut->at("id"), "3");
+    EXPECT_EQ(cut->at("deadline_ms"), "150");
+
+    const auto armed = parseJsonObject(failpointsFrame("4", 2));
+    ASSERT_TRUE(armed.has_value());
+    EXPECT_EQ(armed->at("frame"), "failpoints");
+    EXPECT_EQ(armed->at("armed"), "2");
+}
+
 TEST(ProtocolTest, EventFramesParseBackWithEscapedPayloads)
 {
     StreamEvent event;
