@@ -33,6 +33,8 @@
 #include "base/random.hh"
 #include "base/str.hh"
 #include "core/cachemind.hh"
+#include "obs/trace.hh"
+#include "obs/trace_export.hh"
 #include "db/builder.hh"
 #include "db/index.hh"
 #include "db/postings_ops.hh"
@@ -877,6 +879,56 @@ BM_CacheDemotionChurn(benchmark::State &state)
         static_cast<double>(tiers.promotions);
 }
 BENCHMARK(BM_CacheDemotionChurn)->Unit(benchmark::kMicrosecond);
+
+static void
+BM_AskTracedOverhead(benchmark::State &state)
+{
+    // The tracing cost discipline's perf gate, on the hottest path
+    // the subsystem touches (a warm cached ask): arg 0 runs the plain
+    // untraced RequestContext (the disarmed cost the <3% CI assertion
+    // tracks — every potential span is one null-pointer test), arg 1
+    // traces every 64th request (the serve layer's sampling shape),
+    // arg 2 traces every request. The full arm archives its last span
+    // tree as TRACE_sample.json, the chrome-format CI artifact.
+    const int mode = static_cast<int>(state.range(0));
+    auto engine = core::CacheMind::Builder(microDb())
+                      .build()
+                      .expect("traced-overhead bench engine");
+    const std::string question =
+        "What is the miss rate for PC 0x4037aa in the mcf workload "
+        "with LRU?";
+    benchmark::DoNotOptimize(
+        engine.ask(question)); // warm the retrieval cache
+    std::shared_ptr<obs::RequestTrace> last;
+    std::uint64_t seq = 0;
+    std::uint64_t traced = 0;
+    for (auto _ : state) {
+        core::RequestContext ctx(question);
+        if (mode == 2 || (mode == 1 && seq % 64 == 0)) {
+            ctx.traced("bench-traced-" + std::to_string(seq));
+            ++traced;
+        }
+        ++seq;
+        benchmark::DoNotOptimize(engine.ask(ctx));
+        if (ctx.trace)
+            last = ctx.trace;
+    }
+    state.counters["traced"] = static_cast<double>(traced);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+    if (mode == 2 && last) {
+        const std::string json = obs::toChromeJson(*last);
+        if (std::FILE *f = std::fopen("TRACE_sample.json", "w")) {
+            std::fwrite(json.data(), 1, json.size(), f);
+            std::fclose(f);
+        }
+    }
+}
+BENCHMARK(BM_AskTracedOverhead)
+    ->Arg(0)  // tracing disarmed (the <3% overhead gate)
+    ->Arg(1)  // sampled: every 64th request traced
+    ->Arg(2)  // every request traced (writes TRACE_sample.json)
+    ->Unit(benchmark::kMicrosecond);
 
 int
 main(int argc, char **argv)

@@ -2,7 +2,9 @@
  * @file
  * Quickstart: build a small trace database, stand up a CacheMind
  * engine with the v2 fluent Builder, and ask trace-grounded questions
- * in natural language — one at a time and as a concurrent batch.
+ * in natural language — one at a time, as a concurrent batch, and
+ * once as a traced RequestContext whose per-stage span tree is
+ * printed at the end.
  *
  *   $ ./example_quickstart
  */
@@ -11,6 +13,7 @@
 
 #include "core/cachemind.hh"
 #include "db/builder.hh"
+#include "obs/trace_export.hh"
 
 using namespace cachemind;
 
@@ -95,5 +98,17 @@ main()
                 static_cast<unsigned long long>(stats.cache.hits),
                 static_cast<unsigned long long>(stats.cache.misses),
                 100.0 * stats.cache.hitRate());
+
+    // 5. The unified request surface: a RequestContext bundles the
+    //    question, per-call options, a correlation id, and (with
+    //    traced()) a per-stage span tree. The answer is byte-
+    //    identical to the untraced ask — tracing never changes
+    //    results, only records where the time went.
+    core::RequestContext ctx(questions[0]);
+    ctx.withRequestId("quickstart-1").traced();
+    const auto traced = engine.ask(ctx).expect("traced ask");
+    std::printf("\n=== traced ask (request_id=quickstart-1) ===\n");
+    std::printf("A: %.72s...\n%s", traced.text.c_str(),
+                obs::toText(*ctx.trace).c_str());
     return 0;
 }

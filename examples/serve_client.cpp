@@ -2,8 +2,10 @@
  * @file
  * The serving front-end, end to end: spin up a line-protocol Server
  * over a small trace database, then talk to it over TCP exactly as a
- * remote client would — ping, a streamed ask per retriever, and a
- * STATS snapshot.
+ * remote client would — ping, a streamed ask per retriever (each
+ * carrying a v1.1 request_id the server echoes on every frame and
+ * keys a per-request trace by), the span tree back via the `trace`
+ * verb, and a STATS snapshot.
  *
  * Two modes:
  *
@@ -54,6 +56,10 @@ askAndPrint(LineClient &client, const std::string &id,
     Request req;
     req.op = Request::Op::Ask;
     req.id = id;
+    // Protocol v1.1: a client-chosen correlation id. The server
+    // echoes it on every frame of this request and records a
+    // per-stage trace retrievable through the `trace` verb below.
+    req.request_id = "demo-" + retriever;
     req.question = question;
     req.retriever = retriever;
     if (!client.sendLine(renderRequest(req)))
@@ -177,6 +183,14 @@ main(int argc, char **argv)
                          retriever))
             return 1;
     }
+
+    // The trace verb: fetch the span tree the sieve ask recorded
+    // (parse/plan/retrieve with per-section children/generate under
+    // the session's serve.ask root).
+    client.sendLine("{\"op\":\"trace\",\"id\":\"98\","
+                    "\"request_id\":\"demo-sieve\"}");
+    if (auto trace = client.recvLine())
+        std::printf("\n<- %.160s...\n", trace->c_str());
 
     client.sendLine("{\"op\":\"stats\",\"id\":\"99\"}");
     if (auto stats = client.recvLine())

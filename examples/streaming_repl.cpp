@@ -6,7 +6,10 @@
  * loop prints pipeline events as they arrive — parsed slots, the
  * retrieval plan, every evidence section mid-retrieval, then the
  * answer text delta by delta — and the terminal response is
- * byte-identical to a blocking ask().
+ * byte-identical to a blocking ask(). Every question runs as a
+ * traced RequestContext, so after the done frame the REPL prints
+ * which pipeline stage produced the first on-screen event and the
+ * per-stage span tree of the request that just streamed.
  *
  *   $ ./example_streaming_repl          # type questions, ^D to exit
  *   $ ./example_streaming_repl < /dev/null   # scripted demo
@@ -20,15 +23,22 @@
 #include "base/str.hh"
 #include "core/cachemind.hh"
 #include "db/builder.hh"
+#include "obs/trace_export.hh"
 
 using namespace cachemind;
 
 namespace {
 
 void
-streamOne(core::CacheMind &engine, const std::string &question)
+streamOne(core::CacheMind &engine, const std::string &question,
+          std::size_t number)
 {
-    auto result = engine.askStream(question);
+    // The unified request surface: question + correlation id + trace
+    // in one value. Tracing changes nothing about the answer; it
+    // only records where the time went.
+    core::RequestContext ctx(question);
+    ctx.withRequestId("repl-" + std::to_string(number)).traced();
+    auto result = engine.askStream(ctx);
     if (!result.ok()) {
         std::printf("error: %s\n",
                     core::errorMessage(result.error()).c_str());
@@ -36,8 +46,11 @@ streamOne(core::CacheMind &engine, const std::string &question)
     }
     auto stream = std::move(result).value();
     bool in_answer = false;
+    std::string first_stage;
     while (auto event = stream.next()) {
         const char *kind = core::streamEventKindName(event->kind);
+        if (first_stage.empty() && event->span != 0)
+            first_stage = ctx.trace->spanName(event->span);
         switch (event->kind) {
           case core::StreamEvent::Kind::Parsed:
             std::printf("  [%s] %s\n", kind,
@@ -68,6 +81,8 @@ streamOne(core::CacheMind &engine, const std::string &question)
             break;
         }
     }
+    std::printf("  first event from stage '%s'\n%s",
+                first_stage.c_str(), obs::toText(*ctx.trace).c_str());
 }
 
 } // namespace
@@ -98,11 +113,12 @@ main()
     std::printf("Ask trace-grounded questions; ^D to exit.\n");
     std::string question;
     bool interactive = false;
+    std::size_t number = 0;
     while (std::printf("> "), std::fflush(stdout),
            std::getline(std::cin, question)) {
         interactive = true;
         if (!str::trim(question).empty())
-            streamOne(engine, question);
+            streamOne(engine, question, ++number);
     }
     std::printf("\n");
 
@@ -119,7 +135,7 @@ main()
         };
         for (const auto &q : demo) {
             std::printf("> %s\n", q.c_str());
-            streamOne(engine, q);
+            streamOne(engine, q, ++number);
         }
     }
 

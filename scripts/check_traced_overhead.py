@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Tracing-overhead gate over the BM_AskTracedOverhead arms.
+
+The observability subsystem's cost discipline is "disarmed tracing is
+one pointer test / one relaxed atomic": this script holds it to that.
+It reads one google-benchmark JSON (``--benchmark_out`` format)
+containing the three BM_AskTracedOverhead arms —
+
+    BM_AskTracedOverhead/0   tracing disarmed (plain RequestContext)
+    BM_AskTracedOverhead/1   sampled: every 64th request traced
+    BM_AskTracedOverhead/2   every request traced
+
+— and fails when the sampled arm's CPU time exceeds the disarmed
+arm's by more than the threshold (3% by default, the acceptance bound
+from the PR that introduced tracing). Comparing two arms of the SAME
+run cancels runner-generation skew, unlike the absolute-time baseline
+gate next door (check_bench_regression.py). CPU time is used rather
+than wall time: the arms run back to back, but a CI neighbour's noise
+lands on wall clock first.
+
+The full-tracing arm is reported for visibility and never gates — a
+traced request pays for its spans by design.
+
+Usage:
+    check_traced_overhead.py BENCH.json [--threshold 1.03]
+
+Exit status: 0 when sampled/disarmed <= threshold, 1 otherwise (or
+when either arm is missing from the input).
+"""
+
+import argparse
+import json
+import sys
+
+ARMS = {
+    0: "disarmed",
+    1: "sampled (1/64)",
+    2: "full",
+}
+
+
+def arm_cpu_times(path):
+    """arm index -> cpu_time (first non-aggregate entry per arm)."""
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name", "")
+        if not name.startswith("BM_AskTracedOverhead/"):
+            continue
+        try:
+            arm = int(name.split("/")[1])
+        except (IndexError, ValueError):
+            continue
+        cpu = bench.get("cpu_time")
+        if arm in times or not isinstance(cpu, (int, float)):
+            continue
+        times[arm] = cpu
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail when sampled tracing costs more than the "
+                    "threshold over the disarmed arm.")
+    parser.add_argument("bench_json",
+                        help="google-benchmark JSON with the "
+                             "BM_AskTracedOverhead arms")
+    parser.add_argument("--threshold", type=float, default=1.03,
+                        help="maximum sampled/disarmed cpu-time ratio "
+                             "(default: %(default)s)")
+    args = parser.parse_args()
+
+    times = arm_cpu_times(args.bench_json)
+    missing = [arm for arm in (0, 1) if arm not in times]
+    if missing:
+        print(f"error: {args.bench_json}: missing "
+              f"BM_AskTracedOverhead arm(s) {missing} — was the "
+              "benchmark filtered out?", file=sys.stderr)
+        return 1
+
+    base = times[0]
+    print(f"{'arm':<16} {'cpu_time':>12} {'vs disarmed':>12}")
+    for arm in sorted(times):
+        ratio = times[arm] / base if base else float("inf")
+        print(f"{ARMS.get(arm, str(arm)):<16} "
+              f"{times[arm]:>10.2f}us {ratio:>11.3f}x")
+
+    ratio = times[1] / base if base else float("inf")
+    if ratio > args.threshold:
+        print(f"\ntraced-overhead gate FAILED: sampled arm is "
+              f"{ratio:.3f}x the disarmed arm "
+              f"(> {args.threshold:g}x). Disarmed tracing must stay "
+              "one pointer test per span site — look for work done "
+              "before the `if (!trace)` early-outs.", file=sys.stderr)
+        return 1
+    print(f"\ntraced-overhead gate passed (sampled/disarmed "
+          f"{ratio:.3f}x <= {args.threshold:g}x).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

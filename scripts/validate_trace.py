@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Schema check for exported Chrome trace-event JSON.
+
+Validates that a trace produced by obs::toChromeJson (or exported via
+CACHEMIND_TRACE_DIR) is a well-formed Chrome ``chrome://tracing`` /
+Perfetto "JSON object format" document that the viewers will actually
+load, before CI archives it as an artifact:
+
+  * top-level object with a ``traceEvents`` array;
+  * every event has ``ph``, ``pid``, ``tid`` and a ``name``;
+  * complete events (``ph: "X"``) carry numeric ``ts`` and ``dur``;
+  * at least one complete span exists (an export of an empty trace is
+    an error — the benchmark that produced it lost its span tree);
+  * span ids are unique and every non-root ``parent`` refers to a
+    span that exists (the tree is closed under parents).
+
+Usage:
+    validate_trace.py TRACE_sample.json [more.json ...]
+
+Exit status: 0 when every file validates, 1 otherwise.
+"""
+
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return False
+
+
+def validate(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        return fail(path, f"not readable JSON: {err}")
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(path, 'missing "traceEvents" array')
+
+    spans = 0
+    span_ids = set()
+    parents = []
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            return fail(path, f"traceEvents[{i}] is not an object")
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in ev:
+                return fail(path,
+                            f'traceEvents[{i}] missing "{key}"')
+        if ev["ph"] != "X":
+            continue
+        spans += 1
+        for key in ("ts", "dur"):
+            if not isinstance(ev.get(key), (int, float)):
+                return fail(path,
+                            f'traceEvents[{i}] ("{ev["name"]}"): '
+                            f'"{key}" is not numeric')
+        args = ev.get("args", {})
+        span_id = args.get("span_id")
+        if span_id is not None:
+            if span_id in span_ids:
+                return fail(path,
+                            f"duplicate span_id {span_id} "
+                            f'("{ev["name"]}")')
+            span_ids.add(span_id)
+            parents.append((ev["name"], args.get("parent")))
+
+    if spans == 0:
+        return fail(path, "no complete spans (ph: \"X\") — empty "
+                          "trace exported")
+    for name, parent in parents:
+        if parent not in span_ids and parent != 0:
+            return fail(path, f'span "{name}" has dangling parent '
+                              f"{parent}")
+
+    print(f"{path}: ok ({spans} spans, "
+          f"{len(events) - spans} metadata events)")
+    return True
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    ok = all([validate(path) for path in sys.argv[1:]])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <thread>
 
+#include "base/failpoint.hh"
 #include "base/logging.hh"
 #include "base/parallel.hh"
 #include "base/stopwatch.hh"
@@ -149,30 +150,113 @@ CacheMind::resolveDeadline(double request_ms) const
                                  : opts_.default_deadline_ms);
 }
 
+namespace {
+
+/**
+ * EvidenceSink for *traced* blocking retrieval: active (so retrievers
+ * emit their sections) but text-discarding — each emit becomes one
+ * "section:<label>" child span under the retrieve-stage span.
+ * Evidence bytes never depend on sink activity (the streaming
+ * invariant), so a traced ask stays byte-identical to an untraced
+ * one.
+ */
+class TraceEvidenceSink final : public retrieval::EvidenceSink
+{
+  public:
+    explicit TraceEvidenceSink(const obs::TraceContext &tc)
+        : tc_(tc), mark_(obs::RequestTrace::nowNs())
+    {
+    }
+
+    void
+    emit(const std::string &label, const std::string &) override
+    {
+        const std::uint64_t now = obs::RequestTrace::nowNs();
+        tc_.trace->addSpan(tc_.parent, "section:" + label, mark_, now);
+        mark_ = now;
+        ++sections_;
+    }
+
+    std::uint64_t sections() const { return sections_; }
+
+  private:
+    obs::TraceContext tc_;
+    std::uint64_t mark_;
+    std::uint64_t sections_ = 0;
+};
+
+/**
+ * Close out a traced retrieve stage: the cache-tier outcome, a
+ * synthesized section span when the retriever never ran (cache hits
+ * and single-flight waits produce no emissions, but a complete span
+ * tree still shows one retrieval-section span), and the degraded
+ * annotations naming the stage that crossed the deadline.
+ */
+void
+traceRetrieveOutcome(const obs::TraceContext &tc, const char *outcome,
+                     std::uint64_t sections, std::uint64_t start_ns,
+                     bool degraded)
+{
+    if (!tc)
+        return;
+    tc.note("cache", outcome);
+    if (sections == 0) {
+        tc.trace->addSpan(tc.parent, std::string("section:") + outcome,
+                          start_ns, obs::RequestTrace::nowNs());
+    }
+    if (degraded) {
+        tc.note("degraded", "true");
+        tc.note("deadline_expired_in", "retrieve");
+    }
+}
+
+} // namespace
+
 std::shared_ptr<const retrieval::ContextBundle>
 CacheMind::retrieveStage(retrieval::Retriever &retriever,
                          const query::ParsedQuery &parsed,
                          const std::string &cache_key,
-                         const Deadline &deadline) const
+                         const Deadline &deadline,
+                         const obs::TraceContext &tc) const
 {
+    const std::uint64_t start_ns = tc ? obs::RequestTrace::nowNs() : 0;
+    std::uint64_t sections = 0;
     // The deadline rides the sink (the retrievers' existing
     // cancellation-poll sites double as degrade checks), so the
     // blocking path runs the sink overload with an inactive sink —
-    // byte-identical output, zero chunk formatting.
-    const auto compute = [&] {
-        retrieval::NullEvidenceSink sink;
+    // byte-identical output, zero chunk formatting. A traced request
+    // swaps in the active, text-discarding TraceEvidenceSink to get
+    // per-section spans; the bundle bytes are the same either way.
+    const auto compute =
+        [&]() -> std::shared_ptr<const retrieval::ContextBundle> {
+        if (!tc) {
+            retrieval::NullEvidenceSink sink;
+            sink.setDeadline(deadline);
+            return std::make_shared<const retrieval::ContextBundle>(
+                retriever.retrieveParsed(parsed, sink));
+        }
+        TraceEvidenceSink sink(tc);
         sink.setDeadline(deadline);
-        return std::make_shared<const retrieval::ContextBundle>(
+        auto bundle = std::make_shared<const retrieval::ContextBundle>(
             retriever.retrieveParsed(parsed, sink));
+        sections += sink.sections();
+        return bundle;
     };
-    if (cache_key.empty())
-        return compute();
+    if (cache_key.empty()) {
+        auto evidence = compute();
+        traceRetrieveOutcome(tc, "bypass", sections, start_ns,
+                             evidence->degraded);
+        return evidence;
+    }
     if (!deadline.finite()) {
         retrieval::RetrievalCache::Outcome outcome;
         auto evidence =
             cache_->getOrCompute(cache_key, compute, &outcome);
         stats_->recordCacheLookup(retriever.name(), outcome.hit,
                                   outcome.evictions);
+        traceRetrieveOutcome(tc,
+                             retrieval::cacheSourceName(outcome.source),
+                             sections, start_ns, evidence->degraded);
         return evidence;
     }
     // Finite deadline: stay outside the single-flight protocol. A
@@ -183,12 +267,17 @@ CacheMind::retrieveStage(retrieval::Retriever &retriever,
     retrieval::RetrievalCache::Outcome outcome;
     if (auto cached = cache_->peek(cache_key, &outcome)) {
         stats_->recordCacheLookup(retriever.name(), true, 0);
+        traceRetrieveOutcome(tc,
+                             retrieval::cacheSourceName(outcome.source),
+                             0, start_ns, cached->degraded);
         return cached;
     }
     auto evidence = compute();
     cache_->publish(cache_key, evidence, &outcome);
     stats_->recordCacheLookup(retriever.name(), false,
                               outcome.evictions);
+    traceRetrieveOutcome(tc, "miss", sections, start_ns,
+                         evidence->degraded);
     return evidence;
 }
 
@@ -196,7 +285,8 @@ std::shared_ptr<const retrieval::ContextBundle>
 CacheMind::retrieveStageStreamed(retrieval::Retriever &retriever,
                                  const query::ParsedQuery &parsed,
                                  const std::string &cache_key,
-                                 retrieval::EvidenceSink &sink) const
+                                 retrieval::EvidenceSink &sink,
+                                 const obs::TraceContext &tc) const
 {
     // Streams deliberately stay outside the cache's single-flight
     // protocol: a stream computing under the in-flight claim would
@@ -209,14 +299,18 @@ CacheMind::retrieveStageStreamed(retrieval::Retriever &retriever,
     // are byte-identical, so the duplicated work is bounded waste,
     // not a correctness risk.
     if (cache_key.empty()) {
-        return std::make_shared<const retrieval::ContextBundle>(
+        auto evidence = std::make_shared<const retrieval::ContextBundle>(
             retriever.retrieveParsed(parsed, sink));
+        tc.note("cache", "bypass");
+        return evidence;
     }
     retrieval::RetrievalCache::Outcome outcome;
     if (auto cached = cache_->peek(cache_key, &outcome)) {
         stats_->recordCacheLookup(retriever.name(), true, 0);
+        tc.note("cache", retrieval::cacheSourceName(outcome.source));
         // The retriever never ran, so the evidence streams as one
-        // pre-assembled chunk.
+        // pre-assembled chunk (a traced stream records it as the
+        // stage's single "section:cached" span).
         if (sink.active())
             sink.emit("cached", cached->render());
         return cached;
@@ -226,6 +320,7 @@ CacheMind::retrieveStageStreamed(retrieval::Retriever &retriever,
     cache_->publish(cache_key, evidence, &outcome);
     stats_->recordCacheLookup(retriever.name(), false,
                               outcome.evictions);
+    tc.note("cache", "miss");
     return evidence;
 }
 
@@ -265,12 +360,20 @@ CacheMind::generateStage(
 Response
 CacheMind::answerParsed(retrieval::Retriever &retriever,
                         const query::ParsedQuery &parsed,
-                        const Deadline &deadline) const
+                        const Deadline &deadline,
+                        const obs::TraceContext &tc) const
 {
+    obs::SpanScope plan_span(tc, "plan");
     const std::string cache_key = planStage(retriever, parsed);
+    plan_span.annotate("cacheable", cache_key.empty() ? "no" : "yes");
+    plan_span.end();
     Stopwatch retrieve_timer;
+    obs::SpanScope retrieve_span(tc, "retrieve");
     const auto evidence =
-        retrieveStage(retriever, parsed, cache_key, deadline);
+        retrieveStage(retriever, parsed, cache_key, deadline,
+                      tc.child(retrieve_span.id()));
+    retrieve_span.end();
+    obs::SpanScope generate_span(tc, "generate");
     return generateStage(parsed, evidence,
                          retrieve_timer.milliseconds());
 }
@@ -313,7 +416,9 @@ CacheMind::answerParsedStreamed(retrieval::Retriever &retriever,
                                 std::size_t question_index,
                                 StreamChannel &channel,
                                 double *blocked_ms,
-                                const Deadline &deadline) const
+                                const Deadline &deadline,
+                                const obs::TraceContext &tc,
+                                std::uint32_t parse_span) const
 {
     // Per-stream instrumentation: when the first event left the
     // pipeline (the latency a streaming consumer actually waits
@@ -347,23 +452,45 @@ CacheMind::answerParsedStreamed(retrieval::Retriever &retriever,
     };
 
     // Stage 1 (parsing) ran at the engine entry point; surface it.
+    // Every event carries the span of the stage that produced it, so
+    // a streaming consumer (the serve layer's TTFE attribution) can
+    // name the stage behind its first frame.
     StreamEvent parsed_event;
     parsed_event.kind = StreamEvent::Kind::Parsed;
     parsed_event.parsed = parsed;
+    parsed_event.span = parse_span;
     push(std::move(parsed_event));
 
+    obs::SpanScope plan_span(tc, "plan");
     const std::string cache_key = planStage(retriever, parsed);
+    plan_span.annotate("cacheable", cache_key.empty() ? "no" : "yes");
+    plan_span.end();
     StreamEvent planned_event;
     planned_event.kind = StreamEvent::Kind::Planned;
     planned_event.cache_key = cache_key;
+    planned_event.span = plan_span.id();
     push(std::move(planned_event));
 
+    obs::SpanScope retrieve_span(tc, "retrieve");
+    // Section spans are recorded where the emissions happen: on this
+    // pipeline thread, in plan order (Ranger's shard-parallel
+    // execution still emits in plan order), so the span tree's shape
+    // is byte-stable across exec_threads settings.
+    std::uint64_t section_mark =
+        tc ? obs::RequestTrace::nowNs() : 0;
     FnEvidenceSink sink(
         [&](const std::string &label, const std::string &text) {
             StreamEvent event;
             event.kind = StreamEvent::Kind::EvidenceChunk;
             event.label = label;
             event.text = text;
+            if (tc) {
+                const std::uint64_t now = obs::RequestTrace::nowNs();
+                event.span = tc.trace->addSpan(retrieve_span.id(),
+                                               "section:" + label,
+                                               section_mark, now);
+                section_mark = now;
+            }
             ++evidence_chunks;
             push(std::move(event));
         },
@@ -371,22 +498,44 @@ CacheMind::answerParsedStreamed(retrieval::Retriever &retriever,
     sink.setDeadline(deadline);
     Stopwatch retrieve_timer;
     const auto evidence =
-        retrieveStageStreamed(retriever, parsed, cache_key, sink);
+        retrieveStageStreamed(retriever, parsed, cache_key, sink,
+                              tc.child(retrieve_span.id()));
     const double retrieval_ms = retrieve_timer.milliseconds();
+    if (evidence->degraded) {
+        tc.annotate(retrieve_span.id(), "degraded", "true");
+        tc.annotate(retrieve_span.id(), "deadline_expired_in",
+                    "retrieve");
+    }
+    retrieve_span.end();
 
+    obs::SpanScope generate_span(tc, "generate");
     const llm::DeltaFn on_delta = [&](const std::string &delta) {
         StreamEvent event;
         event.kind = StreamEvent::Kind::AnswerDelta;
         event.text = delta;
+        event.span = generate_span.id();
         ++answer_deltas;
         push(std::move(event));
     };
     Response r =
         generateStage(parsed, evidence, retrieval_ms, &on_delta);
+    generate_span.end();
 
+    // Close the root "ask" span and stamp the outcome BEFORE the Done
+    // event goes on the wire: a consumer that has observed Done may
+    // immediately render the trace, and must never catch the root
+    // still open. Both operations are idempotent first-writer-wins,
+    // so the caller's own root.end()/finishTrace stay harmless.
+    if (tc) {
+        tc.trace->endSpan(tc.parent);
+        if (tc.trace->outcome().empty())
+            tc.trace->setOutcome(r.bundle.degraded ? "degraded"
+                                                   : "done");
+    }
     StreamEvent done_event;
     done_event.kind = StreamEvent::Kind::Done;
     done_event.response = std::make_shared<const Response>(r);
+    done_event.span = tc.parent;
     push(std::move(done_event));
 
     stats_->recordStream(first_event_ms < 0.0 ? 0.0 : first_event_ms,
@@ -411,22 +560,75 @@ CacheMind::warmup()
     });
 }
 
+void
+CacheMind::finishTrace(const std::shared_ptr<obs::RequestTrace> &trace,
+                       bool degraded) const
+{
+    if (!trace)
+        return;
+    // First writer wins: the serve layer's terminal decision
+    // (deadline_exceeded, overloaded) may already have landed while
+    // the pipeline was finishing — never downgrade it.
+    if (trace->outcome().empty())
+        trace->setOutcome(degraded ? "degraded" : "done");
+    stats_->recordTrace(*trace);
+}
+
+Result<Response, EngineError>
+CacheMind::ask(const RequestContext &ctx)
+{
+    if (str::trim(ctx.question).empty()) {
+        return EngineError{EngineErrorCode::EmptyQuestion,
+                           "question is empty"};
+    }
+    Stopwatch timer;
+    obs::TraceContext tc{ctx.trace, ctx.trace_parent};
+    obs::SpanScope root(tc, "ask");
+    const obs::TraceContext rtc = tc.child(root.id());
+    query::ParsedQuery parsed;
+    {
+        obs::SpanScope parse_span(rtc, "parse");
+        parsed = parseStage(ctx.question);
+    }
+    Response r =
+        answerParsed(*retriever_, parsed,
+                     resolveDeadline(ctx.options.deadline_ms), rtc);
+    root.end();
+    finishTrace(ctx.trace, r.bundle.degraded);
+    stats_->record(timer.milliseconds(),
+                   retrieval::assessQuality(r.bundle));
+    return r;
+}
+
 Result<Response, EngineError>
 CacheMind::ask(const std::string &question)
 {
-    return ask(question, AskOptions{});
+    return ask(RequestContext(question));
 }
 
 Result<Response, EngineError>
 CacheMind::ask(const std::string &question, const AskOptions &ask_opts)
 {
-    if (str::trim(question).empty()) {
+    return ask(RequestContext(question, ask_opts));
+}
+
+Result<Response, EngineError>
+CacheMind::askParsed(const query::ParsedQuery &parsed,
+                     const RequestContext &ctx)
+{
+    if (str::trim(parsed.raw).empty()) {
         return EngineError{EngineErrorCode::EmptyQuestion,
                            "question is empty"};
     }
     Stopwatch timer;
-    Response r = answerParsed(*retriever_, parseStage(question),
-                              resolveDeadline(ask_opts.deadline_ms));
+    obs::TraceContext tc{ctx.trace, ctx.trace_parent};
+    obs::SpanScope root(tc, "ask");
+    root.annotate("parse", "upstream");
+    Response r = answerParsed(*retriever_, parsed,
+                              resolveDeadline(ctx.options.deadline_ms),
+                              tc.child(root.id()));
+    root.end();
+    finishTrace(ctx.trace, r.bundle.degraded);
     stats_->record(timer.milliseconds(),
                    retrieval::assessQuality(r.bundle));
     return r;
@@ -435,16 +637,7 @@ CacheMind::ask(const std::string &question, const AskOptions &ask_opts)
 Result<Response, EngineError>
 CacheMind::askParsed(const query::ParsedQuery &parsed)
 {
-    if (str::trim(parsed.raw).empty()) {
-        return EngineError{EngineErrorCode::EmptyQuestion,
-                           "question is empty"};
-    }
-    Stopwatch timer;
-    Response r =
-        answerParsed(*retriever_, parsed, resolveDeadline(0.0));
-    stats_->record(timer.milliseconds(),
-                   retrieval::assessQuality(r.bundle));
-    return r;
+    return askParsed(parsed, RequestContext{});
 }
 
 void
@@ -479,30 +672,49 @@ CacheMind::ensureBatchPool(std::size_t workers)
 }
 
 Result<std::vector<Response>, EngineError>
-CacheMind::askBatch(const std::vector<std::string> &questions)
+CacheMind::askBatch(const std::vector<RequestContext> &requests)
 {
     // Pre-flight validation keeps the concurrent section infallible,
     // so error selection cannot depend on scheduling order.
-    for (std::size_t i = 0; i < questions.size(); ++i) {
-        if (str::trim(questions[i]).empty()) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (str::trim(requests[i].question).empty()) {
             return EngineError{EngineErrorCode::EmptyQuestion,
                                "batch question #" + std::to_string(i) +
                                    " is empty"};
         }
     }
 
-    std::vector<Response> responses(questions.size());
-    std::vector<double> latencies(questions.size(), 0.0);
+    // One request through the full traced pipeline (the per-request
+    // trace handle and deadline apply individually; tracing one
+    // request of a batch costs the others nothing).
+    const auto answer_one = [this](retrieval::Retriever &retriever,
+                                   const RequestContext &req) {
+        obs::TraceContext tc{req.trace, req.trace_parent};
+        obs::SpanScope root(tc, "ask");
+        const obs::TraceContext rtc = tc.child(root.id());
+        query::ParsedQuery parsed;
+        {
+            obs::SpanScope parse_span(rtc, "parse");
+            parsed = parseStage(req.question);
+        }
+        Response r = answerParsed(
+            retriever, parsed,
+            resolveDeadline(req.options.deadline_ms), rtc);
+        root.end();
+        finishTrace(req.trace, r.bundle.degraded);
+        return r;
+    };
+
+    std::vector<Response> responses(requests.size());
+    std::vector<double> latencies(requests.size(), 0.0);
     const std::size_t workers =
         std::min(std::max<std::size_t>(opts_.batch_workers, 1),
-                 std::max<std::size_t>(questions.size(), 1));
+                 std::max<std::size_t>(requests.size(), 1));
 
     if (workers <= 1) {
-        for (std::size_t i = 0; i < questions.size(); ++i) {
+        for (std::size_t i = 0; i < requests.size(); ++i) {
             Stopwatch timer;
-            responses[i] =
-                answerParsed(*retriever_, parseStage(questions[i]),
-                             resolveDeadline(0.0));
+            responses[i] = answer_one(*retriever_, requests[i]);
             latencies[i] = timer.milliseconds();
         }
     } else {
@@ -537,13 +749,11 @@ CacheMind::askBatch(const std::vector<std::string> &questions)
                 try {
                     while (!failed.load(std::memory_order_relaxed)) {
                         const std::size_t i = next.fetch_add(1);
-                        if (i >= questions.size())
+                        if (i >= requests.size())
                             break;
                         Stopwatch timer;
-                        responses[i] = answerParsed(
-                            worker_retriever,
-                            parseStage(questions[i]),
-                            resolveDeadline(0.0));
+                        responses[i] =
+                            answer_one(worker_retriever, requests[i]);
                         latencies[i] = timer.milliseconds();
                     }
                 } catch (...) {
@@ -560,7 +770,7 @@ CacheMind::askBatch(const std::vector<std::string> &questions)
             std::rethrow_exception(error);
     }
 
-    for (std::size_t i = 0; i < questions.size(); ++i) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
         stats_->record(latencies[i],
                        retrieval::assessQuality(responses[i].bundle));
     }
@@ -568,17 +778,33 @@ CacheMind::askBatch(const std::vector<std::string> &questions)
     return responses;
 }
 
+Result<std::vector<Response>, EngineError>
+CacheMind::askBatch(const std::vector<std::string> &questions)
+{
+    std::vector<RequestContext> requests;
+    requests.reserve(questions.size());
+    for (const std::string &q : questions)
+        requests.emplace_back(q);
+    return askBatch(requests);
+}
+
 Result<AnswerStream, EngineError>
 CacheMind::askStream(const std::string &question)
 {
-    return askStream(question, AskOptions{});
+    return askStream(RequestContext(question));
 }
 
 Result<AnswerStream, EngineError>
 CacheMind::askStream(const std::string &question,
                      const AskOptions &ask_opts)
 {
-    if (str::trim(question).empty()) {
+    return askStream(RequestContext(question, ask_opts));
+}
+
+Result<AnswerStream, EngineError>
+CacheMind::askStream(const RequestContext &ctx)
+{
+    if (str::trim(ctx.question).empty()) {
         return EngineError{EngineErrorCode::EmptyQuestion,
                            "question is empty"};
     }
@@ -596,8 +822,8 @@ CacheMind::askStream(const std::string &question,
     // The budget clock starts at submission: queueing behind busy pool
     // workers spends the request's budget, exactly as a serving
     // front-end would account it.
-    const Deadline deadline = resolveDeadline(ask_opts.deadline_ms);
-    stream_pool_->submit([this, channel, ticket, question, deadline] {
+    const Deadline deadline = resolveDeadline(ctx.options.deadline_ms);
+    stream_pool_->submit([this, channel, ticket, ctx, deadline] {
         // Warm every shard's postings index in parallel before the
         // pipeline touches its shard, so the first evidence chunk
         // never waits behind a serial lazy index build (no-op once
@@ -607,12 +833,30 @@ CacheMind::askStream(const std::string &question,
         // consumer through the channel — escaping the job would take
         // down the pool worker, where blocking ask() propagates.
         try {
+            // Failpoint for the pool-task path. WorkerPool jobs may
+            // not throw (workerLoop has no catch), so the site lives
+            // inside this job's own barrier: an injected fault
+            // surfaces to the consumer as a typed channel failure,
+            // exactly like a throwing retriever would.
+            fail::maybeThrow("core.worker_pool.task");
             warmup();
             Stopwatch timer;
             double blocked_ms = 0.0;
+            obs::TraceContext tc{ctx.trace, ctx.trace_parent};
+            obs::SpanScope root(tc, "ask");
+            const obs::TraceContext rtc = tc.child(root.id());
+            std::uint32_t parse_span_id = 0;
+            query::ParsedQuery parsed;
+            {
+                obs::SpanScope parse_span(rtc, "parse");
+                parsed = parseStage(ctx.question);
+                parse_span_id = parse_span.id();
+            }
             Response r = answerParsedStreamed(
-                *retriever_, parseStage(question), 0, *channel,
-                &blocked_ms, deadline);
+                *retriever_, parsed, 0, *channel, &blocked_ms,
+                deadline, rtc, parse_span_id);
+            root.end();
+            finishTrace(ctx.trace, r.bundle.degraded);
             // Serving latency only: consumer pacing (blocked pushes)
             // is not the engine's answering cost.
             stats_->record(std::max(timer.milliseconds() - blocked_ms,
@@ -621,9 +865,15 @@ CacheMind::askStream(const std::string &question,
         } catch (const retrieval::StreamCancelled &) {
             // The consumer went away (AnswerStream::cancel, a dropped
             // serving connection): control flow, not failure. No
-            // latency sample — the pipeline was cut short.
+            // latency sample — the pipeline was cut short. The trace
+            // outcome stays whatever the consumer side decided
+            // (deadline_exceeded, cancelled); only fill a default.
+            if (ctx.trace && ctx.trace->outcome().empty())
+                ctx.trace->setOutcome("cancelled");
             stats_->recordStreamCancelled();
         } catch (...) {
+            if (ctx.trace && ctx.trace->outcome().empty())
+                ctx.trace->setOutcome("error");
             channel->fail(std::current_exception());
         }
         channel->producerDone();

@@ -41,6 +41,7 @@
 #include "db/database.hh"
 #include "llm/generator.hh"
 #include "llm/memory.hh"
+#include "obs/trace.hh"
 #include "query/parser.hh"
 #include "retrieval/cache.hh"
 #include "retrieval/context.hh"
@@ -150,6 +151,68 @@ struct AskOptions
     double deadline_ms = 0.0;
 };
 
+/**
+ * One request, as a single value: the question, its per-call knobs,
+ * an optional correlation id, and an optional trace handle. This is
+ * the unified argument accepted by ask/askParsed/askStream/askBatch
+ * (and, over the wire, by the serve layer's handleAsk) — the older
+ * positional `(question, ask_opts)` overloads are thin shims that
+ * build one of these.
+ *
+ * Tracing: traced() attaches a fresh obs::RequestTrace; the engine
+ * then records a span per pipeline stage (parse, plan, retrieve with
+ * per-section children and the cache-tier outcome, generate) under
+ * `trace_parent`. With `trace` null the request runs exactly the
+ * untraced hot path (a single pointer test per potential span).
+ */
+struct RequestContext
+{
+    std::string question;
+    AskOptions options;
+    /**
+     * Caller-supplied correlation id ("" = none). The serve layer
+     * echoes it on every frame of the request and keys the `trace`
+     * verb with it.
+     */
+    std::string request_id;
+    /** Trace sink for this request; null = not traced. */
+    std::shared_ptr<obs::RequestTrace> trace;
+    /** Span id the engine's root "ask" span should nest under. */
+    std::uint32_t trace_parent = 0;
+
+    RequestContext() = default;
+    explicit RequestContext(std::string q) : question(std::move(q)) {}
+    RequestContext(std::string q, AskOptions opts)
+        : question(std::move(q)), options(opts)
+    {
+    }
+
+    RequestContext &
+    withDeadlineMs(double ms)
+    {
+        options.deadline_ms = ms;
+        return *this;
+    }
+
+    RequestContext &
+    withRequestId(std::string id)
+    {
+        request_id = std::move(id);
+        return *this;
+    }
+
+    /** Attach a fresh trace (id defaults to request_id). */
+    RequestContext &
+    traced(std::string id = "")
+    {
+        if (id.empty())
+            id = request_id.empty() ? question : request_id;
+        trace = std::make_shared<obs::RequestTrace>(std::move(id));
+        trace_parent = 0;
+        return *this;
+    }
+};
+
 /** What went wrong, as a branchable code plus a rendered message. */
 enum class EngineErrorCode {
     UnknownRetriever,
@@ -209,10 +272,17 @@ class CacheMind
     CacheMind(const CacheMind &) = delete;
     CacheMind &operator=(const CacheMind &) = delete;
 
-    /** Answer one natural-language question, trace-grounded. */
+    /**
+     * Answer one request, trace-grounded. The RequestContext carries
+     * the question, per-call knobs, and (optionally) a request id and
+     * trace handle — see RequestContext.
+     */
+    Result<Response, EngineError> ask(const RequestContext &ctx);
+
+    /** Shim: ask one question with default knobs. */
     Result<Response, EngineError> ask(const std::string &question);
 
-    /** ask() with per-call knobs (deadline). */
+    /** Shim: ask() with per-call knobs (deadline). */
     Result<Response, EngineError> ask(const std::string &question,
                                       const AskOptions &ask_opts);
 
@@ -220,19 +290,30 @@ class CacheMind
      * Answer an already-parsed question. This is the pipeline entry
      * for callers that parse (or augment) upstream — ChatSession
      * sharpens under-specified follow-ups at the slot level and hands
-     * the result here, so the question is parsed exactly once.
+     * the result here, so the question is parsed exactly once. The
+     * context's `question` field is ignored (the parsed query wins);
+     * its knobs, request id, and trace handle apply as in ask().
      */
+    Result<Response, EngineError>
+    askParsed(const query::ParsedQuery &parsed, const RequestContext &ctx);
+
+    /** Shim: askParsed with default knobs. */
     Result<Response, EngineError>
     askParsed(const query::ParsedQuery &parsed);
 
     /**
-     * Answer independent questions concurrently on the engine's
+     * Answer independent requests concurrently on the engine's
      * worker pool. Answers are deterministic — byte-identical to a
-     * sequential ask() loop — and results preserve question order.
+     * sequential ask() loop — and results preserve request order.
      * Each worker gets its own registry-constructed retriever, and
      * every generator draw is keyed by the question text alone, so
-     * scheduling order cannot leak into any answer.
+     * scheduling order cannot leak into any answer. Per-request
+     * deadlines and trace handles apply individually.
      */
+    Result<std::vector<Response>, EngineError>
+    askBatch(const std::vector<RequestContext> &requests);
+
+    /** Shim: batch of plain questions with default knobs. */
     Result<std::vector<Response>, EngineError>
     askBatch(const std::vector<std::string> &questions);
 
@@ -253,9 +334,13 @@ class CacheMind
      * neither move nor destroy the engine while a stream is live.
      */
     Result<AnswerStream, EngineError>
+    askStream(const RequestContext &ctx);
+
+    /** Shim: stream one question with default knobs. */
+    Result<AnswerStream, EngineError>
     askStream(const std::string &question);
 
-    /** askStream() with per-call knobs (deadline). */
+    /** Shim: askStream() with per-call knobs (deadline). */
     Result<AnswerStream, EngineError>
     askStream(const std::string &question, const AskOptions &ask_opts);
 
@@ -337,12 +422,17 @@ class CacheMind
     /**
      * Stage 3: produce the evidence bundle, through the shared cache
      * when the plan allows (single-flight on concurrent misses).
+     * When `tc` is traced, its parent is the retrieve-stage span: one
+     * child span per evidence section plus a cache-tier outcome
+     * annotation (hot_hit / secondary_promote / miss /
+     * single_flight_wait / bypass) land there.
      */
     std::shared_ptr<const retrieval::ContextBundle>
     retrieveStage(retrieval::Retriever &retriever,
                   const query::ParsedQuery &parsed,
                   const std::string &cache_key,
-                  const Deadline &deadline = Deadline()) const;
+                  const Deadline &deadline = Deadline(),
+                  const obs::TraceContext &tc = obs::TraceContext{}) const;
 
     /**
      * Stage 3, streaming form: evidence sections stream into `sink`
@@ -357,7 +447,9 @@ class CacheMind
     retrieveStageStreamed(retrieval::Retriever &retriever,
                           const query::ParsedQuery &parsed,
                           const std::string &cache_key,
-                          retrieval::EvidenceSink &sink) const;
+                          retrieval::EvidenceSink &sink,
+                          const obs::TraceContext &tc =
+                              obs::TraceContext{}) const;
 
     /**
      * Resolve the effective deadline for one call: per-call budget,
@@ -382,10 +474,16 @@ class CacheMind
                   double retrieval_ms,
                   const llm::DeltaFn *on_delta = nullptr) const;
 
-    /** Stages 2-4 for one parsed question (no latency recording). */
+    /**
+     * Stages 2-4 for one parsed question (no latency recording).
+     * When `tc` is traced, plan/retrieve/generate spans nest under
+     * its parent.
+     */
     Response answerParsed(retrieval::Retriever &retriever,
                           const query::ParsedQuery &parsed,
-                          const Deadline &deadline = Deadline()) const;
+                          const Deadline &deadline = Deadline(),
+                          const obs::TraceContext &tc =
+                              obs::TraceContext{}) const;
 
     /**
      * Stages 2-4 for one parsed question with every stage boundary
@@ -403,8 +501,19 @@ class CacheMind
                                   std::size_t question_index,
                                   StreamChannel &channel,
                                   double *blocked_ms = nullptr,
-                                  const Deadline &deadline =
-                                      Deadline()) const;
+                                  const Deadline &deadline = Deadline(),
+                                  const obs::TraceContext &tc =
+                                      obs::TraceContext{},
+                                  std::uint32_t parse_span = 0) const;
+
+    /**
+     * Close out a traced request: set a default outcome ("done" /
+     * "degraded") unless a terminal decision already landed (first
+     * writer wins — the serve layer may have cut the request), and
+     * fold the stage latencies into EngineStats.trace.
+     */
+    void finishTrace(const std::shared_ptr<obs::RequestTrace> &trace,
+                     bool degraded) const;
 
     struct BatchPool;
 

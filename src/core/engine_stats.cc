@@ -4,6 +4,7 @@
 
 #include "base/random.hh"
 #include "base/stats_util.hh"
+#include "obs/trace.hh"
 
 namespace cachemind::core {
 
@@ -96,6 +97,48 @@ EngineStatsRecorder::recordWarmup(double warmup_ms)
     warmup_ms_total_ += warmup_ms;
 }
 
+void
+EngineStatsRecorder::recordTrace(const obs::RequestTrace &trace)
+{
+    // Stage durations from the trace's span names: the first
+    // parse/plan/retrieve/generate span each (index matches
+    // stage_reservoir_ms_ / slowest_stage_ order).
+    static const char *const kStages[4] = {"parse", "plan", "retrieve",
+                                           "generate"};
+    double stage_ms[4] = {0.0, 0.0, 0.0, 0.0};
+    bool seen[4] = {false, false, false, false};
+    for (const obs::TraceSpan &span : trace.spans()) {
+        for (int i = 0; i < 4; ++i) {
+            if (!seen[i] && span.name == kStages[i] &&
+                span.end_ns >= span.start_ns && span.end_ns != 0) {
+                stage_ms[i] = static_cast<double>(span.end_ns -
+                                                  span.start_ns) /
+                              1e6;
+                seen[i] = true;
+            }
+        }
+    }
+    int slowest = 0;
+    for (int i = 1; i < 4; ++i) {
+        if (stage_ms[i] > stage_ms[slowest])
+            slowest = i;
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++traced_;
+    ++slowest_stage_[slowest];
+    for (int i = 0; i < 4; ++i) {
+        auto &reservoir = stage_reservoir_ms_[i];
+        if (reservoir.size() < kReservoirCap) {
+            reservoir.push_back(stage_ms[i]);
+        } else {
+            const std::uint64_t slot = splitMix64(traced_) % traced_;
+            if (slot < kReservoirCap)
+                reservoir[static_cast<std::size_t>(slot)] = stage_ms[i];
+        }
+    }
+}
+
 EngineStats
 EngineStatsRecorder::snapshot() const
 {
@@ -141,6 +184,26 @@ EngineStatsRecorder::snapshot() const
             stats::percentileSorted(sort_scratch_, 90.0);
         s.stream.first_event_mean_ms =
             first_event_sum_ms_ / static_cast<double>(streams_);
+    }
+    s.trace.traced = traced_;
+    s.trace.slowest_parse = slowest_stage_[0];
+    s.trace.slowest_plan = slowest_stage_[1];
+    s.trace.slowest_retrieve = slowest_stage_[2];
+    s.trace.slowest_generate = slowest_stage_[3];
+    double *stage_p50[4] = {&s.trace.parse_p50_ms, &s.trace.plan_p50_ms,
+                            &s.trace.retrieve_p50_ms,
+                            &s.trace.generate_p50_ms};
+    double *stage_p90[4] = {&s.trace.parse_p90_ms, &s.trace.plan_p90_ms,
+                            &s.trace.retrieve_p90_ms,
+                            &s.trace.generate_p90_ms};
+    for (int i = 0; i < 4; ++i) {
+        if (stage_reservoir_ms_[i].empty())
+            continue;
+        sort_scratch_.assign(stage_reservoir_ms_[i].begin(),
+                             stage_reservoir_ms_[i].end());
+        std::sort(sort_scratch_.begin(), sort_scratch_.end());
+        *stage_p50[i] = stats::percentileSorted(sort_scratch_, 50.0);
+        *stage_p90[i] = stats::percentileSorted(sort_scratch_, 90.0);
     }
     return s;
 }

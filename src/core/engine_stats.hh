@@ -19,6 +19,10 @@
 #include "retrieval/cache.hh"
 #include "retrieval/context.hh"
 
+namespace cachemind::obs {
+class RequestTrace;
+}
+
 namespace cachemind::core {
 
 /** Cross-question retrieval-cache counters (per retriever or total). */
@@ -77,6 +81,35 @@ struct StreamStats
     double first_event_mean_ms = 0.0;
 };
 
+/**
+ * Aggregates over *traced* requests (see obs::RequestTrace): how long
+ * each pipeline stage took, and which stage was the slowest — the
+ * "where did the time go" histogram a percentile alone cannot answer.
+ * Only requests that carried a trace contribute (untraced requests
+ * record no per-stage timings by design).
+ */
+struct TraceStats
+{
+    /** Traced requests folded in. */
+    std::uint64_t traced = 0;
+
+    /** Per-stage latency percentiles (milliseconds). */
+    double parse_p50_ms = 0.0;
+    double parse_p90_ms = 0.0;
+    double plan_p50_ms = 0.0;
+    double plan_p90_ms = 0.0;
+    double retrieve_p50_ms = 0.0;
+    double retrieve_p90_ms = 0.0;
+    double generate_p50_ms = 0.0;
+    double generate_p90_ms = 0.0;
+
+    /** Requests whose slowest stage was parse/plan/retrieve/generate. */
+    std::uint64_t slowest_parse = 0;
+    std::uint64_t slowest_plan = 0;
+    std::uint64_t slowest_retrieve = 0;
+    std::uint64_t slowest_generate = 0;
+};
+
 /** Point-in-time aggregate over everything the engine has served. */
 struct EngineStats
 {
@@ -105,6 +138,9 @@ struct EngineStats
 
     /** Streaming-pipeline counters. */
     StreamStats stream;
+
+    /** Per-stage aggregates over traced requests. */
+    TraceStats trace;
 
     /** Retrieval-cache totals across all retrievers. */
     RetrievalCacheStats cache;
@@ -173,6 +209,13 @@ class EngineStatsRecorder
     /** Record the engine's one-time cold index warm-up cost. */
     void recordWarmup(double warmup_ms);
 
+    /**
+     * Fold one finished traced request into EngineStats.trace: stage
+     * durations are read from the trace's parse/plan/retrieve/generate
+     * spans (first occurrence each; a missing span contributes 0).
+     */
+    void recordTrace(const obs::RequestTrace &trace);
+
     /** Aggregate snapshot (percentiles via base/stats_util). */
     EngineStats snapshot() const;
 
@@ -202,6 +245,11 @@ class EngineStatsRecorder
     double warmup_ms_total_ = 0.0;
     double first_event_sum_ms_ = 0.0;
     std::map<std::string, RetrievalCacheStats> cache_by_retriever_;
+    /** Traced-request accumulators (EngineStats.trace). */
+    std::uint64_t traced_ = 0;
+    std::uint64_t slowest_stage_[4] = {0, 0, 0, 0};
+    /** One bounded reservoir per stage: parse, plan, retrieve, gen. */
+    std::vector<double> stage_reservoir_ms_[4];
     std::vector<double> latency_reservoir_ms_;
     /** Same bounded-reservoir scheme for time-to-first-event. */
     std::vector<double> first_event_reservoir_ms_;

@@ -1,5 +1,6 @@
 #include "core/stream.hh"
 
+#include "base/failpoint.hh"
 #include "base/logging.hh"
 #include "core/cachemind.hh"
 
@@ -26,6 +27,13 @@ StreamChannel::StreamChannel(std::size_t capacity)
 bool
 StreamChannel::push(StreamEvent event)
 {
+    // Failpoint for the channel-internals path, evaluated before the
+    // lock (a Delay must not stall consumers, and an Error must not
+    // unwind while holding the mutex). An injected error propagates
+    // through the producer's push into the pipeline's exception
+    // barrier, surfacing as a typed channel failure — never a torn
+    // delta sequence on a surviving stream.
+    fail::maybeThrow("core.stream.push");
     std::unique_lock<std::mutex> lock(mu_);
     can_push_.wait(lock, [this] {
         return cancelled_ || closed_ || buffer_.size() < capacity_;

@@ -69,6 +69,16 @@ struct StreamEvent
     std::string text;
     /** Done: the complete response behind a shared handle. */
     std::shared_ptr<const Response> response;
+    /**
+     * Span id of the pipeline stage that produced this event (0 when
+     * the request is untraced) — Parsed carries the parse span,
+     * Planned the plan span, each EvidenceChunk its section span,
+     * AnswerDelta the generate span, Done the request's root span.
+     * Consumers resolve it through the request's obs::RequestTrace;
+     * the serve layer uses it to attribute time-to-first-event to a
+     * stage.
+     */
+    std::uint32_t span = 0;
 };
 
 const char *streamEventKindName(StreamEvent::Kind kind);

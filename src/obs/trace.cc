@@ -1,0 +1,245 @@
+#include "obs/trace.hh"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "obs/trace_export.hh"
+
+namespace cachemind::obs {
+
+RequestTrace::RequestTrace(std::string request_id)
+    : request_id_(std::move(request_id))
+{
+    spans_.reserve(16);
+}
+
+std::uint64_t
+RequestTrace::nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::uint32_t
+RequestTrace::beginSpan(std::uint32_t parent, std::string name)
+{
+    const std::uint64_t now = nowNs();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (spans_.size() >= kMaxSpans) {
+        ++dropped_;
+        return 0;
+    }
+    TraceSpan span;
+    span.id = static_cast<std::uint32_t>(spans_.size() + 1);
+    span.parent = parent;
+    span.name = std::move(name);
+    span.start_ns = now;
+    spans_.push_back(std::move(span));
+    return spans_.back().id;
+}
+
+void
+RequestTrace::endSpan(std::uint32_t id)
+{
+    if (id == 0)
+        return;
+    const std::uint64_t now = nowNs();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id > spans_.size())
+        return;
+    TraceSpan &span = spans_[id - 1];
+    if (span.end_ns == 0)
+        span.end_ns = now;
+}
+
+std::uint32_t
+RequestTrace::addSpan(std::uint32_t parent, std::string name,
+                      std::uint64_t start_ns, std::uint64_t end_ns)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (spans_.size() >= kMaxSpans) {
+        ++dropped_;
+        return 0;
+    }
+    TraceSpan span;
+    span.id = static_cast<std::uint32_t>(spans_.size() + 1);
+    span.parent = parent;
+    span.name = std::move(name);
+    span.start_ns = start_ns;
+    span.end_ns = end_ns;
+    spans_.push_back(std::move(span));
+    return spans_.back().id;
+}
+
+void
+RequestTrace::annotate(std::uint32_t id, std::string key, std::string value)
+{
+    if (id == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id > spans_.size())
+        return;
+    spans_[id - 1].notes.push_back({std::move(key), std::move(value)});
+}
+
+std::string
+RequestTrace::spanName(std::uint32_t id) const
+{
+    if (id == 0)
+        return "";
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id > spans_.size())
+        return "";
+    return spans_[id - 1].name;
+}
+
+void
+RequestTrace::setOutcome(std::string outcome)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    outcome_ = std::move(outcome);
+}
+
+std::string
+RequestTrace::outcome() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return outcome_;
+}
+
+std::vector<TraceSpan>
+RequestTrace::spans() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_;
+}
+
+std::uint64_t
+RequestTrace::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+}
+
+TraceStore &
+TraceStore::instance()
+{
+    static TraceStore store;
+    return store;
+}
+
+TraceStore::TraceStore()
+{
+    if (const char *dir = std::getenv("CACHEMIND_TRACE_DIR")) {
+        if (dir[0] != '\0') {
+            export_dir_ = dir;
+            export_enabled_.store(true, std::memory_order_relaxed);
+        }
+    }
+}
+
+void
+TraceStore::setCapacity(std::size_t n)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = n > 0 ? n : 1;
+    while (ring_.size() > capacity_)
+        ring_.pop_front();
+}
+
+void
+TraceStore::record(std::shared_ptr<const RequestTrace> trace)
+{
+    if (!trace)
+        return;
+    bool do_export = export_enabled_.load(std::memory_order_relaxed);
+    std::string dir;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ring_.push_back(trace);
+        while (ring_.size() > capacity_)
+            ring_.pop_front();
+        ++recorded_;
+        if (do_export)
+            dir = export_dir_;
+    }
+    if (do_export && !dir.empty()) {
+        if (exportToDir(*trace, dir)) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++exported_;
+        }
+    }
+}
+
+std::shared_ptr<const RequestTrace>
+TraceStore::byRequestId(const std::string &id) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+        if ((*it)->requestId() == id)
+            return *it;
+    }
+    return nullptr;
+}
+
+std::vector<std::shared_ptr<const RequestTrace>>
+TraceStore::recent(std::size_t n, const std::string &outcome_filter) const
+{
+    std::vector<std::shared_ptr<const RequestTrace>> out;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = ring_.rbegin(); it != ring_.rend() && out.size() < n;
+         ++it) {
+        const std::string outcome = (*it)->outcome();
+        if (!outcome_filter.empty()) {
+            if (outcome_filter == "bad") {
+                if (outcome != "degraded" && outcome != "deadline_exceeded" &&
+                    outcome != "error")
+                    continue;
+            } else if (outcome != outcome_filter) {
+                continue;
+            }
+        }
+        out.push_back(*it);
+    }
+    return out;
+}
+
+void
+TraceStore::setExportDir(std::string dir)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    export_dir_ = std::move(dir);
+    export_enabled_.store(!export_dir_.empty(), std::memory_order_relaxed);
+}
+
+std::string
+TraceStore::exportDir() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return export_dir_;
+}
+
+std::uint64_t
+TraceStore::recorded() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return recorded_;
+}
+
+std::uint64_t
+TraceStore::exported() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return exported_;
+}
+
+void
+TraceStore::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.clear();
+}
+
+} // namespace cachemind::obs

@@ -1,0 +1,206 @@
+#include "obs/trace_export.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace cachemind::obs {
+
+namespace {
+
+/** Minimal JSON string escaper (the obs layer is serve-independent). */
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+formatMicros(std::uint64_t ns)
+{
+    std::ostringstream os;
+    os << ns / 1000 << '.' << (ns / 100) % 10;
+    return os.str();
+}
+
+std::string
+formatMillis(std::uint64_t ns)
+{
+    std::ostringstream os;
+    const std::uint64_t us = ns / 1000;
+    os << us / 1000 << '.' << (us / 100) % 10 << (us / 10) % 10 << "ms";
+    return os.str();
+}
+
+void
+renderTextNode(const std::vector<TraceSpan> &spans,
+               const std::vector<std::vector<std::size_t>> &children,
+               std::size_t index, int depth, bool include_timing,
+               std::string &out)
+{
+    const TraceSpan &span = spans[index];
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+    out += span.name;
+    if (include_timing) {
+        out += " (";
+        if (span.end_ns >= span.start_ns && span.end_ns != 0)
+            out += formatMillis(span.end_ns - span.start_ns);
+        else
+            out += "open";
+        out += ")";
+    }
+    for (const Annotation &note : span.notes) {
+        out += ' ';
+        out += note.key;
+        out += '=';
+        out += note.value;
+    }
+    out += '\n';
+    for (const std::size_t child : children[index])
+        renderTextNode(spans, children, child, depth + 1, include_timing,
+                       out);
+}
+
+} // namespace
+
+std::string
+toChromeJson(const RequestTrace &trace)
+{
+    const std::vector<TraceSpan> spans = trace.spans();
+    std::uint64_t base_ns = 0;
+    for (const TraceSpan &span : spans) {
+        if (base_ns == 0 || (span.start_ns != 0 && span.start_ns < base_ns))
+            base_ns = span.start_ns;
+    }
+
+    std::string out;
+    out += "{\"displayTimeUnit\":\"ms\",";
+    out += "\"otherData\":{\"request_id\":\"" +
+           escapeJson(trace.requestId()) + "\",\"outcome\":\"" +
+           escapeJson(trace.outcome()) + "\"},";
+    out += "\"traceEvents\":[";
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+           "\"args\":{\"name\":\"cachemind\"}}";
+    for (const TraceSpan &span : spans) {
+        const std::uint64_t rel_ns =
+            span.start_ns >= base_ns ? span.start_ns - base_ns : 0;
+        const std::uint64_t dur_ns =
+            span.end_ns > span.start_ns ? span.end_ns - span.start_ns : 0;
+        out += ",{\"name\":\"" + escapeJson(span.name) + "\",";
+        out += "\"ph\":\"X\",\"pid\":1,\"tid\":1,";
+        out += "\"ts\":" + formatMicros(rel_ns) + ",";
+        out += "\"dur\":" + formatMicros(dur_ns) + ",";
+        out += "\"args\":{\"span_id\":" + std::to_string(span.id) +
+               ",\"parent\":" + std::to_string(span.parent);
+        for (const Annotation &note : span.notes) {
+            out += ",\"" + escapeJson(note.key) + "\":\"" +
+                   escapeJson(note.value) + "\"";
+        }
+        out += "}}";
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+toText(const RequestTrace &trace, bool include_timing)
+{
+    const std::vector<TraceSpan> spans = trace.spans();
+    std::vector<std::vector<std::size_t>> children(spans.size());
+    std::vector<std::size_t> roots;
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        const std::uint32_t parent = spans[i].parent;
+        if (parent != 0 && parent <= spans.size() &&
+            static_cast<std::size_t>(parent - 1) != i)
+            children[parent - 1].push_back(i);
+        else
+            roots.push_back(i);
+    }
+
+    std::string out;
+    out += "[" + trace.requestId();
+    if (!trace.outcome().empty())
+        out += " outcome=" + trace.outcome();
+    out += "]\n";
+    for (const std::size_t root : roots)
+        renderTextNode(spans, children, root, 0, include_timing, out);
+    if (trace.dropped() > 0)
+        out += "(+" + std::to_string(trace.dropped()) + " spans dropped)\n";
+    return out;
+}
+
+bool
+exportToDir(const RequestTrace &trace, const std::string &dir,
+            std::string *path_out, std::string *error)
+{
+    std::string stem;
+    for (const char c : trace.requestId()) {
+        const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                          c == '.';
+        stem += safe ? c : '_';
+    }
+    if (stem.empty())
+        stem = "trace";
+    std::uint64_t start_ns = 0;
+    for (const TraceSpan &span : trace.spans()) {
+        if (start_ns == 0 || (span.start_ns != 0 && span.start_ns < start_ns))
+            start_ns = span.start_ns;
+    }
+    const std::string path =
+        dir + "/trace_" + stem + "_" + std::to_string(start_ns) + ".json";
+
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        if (error)
+            *error = "cannot open " + path;
+        return false;
+    }
+    out << toChromeJson(trace);
+    out.close();
+    if (!out) {
+        if (error)
+            *error = "write failed for " + path;
+        return false;
+    }
+    if (path_out)
+        *path_out = path;
+    return true;
+}
+
+} // namespace cachemind::obs

@@ -46,10 +46,14 @@ RetrievalCache::admit(const std::string &key, BundlePtr value)
 
 RetrievalCache::BundlePtr
 RetrievalCache::lookupTiers(const std::string &key,
-                            std::uint64_t *evictions)
+                            std::uint64_t *evictions,
+                            Outcome::Source *source)
 {
-    if (BundlePtr v = hot_.lookup(key))
+    if (BundlePtr v = hot_.lookup(key)) {
+        if (source)
+            *source = Outcome::Source::Hot;
         return v;
+    }
     if (!secondary_)
         return nullptr;
     BundlePtr v = secondary_->lookup(key);
@@ -59,6 +63,8 @@ RetrievalCache::lookupTiers(const std::string &key,
     // so the next lookup is a lock-free hot hit.
     promotions_.fetch_add(1, std::memory_order_relaxed);
     *evictions += admit(key, v);
+    if (source)
+        *source = Outcome::Source::Secondary;
     return v;
 }
 
@@ -74,12 +80,14 @@ RetrievalCache::getOrCompute(const std::string &key,
     // Fast path: lock-free hot probe (plus secondary) before any
     // single-flight bookkeeping.
     std::uint64_t evicted = 0;
-    if (BundlePtr v = lookupTiers(key, &evicted)) {
+    Outcome::Source source = Outcome::Source::None;
+    if (BundlePtr v = lookupTiers(key, &evicted, &source)) {
         hits_.fetch_add(1, std::memory_order_relaxed);
         evictions_.fetch_add(evicted, std::memory_order_relaxed);
         if (outcome) {
             outcome->hit = true;
             outcome->evictions = evicted;
+            outcome->source = source;
         }
         return v;
     }
@@ -92,20 +100,23 @@ RetrievalCache::getOrCompute(const std::string &key,
         std::shared_future<BundlePtr> pending = it->second;
         hits_.fetch_add(1, std::memory_order_relaxed);
         lock.unlock();
-        if (outcome)
+        if (outcome) {
             outcome->hit = true;
+            outcome->source = Outcome::Source::Flight;
+        }
         return pending.get();
     }
     // Re-probe under the flight lock: a flight that finished between
     // the probe above and here admitted its bundle before erasing its
     // table entry, so it is visible in the tiers now.
-    if (BundlePtr v = lookupTiers(key, &evicted)) {
+    if (BundlePtr v = lookupTiers(key, &evicted, &source)) {
         hits_.fetch_add(1, std::memory_order_relaxed);
         evictions_.fetch_add(evicted, std::memory_order_relaxed);
         lock.unlock();
         if (outcome) {
             outcome->hit = true;
             outcome->evictions = evicted;
+            outcome->source = source;
         }
         return v;
     }
@@ -152,7 +163,8 @@ RetrievalCache::peek(const std::string &key, Outcome *outcome)
     if (!enabled())
         return nullptr;
     std::uint64_t evicted = 0;
-    BundlePtr v = lookupTiers(key, &evicted);
+    Outcome::Source source = Outcome::Source::None;
+    BundlePtr v = lookupTiers(key, &evicted, &source);
     if (!v) {
         // Absent, or another flight is still assembling it: the
         // streaming caller retrieves on its own rather than waiting.
@@ -164,6 +176,7 @@ RetrievalCache::peek(const std::string &key, Outcome *outcome)
     if (outcome) {
         outcome->hit = true;
         outcome->evictions = evicted;
+        outcome->source = source;
     }
     return v;
 }
@@ -218,6 +231,20 @@ RetrievalCache::tiered() const
     t.promotions = promotions_.load(std::memory_order_relaxed);
     t.demotions = demotions_.load(std::memory_order_relaxed);
     return t;
+}
+
+const char *
+cacheSourceName(RetrievalCache::Outcome::Source source)
+{
+    switch (source) {
+      case RetrievalCache::Outcome::Source::None: return "miss";
+      case RetrievalCache::Outcome::Source::Hot: return "hot_hit";
+      case RetrievalCache::Outcome::Source::Secondary:
+          return "secondary_promote";
+      case RetrievalCache::Outcome::Source::Flight:
+          return "single_flight_wait";
+    }
+    return "?";
 }
 
 } // namespace cachemind::retrieval

@@ -74,10 +74,23 @@ class RetrievalCache
     /** What one lookup did (per-retriever stats attribution). */
     struct Outcome
     {
+        /** Which tier (if any) served the lookup. */
+        enum class Source {
+            /** Not served from cache: the caller computed. */
+            None,
+            /** Lock-free hot-tier hit. */
+            Hot,
+            /** Secondary-tier hit, decoded and re-promoted. */
+            Secondary,
+            /** Coalesced onto another caller's in-flight compute. */
+            Flight,
+        };
+
         /** Served from cache (including coalesced in-flight waits). */
         bool hit = false;
         /** Entries this lookup's insertion evicted (left all tiers). */
         std::uint64_t evictions = 0;
+        Source source = Source::None;
     };
 
     /** Aggregate lookup counters (cache-level, not per-tier). */
@@ -174,7 +187,8 @@ class RetrievalCache
      * added to *evictions.
      */
     BundlePtr lookupTiers(const std::string &key,
-                          std::uint64_t *evictions);
+                          std::uint64_t *evictions,
+                          Outcome::Source *source = nullptr);
 
     /**
      * Admit `value` into the hot tier and demote its victims into the
@@ -203,6 +217,12 @@ class RetrievalCache
     std::atomic<std::uint64_t> promotions_{0};
     std::atomic<std::uint64_t> demotions_{0};
 };
+
+/**
+ * Trace-annotation name of a lookup source: "miss", "hot_hit",
+ * "secondary_promote", "single_flight_wait".
+ */
+const char *cacheSourceName(RetrievalCache::Outcome::Source source);
 
 } // namespace cachemind::retrieval
 

@@ -219,6 +219,8 @@ parseRequest(const std::string &line, std::string *error)
         req.op = Request::Op::Ping;
     } else if (op == "failpoints") {
         req.op = Request::Op::Failpoints;
+    } else if (op == "trace") {
+        req.op = Request::Op::Trace;
     } else {
         if (error)
             *error = op.empty() ? "missing \"op\""
@@ -230,6 +232,20 @@ parseRequest(const std::string &line, std::string *error)
     req.retriever = get("retriever");
     req.backend = get("backend");
     req.failpoint_spec = get("spec");
+    req.request_id = get("request_id");
+    req.trace_filter = get("filter");
+    const std::string last = get("last");
+    if (!last.empty()) {
+        const auto parsed = str::parseDouble(last);
+        if (!parsed || *parsed < 0.0 ||
+            *parsed != static_cast<double>(
+                           static_cast<long long>(*parsed))) {
+            if (error)
+                *error = "bad \"last\" value '" + last + "'";
+            return std::nullopt;
+        }
+        req.trace_last = static_cast<std::size_t>(*parsed);
+    }
     const std::string deadline = get("deadline_ms");
     if (!deadline.empty()) {
         const auto parsed = str::parseDouble(deadline);
@@ -261,10 +277,21 @@ renderRequest(const Request &request)
       case Request::Op::Stats: line += "stats"; break;
       case Request::Op::Ping: line += "ping"; break;
       case Request::Op::Failpoints: line += "failpoints"; break;
+      case Request::Op::Trace: line += "trace"; break;
     }
     line += "\"";
     if (!request.id.empty())
         line += ",\"id\":\"" + jsonEscape(request.id) + "\"";
+    if (!request.request_id.empty()) {
+        line += ",\"request_id\":\"" + jsonEscape(request.request_id) +
+                "\"";
+    }
+    if (request.trace_last > 0)
+        line += ",\"last\":" + std::to_string(request.trace_last);
+    if (!request.trace_filter.empty()) {
+        line += ",\"filter\":\"" + jsonEscape(request.trace_filter) +
+                "\"";
+    }
     if (!request.question.empty()) {
         line +=
             ",\"question\":\"" + jsonEscape(request.question) + "\"";
@@ -312,12 +339,21 @@ idField(const std::string &id)
     return ",\"id\":\"" + jsonEscape(id) + "\"";
 }
 
+/** v1.1 request-id echo; empty id renders nothing (v1.0 framing). */
+std::string
+requestIdField(const std::string &request_id)
+{
+    if (request_id.empty())
+        return "";
+    return ",\"request_id\":\"" + jsonEscape(request_id) + "\"";
+}
+
 } // namespace
 
 std::string
 helloFrame()
 {
-    return "{\"frame\":\"hello\",\"proto\":\"1\"}";
+    return "{\"frame\":\"hello\",\"proto\":\"1.1\"}";
 }
 
 std::string
@@ -328,22 +364,26 @@ pongFrame(const std::string &id)
 
 std::string
 errorFrame(const std::string &id, const std::string &code,
-           const std::string &message)
+           const std::string &message, const std::string &request_id)
 {
     return "{\"frame\":\"error\"" + idField(id) + ",\"code\":\"" +
            jsonEscape(code) + "\",\"message\":\"" +
-           jsonEscape(message) + "\"}";
+           jsonEscape(message) + "\"" + requestIdField(request_id) +
+           "}";
 }
 
 std::string
-overloadedFrame(const std::string &id, std::size_t limit)
+overloadedFrame(const std::string &id, std::size_t limit,
+                const std::string &request_id)
 {
     return "{\"frame\":\"overloaded\"" + idField(id) +
-           ",\"limit\":" + std::to_string(limit) + "}";
+           ",\"limit\":" + std::to_string(limit) +
+           requestIdField(request_id) + "}";
 }
 
 std::string
-deadlineExceededFrame(const std::string &id, double deadline_ms)
+deadlineExceededFrame(const std::string &id, double deadline_ms,
+                      const std::string &request_id)
 {
     const auto whole = static_cast<long long>(deadline_ms);
     return "{\"frame\":\"deadline_exceeded\"" + idField(id) +
@@ -351,7 +391,7 @@ deadlineExceededFrame(const std::string &id, double deadline_ms)
            (static_cast<double>(whole) == deadline_ms
                 ? std::to_string(whole)
                 : std::to_string(deadline_ms)) +
-           "}";
+           requestIdField(request_id) + "}";
 }
 
 std::string
@@ -362,7 +402,17 @@ failpointsFrame(const std::string &id, std::size_t armed)
 }
 
 std::string
-eventFrame(const std::string &id, const core::StreamEvent &event)
+traceFrame(const std::string &id, std::size_t found,
+           const std::string &text)
+{
+    return "{\"frame\":\"trace\"" + idField(id) +
+           ",\"found\":" + std::to_string(found) + ",\"traces\":\"" +
+           jsonEscape(text) + "\"}";
+}
+
+std::string
+eventFrame(const std::string &id, const core::StreamEvent &event,
+           const std::string &request_id)
 {
     using Kind = core::StreamEvent::Kind;
     std::string frame = "{\"frame\":\"";
@@ -396,6 +446,7 @@ eventFrame(const std::string &id, const core::StreamEvent &event)
             frame += ",\"degraded\":true";
         break;
     }
+    frame += requestIdField(request_id);
     frame += "}";
     return frame;
 }

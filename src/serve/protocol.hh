@@ -11,14 +11,16 @@
  *
  * Requests:
  *   {"op":"ask","id":"7","question":"...","retriever":"sieve",
- *    "backend":"gpt-4o","deadline_ms":250,
+ *    "backend":"gpt-4o","deadline_ms":250,"request_id":"req-42",
  *    "params":{"evidence_window":"4"}}
  *   {"op":"stats","id":"8"}
  *   {"op":"ping","id":"9"}
  *   {"op":"failpoints","id":"10","spec":"serve.lease=delay:50"}
+ *   {"op":"trace","id":"11","request_id":"req-42"}
+ *   {"op":"trace","id":"12","last":4,"filter":"bad"}
  *
  * Frames (server -> client), all carrying the request's "id":
- *   {"frame":"hello","proto":"1"}                     on connect
+ *   {"frame":"hello","proto":"1.1"}                   on connect
  *   {"frame":"parsed","id":..,"text":<raw question>}
  *   {"frame":"planned","id":..,"cache_key":".."}
  *   {"frame":"evidence","id":..,"label":"..","text":".."}
@@ -32,6 +34,21 @@
  *   {"frame":"overloaded","id":..,"limit":N}          then close
  *   {"frame":"deadline_exceeded","id":..,"deadline_ms":N}  terminal
  *   {"frame":"failpoints","id":..,"armed":N}          debug only
+ *   {"frame":"trace","id":..,"found":N,"traces":".."}
+ *
+ * Protocol v1.1 (the hello "proto" tag): an ask request may carry a
+ * client-supplied "request_id". The server echoes it as a
+ * "request_id" field on every frame of that request (parsed, planned,
+ * evidence, delta, done, error, deadline_exceeded, overloaded), so a
+ * client multiplexing questions over several sessions can correlate
+ * frames, and the request is traced server-side — its span tree is
+ * retrievable afterwards through the `trace` verb keyed by the same
+ * id. Requests without a request_id get identical frames minus the
+ * field (v1.0 clients see the wire format they always saw). The
+ * `trace` verb returns span trees by request_id, or the last `last`
+ * traces whose outcome matches `filter` ("" = all; "bad" = degraded,
+ * deadline_exceeded, or error); the "traces" field is the compact
+ * text rendering (the flat protocol embeds it as one escaped string).
  */
 
 #ifndef CACHEMIND_SERVE_PROTOCOL_HH
@@ -61,11 +78,18 @@ parseJsonObject(const std::string &line);
 /** One parsed client request. */
 struct Request
 {
-    enum class Op { Ask, Stats, Ping, Failpoints };
+    enum class Op { Ask, Stats, Ping, Failpoints, Trace };
 
     Op op = Op::Ask;
     /** Client-chosen correlation id, echoed on every frame. */
     std::string id;
+    /**
+     * Ask: optional client-supplied request id (protocol v1.1). When
+     * non-empty the server echoes it on every frame of this request
+     * and records a server-side trace retrievable through Op::Trace.
+     * Trace: the request id whose span tree to fetch.
+     */
+    std::string request_id;
     /** Ask: the natural-language question. */
     std::string question;
     /** Ask: engine selectors ("" = server default). */
@@ -86,6 +110,14 @@ struct Request
      * with debug_failpoints — production servers answer "forbidden".
      */
     std::string failpoint_spec;
+    /**
+     * Trace: when request_id is empty, return the last `trace_last`
+     * recorded traces (0 = server default) whose outcome matches
+     * `trace_filter` ("" = all, "bad" = degraded / deadline_exceeded /
+     * error, anything else = exact outcome match).
+     */
+    std::size_t trace_last = 0;
+    std::string trace_filter;
 };
 
 /**
@@ -103,20 +135,35 @@ std::string renderRequest(const Request &request);
 // All renderers return the complete JSON object without the trailing
 // newline; the transport appends it.
 
+// Frames that belong to an ask request take the request's optional
+// client-supplied request_id (protocol v1.1) and echo it as a
+// "request_id" field when non-empty; pass "" for v1.0 behavior.
+
 std::string helloFrame();
 std::string pongFrame(const std::string &id);
 std::string errorFrame(const std::string &id, const std::string &code,
-                       const std::string &message);
-std::string overloadedFrame(const std::string &id, std::size_t limit);
+                       const std::string &message,
+                       const std::string &request_id = "");
+std::string overloadedFrame(const std::string &id, std::size_t limit,
+                            const std::string &request_id = "");
 /** Terminal frame for a request whose deadline passed server-side. */
 std::string deadlineExceededFrame(const std::string &id,
-                                  double deadline_ms);
+                                  double deadline_ms,
+                                  const std::string &request_id = "");
 /** Ack for a failpoints request; `armed` = sites armed afterwards. */
 std::string failpointsFrame(const std::string &id, std::size_t armed);
+/**
+ * Answer to a trace request: `found` span trees, rendered through
+ * obs::toText and embedded as one escaped string (the flat protocol
+ * has no nested arrays).
+ */
+std::string traceFrame(const std::string &id, std::size_t found,
+                       const std::string &text);
 
 /** Render one engine StreamEvent as its protocol frame. */
 std::string eventFrame(const std::string &id,
-                       const core::StreamEvent &event);
+                       const core::StreamEvent &event,
+                       const std::string &request_id = "");
 
 } // namespace cachemind::serve
 

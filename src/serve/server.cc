@@ -25,6 +25,8 @@
 #include "base/stopwatch.hh"
 #include "base/str.hh"
 #include "core/cachemind.hh"
+#include "obs/trace.hh"
+#include "obs/trace_export.hh"
 #include "retrieval/cache.hh"
 #include "serve/protocol.hh"
 
@@ -178,6 +180,9 @@ struct Server::Impl
     };
     std::map<std::string, PoolEntry> engine_pool;
     std::vector<std::unique_ptr<core::CacheMind>> all_engines;
+
+    /** Ask sequence number, the trace_sample_every sampling clock. */
+    std::atomic<std::uint64_t> ask_seq{0};
 
     // ---------------------------------------------------------- stats
     mutable std::mutex stats_mu;
@@ -400,6 +405,35 @@ Server::Impl::runSession(SessionSlot *slot)
                     break;
                 continue;
             }
+            if (req->op == Request::Op::Trace) {
+                // Span trees from the process TraceStore: by request
+                // id, or the newest `last` matching the outcome
+                // filter. Rendered as the compact text tree — the
+                // flat protocol embeds it as one escaped string.
+                const auto &store = obs::TraceStore::instance();
+                std::string text;
+                std::size_t found = 0;
+                if (!req->request_id.empty()) {
+                    if (const auto t =
+                            store.byRequestId(req->request_id)) {
+                        text = obs::toText(*t);
+                        found = 1;
+                    }
+                } else {
+                    const std::size_t last =
+                        req->trace_last ? req->trace_last : 4;
+                    for (const auto &t :
+                         store.recent(last, req->trace_filter)) {
+                        if (!text.empty())
+                            text += '\n';
+                        text += obs::toText(*t);
+                        ++found;
+                    }
+                }
+                if (!sendFrame(fd, traceFrame(req->id, found, text)))
+                    break;
+                continue;
+            }
             if (req->op == Request::Op::Failpoints) {
                 if (!opts.debug_failpoints) {
                     if (!sendFrame(fd,
@@ -551,24 +585,68 @@ Server::Impl::handleAsk(int fd, const Request &req)
     // socket would leave a live client waiting on a reply that was
     // never written.
     Stopwatch timer;
+
+    // Per-request tracing: on when the client sent a request_id
+    // (protocol v1.1) or the sampling clock fires. An untraced ask
+    // pays this one relaxed increment and a null-pointer test per
+    // span helper, nothing else.
+    const std::uint64_t seq =
+        ask_seq.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<obs::RequestTrace> trace;
+    if (!req.request_id.empty() ||
+        (opts.trace_sample_every > 0 &&
+         seq % opts.trace_sample_every == 0)) {
+        trace = std::make_shared<obs::RequestTrace>(
+            req.request_id.empty() ? "sampled-" + std::to_string(seq)
+                                   : req.request_id);
+    }
+    const std::uint32_t root =
+        trace ? trace->beginSpan(0, "serve.ask") : 0;
+    // The session is the trace's creator, so it records the finished
+    // trace into the process TraceStore — exactly once, at whichever
+    // terminal decision the request reaches. The serve-side outcome is
+    // authoritative: the engine only fills it when unset.
+    const auto finish = [&](const std::string &outcome) {
+        if (!trace)
+            return;
+        trace->setOutcome(outcome);
+        trace->endSpan(root);
+        obs::TraceStore::instance().record(trace);
+    };
+
     std::string key, why;
     bool lease_timed_out = false;
-    core::CacheMind *engine =
-        acquireEngine(req, key, why, &lease_timed_out);
+    core::CacheMind *engine = nullptr;
+    {
+        // Lease-wait span: how long this ask queued for a pooled
+        // engine — the serve-side latency the engine never sees.
+        obs::SpanScope lease(obs::TraceContext{trace, root}, "lease");
+        engine = acquireEngine(req, key, why, &lease_timed_out);
+        lease.annotate("engine_key", key);
+        if (lease_timed_out)
+            lease.annotate("timed_out", "true");
+    }
     if (!engine) {
         if (lease_timed_out) {
+            finish("overloaded");
             const bool alive =
-                sendFrame(fd, overloadedFrame(
-                                  req.id,
-                                  std::max<std::size_t>(
-                                      opts.max_engines_per_key, 1)));
+                sendFrame(fd,
+                          overloadedFrame(
+                              req.id,
+                              std::max<std::size_t>(
+                                  opts.max_engines_per_key, 1),
+                              req.request_id));
             std::lock_guard<std::mutex> lock(stats_mu);
             ++lease_timeouts;
             return alive;
         }
-        return sendFrame(fd, errorFrame(req.id, "bad-engine", why));
+        finish("error");
+        return sendFrame(fd, errorFrame(req.id, "bad-engine", why,
+                                        req.request_id));
     }
     const std::string retriever_name = engine->retriever().name();
+    if (trace)
+        trace->annotate(root, "retriever", retriever_name);
 
     // Per-request deadline (server default when the request names
     // none). The engine degrades at the deadline proper; the session
@@ -583,14 +661,20 @@ Server::Impl::handleAsk(int fd, const Request &req)
             ? Deadline::afterMs(deadline_ms + opts.deadline_slack_ms)
             : Deadline();
 
-    auto result = engine->askStream(req.question, ask_opts);
+    core::RequestContext ctx(req.question, ask_opts);
+    ctx.request_id = req.request_id;
+    ctx.trace = trace;
+    ctx.trace_parent = root;
+    auto result = engine->askStream(ctx);
     if (!result.ok()) {
         releaseEngine(key, engine);
+        finish("error");
         return sendFrame(fd,
                          errorFrame(req.id,
                                     core::engineErrorCodeName(
                                         result.error().code),
-                                    result.error().message));
+                                    result.error().message,
+                                    req.request_id));
     }
     auto stream = std::move(result).value();
 
@@ -601,6 +685,11 @@ Server::Impl::handleAsk(int fd, const Request &req)
     bool client_alive = true;
     bool saw_done = false;
     bool deadline_hit = false;
+    bool degraded = false;
+    // Which pipeline stage the request was last seen in — events carry
+    // the span they were emitted under, so TTFE and a deadline cut can
+    // both be attributed to a stage instead of a wall-clock shrug.
+    auto last_kind = std::optional<core::StreamEvent::Kind>();
     try {
         for (;;) {
             bool expired = false;
@@ -611,26 +700,50 @@ Server::Impl::handleAsk(int fd, const Request &req)
             }
             if (!event)
                 break;
-            if (!sendFrame(fd, eventFrame(req.id, *event))) {
+            bool sent = false;
+            {
+                obs::SpanScope write(obs::TraceContext{trace, root},
+                                     "write");
+                sent = sendFrame(
+                    fd, eventFrame(req.id, *event, req.request_id));
+            }
+            if (!sent) {
                 client_alive = false;
                 break;
             }
-            if (ttfe_ms < 0.0)
+            if (ttfe_ms < 0.0) {
                 ttfe_ms = timer.milliseconds();
-            if (event->kind == core::StreamEvent::Kind::Done)
+                if (trace) {
+                    // TTFE attribution: the stage whose span the
+                    // first event was emitted under.
+                    std::string stage = trace->spanName(event->span);
+                    if (stage.empty())
+                        stage = core::streamEventKindName(event->kind);
+                    trace->annotate(root, "ttfe_stage", stage);
+                }
+            }
+            last_kind = event->kind;
+            if (event->kind == core::StreamEvent::Kind::Done) {
                 saw_done = true;
+                degraded = event->response &&
+                           event->response->bundle.degraded;
+            }
         }
     } catch (const std::exception &e) {
         // Pipeline failure (what blocking ask() would have thrown):
         // reported as an error frame, never a torn connection.
         stream.cancel();
         releaseEngine(key, engine);
-        return sendFrame(fd, errorFrame(req.id, "pipeline", e.what()));
+        finish("error");
+        return sendFrame(fd, errorFrame(req.id, "pipeline", e.what(),
+                                        req.request_id));
     } catch (...) {
         stream.cancel();
         releaseEngine(key, engine);
+        finish("error");
         return sendFrame(fd, errorFrame(req.id, "pipeline",
-                                        "unknown pipeline failure"));
+                                        "unknown pipeline failure",
+                                        req.request_id));
     }
 
     if (deadline_hit) {
@@ -640,8 +753,26 @@ Server::Impl::handleAsk(int fd, const Request &req)
         // terminal frame instead of leaving it to time out on its own.
         stream.cancel();
         releaseEngine(key, engine);
+        if (trace) {
+            // The stage the cut landed in, inferred from the last
+            // event that made it out of the pipeline.
+            using Kind = core::StreamEvent::Kind;
+            const char *stage = "parse";
+            if (last_kind) {
+                switch (*last_kind) {
+                  case Kind::Parsed: stage = "plan"; break;
+                  case Kind::Planned:
+                  case Kind::EvidenceChunk: stage = "retrieve"; break;
+                  case Kind::AnswerDelta: stage = "generate"; break;
+                  case Kind::Done: stage = "done"; break;
+                }
+            }
+            trace->annotate(root, "deadline_exceeded_in", stage);
+        }
+        finish("deadline_exceeded");
         const bool alive =
-            sendFrame(fd, deadlineExceededFrame(req.id, deadline_ms));
+            sendFrame(fd, deadlineExceededFrame(req.id, deadline_ms,
+                                                req.request_id));
         std::lock_guard<std::mutex> lock(stats_mu);
         ++deadline_exceeded;
         return alive;
@@ -654,6 +785,7 @@ Server::Impl::handleAsk(int fd, const Request &req)
         // see EOF rather than wait forever for a terminal frame.
         stream.cancel();
         releaseEngine(key, engine);
+        finish("cancelled");
         {
             std::lock_guard<std::mutex> lock(stats_mu);
             ++cancelled;
@@ -661,6 +793,7 @@ Server::Impl::handleAsk(int fd, const Request &req)
         return false;
     }
     releaseEngine(key, engine);
+    finish(degraded ? "degraded" : "done");
     recordAsk(retriever_name, std::max(ttfe_ms, 0.0),
               timer.milliseconds());
     return true;
@@ -731,6 +864,31 @@ Server::Impl::snapshot() const
         s.engine.stream.first_event_mean_ms =
             std::max(s.engine.stream.first_event_mean_ms,
                      es.stream.first_event_mean_ms);
+        s.engine.trace.traced += es.trace.traced;
+        s.engine.trace.slowest_parse += es.trace.slowest_parse;
+        s.engine.trace.slowest_plan += es.trace.slowest_plan;
+        s.engine.trace.slowest_retrieve += es.trace.slowest_retrieve;
+        s.engine.trace.slowest_generate += es.trace.slowest_generate;
+        s.engine.trace.parse_p50_ms =
+            std::max(s.engine.trace.parse_p50_ms, es.trace.parse_p50_ms);
+        s.engine.trace.parse_p90_ms =
+            std::max(s.engine.trace.parse_p90_ms, es.trace.parse_p90_ms);
+        s.engine.trace.plan_p50_ms =
+            std::max(s.engine.trace.plan_p50_ms, es.trace.plan_p50_ms);
+        s.engine.trace.plan_p90_ms =
+            std::max(s.engine.trace.plan_p90_ms, es.trace.plan_p90_ms);
+        s.engine.trace.retrieve_p50_ms =
+            std::max(s.engine.trace.retrieve_p50_ms,
+                     es.trace.retrieve_p50_ms);
+        s.engine.trace.retrieve_p90_ms =
+            std::max(s.engine.trace.retrieve_p90_ms,
+                     es.trace.retrieve_p90_ms);
+        s.engine.trace.generate_p50_ms =
+            std::max(s.engine.trace.generate_p50_ms,
+                     es.trace.generate_p50_ms);
+        s.engine.trace.generate_p90_ms =
+            std::max(s.engine.trace.generate_p90_ms,
+                     es.trace.generate_p90_ms);
         s.engine.cache.hits += es.cache.hits;
         s.engine.cache.misses += es.cache.misses;
         s.engine.cache.evictions += es.cache.evictions;
@@ -928,6 +1086,26 @@ statsFrame(const std::string &id, const ServeStats &stats)
                          stats.engine.stream.first_event_p50_ms);
     frame += numberField("first_event_p90_ms",
                          stats.engine.stream.first_event_p90_ms);
+    // Traced-request aggregates: per-stage percentiles and the
+    // slowest-stage histogram (see EngineStats.trace).
+    const auto &trace = stats.engine.trace;
+    frame += countField("traced", trace.traced);
+    frame += countField("slowest_parse", trace.slowest_parse);
+    frame += countField("slowest_plan", trace.slowest_plan);
+    frame += countField("slowest_retrieve", trace.slowest_retrieve);
+    frame += countField("slowest_generate", trace.slowest_generate);
+    frame += numberField("trace_parse_p50_ms", trace.parse_p50_ms);
+    frame += numberField("trace_parse_p90_ms", trace.parse_p90_ms);
+    frame += numberField("trace_plan_p50_ms", trace.plan_p50_ms);
+    frame += numberField("trace_plan_p90_ms", trace.plan_p90_ms);
+    frame += numberField("trace_retrieve_p50_ms",
+                         trace.retrieve_p50_ms);
+    frame += numberField("trace_retrieve_p90_ms",
+                         trace.retrieve_p90_ms);
+    frame += numberField("trace_generate_p50_ms",
+                         trace.generate_p50_ms);
+    frame += numberField("trace_generate_p90_ms",
+                         trace.generate_p90_ms);
     for (const auto &[name, r] : stats.by_retriever) {
         frame += ",\"" + jsonEscape(name) + "\":{\"asks\":" +
                  std::to_string(r.asks);

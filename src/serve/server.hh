@@ -123,6 +123,14 @@ struct ServeOptions
      * verb with a "forbidden" error frame.
      */
     bool debug_failpoints = false;
+    /**
+     * Trace every Nth ask request even when the client sent no
+     * request_id (0 = trace only asks that carry one). Sampled traces
+     * land in the process TraceStore — readable through the `trace`
+     * verb and exported when CACHEMIND_TRACE_DIR is set. Untraced
+     * requests pay one relaxed atomic increment and nothing else.
+     */
+    std::size_t trace_sample_every = 0;
 };
 
 /** Per-retriever session latency percentiles. */

@@ -29,6 +29,7 @@
 #include "core/cachemind.hh"
 #include "core/stream.hh"
 #include "db/builder.hh"
+#include "obs/trace.hh"
 #include "retrieval/cache.hh"
 #include "retrieval/context.hh"
 #include "serve/client.hh"
@@ -620,4 +621,197 @@ TEST(ChaosTest, RandomizedFaultScheduleKeepsFramesTyped)
                   1u);
     }
     server.stop();
+}
+
+// ------------------------------------- pipeline-interior failpoints
+
+TEST(ChaosTest, WorkerPoolTaskFaultSurfacesAsTypedStreamFailure)
+{
+    // core.worker_pool.task fires as the first statement of the
+    // streaming job, inside its try block: the fault must surface as
+    // the stream's rethrown failure — exactly what a blocking ask()
+    // would have thrown — never a worker-thread terminate.
+    FailpointGuard guard;
+    auto engine =
+        CacheMind::Builder(sharedDb()).build().expect("engine");
+    const auto q = suiteQuestions()[0];
+
+    ASSERT_TRUE(fail::armSpec("core.worker_pool.task=error#1"));
+    auto stream = engine.askStream(q).expect("stream");
+    EXPECT_THROW(stream.wait(), fail::InjectedFault);
+
+    // The budget (#1) is spent and the engine (and its persistent
+    // worker) keeps serving.
+    auto clean = engine.askStream(q).expect("clean stream");
+    auto fresh =
+        CacheMind::Builder(sharedDb()).build().expect("fresh");
+    EXPECT_EQ(clean.wait().text, fresh.ask(q).expect("reference").text);
+}
+
+TEST(ChaosTest, StreamPushFaultSurfacesAsTypedStreamFailure)
+{
+    // core.stream.push fires at StreamChannel::push before anything
+    // is enqueued: the stream fails typed with no torn delta
+    // sequence (the consumer sees the failure, not a partial event).
+    FailpointGuard guard;
+    auto engine =
+        CacheMind::Builder(sharedDb()).build().expect("engine");
+    const auto q = suiteQuestions()[0];
+
+    ASSERT_TRUE(fail::armSpec("core.stream.push=error#1"));
+    auto stream = engine.askStream(q).expect("stream");
+    EXPECT_THROW(
+        {
+            while (stream.next()) {
+            }
+        },
+        fail::InjectedFault);
+
+    fail::disarmAll();
+    auto again = engine.askStream(q).expect("again");
+    EXPECT_FALSE(again.wait().text.empty());
+}
+
+TEST(ChaosTest, ServeReportsPipelineFaultsAsErrorFrames)
+{
+    // Both interior failpoints, exercised through the server: the
+    // client gets a typed error frame and the connection (and the
+    // engine lease) survives for the next request.
+    FailpointGuard guard;
+    ServeOptions opts;
+    opts.debug_failpoints = true;
+    Server server(sharedDb(), opts);
+    ASSERT_TRUE(server.start());
+
+    LineClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+    ASSERT_TRUE(expectHello(client));
+
+    for (const char *spec : {"core.worker_pool.task=error#1",
+                             "core.stream.push=error#1"}) {
+        SCOPED_TRACE(spec);
+        ASSERT_TRUE(armOver(client, spec));
+        const auto faulted = askOver(client, "f", suiteQuestions()[0]);
+        EXPECT_EQ(faulted.terminal, "error");
+        const auto clean = askOver(client, "c", suiteQuestions()[0]);
+        EXPECT_EQ(clean.terminal, "done");
+        EXPECT_FALSE(clean.answer.empty());
+    }
+    server.stop();
+}
+
+// ------------------------------------------------- trace attribution
+
+TEST(ChaosTest, DegradedAndDeadlineTracesNameTheFailingStage)
+{
+    // The acceptance bar for trace-guided debugging: every degraded
+    // or deadline_exceeded trace must say WHICH stage the deadline
+    // landed in, so a "bad" trace pulled off the store is actionable.
+    FailpointGuard guard;
+    obs::TraceStore::instance().clear();
+    ServeOptions opts;
+    opts.debug_failpoints = true;
+    opts.deadline_slack_ms = 4000.0;
+    Server server(sharedDb(), opts);
+    ASSERT_TRUE(server.start());
+
+    LineClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+    ASSERT_TRUE(expectHello(client));
+
+    // Degraded within slack: the engine truncates retrieval at the
+    // deadline and answers from partial evidence.
+    ASSERT_TRUE(armOver(client, "retrieve.section=delay:60"));
+    Request req;
+    req.op = Request::Op::Ask;
+    req.id = "1";
+    req.question = suiteQuestions()[0];
+    req.request_id = "req-degraded";
+    req.deadline_ms = 20.0;
+    ASSERT_TRUE(client.sendLine(renderRequest(req)));
+    for (;;) {
+        const auto line = client.recvLine();
+        ASSERT_TRUE(line.has_value());
+        const auto frame = parseJsonObject(*line);
+        ASSERT_TRUE(frame.has_value());
+        const auto kind = frame->at("frame");
+        if (kind == "done" || kind == "error" ||
+            kind == "deadline_exceeded")
+            break;
+    }
+    ASSERT_TRUE(armOver(client, "off"));
+
+    const auto degraded =
+        obs::TraceStore::instance().byRequestId("req-degraded");
+    ASSERT_NE(degraded, nullptr);
+    EXPECT_EQ(degraded->outcome(), "degraded");
+    bool named_stage = false;
+    for (const auto &span : degraded->spans()) {
+        for (const auto &note : span.notes)
+            if (note.key == "deadline_expired_in")
+                named_stage = note.value == "retrieve";
+    }
+    EXPECT_TRUE(named_stage);
+
+    // Hard cut past deadline + slack: the serve layer's trace names
+    // the stage the pipeline was wedged in when the cut fired.
+    server.stop();
+    opts.deadline_slack_ms = 100.0;
+    Server strict(sharedDb(), opts);
+    ASSERT_TRUE(strict.start());
+    LineClient cut;
+    ASSERT_TRUE(cut.connect("127.0.0.1", strict.port()));
+    ASSERT_TRUE(expectHello(cut));
+    ASSERT_TRUE(armOver(cut, "retrieve.section=delay:500"));
+    req.id = "2";
+    req.request_id = "req-cut";
+    req.deadline_ms = 40.0;
+    ASSERT_TRUE(cut.sendLine(renderRequest(req)));
+    std::string terminal;
+    while (terminal.empty()) {
+        const auto line = cut.recvLine();
+        ASSERT_TRUE(line.has_value());
+        const auto frame = parseJsonObject(*line);
+        ASSERT_TRUE(frame.has_value());
+        const auto kind = frame->at("frame");
+        if (kind == "done" || kind == "error" ||
+            kind == "deadline_exceeded")
+            terminal = kind;
+    }
+    EXPECT_EQ(terminal, "deadline_exceeded");
+
+    const auto wedged =
+        obs::TraceStore::instance().byRequestId("req-cut");
+    ASSERT_NE(wedged, nullptr);
+    EXPECT_EQ(wedged->outcome(), "deadline_exceeded");
+    std::string stage;
+    for (const auto &span : wedged->spans()) {
+        if (span.name != "serve.ask")
+            continue;
+        for (const auto &note : span.notes)
+            if (note.key == "deadline_exceeded_in")
+                stage = note.value;
+    }
+    EXPECT_FALSE(stage.empty());
+    // The wedge is in retrieval (sections sleep 500 ms each), so the
+    // cut must attribute it there, not shrug.
+    EXPECT_EQ(stage, "retrieve");
+
+    // And the trace verb's "bad" filter surfaces both traces.
+    Request fetch;
+    fetch.op = Request::Op::Trace;
+    fetch.id = "3";
+    fetch.trace_last = 8;
+    fetch.trace_filter = "bad";
+    ASSERT_TRUE(cut.sendLine(renderRequest(fetch)));
+    const auto line = cut.recvLine();
+    ASSERT_TRUE(line.has_value());
+    const auto frame = parseJsonObject(*line);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->at("frame"), "trace");
+    EXPECT_GE(str::parseU64(frame->at("found")).value(), 2u);
+    EXPECT_NE(frame->at("traces").find("req-degraded"),
+              std::string::npos);
+    EXPECT_NE(frame->at("traces").find("req-cut"), std::string::npos);
+    strict.stop();
 }

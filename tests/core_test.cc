@@ -181,7 +181,8 @@ TEST(EngineTest, AskBatchPreservesOrder)
 TEST(EngineTest, AskBatchRejectsEmptyQuestion)
 {
     auto engine = defaultEngine();
-    auto result = engine.askBatch({"Which policy is best?", " "});
+    auto result = engine.askBatch(
+        std::vector<std::string>{"Which policy is best?", " "});
     ASSERT_FALSE(result.ok());
     EXPECT_EQ(result.error().code, EngineErrorCode::EmptyQuestion);
     EXPECT_NE(result.error().message.find("#1"), std::string::npos);

@@ -29,6 +29,7 @@
 #include "core/stream.hh"
 #include "core/worker_pool.hh"
 #include "db/builder.hh"
+#include "obs/trace.hh"
 #include "retrieval/context.hh"
 #include "serve/client.hh"
 #include "serve/protocol.hh"
@@ -765,5 +766,177 @@ TEST(ServerTest, MidStreamDisconnectCancelsRetrievalWork)
     ASSERT_TRUE(expectHello(again));
     const auto got = askOver(again, "after", questions[0], "sieve");
     EXPECT_TRUE(got.done);
+    server.stop();
+}
+
+// ------------------------------------------------- protocol v1.1
+
+TEST(ProtocolTest, RequestIdAndTraceRequestsRoundTrip)
+{
+    // The hello banner advertises the request_id-capable protocol.
+    EXPECT_NE(helloFrame().find("\"proto\":\"1.1\""),
+              std::string::npos);
+
+    Request ask;
+    ask.op = Request::Op::Ask;
+    ask.id = "7";
+    ask.question = "why?";
+    ask.request_id = "req \"42\"";
+    auto parsed = parseRequest(renderRequest(ask));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->op, Request::Op::Ask);
+    EXPECT_EQ(parsed->request_id, "req \"42\"");
+
+    Request by_id;
+    by_id.op = Request::Op::Trace;
+    by_id.id = "8";
+    by_id.request_id = "req-42";
+    parsed = parseRequest(renderRequest(by_id));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->op, Request::Op::Trace);
+    EXPECT_EQ(parsed->request_id, "req-42");
+
+    Request recent;
+    recent.op = Request::Op::Trace;
+    recent.id = "9";
+    recent.trace_last = 4;
+    recent.trace_filter = "bad";
+    parsed = parseRequest(renderRequest(recent));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->trace_last, 4u);
+    EXPECT_EQ(parsed->trace_filter, "bad");
+
+    // Garbage "last" values are rejected, not ignored.
+    std::string why;
+    EXPECT_FALSE(
+        parseRequest("{\"op\":\"trace\",\"last\":\"many\"}", &why)
+            .has_value());
+    EXPECT_NE(why.find("last"), std::string::npos);
+}
+
+TEST(ProtocolTest, FramesEchoRequestIdOnlyWhenPresent)
+{
+    // v1.0 callers (empty request_id) get the historical wire format.
+    EXPECT_EQ(errorFrame("1", "c", "m").find("request_id"),
+              std::string::npos);
+    core::StreamEvent delta;
+    delta.kind = core::StreamEvent::Kind::AnswerDelta;
+    delta.text = "x";
+    EXPECT_EQ(eventFrame("1", delta).find("request_id"),
+              std::string::npos);
+
+    // v1.1 callers see it on every per-request frame.
+    for (const std::string &frame :
+         {eventFrame("1", delta, "req-1"),
+          errorFrame("1", "c", "m", "req-1"),
+          overloadedFrame("1", 4, "req-1"),
+          deadlineExceededFrame("1", 50.0, "req-1")}) {
+        const auto fields = parseJsonObject(frame);
+        ASSERT_TRUE(fields.has_value()) << frame;
+        EXPECT_EQ(fields->at("request_id"), "req-1") << frame;
+    }
+
+    const auto trace = parseJsonObject(traceFrame("2", 3, "a\nb"));
+    ASSERT_TRUE(trace.has_value());
+    EXPECT_EQ(trace->at("frame"), "trace");
+    EXPECT_EQ(trace->at("found"), "3");
+    EXPECT_EQ(trace->at("traces"), "a\nb");
+}
+
+TEST(ServerTest, RequestIdEchoedAndTraceVerbReturnsSpanTree)
+{
+    obs::TraceStore::instance().clear();
+    ServeOptions opts;
+    Server server(sharedDb(), opts);
+    ASSERT_TRUE(server.start());
+
+    LineClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+    ASSERT_TRUE(expectHello(client));
+
+    // An ask carrying a request_id: every frame echoes it, and the
+    // request is traced server-side.
+    Request req;
+    req.op = Request::Op::Ask;
+    req.id = "1";
+    req.question = suiteQuestions()[0];
+    req.request_id = "req-e2e";
+    ASSERT_TRUE(client.sendLine(renderRequest(req)));
+    bool done = false;
+    std::size_t frames = 0;
+    while (!done) {
+        const auto line = client.recvLine();
+        ASSERT_TRUE(line.has_value());
+        const auto frame = parseJsonObject(*line);
+        ASSERT_TRUE(frame.has_value());
+        ASSERT_EQ(frame->count("request_id"), 1u) << *line;
+        EXPECT_EQ(frame->at("request_id"), "req-e2e");
+        ++frames;
+        done = frame->at("frame") == "done";
+    }
+    EXPECT_GE(frames, 3u); // parsed, planned, ..., done
+
+    // The trace verb keyed by the same id returns the span tree:
+    // serve-side spans wrapping the engine's pipeline stages.
+    Request fetch;
+    fetch.op = Request::Op::Trace;
+    fetch.id = "2";
+    fetch.request_id = "req-e2e";
+    ASSERT_TRUE(client.sendLine(renderRequest(fetch)));
+    auto line = client.recvLine();
+    ASSERT_TRUE(line.has_value());
+    auto frame = parseJsonObject(*line);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->at("frame"), "trace");
+    EXPECT_EQ(frame->at("found"), "1");
+    const std::string text = frame->at("traces");
+    EXPECT_NE(text.find("[req-e2e outcome=done]"), std::string::npos);
+    for (const char *span : {"serve.ask", "lease", "write", "ask",
+                             "parse", "plan", "retrieve", "section:",
+                             "generate"})
+        EXPECT_NE(text.find(span), std::string::npos) << span;
+
+    // An id the store has never seen: found=0, empty text.
+    fetch.id = "3";
+    fetch.request_id = "no-such-request";
+    ASSERT_TRUE(client.sendLine(renderRequest(fetch)));
+    line = client.recvLine();
+    ASSERT_TRUE(line.has_value());
+    frame = parseJsonObject(*line);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->at("found"), "0");
+
+    // Untraced asks (no request_id, sampling off) echo nothing and
+    // record nothing.
+    const auto before = obs::TraceStore::instance().recorded();
+    const auto got = askOver(client, "4", suiteQuestions()[1], "");
+    EXPECT_TRUE(got.done);
+    EXPECT_EQ(obs::TraceStore::instance().recorded(), before);
+    server.stop();
+}
+
+TEST(ServerTest, TraceSamplingTracesUnlabelledAsks)
+{
+    obs::TraceStore::instance().clear();
+    ServeOptions opts;
+    opts.trace_sample_every = 2; // asks 0, 2, 4, ... are traced
+    Server server(sharedDb(), opts);
+    ASSERT_TRUE(server.start());
+
+    LineClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+    ASSERT_TRUE(expectHello(client));
+    for (int i = 0; i < 4; ++i) {
+        const auto got =
+            askOver(client, std::to_string(i), suiteQuestions()[0], "");
+        ASSERT_TRUE(got.done);
+    }
+
+    // Asks 0 and 2 were sampled under synthesized ids.
+    const auto recent = obs::TraceStore::instance().recent(8);
+    ASSERT_EQ(recent.size(), 2u);
+    EXPECT_EQ(recent[0]->requestId(), "sampled-2");
+    EXPECT_EQ(recent[1]->requestId(), "sampled-0");
+    EXPECT_EQ(recent[0]->outcome(), "done");
     server.stop();
 }

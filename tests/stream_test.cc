@@ -576,7 +576,7 @@ TEST(AskStreamTest, PipelineExceptionsPropagateLikeBlockingAsk)
                       .expect("throwing engine");
 
     EXPECT_THROW(engine.ask("boom?"), std::runtime_error);
-    EXPECT_THROW(engine.askBatch({"a?", "b?", "c?"}),
+    EXPECT_THROW(engine.askBatch(std::vector<std::string>{"a?", "b?", "c?"}),
                  std::runtime_error);
 
     auto stream = engine.askStream("boom?").expect("stream");
